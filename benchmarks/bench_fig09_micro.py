@@ -1,0 +1,298 @@
+"""Figure 9: the three optimizations on BlueField2 and Agilio CX.
+
+(a)/(b) table reordering — ACL position sweep at 25/50/75% drop rates;
+(c) table caching — strategies from four per-table caches to one
+    whole-pipelet cache under independently-varying match fields;
+(d) table merging — merging 2..4 small static exact tables.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from figutil import emit, fmt_table, run_once
+
+from repro.apps import microbench
+from repro.core import Deployment
+from repro.core.plan import Candidate, OptimizationPlan, Segment
+from repro.core.pipelets import partition
+from repro.nic.packet import make_packet
+from repro.nic.targets import AGILIO_CX, BLUEFIELD2
+from repro.traffic import TrafficGenerator, drop_rate_stream, synth_flows
+
+ACL_POSITIONS = [21, 18, 15, 12, 9, 6, 3, 0]
+DROP_RATES = [0.25, 0.50, 0.75]
+N_PACKETS = 600
+
+
+def _measure_reorder(target, position, drop_rate, seed=3):
+    program = microbench.reorder_benchmark_program(22, position)
+    deployment = Deployment(
+        program, target, instrument=False, native_cache=False
+    )
+    microbench.install_acl_deny_entry(deployment.control_plane)
+    generator = TrafficGenerator(seed=seed)
+    packets = drop_rate_stream(generator, N_PACKETS, drop_rate)
+    stats = deployment.run(packets)
+    return stats.throughput_gbps(target)
+
+
+def _reorder_rows(target):
+    rows = []
+    for position in ACL_POSITIONS:
+        row = [position]
+        for drop_rate in DROP_RATES:
+            row.append(_measure_reorder(target, position, drop_rate))
+        rows.append(row)
+    return rows
+
+
+@pytest.mark.parametrize(
+    "target,figure",
+    [(BLUEFIELD2, "fig09a"), (AGILIO_CX, "fig09b")],
+    ids=["bluefield2", "agilio_cx"],
+)
+def test_fig09ab_table_reordering(benchmark, target, figure):
+    rows = run_once(benchmark, lambda: _reorder_rows(target))
+    emit(
+        f"{figure}_reordering_{target.name}",
+        fmt_table(
+            ["acl_position", "drop25_gbps", "drop50_gbps", "drop75_gbps"],
+            rows,
+        ),
+    )
+    by_position = {row[0]: row[1:] for row in rows}
+    # Promoting the ACL earlier never hurts and helps monotonically.
+    for drop_index in range(3):
+        back = by_position[21][drop_index]
+        front = by_position[0][drop_index]
+        assert front >= back
+    # Higher drop rates benefit more from promotion (paper's headline).
+    gain25 = by_position[0][0] / by_position[21][0]
+    gain75 = by_position[0][2] / by_position[21][2]
+    assert gain75 >= gain25
+    # BlueField2 reaches line rate with the ACL at the front at 75%.
+    if target is BLUEFIELD2:
+        assert by_position[0][2] == pytest.approx(100.0, rel=0.02)
+
+
+# ---------------------------------------------------------------------------
+# (c) table caching
+# ---------------------------------------------------------------------------
+
+CACHE_OPTIONS = {
+    "no_cache": None,
+    "[1][2][3][4]": [("cache", 1)] * 4,
+    "[1,2][3][4]": [("cache", 2), ("cache", 1), ("cache", 1)],
+    "[1,2,3][4]": [("cache", 3), ("cache", 1)],
+    "[1,2,3,4]": [("cache", 4)],
+}
+
+
+def _cache_plan(program, labels):
+    """Apply the same caching labels to every 4-table replica."""
+    candidates = []
+    for pipelet in partition(program, max_len=4):
+        segments = []
+        position = 0
+        for op, length in labels:
+            segments.append(
+                Segment(
+                    op,
+                    tuple(
+                        pipelet.table_names[position:position + length]
+                    ),
+                )
+            )
+            position += length
+        candidates.append(
+            Candidate(
+                pipelet_id=pipelet.pipelet_id,
+                run=pipelet.table_names,
+                order=pipelet.table_names,
+                segments=tuple(segments),
+                gain_ns=0.0,
+                memory_bytes=0.0,
+                update_pps=0.0,
+            )
+        )
+    return OptimizationPlan(candidates=candidates)
+
+
+def _independent_field_packets(n_packets, values_per_field=10, seed=5):
+    """Fields vary independently: per-field caches see ~10 distinct
+    values while a whole-pipelet cache needs the cross product (the
+    paper's 54-entries-vs-36k contrast)."""
+    rng = random.Random(seed)
+    packets = []
+    for _ in range(n_packets):
+        packets.append(
+            make_packet(
+                src=rng.randrange(values_per_field),
+                dst=rng.randrange(values_per_field),
+                sport=rng.randrange(values_per_field),
+                dport=rng.randrange(values_per_field),
+            )
+        )
+    return packets
+
+
+def _measure_caching(target):
+    results = {}
+    cache_sizes = {}
+    for label, option in CACHE_OPTIONS.items():
+        program = microbench.pipelet_benchmark_program(n_copies=4)
+        plan = _cache_plan(program, option) if option else None
+        deployment = Deployment(
+            program,
+            target,
+            plan=plan,
+            instrument=False,
+            native_cache=False,
+            cache_capacity=4096,
+            cache_insertion_limit_pps=1e9,
+        )
+        microbench.install_ternary_mask_entries(
+            deployment.control_plane, program, n_masks=2
+        )
+        packets = _independent_field_packets(9000)
+        deployment.run(packets[:6000])  # warm the caches
+        stats = deployment.run(packets[6000:])
+        results[label] = stats.throughput_gbps(target)
+        cache_sizes[label] = sum(
+            len(c) for c in deployment.emulator.flow_caches.values()
+        )
+    return results, cache_sizes
+
+
+@pytest.mark.parametrize(
+    "target", [BLUEFIELD2, AGILIO_CX], ids=["bluefield2", "agilio_cx"]
+)
+def test_fig09c_table_caching(benchmark, target):
+    results, cache_sizes = run_once(
+        benchmark, lambda: _measure_caching(target)
+    )
+    emit(
+        f"fig09c_caching_{target.name}",
+        fmt_table(
+            ["option", "throughput_gbps", "cache_entries"],
+            [
+                (label, results[label], cache_sizes.get(label, 0))
+                for label in CACHE_OPTIONS
+            ],
+        ),
+    )
+    # Caching more tables together with fewer caches performs better...
+    assert results["[1,2,3][4]"] > results["[1][2][3][4]"]
+    assert results["[1][2][3][4]"] > results["no_cache"]
+    # ...until the cross-product problem kills the hit rate: the single
+    # whole-pipelet cache is NOT the best option under independent keys.
+    assert results["[1,2,3][4]"] > results["[1,2,3,4]"]
+    # Headline: the best strategy is >= 2x no-cache (paper: 2.5x).
+    assert results["[1,2,3][4]"] / results["no_cache"] >= 2.0
+    # Per-table caches stay tiny; the joint cache needs the product.
+    assert cache_sizes["[1][2][3][4]"] < cache_sizes["[1,2,3,4]"]
+
+
+# ---------------------------------------------------------------------------
+# (d) table merging
+# ---------------------------------------------------------------------------
+
+MERGE_OPTIONS = {
+    "no_merge": 0,
+    "[1,2]": 2,
+    "[1,2,3]": 3,
+    "[1,2,3,4]": 4,
+}
+
+
+def _merge_plan(program, n_merged):
+    candidates = []
+    for pipelet in partition(program, max_len=4):
+        segments = [Segment("merge", pipelet.table_names[:n_merged])]
+        segments += [
+            Segment("none", (name,))
+            for name in pipelet.table_names[n_merged:]
+        ]
+        candidates.append(
+            Candidate(
+                pipelet_id=pipelet.pipelet_id,
+                run=pipelet.table_names,
+                order=pipelet.table_names,
+                segments=tuple(segments),
+                gain_ns=0.0,
+                memory_bytes=0.0,
+                update_pps=0.0,
+            )
+        )
+    return OptimizationPlan(candidates=candidates)
+
+
+def _measure_merging(target):
+    results = {}
+    merged_entries = {}
+    rng = random.Random(9)
+    for label, n_merged in MERGE_OPTIONS.items():
+        program = microbench.pipelet_benchmark_program(
+            n_copies=5,
+            match_type=__import__(
+                "repro.ir.tables", fromlist=["MatchType"]
+            ).MatchType.EXACT,
+        )
+        plan = _merge_plan(program, n_merged) if n_merged else None
+        deployment = Deployment(
+            program, target, plan=plan, instrument=False,
+            native_cache=False,
+        )
+        microbench.install_small_exact_entries(
+            deployment.control_plane, program, values=(1, 2, 3)
+        )
+        packets = [
+            make_packet(
+                src=rng.choice((1, 2, 3)),
+                dst=rng.choice((1, 2, 3)),
+                sport=rng.choice((1, 2, 3)),
+                dport=rng.choice((1, 2, 3)),
+            )
+            for _ in range(N_PACKETS)
+        ]
+        stats = deployment.run(packets)
+        results[label] = stats.throughput_gbps(target)
+        merged_entries[label] = sum(
+            len(runtime)
+            for name, runtime in (
+                deployment.emulator.runtime_tables.items()
+            )
+            if name.startswith("merged__")
+        )
+    return results, merged_entries
+
+
+@pytest.mark.parametrize(
+    "target", [BLUEFIELD2, AGILIO_CX], ids=["bluefield2", "agilio_cx"]
+)
+def test_fig09d_table_merging(benchmark, target):
+    results, merged_entries = run_once(
+        benchmark, lambda: _measure_merging(target)
+    )
+    emit(
+        f"fig09d_merging_{target.name}",
+        fmt_table(
+            ["option", "throughput_gbps", "merged_entries"],
+            [
+                (label, results[label], merged_entries[label])
+                for label in MERGE_OPTIONS
+            ],
+        ),
+    )
+    # Merging more tables gives more throughput...
+    assert (
+        results["[1,2,3,4]"] > results["[1,2]"] > results["no_merge"]
+    )
+    # ...within the paper's observed 1.2x - 2.2x range.
+    ratio = results["[1,2,3,4]"] / results["no_merge"]
+    assert 1.15 <= ratio <= 2.6
+    # ...but the entry cross product grows steeply (19x in the paper).
+    assert merged_entries["[1,2,3,4]"] > 3 * merged_entries["[1,2]"]

@@ -1,0 +1,99 @@
+"""Figure 13: optimization time for top-k vs exhaustive search (§5.4.2).
+
+Three synthesized program groups by (pipelet number PN, pipelet length
+PL), k in {20%, 30%, 40%, 100%}. The paper measures seconds on their
+Python prototype; ours measures the same search on this implementation
+— absolute times differ, the *ratio* between top-k and ESearch (paper:
+~8.2x for top-20%) is the reproduced quantity.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from figutil import emit, fmt_table, median, run_once
+
+from repro.core import CostModel, optimize, uniform_profile
+from repro.core.search import SearchOptions
+from repro.nic.targets import BLUEFIELD2
+from repro.synthesis import synthesize_corpus, synthesize_profile
+
+GROUPS = {
+    "PN=12,PL=2": dict(n_pipelets=12, pipelet_len_min=2,
+                       pipelet_len_max=2),
+    "PN=12,PL=3": dict(n_pipelets=12, pipelet_len_min=3,
+                       pipelet_len_max=3),
+    "PN=15,PL=3": dict(n_pipelets=15, pipelet_len_min=3,
+                       pipelet_len_max=3),
+}
+K_VALUES = [0.2, 0.3, 0.4, 1.0]
+PROGRAMS_PER_GROUP = 12  # paper: 100 per group
+
+
+def _run():
+    model = CostModel.for_target(BLUEFIELD2)
+    times: dict[tuple[str, float], list[float]] = {}
+    gains: dict[tuple[str, float], list[float]] = {}
+    for group, shape in GROUPS.items():
+        programs = synthesize_corpus(
+            PROGRAMS_PER_GROUP, base_seed=91, **shape
+        )
+        for i, program in enumerate(programs):
+            profile = synthesize_profile(program, seed=500 + i)
+            for k in K_VALUES:
+                plan = optimize(
+                    program,
+                    profile,
+                    model,
+                    options=SearchOptions(k=k),
+                )
+                times.setdefault((group, k), []).append(
+                    plan.search_time_s
+                )
+                gains.setdefault((group, k), []).append(
+                    plan.total_gain_ns
+                )
+    return times, gains
+
+
+def test_fig13_optimization_speed(benchmark):
+    times, gains = run_once(benchmark, _run)
+    rows = []
+    for group in GROUPS:
+        row = [group]
+        for k in K_VALUES:
+            row.append(median(times[(group, k)]) * 1000.0)
+        rows.append(row)
+    lines = fmt_table(
+        ["group", "k=20%_ms", "k=30%_ms", "k=40%_ms", "k=100%_ms"],
+        rows,
+    )
+    speedups = []
+    for group in GROUPS:
+        full = median(times[(group, 1.0)])
+        top20 = median(times[(group, 0.2)])
+        if top20 > 0:
+            speedups.append(full / top20)
+    lines.append(
+        f"median ESearch/top-20% speedup across groups: "
+        f"{sum(speedups) / len(speedups):.1f}x (paper: 8.2x)"
+    )
+    emit("fig13_search_speed", lines)
+
+    # Search time increases with k for every group.
+    for group in GROUPS:
+        assert median(times[(group, 0.2)]) <= median(
+            times[(group, 1.0)]
+        )
+    # Larger programs take longer at full search.
+    assert median(times[("PN=15,PL=3", 1.0)]) > median(
+        times[("PN=12,PL=2", 1.0)]
+    )
+    # The top-20% search is substantially faster than ESearch.
+    assert sum(speedups) / len(speedups) > 2.0
+    # ESearch never finds less gain than top-k (same machinery).
+    for group in GROUPS:
+        for k in (0.2, 0.3, 0.4):
+            total_topk = sum(gains[(group, k)])
+            total_full = sum(gains[(group, 1.0)])
+            assert total_full >= total_topk - 1e-6

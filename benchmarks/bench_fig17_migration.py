@@ -1,0 +1,104 @@
+"""Figure 17 (Appendix A.2): table copying vs packet migration.
+
+A program interleaves ASIC-supported and CPU-only tables; the naive
+partition migrates packets at every boundary. Copying the sandwiched
+ASIC tables onto the CPU removes migrations for software-bound traffic.
+(a) sweeps the migration latency; (b) sweeps the share of traffic that
+needs software processing (the remainder takes an ASIC-only path).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from figutil import emit, fmt_table, run_once
+
+from repro.apps import migration
+from repro.core import Deployment
+from repro.nic.packet import make_packet
+from repro.nic.targets import EMULATED_NIC
+
+N_PAIRS = 5
+COPY_COUNTS = list(range(0, 5))
+MIGRATION_LATENCIES = [200.0, 500.0, 800.0]
+SOFTWARE_RATIOS = [0.3, 0.5, 0.7]
+N_PACKETS = 60
+
+
+def _mean_latency(program, target):
+    deployment = Deployment(program, target, instrument=False)
+    stats = deployment.run(
+        [make_packet() for _ in range(N_PACKETS)]
+    )
+    return stats.mean_latency_ns
+
+
+def _sweep_migration_latency():
+    rows = []
+    for n_copies in COPY_COUNTS:
+        hetero = migration.partitioned_program(N_PAIRS, n_copies)
+        row = [n_copies]
+        for migration_ns in MIGRATION_LATENCIES:
+            target = EMULATED_NIC.replace(migration_ns=migration_ns)
+            row.append(_mean_latency(hetero, target))
+        rows.append(row)
+    return rows
+
+
+def _sweep_software_ratio():
+    asic_only = migration.asic_only_program(N_PAIRS)
+    asic_latency = _mean_latency(asic_only, EMULATED_NIC)
+    rows = []
+    for n_copies in COPY_COUNTS:
+        hetero = migration.partitioned_program(N_PAIRS, n_copies)
+        hetero_latency = _mean_latency(hetero, EMULATED_NIC)
+        row = [n_copies]
+        for ratio in SOFTWARE_RATIOS:
+            row.append(
+                ratio * hetero_latency + (1 - ratio) * asic_latency
+            )
+        rows.append(row)
+    return rows
+
+
+def test_fig17a_copying_vs_migration_latency(benchmark):
+    rows = run_once(benchmark, _sweep_migration_latency)
+    emit(
+        "fig17a_migration_latency",
+        fmt_table(
+            ["copies"]
+            + [f"mig={int(m)}ns" for m in MIGRATION_LATENCIES],
+            rows,
+        ),
+    )
+    by_copies = {row[0]: row[1:] for row in rows}
+    # Copying tables reduces latency monotonically for every
+    # migration-latency setting.
+    for column in range(len(MIGRATION_LATENCIES)):
+        series = [by_copies[c][column] for c in COPY_COUNTS]
+        assert series == sorted(series, reverse=True)
+    # The benefit of copying grows with the migration latency.
+    saving_small = by_copies[0][0] - by_copies[4][0]
+    saving_large = by_copies[0][2] - by_copies[4][2]
+    assert saving_large > saving_small
+
+
+def test_fig17b_copying_vs_software_ratio(benchmark):
+    rows = run_once(benchmark, _sweep_software_ratio)
+    emit(
+        "fig17b_software_ratio",
+        fmt_table(
+            ["copies"]
+            + [f"{int(r * 100)}%_software" for r in SOFTWARE_RATIOS],
+            rows,
+        ),
+    )
+    by_copies = {row[0]: row[1:] for row in rows}
+    # More software-bound traffic -> more benefit from copying.
+    saving_30 = by_copies[0][0] - by_copies[4][0]
+    saving_70 = by_copies[0][2] - by_copies[4][2]
+    assert saving_70 > saving_30
+    # Copying always helps the mixed workload.
+    for column in range(len(SOFTWARE_RATIOS)):
+        series = [by_copies[c][column] for c in COPY_COUNTS]
+        assert series == sorted(series, reverse=True)

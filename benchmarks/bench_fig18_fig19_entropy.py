@@ -1,0 +1,147 @@
+"""Figures 18 and 19 (Appendix A.3): traffic distributions and ESearch.
+
+Figure 18 visualises pipelet traffic distributions at the 10th/50th/90th
+entropy percentiles of 2000 random profiles (we synthesize a smaller
+pool; the percentile structure is identical). Figure 19 shows that
+ESearch's throughput improvement is similar across those entropy levels
+(paper: 1.32x / 1.37x / 1.43x average).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from figutil import emit, fmt_table, run_once
+
+from repro.core import CostModel, partition
+from repro.core.costmodel import CostModel as _CostModel
+from repro.core.hotspots import traffic_entropy
+from repro.core.pipelets import pipelet_probability
+from repro.core.search import SearchOptions, optimize
+from repro.nic.targets import BLUEFIELD2
+from repro.synthesis import (
+    profiles_by_entropy,
+    synthesize_corpus,
+    synthesize_profiles,
+)
+
+PERCENTILES = (10.0, 50.0, 90.0)
+N_PROFILES = 300
+N_PROGRAMS = 6
+
+
+def _distribution_rows(program, model, profiles):
+    pipelets = partition(program)
+    rows = []
+    for percentile, entropy, profile in profiles_by_entropy(
+        program, profiles, model, percentiles=PERCENTILES
+    ):
+        reach = model.reach_probs(program, profile)
+        shares = [
+            pipelet_probability(program, p, reach) for p in pipelets
+        ]
+        total = sum(shares) or 1.0
+        shares = [s / total for s in shares]
+        rows.append((percentile, entropy, shares))
+    return pipelets, rows
+
+
+def test_fig18_traffic_distributions(benchmark):
+    def run():
+        model = CostModel.for_target(BLUEFIELD2)
+        program = synthesize_corpus(
+            1, n_pipelets=12, pipelet_len_min=2, pipelet_len_max=2,
+            base_seed=91,
+        )[0]
+        profiles = synthesize_profiles(program, N_PROFILES, base_seed=7)
+        return _distribution_rows(program, model, profiles)
+
+    pipelets, rows = run_once(benchmark, run)
+    lines = []
+    for percentile, entropy, shares in rows:
+        lines.append(
+            f"{percentile:.0f}th entropy profile "
+            f"(H={entropy:.2f} bits):"
+        )
+        lines.extend(
+            f"  pipelet {i + 1:>2}: "
+            f"{'#' * max(1, int(share * 60))} {share * 100:.1f}%"
+            for i, share in enumerate(shares)
+        )
+    emit("fig18_entropy_distributions", lines)
+
+    entropies = [entropy for _pct, entropy, _s in rows]
+    # Percentile selection is ordered by construction.
+    assert entropies == sorted(entropies)
+    # Low entropy: traffic concentrated (max share dominates); high
+    # entropy: spread more evenly.
+    low_max = max(rows[0][2])
+    high_max = max(rows[2][2])
+    assert low_max > high_max
+    # The first pipelet always carries 100% of traffic (paper's remark
+    # that a fully even distribution is impossible).
+    for _pct, _entropy, shares in rows:
+        assert shares[0] == pytest.approx(
+            max(shares), rel=1e-6
+        ) or shares[0] > 0.9 * max(shares)
+
+
+def test_fig19_esearch_across_entropies(benchmark):
+    def run():
+        model = CostModel.for_target(BLUEFIELD2)
+        programs = synthesize_corpus(
+            N_PROGRAMS, n_pipelets=12, pipelet_len_min=2,
+            pipelet_len_max=2, base_seed=91,
+        )
+        improvements: dict[float, list[float]] = {
+            p: [] for p in PERCENTILES
+        }
+        for index, program in enumerate(programs):
+            profiles = synthesize_profiles(
+                program,
+                120,
+                base_seed=3000 + 100 * index,
+                max_update_rate=0.1,
+            )
+            for percentile, _entropy, profile in profiles_by_entropy(
+                program, profiles, model, percentiles=PERCENTILES
+            ):
+                baseline = model.expected_latency(program, profile)
+                plan = optimize(
+                    program, profile, model,
+                    options=SearchOptions(k=1.0),
+                )
+                optimized = baseline - plan.total_gain_ns
+                if optimized > 0:
+                    improvements[percentile].append(
+                        baseline / optimized
+                    )
+        return improvements
+
+    improvements = run_once(benchmark, run)
+    rows = [
+        (
+            f"{pct:.0f}th",
+            min(vals),
+            sum(vals) / len(vals),
+            max(vals),
+        )
+        for pct, vals in improvements.items()
+    ]
+    emit(
+        "fig19_esearch_entropy",
+        fmt_table(
+            ["entropy", "min_improvement_x", "mean_improvement_x",
+             "max_improvement_x"],
+            rows,
+        ),
+    )
+    means = {
+        pct: sum(vals) / len(vals)
+        for pct, vals in improvements.items()
+    }
+    # ESearch improves throughput at every entropy level...
+    for mean in means.values():
+        assert mean > 1.05
+    # ...and by a similar factor (the paper's point: 1.32-1.43x).
+    assert max(means.values()) / min(means.values()) < 1.5

@@ -1,0 +1,63 @@
+"""Shared helpers for the figure-reproduction benchmarks.
+
+Each bench regenerates one table/figure of the paper: it prints the
+series and also writes them under ``benchmarks/results/`` so the numbers
+survive pytest's output capturing. EXPERIMENTS.md records the
+paper-vs-measured comparison for every figure.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Callable, Iterable, Sequence
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+def emit(name: str, lines: Iterable[str]) -> list[str]:
+    """Print a result block and persist it to benchmarks/results/."""
+    lines = list(lines)
+    text = "\n".join(lines)
+    print(f"\n=== {name} ===")
+    print(text)
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / f"{name}.txt").write_text(text + "\n")
+    return lines
+
+
+def fmt_table(
+    headers: Sequence[str], rows: Iterable[Sequence[object]]
+) -> list[str]:
+    """Fixed-width text table."""
+    rows = [[_fmt(cell) for cell in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    def line(cells):
+        return "  ".join(c.rjust(w) for c, w in zip(cells, widths))
+    out = [line(headers), line(["-" * w for w in widths])]
+    out.extend(line(row) for row in rows)
+    return out
+
+
+def _fmt(cell: object) -> str:
+    if isinstance(cell, float):
+        return f"{cell:.2f}"
+    return str(cell)
+
+
+def run_once(benchmark, fn: Callable):
+    """Run the experiment exactly once under pytest-benchmark timing."""
+    return benchmark.pedantic(fn, rounds=1, iterations=1)
+
+
+def median(values: Sequence[float]) -> float:
+    ordered = sorted(values)
+    n = len(ordered)
+    if n == 0:
+        return 0.0
+    mid = n // 2
+    if n % 2:
+        return ordered[mid]
+    return (ordered[mid - 1] + ordered[mid]) / 2.0

@@ -1,0 +1,71 @@
+#!/usr/bin/env python3
+"""DASH-style packet routing on the Agilio CX model (paper §5.3.2).
+
+The pipeline (direction lookup, metadata setup, connection tracking,
+three ACL levels, LPM routing) is incompatible with the NIC's native
+whole-program flow cache because connection tracking is stateful. Pipe-
+leon instead merges the small static metadata tables and reorders the
+ACLs by measured drop rate, then — when the traffic shifts to long-lived
+flows with even ACL drop rates — switches to caching the ACL run.
+
+Run:  python examples/dash_offload.py
+"""
+
+from repro import AGILIO_CX, PipeleonController, ResourceBudget
+from repro.apps import dash_routing
+from repro.core.controller import ControllerOptions
+from repro.core.search import SearchOptions
+from repro.traffic import Scenario, TrafficGenerator, synth_flows
+from repro.nic.packet import ipv4
+
+
+def build_scenario(generator: TrafficGenerator) -> Scenario:
+    flows = synth_flows(64)
+    # Traffic the last ACL (dport) drops.
+    deny_heavy = synth_flows(16, dport=6666)
+    few_flows = synth_flows(6)  # long-lived flows: high locality
+
+    def biased(n):
+        return generator.mixed_stream(
+            [(flows, 0.5), (deny_heavy, 0.5)], n
+        )
+
+    def long_lived(n):
+        return generator.stream(few_flows, n, locality="zipf")
+
+    return (
+        Scenario("dash")
+        .add_phase("biased-acl-drops", 30, biased)
+        .add_phase("long-lived-flows", 30, long_lived)
+    )
+
+
+def main() -> None:
+    program = dash_routing.build_program()
+    controller = PipeleonController(
+        program,
+        AGILIO_CX,
+        budget=ResourceBudget(memory_bytes=8_000_000, update_pps=2e4),
+        search=SearchOptions(k=0.6, max_pipelet_len=10),
+        options=ControllerOptions(profile_period_s=10.0),
+        native_cache=False,  # conntrack breaks the native flow cache
+    )
+    dash_routing.install_base_entries(controller.control_plane)
+
+    timeline = controller.run_scenario(
+        build_scenario(TrafficGenerator(seed=11)),
+        packets_per_tick=150,
+    )
+    print(f"{'t(s)':>5} {'Gbps':>7} {'phase':<20} plan")
+    last_plan = None
+    for point in timeline:
+        show = point.plan if point.plan != last_plan else ""
+        last_plan = point.plan
+        print(
+            f"{point.time_s:5.0f} {point.throughput_gbps:7.1f} "
+            f"{point.phase:<20} {show}"
+        )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,80 @@
+#!/usr/bin/env python3
+"""Runtime adaptation: the load-balancer case study (paper §5.3.1).
+
+A load balancer runs on the emulated BlueField2. Pipeleon initially
+caches the whole pipeline (line rate). At t=16s the control plane
+starts inserting backend entries at a high rate, invalidating the cache
+constantly — Pipeleon notices the collapsed hit rate and removes the
+cache. At t=32s the traffic mix shifts so the *second* ACL drops most
+packets — Pipeleon reorders the ACLs.
+
+Run:  python examples/load_balancer_adaptation.py
+"""
+
+from repro import BLUEFIELD2, PipeleonController, ResourceBudget
+from repro.apps import load_balancer
+from repro.core.controller import ControllerOptions
+from repro.core.search import SearchOptions
+from repro.traffic import Scenario, TrafficGenerator, synth_flows
+
+
+def build_scenario(generator: TrafficGenerator) -> Scenario:
+    flows = synth_flows(48, dport=80)
+    deny_tos = [f.with_fields(**{"ipv4.tos": 1}) for f in flows[:8]]
+    deny_port = synth_flows(16, dport=6666)
+
+    def steady(n):
+        return generator.mixed_stream(
+            [(flows, 0.8), (deny_tos, 0.2)], n
+        )
+
+    burst_state = {"port": 40000}
+
+    def insertion_burst(deployment, time_s):
+        load_balancer.insertion_burst(
+            deployment.control_plane, burst_state["port"], 40
+        )
+        burst_state["port"] += 40
+
+    def acl2_heavy(n):
+        return generator.mixed_stream(
+            [(flows, 0.3), (deny_port, 0.7)], n
+        )
+
+    return (
+        Scenario("load_balancer")
+        .add_phase("steady", 16, steady)
+        .add_phase("insertion-burst", 16, steady, insertion_burst)
+        .add_phase("acl2-drops", 16, acl2_heavy)
+    )
+
+
+def main() -> None:
+    program = load_balancer.build_program()
+    controller = PipeleonController(
+        program,
+        BLUEFIELD2,
+        budget=ResourceBudget(memory_bytes=4_000_000, update_pps=2e4),
+        search=SearchOptions(k=0.5, max_pipelet_len=12),
+        options=ControllerOptions(profile_period_s=5.0),
+    )
+    load_balancer.install_base_entries(controller.control_plane)
+    # Let the initial configuration age out of the update-rate window
+    # before traffic starts (it is not runtime churn).
+    controller.clock.advance(controller.options.update_window_s)
+
+    timeline = controller.run_scenario(
+        build_scenario(TrafficGenerator(seed=7)), packets_per_tick=200
+    )
+    print(f"{'t(s)':>5} {'Gbps':>7} {'phase':<16} plan")
+    for point in timeline:
+        marker = " *reopt*" if point.reoptimized else ""
+        print(
+            f"{point.time_s:5.0f} {point.throughput_gbps:7.1f} "
+            f"{point.phase:<16}{marker}"
+        )
+    print(f"\nreoptimizations: {controller.reoptimizations}")
+
+
+if __name__ == "__main__":
+    main()

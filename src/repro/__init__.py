@@ -1,0 +1,55 @@
+"""Pipeleon reproduction: profile-guided P4 optimization for SmartNICs.
+
+Reproduces "Unleashing SmartNIC Packet Processing Performance in P4"
+(SIGCOMM 2023). Public entry points:
+
+* :class:`repro.Pipeleon` -- the optimizer (plan / apply / source-to-source)
+* :class:`repro.PipeleonController` -- the runtime adaptation loop
+* :mod:`repro.ir` -- the P4 graph IR
+* :mod:`repro.nic` -- the SmartNIC emulator substrate and target models
+* :mod:`repro.traffic` -- workload generation
+* :mod:`repro.apps` -- the evaluation programs
+* :mod:`repro.synthesis` -- random program/profile synthesis
+"""
+
+from repro.core import (
+    CostModel,
+    Deployment,
+    OptimizationPlan,
+    Pipeleon,
+    PipeleonController,
+    ResourceBudget,
+    RuntimeProfile,
+    SearchOptions,
+    uniform_profile,
+)
+from repro.ir import Program, ProgramBuilder
+from repro.nic import (
+    AGILIO_CX,
+    BLUEFIELD2,
+    EMULATED_NIC,
+    NicEmulator,
+    TargetModel,
+)
+
+__version__ = "0.1.0"
+
+__all__ = [
+    "AGILIO_CX",
+    "BLUEFIELD2",
+    "CostModel",
+    "Deployment",
+    "EMULATED_NIC",
+    "NicEmulator",
+    "OptimizationPlan",
+    "Pipeleon",
+    "PipeleonController",
+    "Program",
+    "ProgramBuilder",
+    "ResourceBudget",
+    "RuntimeProfile",
+    "SearchOptions",
+    "TargetModel",
+    "__version__",
+    "uniform_profile",
+]

@@ -1,0 +1,23 @@
+"""Evaluation programs: the P4 pipelines the paper's experiments use."""
+
+from repro.apps import (
+    acl_chain,
+    calibration_suite,
+    dash_routing,
+    l2l3_acl,
+    load_balancer,
+    microbench,
+    migration,
+    nf_composition,
+)
+
+__all__ = [
+    "acl_chain",
+    "calibration_suite",
+    "dash_routing",
+    "l2l3_acl",
+    "load_balancer",
+    "microbench",
+    "migration",
+    "nf_composition",
+]

@@ -1,0 +1,93 @@
+"""The Figure 2 motivating program: an ACL cascade then routing.
+
+"a P4 program which starts with multiple access control list (ACL)
+tables, then a few regular packet processing tables (not shown), and
+ends with a routing table." The four ACL levels mirror the figure:
+Cloud, Tenant, Subnet, VM.
+"""
+
+from __future__ import annotations
+
+from repro.ir.actions import drop_action, noop_action
+from repro.ir.builder import ProgramBuilder
+from repro.ir.entries import TableEntry, TernaryValue
+from repro.ir.program import Program
+from repro.ir.tables import MatchType
+
+#: (table name, match field, deny value) per ACL level. Each level
+#: matches a different header field so the levels are reorderable.
+ACL_LEVELS = (
+    ("acl_cloud", "ipv4.tos", 1),
+    ("acl_tenant", "vlan.id", 7),
+    ("acl_subnet", "ipv4.src", 0x0A0A0A0A),
+    ("acl_vm", "ipv4.dst", 0xC0A80101),
+)
+
+REGULAR_TABLES = 4
+
+
+def build_program(n_regular: int = REGULAR_TABLES) -> Program:
+    builder = ProgramBuilder("acl_chain")
+    names: list[str] = []
+    for name, field, _deny in ACL_LEVELS:
+        # ACL rule sets mix masks, so the tables are ternary; each
+        # distinct mask costs one memory probe on BlueField-style NICs.
+        builder.table(
+            name,
+            [(field, MatchType.TERNARY)],
+            [drop_action(f"{name}_deny"), noop_action(f"{name}_permit")],
+            default_action=f"{name}_permit",
+            annotations={"role": "acl"},
+        )
+        names.append(name)
+    for i in range(n_regular):
+        name = f"proc{i}"
+        builder.table(
+            name,
+            [f"ipv4.reg{i}"],
+            [noop_action(f"{name}_a0"), noop_action(f"{name}_a1")],
+        )
+        names.append(name)
+    builder.table(
+        "routing",
+        ["ipv4.dst"],
+        [
+            noop_action("route_set_nhop", 2),
+            noop_action("route_default"),
+        ],
+        default_action="route_default",
+    )
+    names.append("routing")
+    builder.chain(names)
+    return builder.build(root=names[0])
+
+
+def install_acl_entries(control_plane, n_masks: int = 4) -> None:
+    """Deny rules plus mask diversity (traffic mix decides drop rates).
+
+    The exact-mask rule drops; the wider-mask rows permit, existing only
+    to give the rule set its realistic multi-mask probe count.
+    """
+    for name, _field, deny in ACL_LEVELS:
+        control_plane.insert_entry(
+            name,
+            TableEntry(
+                (TernaryValue(deny, 0xFFFFFFFF),),
+                f"{name}_deny",
+                priority=100,
+            ),
+        )
+        masks = (0xFFFFFF00, 0xFFFF0000, 0xFF000000)
+        for i, mask in enumerate(masks[: max(0, n_masks - 1)]):
+            control_plane.insert_entry(
+                name,
+                TableEntry(
+                    (TernaryValue(deny & mask, mask),),
+                    f"{name}_permit",
+                    priority=i,
+                ),
+            )
+
+
+def acl_table_names() -> list[str]:
+    return [name for name, _f, _d in ACL_LEVELS]

@@ -1,0 +1,22 @@
+"""Calibration-suite programs (§3.1): re-exported builders.
+
+The calibration benchmarking suite sweeps chain programs over length,
+action-primitive count, and match type; the builders live next to the
+fitting code in :mod:`repro.core.calibration` and the generic
+:func:`repro.ir.builder.linear_program`. This module gives them the
+home the system inventory (DESIGN.md) names.
+"""
+
+from repro.core.calibration import (
+    CalibrationPoint,
+    measure_throughput,
+    run_suite,
+)
+from repro.ir.builder import linear_program
+
+__all__ = [
+    "CalibrationPoint",
+    "linear_program",
+    "measure_throughput",
+    "run_suite",
+]

@@ -1,0 +1,206 @@
+"""The Agilio CX packet-routing case study (§5.3.2, Figure 11b).
+
+Follows the DASH pipeline's main functionality: "direction lookup,
+metadata setup including appliance ID, ENI, and VNI, connection
+tracking, three levels of ACLs, and routing". Connection tracking
+changes per-flow behaviour, so the program is marked incompatible with
+Netronome's native whole-program flow cache (the paper disables it).
+"""
+
+from __future__ import annotations
+
+from repro.ir.actions import (
+    Action,
+    Param,
+    drop_action,
+    noop_action,
+    prim,
+)
+from repro.ir.builder import ProgramBuilder
+from repro.ir.entries import (
+    ExactValue,
+    LpmValue,
+    TableEntry,
+    TernaryValue,
+)
+from repro.ir.program import Program
+from repro.ir.tables import MatchType
+from repro.nic.packet import ipv4
+
+#: The "small and static" front tables that Pipeleon merges (§5.3.2).
+METADATA_TABLES = ("direction_lookup", "appliance_id", "eni", "vni")
+
+ACL_TABLES = ("acl_level1", "acl_level2", "acl_level3")
+
+
+def build_program() -> Program:
+    builder = ProgramBuilder("dash_routing")
+    names: list[str] = []
+
+    builder.table(
+        "direction_lookup",
+        ["eth.type"],
+        [
+            Action(
+                "set_outbound",
+                (prim("set_field", "meta.direction", 1),),
+            ),
+            Action(
+                "set_inbound",
+                (prim("set_field", "meta.direction", 2),),
+            ),
+        ],
+        default_action="set_inbound",
+        size=8,
+    )
+    builder.table(
+        "appliance_id",
+        ["vlan.id"],
+        [
+            Action(
+                "set_appliance",
+                (prim("set_field", "meta.appliance_id", Param(0)),),
+            ),
+            noop_action("appliance_miss"),
+        ],
+        default_action="appliance_miss",
+        size=16,
+    )
+    builder.table(
+        "eni",
+        ["eth.src"],
+        [
+            Action(
+                "set_eni",
+                (prim("set_field", "meta.eni_id", Param(0)),),
+            ),
+            noop_action("eni_miss"),
+        ],
+        default_action="eni_miss",
+        size=64,
+    )
+    builder.table(
+        "vni",
+        ["vxlan.vni"],
+        [
+            Action(
+                "set_vni",
+                (prim("set_field", "meta.vni", Param(0)),),
+            ),
+            noop_action("vni_miss"),
+        ],
+        default_action="vni_miss",
+        size=64,
+    )
+    names.extend(METADATA_TABLES)
+
+    builder.table(
+        "conntrack",
+        ["ipv4.src", "ipv4.dst", "l4.sport", "l4.dport"],
+        [
+            Action(
+                "track_hit",
+                (prim("set_field", "meta.conn_state", 1),),
+            ),
+            Action(
+                "track_new",
+                (prim("set_field", "meta.conn_state", 2),),
+            ),
+        ],
+        default_action="track_new",
+        size=262144,
+        annotations={"stateful": True},
+    )
+    names.append("conntrack")
+
+    # DASH ACLs are prefix/mask rule sets -> ternary keys, which cost
+    # one probe per distinct mask on BlueField-style targets.
+    for name, field in zip(
+        ACL_TABLES, ("ipv4.src", "ipv4.dst", "l4.dport")
+    ):
+        builder.table(
+            name,
+            [(field, MatchType.TERNARY)],
+            [drop_action(f"{name}_deny"), noop_action(f"{name}_permit")],
+            default_action=f"{name}_permit",
+            annotations={"role": "acl"},
+            size=4096,
+        )
+        names.append(name)
+
+    builder.table(
+        "routing",
+        [("ipv4.dst", MatchType.LPM)],
+        [
+            Action(
+                "route",
+                (
+                    prim("set_field", "eth.dst", Param(0)),
+                    prim("add_to_field", "ipv4.ttl", -1),
+                    prim("forward", Param(1)),
+                ),
+            ),
+            drop_action("route_miss_drop"),
+        ],
+        default_action="route_miss_drop",
+        size=16384,
+    )
+    names.append("routing")
+    builder.chain(names)
+    program = builder.build(root=names[0])
+    # Connection tracking breaks whole-program flow caching (§5.3.2).
+    program.metadata["native_cache_compatible"] = False
+    return program
+
+
+def install_base_entries(control_plane, n_routes: int = 32) -> None:
+    control_plane.insert_entry(
+        "direction_lookup",
+        TableEntry((ExactValue(0x0800),), "set_outbound"),
+    )
+    control_plane.insert_entry(
+        "appliance_id", TableEntry((ExactValue(0),), "set_appliance", (42,))
+    )
+    control_plane.insert_entry(
+        "eni",
+        TableEntry((ExactValue(0x020000000001),), "set_eni", (7,)),
+    )
+    control_plane.insert_entry(
+        "vni", TableEntry((ExactValue(0),), "set_vni", (1000,))
+    )
+    for name, deny in zip(
+        ACL_TABLES, (ipv4(10, 66, 0, 1), ipv4(192, 168, 66, 1), 6666)
+    ):
+        control_plane.insert_entry(
+            name,
+            TableEntry(
+                (TernaryValue(deny, 0xFFFFFFFF),),
+                f"{name}_deny",
+                priority=10,
+            ),
+        )
+        # Additional mask groups (realistic rule sets mix prefix
+        # widths); these permit, so they only affect the probe count.
+        for i, mask in enumerate((0xFFFFFF00, 0xFFFF0000, 0xFF000000)):
+            control_plane.insert_entry(
+                name,
+                TableEntry(
+                    (TernaryValue(deny & mask, mask),),
+                    f"{name}_permit",
+                    priority=i,
+                ),
+            )
+    for i in range(n_routes):
+        control_plane.insert_entry(
+            "routing",
+            TableEntry(
+                (LpmValue(ipv4(192, 168, i, 0), 24),),
+                "route",
+                (0x020000000100 + i, i % 8),
+            ),
+        )
+    # A default route so generic traffic is forwarded, not dropped.
+    control_plane.insert_entry(
+        "routing",
+        TableEntry((LpmValue(0, 0),), "route", (0x02FFFFFFFFFF, 0)),
+    )

@@ -1,0 +1,109 @@
+"""A PISCES-style L2/L3/ACL program (used by the NF composition study).
+
+Smac learning check, dmac switching, an IPv4 LPM route step and an ACL,
+with a conditional choosing the L2 or L3 path on ethertype.
+"""
+
+from __future__ import annotations
+
+from repro.ir.actions import (
+    Action,
+    Param,
+    drop_action,
+    noop_action,
+    prim,
+)
+from repro.ir.builder import ProgramBuilder
+from repro.ir.conditionals import Condition
+from repro.ir.entries import ExactValue, LpmValue, TableEntry
+from repro.ir.program import Program
+from repro.ir.tables import MatchType
+from repro.nic.packet import ipv4
+
+
+def build_program(prefix: str = "l2l3") -> Program:
+    builder = ProgramBuilder(prefix)
+    smac = f"{prefix}_smac"
+    is_ip = f"{prefix}_is_ipv4"
+    dmac = f"{prefix}_dmac"
+    route = f"{prefix}_route"
+    acl = f"{prefix}_acl"
+
+    builder.table(
+        smac,
+        ["eth.src"],
+        [noop_action("smac_known"), noop_action("smac_learn", 2)],
+        default_action="smac_learn",
+    )
+    builder.conditional(
+        is_ip,
+        Condition("eth.type", "eq", 0x0800),
+        true_next=route,
+        false_next=dmac,
+    )
+    builder.table(
+        dmac,
+        ["eth.dst"],
+        [
+            Action("l2_forward", (prim("forward", Param(0)),)),
+            drop_action("l2_miss_drop"),
+        ],
+        default_action="l2_miss_drop",
+        next_node=acl,
+    )
+    builder.table(
+        route,
+        [("ipv4.dst", MatchType.LPM)],
+        [
+            Action(
+                "set_nhop",
+                (
+                    prim("set_field", "eth.dst", Param(0)),
+                    prim("add_to_field", "ipv4.ttl", -1),
+                    prim("forward", Param(1)),
+                ),
+            ),
+            drop_action("route_miss"),
+        ],
+        default_action="route_miss",
+        next_node=acl,
+    )
+    builder.table(
+        acl,
+        ["l4.dport"],
+        [drop_action("acl_deny"), noop_action("acl_permit")],
+        default_action="acl_permit",
+        annotations={"role": "acl"},
+    )
+    builder.chain([smac, is_ip])
+    return builder.build(root=smac)
+
+
+def install_base_entries(
+    control_plane, prefix: str = "l2l3", n_routes: int = 16
+) -> None:
+    control_plane.insert_entry(
+        f"{prefix}_smac",
+        TableEntry((ExactValue(0x020000000001),), "smac_known"),
+    )
+    control_plane.insert_entry(
+        f"{prefix}_dmac",
+        TableEntry((ExactValue(0x020000000002),), "l2_forward", (3,)),
+    )
+    for i in range(n_routes):
+        control_plane.insert_entry(
+            f"{prefix}_route",
+            TableEntry(
+                (LpmValue(ipv4(192, 168, i, 0), 24),),
+                "set_nhop",
+                (0x020000000200 + i, i % 4),
+            ),
+        )
+    control_plane.insert_entry(
+        f"{prefix}_route",
+        TableEntry((LpmValue(0, 0),), "set_nhop", (0x02FFFFFFFF00, 0)),
+    )
+    control_plane.insert_entry(
+        f"{prefix}_acl",
+        TableEntry((ExactValue(6666),), "acl_deny"),
+    )

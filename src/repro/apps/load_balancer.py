@@ -1,0 +1,133 @@
+"""The BlueField2 case-study program (§5.3.1, Figure 11a).
+
+"The program has a sequence of MA tables starting with eight tables for
+regular packet processing, followed by two tables for load balancing,
+and ending with two ACL tables."
+"""
+
+from __future__ import annotations
+
+from repro.ir.actions import Param, drop_action, noop_action, prim
+from repro.ir.actions import Action
+from repro.ir.builder import ProgramBuilder
+from repro.ir.entries import ExactValue, LpmValue, TableEntry
+from repro.ir.program import Program
+from repro.ir.tables import MatchType
+from repro.nic.packet import ipv4
+
+N_REGULAR = 8
+LB_TABLES = ("lb_vip", "lb_backend")
+ACL_TABLES = ("acl_stage1", "acl_stage2")
+
+#: Virtual IP the load balancer serves.
+VIP = ipv4(10, 200, 0, 1)
+
+
+def build_program() -> Program:
+    builder = ProgramBuilder("load_balancer")
+    names: list[str] = []
+    for i in range(N_REGULAR):
+        name = f"proc{i}"
+        # Half the regular processing tables use LPM keys: with the
+        # usual multi-prefix rule sets those lookups cost several
+        # memory accesses, which is what makes caching worthwhile.
+        if i % 2 == 0:
+            keys = [(f"ipv4.reg{i}", MatchType.LPM)]
+        else:
+            keys = [f"ipv4.reg{i}"]
+        builder.table(
+            name,
+            keys,
+            [noop_action(f"{name}_a0"), noop_action(f"{name}_a1")],
+        )
+        names.append(name)
+    builder.table(
+        "lb_vip",
+        ["ipv4.dst"],
+        [
+            Action(
+                "vip_hit",
+                (prim("set_field", "meta.vip_id", Param(0)),),
+            ),
+            noop_action("vip_miss"),
+        ],
+        default_action="vip_miss",
+        size=4096,
+    )
+    builder.table(
+        "lb_backend",
+        ["ipv4.dst", "l4.sport"],
+        [
+            Action(
+                "pick_backend",
+                (
+                    prim("set_field", "ipv4.dst", Param(0)),
+                    prim("set_field", "l4.dport", Param(1)),
+                ),
+            ),
+            noop_action("no_backend"),
+        ],
+        default_action="no_backend",
+        size=65536,
+    )
+    names.extend(LB_TABLES)
+    for name, field in zip(ACL_TABLES, ("ipv4.tos", "l4.dport")):
+        builder.table(
+            name,
+            [field],
+            [drop_action(f"{name}_deny"), noop_action(f"{name}_permit")],
+            default_action=f"{name}_permit",
+            annotations={"role": "acl"},
+        )
+        names.append(name)
+    builder.chain(names)
+    return builder.build(root=names[0])
+
+
+def install_base_entries(control_plane, n_backends: int = 16) -> None:
+    # Multi-prefix-length rules in the LPM processing tables (m = 4).
+    for i in range(0, N_REGULAR, 2):
+        for p, prefix_len in enumerate((8, 16, 24, 32)):
+            control_plane.insert_entry(
+                f"proc{i}",
+                TableEntry(
+                    (LpmValue(ipv4(10 + p, 0, 0, 0), prefix_len),),
+                    f"proc{i}_a0",
+                ),
+            )
+    control_plane.insert_entry(
+        "lb_vip", TableEntry((ExactValue(VIP),), "vip_hit", (1,))
+    )
+    for i in range(n_backends):
+        control_plane.insert_entry(
+            "lb_backend",
+            TableEntry(
+                (ExactValue(VIP), ExactValue(1024 + i)),
+                "pick_backend",
+                (ipv4(10, 0, 1, i + 1), 8080),
+            ),
+        )
+    # ACL stage 1 denies a TOS class; stage 2 denies a port.
+    control_plane.insert_entry(
+        "acl_stage1",
+        TableEntry((ExactValue(1),), "acl_stage1_deny"),
+    )
+    control_plane.insert_entry(
+        "acl_stage2",
+        TableEntry((ExactValue(6666),), "acl_stage2_deny"),
+    )
+
+
+def insertion_burst(
+    control_plane, start_port: int, count: int
+) -> None:
+    """Insert ``count`` new backend mappings (the t=16s burst)."""
+    for i in range(count):
+        control_plane.insert_entry(
+            "lb_backend",
+            TableEntry(
+                (ExactValue(VIP), ExactValue(start_port + i)),
+                "pick_backend",
+                (ipv4(10, 0, 2, (i % 250) + 1), 8080),
+            ),
+        )

@@ -1,0 +1,93 @@
+"""Interleaved supported/unsupported program (§A.2, Figure 17).
+
+"a program with two types of tables. One type is fully supported by the
+ASIC cores while the other requires CPU cores for unsupported actions.
+They are interlaced with each other, so a naive partition [...] will
+lead to multiple times of packet migration."
+"""
+
+from __future__ import annotations
+
+from repro.core.transform import apply_copies, apply_partition
+from repro.ir.actions import noop_action
+from repro.ir.builder import ProgramBuilder
+from repro.ir.program import Program
+from repro.ir.tables import Pipeline
+
+
+def build_program(n_pairs: int = 4) -> Program:
+    """A chain asic0 cpu0 asic1 cpu1 ... (before partitioning)."""
+    builder = ProgramBuilder("migration_bench")
+    names: list[str] = []
+    for i in range(n_pairs):
+        asic_name = f"asic{i}"
+        builder.table(
+            asic_name,
+            [f"ipv4.fa{i}"],
+            [noop_action(f"{asic_name}_a0"), noop_action(f"{asic_name}_a1")],
+        )
+        names.append(asic_name)
+        cpu_name = f"cpu{i}"
+        builder.table(
+            cpu_name,
+            [f"ipv4.fc{i}"],
+            [
+                noop_action(f"{cpu_name}_a0", 2),
+                noop_action(f"{cpu_name}_a1", 2),
+            ],
+            annotations={"asic_unsupported": True},
+        )
+        names.append(cpu_name)
+    builder.chain(names)
+    return builder.build(root=names[0])
+
+
+def naive_assignments(program: Program) -> dict[str, Pipeline]:
+    """ASIC-supported tables on ASIC, the rest on CPU (the naive split)."""
+    return {
+        table.name: (
+            Pipeline.CPU
+            if table.annotations.get("asic_unsupported")
+            else Pipeline.ASIC
+        )
+        for table in program.tables()
+    }
+
+
+def asic_only_program(n_pairs: int = 4) -> Program:
+    """The path taken by traffic that needs no software processing."""
+    builder = ProgramBuilder("migration_bench_asic")
+    names = []
+    for i in range(n_pairs):
+        name = f"asic{i}"
+        builder.table(
+            name,
+            [f"ipv4.fa{i}"],
+            [noop_action(f"{name}_a0"), noop_action(f"{name}_a1")],
+        )
+        names.append(name)
+    builder.chain(names)
+    return builder.build(root=names[0])
+
+
+def partitioned_program(
+    n_pairs: int = 4, n_copies: int = 0
+) -> Program:
+    """Build, copy the first ``n_copies`` ASIC tables to CPU, partition.
+
+    Copying ``asic1..asicK`` (the tables *between* CPU tables) lets
+    software-bound packets stay on the CPU instead of bouncing back,
+    which is exactly Figure 17's swept parameter.
+    """
+    program = build_program(n_pairs)
+    assignments = naive_assignments(program)
+    for name, pipeline in assignments.items():
+        program.node(name).pipeline = pipeline
+    # Tables worth copying are the ASIC tables sandwiched between CPU
+    # tables: asic1 .. asic{n_pairs-1}; copying asic0 alone cannot
+    # remove a migration (the paper's "copying only one table" remark).
+    copy_order = [f"asic{i}" for i in range(1, n_pairs)]
+    to_copy = copy_order[:n_copies]
+    result = apply_copies(program, to_copy, Pipeline.CPU)
+    result = apply_partition(result.program, {})
+    return result.program

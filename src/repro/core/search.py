@@ -1,0 +1,710 @@
+"""The best-optimization search (§4.2, Figure 16).
+
+Two steps, as in the paper:
+
+1. **Local search** — for each top-k pipelet, enumerate all valid
+   combinations of the three techniques: dependency-respecting table
+   orders x segmentations of the ordered run into cache / merge / plain
+   segments (merge and cache never touch the same table by construction:
+   segments are disjoint). Each combination is priced with the cost
+   model: performance gain, memory cost, entry-update cost.
+2. **Global search** — a grouped knapsack over (memory, update-rate)
+   budgets picks at most one combination per pipelet maximising total
+   gain (the dynamic program of Figure 16, with capacities discretised
+   onto a grid).
+"""
+
+from __future__ import annotations
+
+import math
+import time
+from dataclasses import dataclass, field, replace
+from itertools import islice
+from typing import Optional, Sequence
+
+from repro.core.costmodel import CostModel
+from repro.core.hotspots import pipelet_latency, top_k
+from repro.core.pipelets import (
+    Pipelet,
+    PipeletGroup,
+    find_groups,
+    partition,
+)
+from repro.core.plan import (
+    Candidate,
+    OptimizationPlan,
+    ResourceBudget,
+    Segment,
+)
+from repro.core.profiling import RuntimeProfile
+from repro.core.transform.reorder import drop_rate_order
+from repro.errors import SearchError
+from repro.ir.dependency import movable_to_front, valid_orders
+from repro.ir.program import Program
+from repro.ir.tables import MatchType, TableNode
+
+
+@dataclass(frozen=True)
+class SearchOptions:
+    """Tuning knobs for the optimizer search."""
+
+    k: float = 0.2  # top-k pipelet fraction (1.0 = exhaustive, ESearch)
+    max_orders: int = 12  # reorderings considered per pipelet
+    merge_max_tables: int = 2  # paper restricts merges to 2 tables
+    cache_capacity: int = 4096
+    cache_insertion_limit_pps: float = 10000.0
+    default_hit_rate: float = 0.9
+    #: Fraction of cache misses assumed to be *new* flows (insertion churn).
+    flow_churn: float = 0.05
+    #: Seconds of lost cache warmth per covered-table update: a cache
+    #: whose covered tables are updated u times/s has its estimated hit
+    #: rate divided by (1 + penalty * u) — the cache-invalidation
+    #: problem of §3.2.2 made quantitative.
+    invalidation_penalty_s: float = 0.5
+    enable_reorder: bool = True
+    enable_cache: bool = True
+    enable_merge: bool = True
+    enable_groups: bool = True
+    max_candidates_per_pipelet: int = 128
+    max_pipelet_len: int = 6
+    memory_grid: int = 64
+    update_grid: int = 32
+
+
+# ---------------------------------------------------------------------------
+# Segment enumeration
+# ---------------------------------------------------------------------------
+
+
+#: Run length beyond which full segmentation enumeration (O(3^n)) is
+#: replaced with a curated candidate set.
+FULL_ENUMERATION_LIMIT = 8
+
+
+def _curated_segmentations(
+    n: int, options: SearchOptions
+) -> list[tuple[tuple[str, int], ...]]:
+    """A small, high-value labelling set for long runs."""
+    results: list[tuple[tuple[str, int], ...]] = [(("none", 1),) * n]
+    if options.enable_cache:
+        results.append((("cache", n),))  # one big cache
+        half = n // 2
+        results.append((("cache", half), ("cache", n - half)))
+        # Cache only one half (the other half may churn or be cheap).
+        results.append(
+            (("cache", half),) + (("none", 1),) * (n - half)
+        )
+        results.append(
+            (("none", 1),) * half + (("cache", n - half),)
+        )
+        for quarter in (n // 4,):
+            if 0 < quarter < half:
+                results.append(
+                    (
+                        ("cache", quarter),
+                        ("cache", half - quarter),
+                        ("cache", n - half),
+                    )
+                )
+    if options.enable_merge and options.merge_max_tables >= 2:
+        results.append((("merge", 2),) + (("none", 1),) * (n - 2))
+        if n >= 4:
+            results.append(
+                (("merge", 2), ("merge", 2)) + (("none", 1),) * (n - 4)
+            )
+    return results
+
+
+def enumerate_segmentations(
+    n: int, options: SearchOptions
+) -> list[tuple[tuple[str, int], ...]]:
+    """All canonical labellings ((op, length), ...) covering n tables.
+
+    Canonical means "none" segments have length 1 (so unlabelled runs
+    have a unique representation). Merge segments respect
+    ``merge_max_tables``. Beyond ``FULL_ENUMERATION_LIMIT`` tables the
+    exponential enumeration is replaced with a curated set.
+    """
+    if n > FULL_ENUMERATION_LIMIT:
+        return _curated_segmentations(n, options)
+    results: list[tuple[tuple[str, int], ...]] = []
+
+    def recurse(pos: int, acc: list[tuple[str, int]]) -> None:
+        if pos == n:
+            results.append(tuple(acc))
+            return
+        for length in range(1, n - pos + 1):
+            ops = []
+            # 'none' segments are canonically length 1, so a run of
+            # unlabelled tables has exactly one representation.
+            if length == 1:
+                ops.append("none")
+            if options.enable_cache:
+                ops.append("cache")
+            if (
+                options.enable_merge
+                and 2 <= length <= options.merge_max_tables
+            ):
+                ops.append("merge")
+            for op in ops:
+                acc.append((op, length))
+                recurse(pos + length, acc)
+                acc.pop()
+
+    recurse(0, [])
+    return results
+
+
+def _segments_from_labels(
+    order: Sequence[str], labels: tuple[tuple[str, int], ...]
+) -> tuple[Segment, ...]:
+    segments = []
+    position = 0
+    for op, length in labels:
+        segments.append(
+            Segment(op, tuple(order[position:position + length]))
+        )
+        position += length
+    return tuple(segments)
+
+
+# ---------------------------------------------------------------------------
+# Candidate evaluation (virtual pipelet pricing — no program construction)
+# ---------------------------------------------------------------------------
+
+
+def _segment_merge_allowed(
+    program: Program, tables: Sequence[str]
+) -> bool:
+    return all(
+        all(
+            key.match_type is MatchType.EXACT
+            for key in program.table(name).keys
+        )
+        for name in tables
+    )
+
+
+def _entry_bytes(n_fields: int) -> float:
+    from repro.ir.entries import ENTRY_OVERHEAD_BYTES, FIELD_BYTES
+
+    return float(ENTRY_OVERHEAD_BYTES + FIELD_BYTES * max(1, n_fields))
+
+
+@dataclass
+class _Estimate:
+    latency_ns: float = 0.0
+    memory_bytes: float = 0.0
+    update_pps: float = 0.0
+
+
+def _evaluate_segments(
+    program: Program,
+    order: Sequence[str],
+    segments: Sequence[Segment],
+    profile: RuntimeProfile,
+    model: CostModel,
+    options: SearchOptions,
+    reach_p: float,
+) -> Optional[_Estimate]:
+    """Price an optimized pipelet layout; None if invalid (bad merge)."""
+    estimate = _Estimate()
+    survive = 1.0  # survival probability within the pipelet
+    for segment in segments:
+        tables = [program.table(name) for name in segment.tables]
+        params = model.params_for(tables[0].pipeline)
+        seg_action_cost = sum(
+            model.action_cost(t, profile) for t in tables
+        )
+        seg_survival = 1.0
+        for table in tables:
+            seg_survival *= 1.0 - profile.drop_rate(table)
+        if segment.op == "none":
+            inner = 1.0
+            for table in tables:
+                estimate.latency_ns += (
+                    survive
+                    * inner
+                    * model.table_cost(table, profile)
+                )
+                inner *= 1.0 - profile.drop_rate(table)
+            survive *= seg_survival
+            continue
+        # Miss-path cost: the covered tables execute in full.
+        miss_cost = 0.0
+        inner = 1.0
+        for table in tables:
+            miss_cost += inner * model.table_cost(table, profile)
+            inner *= 1.0 - profile.drop_rate(table)
+        n_fields = len(
+            {f for t in tables for f in t.match_fields}
+        )
+        if segment.op == "cache":
+            update_sum = sum(
+                profile.update_rate(t.name) for t in tables
+            )
+            hit = options.default_hit_rate / (
+                1.0 + options.invalidation_penalty_s * update_sum
+            )
+            estimate.latency_ns += survive * (
+                params.lmat_ns
+                + hit * seg_action_cost
+                + (1.0 - hit) * (miss_cost + params.insert_ns)
+            )
+            estimate.memory_bytes += (
+                options.cache_capacity * _entry_bytes(n_fields)
+            )
+            miss_pps = reach_p * survive * (1.0 - hit)
+            estimate.update_pps += min(
+                options.cache_insertion_limit_pps,
+                miss_pps * profile.offered_pps * options.flow_churn,
+            )
+        elif segment.op == "merge":
+            if not _segment_merge_allowed(program, segment.tables):
+                return None
+            hit = 1.0
+            for table in tables:
+                hit *= profile.hit_prob(table)
+            estimate.latency_ns += survive * (
+                params.lmat_ns
+                + hit * seg_action_cost
+                + (1.0 - hit) * miss_cost
+            )
+            entry_product = 1.0
+            for table in tables:
+                entry_product *= max(
+                    1, profile.entry_count(table.name)
+                )
+            estimate.memory_bytes += entry_product * _entry_bytes(
+                n_fields
+            )
+            # I(T_AB) = sum_i I(t_i) * prod_{j != i} N(t_j)  (§3.2.3)
+            for i, table in enumerate(tables):
+                others = 1.0
+                for j, other in enumerate(tables):
+                    if j != i:
+                        others *= max(
+                            1, profile.entry_count(other.name)
+                        )
+                estimate.update_pps += (
+                    profile.update_rate(table.name) * others
+                )
+        survive *= seg_survival
+    return estimate
+
+
+def _candidate_orders(
+    tables: Sequence[TableNode],
+    profile: RuntimeProfile,
+    options: SearchOptions,
+) -> list[tuple[str, ...]]:
+    """Orders worth evaluating for a run.
+
+    Always contains the identity and the paper's drop-rate-greedy order
+    (§3.2.1: promote tables with higher dropping rates), plus per-table
+    hoists and — for short runs — a slice of the full valid-order
+    enumeration.
+    """
+    identity = tuple(t.name for t in tables)
+    orders: list[tuple[str, ...]] = [identity]
+
+    def add(order: Optional[tuple[str, ...]]) -> None:
+        if order is not None and order not in orders:
+            orders.append(order)
+
+    add(drop_rate_order(tables, profile))
+    droppers = sorted(
+        (t for t in tables if profile.drop_rate(t) > 0),
+        key=lambda t: -profile.drop_rate(t),
+    )
+    for table in droppers[:3]:
+        add(movable_to_front(tables, table.name))
+    if len(tables) <= 7:
+        for order in islice(
+            valid_orders(list(tables), options.max_orders),
+            options.max_orders,
+        ):
+            if len(orders) >= options.max_orders:
+                break
+            add(order)
+    return orders[: options.max_orders]
+
+
+def local_candidates(
+    program: Program,
+    pipelet: Pipelet,
+    profile: RuntimeProfile,
+    model: CostModel,
+    options: SearchOptions,
+    reach_p: float,
+) -> tuple[list[Candidate], int]:
+    """All priced optimization combinations for one pipelet.
+
+    Returns (candidates sorted by gain, combos evaluated).
+    """
+    run = pipelet.table_names
+    tables = [program.table(name) for name in run]
+    baseline = pipelet_latency(program, pipelet, profile, model)
+    candidates: list[Candidate] = []
+    evaluated = 0
+    if options.enable_reorder and len(run) > 1:
+        orders = _candidate_orders(tables, profile, options)
+    else:
+        orders = [tuple(run)]
+    labelings = enumerate_segmentations(len(run), options)
+    for order in orders:
+        for labels in labelings:
+            segments = _segments_from_labels(order, labels)
+            is_noop = order == tuple(run) and all(
+                s.op == "none" for s in segments
+            )
+            if is_noop:
+                continue
+            estimate = _evaluate_segments(
+                program, order, segments, profile, model, options,
+                reach_p,
+            )
+            evaluated += 1
+            if estimate is None:
+                continue
+            gain = (baseline - estimate.latency_ns) * reach_p
+            if gain <= 0:
+                continue
+            candidates.append(
+                Candidate(
+                    pipelet_id=pipelet.pipelet_id,
+                    run=tuple(run),
+                    order=tuple(order),
+                    segments=segments,
+                    gain_ns=gain,
+                    memory_bytes=estimate.memory_bytes,
+                    update_pps=estimate.update_pps,
+                )
+            )
+    candidates.sort(
+        key=lambda c: (
+            -c.gain_ns,
+            c.order != tuple(run),  # prefer the current order on ties
+            c.order,
+        )
+    )
+    return candidates[: options.max_candidates_per_pipelet], evaluated
+
+
+def group_candidates(
+    program: Program,
+    group: PipeletGroup,
+    profile: RuntimeProfile,
+    model: CostModel,
+    options: SearchOptions,
+    reach_p: float,
+) -> list[Candidate]:
+    """Cache-the-diamond candidates for a pipelet group (§4.1.1)."""
+    if not options.enable_cache:
+        return []
+    branch = program.node(group.branch)
+    p_true = profile.branch_prob(group.branch)
+    weighted_members = list(
+        zip(group.members, (p_true, 1.0 - p_true))
+    )
+    if group.join is not None:
+        weighted_members.append((group.join, 1.0))
+    base = model.branch_cost(branch)
+    for member, weight in weighted_members:
+        base += weight * pipelet_latency(
+            program, member, profile, model
+        )
+    update_sum = sum(
+        profile.update_rate(name) for name in group.table_names()
+    )
+    hit = options.default_hit_rate / (
+        1.0 + options.invalidation_penalty_s * update_sum
+    )
+    action_cost = 0.0
+    for member, weight in weighted_members:
+        action_cost += weight * sum(
+            model.action_cost(program.table(name), profile)
+            for name in member.table_names
+        )
+    params = model.params_for(branch.pipeline)
+    optimized = (
+        params.lmat_ns
+        + hit * action_cost
+        + (1.0 - hit) * (base + params.insert_ns)
+    )
+    gain = (base - optimized) * reach_p
+    if gain <= 0:
+        return []
+    all_tables = group.table_names()
+    n_fields = len(
+        {
+            f
+            for name in all_tables
+            for f in program.table(name).match_fields
+        }
+        | branch.read_fields()
+    )
+    memory = options.cache_capacity * _entry_bytes(n_fields)
+    update = min(
+        options.cache_insertion_limit_pps,
+        reach_p
+        * (1.0 - hit)
+        * profile.offered_pps
+        * options.flow_churn,
+    )
+    return [
+        Candidate(
+            pipelet_id=group.group_id,
+            run=all_tables,
+            order=all_tables,
+            segments=(Segment("cache", all_tables),),
+            gain_ns=gain,
+            memory_bytes=memory,
+            update_pps=update,
+            group=group,
+        )
+    ]
+
+
+# ---------------------------------------------------------------------------
+# Global search: grouped knapsack (Figure 16)
+# ---------------------------------------------------------------------------
+
+
+def global_search(
+    candidates_by_pipelet: dict[str, list[Candidate]],
+    budget: ResourceBudget,
+    options: SearchOptions,
+) -> list[Candidate]:
+    """Pick at most one candidate per pipelet within the budgets."""
+    groups = [c for c in candidates_by_pipelet.values() if c]
+    if not groups:
+        return []
+    if not budget.bounded:
+        return [
+            max(group, key=lambda c: c.gain_ns) for group in groups
+        ]
+
+    memory_units = options.memory_grid
+    update_units = options.update_grid
+    memory_unit = (
+        budget.memory_bytes / memory_units
+        if math.isfinite(budget.memory_bytes)
+        else None
+    )
+    update_unit = (
+        budget.update_pps / update_units
+        if math.isfinite(budget.update_pps)
+        else None
+    )
+
+    def mem_cost(candidate: Candidate) -> int:
+        if memory_unit is None:
+            return 0
+        if memory_unit == 0:
+            # Zero budget: anything that consumes memory is infeasible.
+            return 0 if candidate.memory_bytes <= 0 else memory_units + 1
+        return math.ceil(candidate.memory_bytes / memory_unit)
+
+    def upd_cost(candidate: Candidate) -> int:
+        if update_unit is None:
+            return 0
+        if update_unit == 0:
+            return 0 if candidate.update_pps <= 0 else update_units + 1
+        return math.ceil(candidate.update_pps / update_unit)
+
+    m_dim = memory_units + 1 if memory_unit is not None else 1
+    e_dim = update_units + 1 if update_unit is not None else 1
+
+    # gain[m][e], choice[m][e] per group layer (classic grouped knapsack:
+    # each layer reads the previous layer's table).
+    gains = [[0.0] * e_dim for _ in range(m_dim)]
+    choices: list[list[list[Optional[Candidate]]]] = []
+
+    for group in groups:
+        previous = [row[:] for row in gains]
+        layer: list[list[Optional[Candidate]]] = [
+            [None] * e_dim for _ in range(m_dim)
+        ]
+        for m in range(m_dim):
+            for e in range(e_dim):
+                best_gain = previous[m][e]
+                best_choice: Optional[Candidate] = None
+                for candidate in group:
+                    cm = mem_cost(candidate)
+                    ce = upd_cost(candidate)
+                    if cm > m or ce > e:
+                        continue
+                    gain = previous[m - cm][e - ce] + candidate.gain_ns
+                    if gain > best_gain:
+                        best_gain = gain
+                        best_choice = candidate
+                gains[m][e] = best_gain
+                layer[m][e] = best_choice
+        choices.append(layer)
+
+    # Backtrack from the full budget cell.
+    selected: list[Candidate] = []
+    m, e = m_dim - 1, e_dim - 1
+    for layer in reversed(choices):
+        chosen = layer[m][e]
+        if chosen is not None:
+            selected.append(chosen)
+            m -= mem_cost(chosen)
+            e -= upd_cost(chosen)
+    selected.reverse()
+    return selected
+
+
+# ---------------------------------------------------------------------------
+# End-to-end optimization
+# ---------------------------------------------------------------------------
+
+
+def optimize(
+    program: Program,
+    profile: RuntimeProfile,
+    model: CostModel,
+    budget: Optional[ResourceBudget] = None,
+    options: Optional[SearchOptions] = None,
+    pipelets: Optional[Sequence[Pipelet]] = None,
+) -> OptimizationPlan:
+    """Full Pipeleon search: partition, top-k, local + global search."""
+    budget = budget or ResourceBudget()
+    options = options or SearchOptions()
+    started = time.perf_counter()
+    if pipelets is None:
+        pipelets = partition(program, max_len=options.max_pipelet_len)
+    hot = top_k(program, pipelets, profile, model, k=options.k)
+    reach = model.reach_probs(program, profile)
+    candidates_by_pipelet: dict[str, list[Candidate]] = {}
+    combos = 0
+    hot_pipelets = [cost.pipelet for cost in hot]
+    # Per-pipelet local search first.
+    for cost in hot:
+        pipelet = cost.pipelet
+        if pipelet.is_switch_case:
+            continue  # single special table; nothing to transform
+        cands, evaluated = local_candidates(
+            program, pipelet, profile, model, options, cost.probability
+        )
+        combos += evaluated
+        if cands:
+            candidates_by_pipelet[pipelet.pipelet_id] = cands
+    # Cross-pipelet groups: a group cache replaces its members'
+    # individual optimizations, so adopt it only when it beats their
+    # combined best gain (otherwise keep the per-pipelet candidates).
+    if options.enable_groups:
+        for group in find_groups(program, hot_pipelets):
+            reach_p = reach.get(group.branch, 0.0)
+            group_cands = group_candidates(
+                program, group, profile, model, options, reach_p
+            )
+            combos += len(group_cands)
+            if not group_cands:
+                continue
+            member_ids = [m.pipelet_id for m in group.members]
+            if group.join is not None:
+                member_ids.append(group.join.pipelet_id)
+            member_best = sum(
+                candidates_by_pipelet[mid][0].gain_ns
+                for mid in member_ids
+                if mid in candidates_by_pipelet
+            )
+            if group_cands[0].gain_ns > member_best:
+                candidates_by_pipelet[group.group_id] = group_cands
+                for mid in member_ids:
+                    candidates_by_pipelet.pop(mid, None)
+    selected = global_search(candidates_by_pipelet, budget, options)
+    elapsed = time.perf_counter() - started
+    return OptimizationPlan(
+        candidates=selected,
+        search_time_s=elapsed,
+        pipelets_considered=len(hot),
+        combos_evaluated=combos,
+    )
+
+
+def evaluate_candidate_gain(
+    program: Program,
+    candidate: Candidate,
+    profile: RuntimeProfile,
+    model: CostModel,
+    options: SearchOptions,
+    reach_probs: Optional[dict[str, float]] = None,
+) -> float:
+    """Re-price an existing candidate under a (newer) profile.
+
+    Used by the controller to decide whether a freshly-searched plan is
+    genuinely better than the deployed one or just noise.
+    """
+    if candidate.group is not None:
+        reach = reach_probs or model.reach_probs(program, profile)
+        fresh = group_candidates(
+            program,
+            candidate.group,
+            profile,
+            model,
+            options,
+            reach.get(candidate.group.branch, 0.0),
+        )
+        return fresh[0].gain_ns if fresh else 0.0
+    run = candidate.run
+    if any(name not in program.nodes for name in run):
+        return 0.0
+    pipelet = Pipelet(
+        pipelet_id=candidate.pipelet_id,
+        table_names=tuple(run),
+        entry=run[0],
+        exit_next=None,
+    )
+    baseline = pipelet_latency(program, pipelet, profile, model)
+    estimate = _evaluate_segments(
+        program,
+        candidate.order,
+        candidate.segments,
+        profile,
+        model,
+        options,
+        1.0,
+    )
+    if estimate is None:
+        return 0.0
+    reach = reach_probs or model.reach_probs(program, profile)
+    reach_p = reach.get(run[0], 0.0)
+    return (baseline - estimate.latency_ns) * reach_p
+
+
+def evaluate_plan_gain(
+    program: Program,
+    plan: OptimizationPlan,
+    profile: RuntimeProfile,
+    model: CostModel,
+    options: SearchOptions,
+) -> float:
+    """Total gain of an existing plan under the given profile."""
+    reach = model.reach_probs(program, profile)
+    return sum(
+        evaluate_candidate_gain(
+            program, candidate, profile, model, options, reach
+        )
+        for candidate in plan.candidates
+    )
+
+
+def exhaustive_search(
+    program: Program,
+    profile: RuntimeProfile,
+    model: CostModel,
+    budget: Optional[ResourceBudget] = None,
+    options: Optional[SearchOptions] = None,
+) -> OptimizationPlan:
+    """ESearch baseline: the same machinery at k = 100%."""
+    options = options or SearchOptions()
+    return optimize(
+        program,
+        profile,
+        model,
+        budget,
+        replace(options, k=1.0),
+    )

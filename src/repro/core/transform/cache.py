@@ -1,0 +1,164 @@
+"""Table caching (§3.2.2).
+
+Inserts an exact-match flow cache in front of a run of tables. Hits skip
+the run (replaying the recorded effects); misses fall through to the
+original tables and the observed effects are recorded, subject to the
+cache's capacity (LRU) and insertion-rate limit. Unlike whole-program
+flow caches, Pipeleon creates an adjustable *number* of caches, each
+covering part of the program, to tame the cache-key cross-product and
+invalidation problems.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from repro.core.pipelets import PipeletGroup
+from repro.core.transform.base import (
+    TransformResult,
+    require_linear_run,
+    rewire_external_edges,
+    union_match_fields,
+)
+from repro.errors import TransformError
+from repro.ir.actions import Action
+from repro.ir.program import Program
+from repro.ir.tables import (
+    CacheInfo,
+    MatchKey,
+    MatchType,
+    TableKind,
+    TableNode,
+)
+
+HIT_ACTION = "cache_hit"
+MISS_ACTION = "cache_miss"
+
+
+def cache_name_for(covers: Sequence[str]) -> str:
+    return "cache__" + "__".join(covers)
+
+
+def _build_cache_node(
+    name: str,
+    key_fields: Sequence[str],
+    covers: Sequence[str],
+    hit_next: Optional[str],
+    miss_next: str,
+    capacity: int,
+    insertion_limit_pps: float,
+    estimated_hit_rate: float,
+    pipeline,
+) -> TableNode:
+    return TableNode(
+        name=name,
+        keys=tuple(MatchKey(f, MatchType.EXACT) for f in key_fields),
+        actions={
+            HIT_ACTION: Action(HIT_ACTION),
+            MISS_ACTION: Action(MISS_ACTION),
+        },
+        default_action=MISS_ACTION,
+        next_map={HIT_ACTION: hit_next, MISS_ACTION: miss_next},
+        size=capacity,
+        kind=TableKind.CACHE,
+        pipeline=pipeline,
+        cache_info=CacheInfo(
+            covers=tuple(covers),
+            hit_next=hit_next,
+            miss_next=miss_next,
+            mode="flow",
+            capacity=capacity,
+            insertion_limit_pps=insertion_limit_pps,
+            estimated_hit_rate=estimated_hit_rate,
+        ),
+    )
+
+
+def apply_cache(
+    program: Program,
+    covers: Sequence[str],
+    capacity: int = 4096,
+    insertion_limit_pps: float = 10000.0,
+    estimated_hit_rate: float = 0.9,
+    name: Optional[str] = None,
+) -> TransformResult:
+    """Insert a flow cache over the contiguous run ``covers``."""
+    covers = list(covers)
+    hit_next = require_linear_run(program, covers)
+    cloned = program.clone()
+    cache_name = name or cache_name_for(covers)
+    if cache_name in cloned.nodes:
+        raise TransformError(f"Node {cache_name!r} already exists")
+    tables = [cloned.table(n) for n in covers]
+    node = _build_cache_node(
+        cache_name,
+        union_match_fields(tables),
+        covers,
+        hit_next,
+        covers[0],
+        capacity,
+        insertion_limit_pps,
+        estimated_hit_rate,
+        tables[0].pipeline,
+    )
+    cloned.add(node)
+    rewire_external_edges(cloned, covers[0], cache_name, set(covers))
+    result = TransformResult(cloned, created=[cache_name])
+    # Hit/miss counters are cache telemetry, not original-program traffic.
+    from repro.nic.counters import cache_counter
+
+    result.counter_map.drop_counter(cache_counter(cache_name, True))
+    result.counter_map.drop_counter(cache_counter(cache_name, False))
+    return result
+
+
+def apply_group_cache(
+    program: Program,
+    group: PipeletGroup,
+    capacity: int = 4096,
+    insertion_limit_pps: float = 10000.0,
+    estimated_hit_rate: float = 0.9,
+) -> TransformResult:
+    """Cache across a branch diamond (pipelet-group optimization).
+
+    The cache sits in front of the group's branch node; its key includes
+    the branch's condition field so flows taking different sides get
+    distinct cache entries. A hit jumps straight to the group's common
+    exit, skipping the branch and whichever side the flow would take.
+    """
+    branch = program.nodes.get(group.branch)
+    if branch is None:
+        raise TransformError(f"No such branch {group.branch!r}")
+    covers = list(group.table_names())
+    if not covers:
+        raise TransformError("Group has no tables to cache")
+    cloned = program.clone()
+    cache_name = f"gcache__{group.branch}"
+    if cache_name in cloned.nodes:
+        raise TransformError(f"Node {cache_name!r} already exists")
+    tables = [cloned.table(n) for n in covers]
+    key_fields = sorted(
+        set(union_match_fields(tables))
+        | cloned.node(group.branch).read_fields()
+    )
+    node = _build_cache_node(
+        cache_name,
+        key_fields,
+        covers,
+        group.exit_next,
+        group.branch,
+        capacity,
+        insertion_limit_pps,
+        estimated_hit_rate,
+        tables[0].pipeline,
+    )
+    cloned.add(node)
+    rewire_external_edges(
+        cloned, group.branch, cache_name, set(covers)
+    )
+    result = TransformResult(cloned, created=[cache_name])
+    from repro.nic.counters import cache_counter
+
+    result.counter_map.drop_counter(cache_counter(cache_name, True))
+    result.counter_map.drop_counter(cache_counter(cache_name, False))
+    return result

@@ -1,0 +1,318 @@
+"""Table merging (§3.2.3, Figure 6).
+
+Merging performs several tables' actions with one key match. The naive
+merge of exact tables must add wildcard rows for hit/miss combinations,
+turning the merged table *ternary* and potentially slower — so Pipeleon
+instead emits the merged table as an **exact cache without ternary
+entries**: it holds only hit x hit combinations (pre-computed from the
+covered tables' entries, never populated at runtime) and packets that
+miss fall back to the original tables.
+
+Both variants are implemented; the naive one serves as an ablation
+baseline showing the negative-improvement case the paper warns about.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Optional, Sequence
+
+from repro.core.transform.base import (
+    TransformResult,
+    composite_action,
+    require_linear_run,
+    rewire_external_edges,
+    union_match_fields,
+)
+from repro.errors import TransformError
+from repro.ir.actions import Action
+from repro.ir.entries import ExactValue, TableEntry, TernaryValue
+from repro.ir.program import Program
+from repro.ir.tables import (
+    CacheInfo,
+    MatchKey,
+    MatchType,
+    TableKind,
+    TableNode,
+)
+
+MISS_ACTION = "merged_miss"
+FULL_MASK = 0xFFFFFFFF
+
+
+def merged_name_for(covers: Sequence[str]) -> str:
+    return "merged__" + "__".join(covers)
+
+
+def _check_mergeable(program: Program, covers: Sequence[str]) -> None:
+    for name in covers:
+        table = program.table(name)
+        if any(k.match_type is not MatchType.EXACT for k in table.keys):
+            raise TransformError(
+                f"Table {name!r} has non-exact keys; Pipeleon merges "
+                f"small exact tables only"
+            )
+
+
+def _composite_actions(
+    tables: list[TableNode],
+) -> dict[str, Action]:
+    """All hit x hit composite actions across the covered tables."""
+    composites: dict[str, Action] = {}
+    action_lists = [list(t.actions.values()) for t in tables]
+    for combo in itertools.product(*action_lists):
+        action = composite_action(list(combo))
+        composites[action.name] = action
+    return composites
+
+
+def apply_merge(
+    program: Program,
+    covers: Sequence[str],
+    capacity: Optional[int] = None,
+    name: Optional[str] = None,
+) -> TransformResult:
+    """Pipeleon-style merge: merged exact cache with fallback."""
+    covers = list(covers)
+    if len(covers) < 2:
+        raise TransformError("Merging needs at least two tables")
+    _check_mergeable(program, covers)
+    hit_next = require_linear_run(program, covers)
+    cloned = program.clone()
+    merged_name = name or merged_name_for(covers)
+    if merged_name in cloned.nodes:
+        raise TransformError(f"Node {merged_name!r} already exists")
+    tables = [cloned.table(n) for n in covers]
+    actions = _composite_actions(tables)
+    actions[MISS_ACTION] = Action(MISS_ACTION)
+    next_map: dict[str, Optional[str]] = {
+        action_name: hit_next for action_name in actions
+    }
+    next_map[MISS_ACTION] = covers[0]
+    if capacity is None:
+        capacity = 1
+        for table in tables:
+            capacity *= max(1, table.size)
+        capacity = min(capacity, 1 << 20)
+    node = TableNode(
+        name=merged_name,
+        keys=tuple(
+            MatchKey(f, MatchType.EXACT)
+            for f in union_match_fields(tables)
+        ),
+        actions=actions,
+        default_action=MISS_ACTION,
+        next_map=next_map,
+        size=capacity,
+        kind=TableKind.MERGED,
+        pipeline=tables[0].pipeline,
+        cache_info=CacheInfo(
+            covers=tuple(covers),
+            hit_next=hit_next,
+            miss_next=covers[0],
+            mode="merge",
+            capacity=capacity,
+        ),
+    )
+    cloned.add(node)
+    rewire_external_edges(cloned, covers[0], merged_name, set(covers))
+    result = TransformResult(cloned, created=[merged_name])
+    from repro.nic.counters import cache_counter
+
+    result.counter_map.drop_counter(cache_counter(merged_name, True))
+    result.counter_map.drop_counter(cache_counter(merged_name, False))
+    return result
+
+
+def apply_naive_merge(
+    program: Program,
+    covers: Sequence[str],
+    name: Optional[str] = None,
+) -> TransformResult:
+    """Figure 6's naive merge: one ternary table replacing the originals.
+
+    Wildcard rows express hit/miss combinations, so the merged table's
+    entries are ternary and the match can be *slower* than the originals
+    — the ablation case Pipeleon avoids.
+    """
+    covers = list(covers)
+    if len(covers) < 2:
+        raise TransformError("Merging needs at least two tables")
+    _check_mergeable(program, covers)
+    hit_next = require_linear_run(program, covers)
+    cloned = program.clone()
+    merged_name = name or ("tmerged__" + "__".join(covers))
+    if merged_name in cloned.nodes:
+        raise TransformError(f"Node {merged_name!r} already exists")
+    tables = [cloned.table(n) for n in covers]
+    # Composites over (any action or the default) of each table.
+    composites: dict[str, Action] = {}
+    action_lists = [list(t.actions.values()) for t in tables]
+    for combo in itertools.product(*action_lists):
+        action = composite_action(list(combo))
+        composites[action.name] = action
+    default_combo = composite_action(
+        [t.actions[t.default_action] for t in tables]
+    )
+    composites[default_combo.name] = default_combo
+    node = TableNode(
+        name=merged_name,
+        keys=tuple(
+            MatchKey(f, MatchType.TERNARY)
+            for f in union_match_fields(tables)
+        ),
+        actions=composites,
+        default_action=default_combo.name,
+        next_map={a: hit_next for a in composites},
+        size=max(1024, sum(t.size for t in tables) ** 2),
+        kind=TableKind.PLAIN,
+        pipeline=tables[0].pipeline,
+        annotations={"naive_merge_of": list(covers)},
+    )
+    cloned.add(node)
+    rewire_external_edges(cloned, covers[0], merged_name, set(covers))
+    for covered in covers:
+        cloned.remove(covered)
+    return TransformResult(
+        cloned, created=[merged_name], removed=list(covers)
+    )
+
+
+# ---------------------------------------------------------------------------
+# Entry materialisation (used by the deployment layer / EntryMapper)
+# ---------------------------------------------------------------------------
+
+
+def merged_cache_entries(
+    merged: TableNode,
+    covered_tables: list[TableNode],
+    covered_entries: list[list[TableEntry]],
+) -> list[TableEntry]:
+    """Cross-product hit x hit entries for a Pipeleon merged cache.
+
+    Combinations whose entries disagree on a shared match field are
+    contradictions and are skipped. The merged key order follows the
+    merged table's (sorted) key fields.
+    """
+    key_fields = merged.match_fields
+    results: list[TableEntry] = []
+    for combo in itertools.product(*covered_entries):
+        values: dict[str, int] = {}
+        conflict = False
+        for table, entry in zip(covered_tables, combo):
+            for match_key, value in zip(table.keys, entry.match_values):
+                assert isinstance(value, ExactValue)
+                existing = values.get(match_key.field)
+                if existing is not None and existing != value.value:
+                    conflict = True
+                    break
+                values[match_key.field] = value.value
+            if conflict:
+                break
+        if conflict:
+            continue
+        action_name = "+".join(e.action_name for e in combo)
+        if action_name not in merged.actions:
+            continue
+        action_data: list = []
+        for table, entry in zip(covered_tables, combo):
+            from repro.core.transform.base import action_arity
+
+            arity = action_arity(table.actions[entry.action_name])
+            data = list(entry.action_data[:arity])
+            data += [0] * (arity - len(data))
+            action_data.extend(data)
+        results.append(
+            TableEntry(
+                match_values=tuple(
+                    ExactValue(values[f]) for f in key_fields
+                ),
+                action_name=action_name,
+                action_data=tuple(action_data),
+            )
+        )
+        if len(results) >= merged.size:
+            break
+    return results
+
+
+def naive_merged_entries(
+    merged: TableNode,
+    covered_tables: list[TableNode],
+    covered_entries: list[list[TableEntry]],
+) -> list[TableEntry]:
+    """Figure 6 semantics: ternary cross product including wildcard rows.
+
+    Each covered table contributes its entries *plus* a wildcard row
+    standing for "missed" (executing the default action); priority is
+    the number of non-wildcard components, so more-specific rows win.
+    """
+    key_fields = merged.match_fields
+    options: list[list[tuple[Optional[TableEntry], TableNode]]] = []
+    for table, entries in zip(covered_tables, covered_entries):
+        rows: list[tuple[Optional[TableEntry], TableNode]] = [
+            (entry, table) for entry in entries
+        ]
+        rows.append((None, table))  # the miss / wildcard row
+        options.append(rows)
+
+    results: list[TableEntry] = []
+    for combo in itertools.product(*options):
+        values: dict[str, tuple[int, int]] = {}  # field -> (value, mask)
+        conflict = False
+        priority = 0
+        action_names: list[str] = []
+        action_data: list = []
+        for entry, table in combo:
+            if entry is None:
+                default = table.actions[table.default_action]
+                action_names.append(default.name)
+                from repro.core.transform.base import action_arity
+
+                action_data.extend([0] * action_arity(default))
+                continue
+            priority += 1
+            action_names.append(entry.action_name)
+            from repro.core.transform.base import action_arity
+
+            arity = action_arity(table.actions[entry.action_name])
+            data = list(entry.action_data[:arity])
+            data += [0] * (arity - len(data))
+            action_data.extend(data)
+            for match_key, value in zip(table.keys, entry.match_values):
+                assert isinstance(value, ExactValue)
+                existing = values.get(match_key.field)
+                if (
+                    existing is not None
+                    and existing != (value.value, FULL_MASK)
+                ):
+                    conflict = True
+                    break
+                values[match_key.field] = (value.value, FULL_MASK)
+            if conflict:
+                break
+        if conflict:
+            continue
+        action_name = "+".join(action_names)
+        if action_name not in merged.actions:
+            continue
+        match_values = tuple(
+            TernaryValue(*values.get(f, (0, 0))) for f in key_fields
+        )
+        results.append(
+            TableEntry(
+                match_values=match_values,
+                action_name=action_name,
+                action_data=tuple(action_data),
+                priority=priority,
+            )
+        )
+    # The all-wildcard row duplicates the default action; drop it.
+    return [
+        e
+        for e in results
+        if not all(
+            isinstance(v, TernaryValue) and v.is_wildcard
+            for v in e.match_values
+        )
+    ]

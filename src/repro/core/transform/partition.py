@@ -1,0 +1,148 @@
+"""Heterogeneous partitioning (§3.2.4).
+
+Assigns program nodes to ASIC or CPU pipelines and inserts the paper's
+navigation/migration table pair at every pipeline crossing: the migration
+table stores the resume point in ``next_tab_id`` metadata before the
+packet leaves a core, and the navigation table at the target pipeline's
+entrance jumps straight to the stored table, restoring the processing
+context that was lost when the packet left its previous core.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping
+
+from repro.core.transform.base import TransformResult
+from repro.errors import TransformError
+from repro.ir.actions import Action
+from repro.ir.conditionals import ConditionalNode
+from repro.ir.program import Program
+from repro.ir.tables import (
+    MatchKey,
+    MatchType,
+    Pipeline,
+    TableKind,
+    TableNode,
+)
+
+JUMP_ACTION = "nav_jump"
+MIGRATE_ACTION = "migrate"
+
+
+def navigation_name(pipeline: Pipeline) -> str:
+    return f"nav__{pipeline.value}"
+
+
+def migration_name(source: Pipeline, target_node: str) -> str:
+    return f"mig__{source.value}__{target_node}"
+
+
+def _navigation_node(pipeline: Pipeline) -> TableNode:
+    return TableNode(
+        name=navigation_name(pipeline),
+        keys=(MatchKey("meta.next_tab_id", MatchType.EXACT),),
+        actions={JUMP_ACTION: Action(JUMP_ACTION)},
+        default_action=JUMP_ACTION,
+        next_map={JUMP_ACTION: None},
+        size=1024,
+        kind=TableKind.NAVIGATION,
+        pipeline=pipeline,
+    )
+
+
+def _migration_node(
+    source: Pipeline, target_node: str, target_pipeline: Pipeline
+) -> TableNode:
+    return TableNode(
+        name=migration_name(source, target_node),
+        keys=(),
+        actions={MIGRATE_ACTION: Action(MIGRATE_ACTION)},
+        default_action=MIGRATE_ACTION,
+        next_map={MIGRATE_ACTION: navigation_name(target_pipeline)},
+        size=1,
+        kind=TableKind.MIGRATION,
+        pipeline=source,
+        annotations={"resume": target_node},
+    )
+
+
+def apply_partition(
+    program: Program,
+    assignments: Mapping[str, Pipeline],
+) -> TransformResult:
+    """Assign pipelines and insert navigation/migration plumbing.
+
+    ``assignments`` maps node names to pipelines; unmentioned nodes keep
+    their current pipeline. Every edge crossing pipelines is routed
+    through a migration table (source side) and the target pipeline's
+    navigation table.
+    """
+    for name in assignments:
+        if name not in program.nodes:
+            raise TransformError(f"No such node {name!r}")
+    cloned = program.clone()
+    for name, pipeline in assignments.items():
+        cloned.node(name).pipeline = pipeline
+
+    created: list[str] = []
+
+    def pipeline_of(name: str) -> Pipeline:
+        return cloned.node(name).pipeline
+
+    def ensure_navigation(pipeline: Pipeline) -> str:
+        nav = navigation_name(pipeline)
+        if nav not in cloned.nodes:
+            cloned.add(_navigation_node(pipeline))
+            created.append(nav)
+        return nav
+
+    def route(source_name: str, target: str | None) -> str | None:
+        """Route one edge through migration plumbing if it crosses."""
+        if target is None or target not in cloned.nodes:
+            return target
+        source_pipeline = pipeline_of(source_name)
+        target_pipeline = pipeline_of(target)
+        if source_pipeline is target_pipeline:
+            return target
+        target_node = cloned.node(target)
+        if isinstance(target_node, TableNode) and target_node.kind in (
+            TableKind.NAVIGATION,
+            TableKind.MIGRATION,
+        ):
+            return target
+        ensure_navigation(target_pipeline)
+        mig = migration_name(source_pipeline, target)
+        if mig not in cloned.nodes:
+            cloned.add(
+                _migration_node(source_pipeline, target, target_pipeline)
+            )
+            created.append(mig)
+        return mig
+
+    for name in list(cloned.nodes):
+        node = cloned.nodes[name]
+        if isinstance(node, TableNode):
+            if node.kind in (TableKind.NAVIGATION, TableKind.MIGRATION):
+                continue
+            for action_name, nxt in list(node.next_map.items()):
+                node.next_map[action_name] = route(name, nxt)
+            if node.cache_info is not None:
+                info = node.cache_info
+                info.hit_next = route(name, info.hit_next)
+                info.miss_next = route(name, info.miss_next) or info.miss_next
+        elif isinstance(node, ConditionalNode):
+            node.true_next = route(name, node.true_next)
+            node.false_next = route(name, node.false_next)
+
+    return TransformResult(cloned, created=created)
+
+
+def count_crossings(program: Program) -> int:
+    """Static count of pipeline-crossing edges (before plumbing)."""
+    crossing_pairs = set()
+    for src, dst, _label in program.edges():
+        if dst is None or dst not in program.nodes:
+            continue
+        if program.node(src).pipeline is not program.node(dst).pipeline:
+            crossing_pairs.add((src, dst))
+    return len(crossing_pairs)

@@ -1,0 +1,59 @@
+"""Exception hierarchy shared across the Pipeleon reproduction."""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by this library."""
+
+
+class IrError(ReproError):
+    """Malformed or inconsistent program IR."""
+
+
+class ValidationError(IrError):
+    """Program failed structural validation.
+
+    Carries the full list of problems so callers can report all of them
+    at once instead of fixing one at a time.
+    """
+
+    def __init__(self, problems: list[str]):
+        self.problems = list(problems)
+        super().__init__("; ".join(self.problems))
+
+
+class DependencyError(ReproError):
+    """A transformation would violate table dependencies."""
+
+
+class TransformError(ReproError):
+    """A program transformation could not be applied."""
+
+
+class ControlPlaneError(ReproError):
+    """Invalid control-plane operation (unknown table, full table, ...)."""
+
+
+class TableFullError(ControlPlaneError):
+    """Entry insertion rejected because the table is at capacity."""
+
+
+class UnknownTableError(ControlPlaneError):
+    """Operation addressed a table that does not exist."""
+
+
+class UnknownEntryError(ControlPlaneError):
+    """Operation addressed an entry id that does not exist."""
+
+
+class SearchError(ReproError):
+    """Optimization search was given inconsistent inputs."""
+
+
+class EmulationError(ReproError):
+    """The emulator hit an inconsistent runtime state."""
+
+
+class CalibrationError(ReproError):
+    """Cost-model calibration failed (not enough points, singular fit...)."""

@@ -1,0 +1,106 @@
+"""P4 graph IR: the program representation Pipeleon analyses and rewrites."""
+
+from repro.ir.actions import (
+    Action,
+    ActionPrimitive,
+    Param,
+    drop_action,
+    forward_action,
+    noop_action,
+    prim,
+    set_field_action,
+)
+from repro.ir.bmv2 import (
+    from_bmv2_json,
+    load_bmv2,
+    loads_bmv2,
+    looks_like_bmv2,
+)
+from repro.ir.builder import ProgramBuilder, linear_program
+from repro.ir.conditionals import Condition, ConditionalNode
+from repro.ir.dependency import (
+    can_swap,
+    dependency_graph,
+    depends_on,
+    movable_to_front,
+    order_is_valid,
+    valid_orders,
+)
+from repro.ir.entries import (
+    ExactValue,
+    LpmValue,
+    RangeValue,
+    TableEntry,
+    TernaryValue,
+    WILDCARD,
+    exact_entry,
+)
+from repro.ir.json_io import (
+    dump_program,
+    dumps_program,
+    entry_from_json,
+    entry_to_json,
+    load_program,
+    loads_program,
+    program_from_json,
+    program_to_json,
+)
+from repro.ir.program import Node, Program
+from repro.ir.tables import (
+    CacheInfo,
+    MatchKey,
+    MatchType,
+    Pipeline,
+    TableKind,
+    TableNode,
+)
+from repro.ir.validate import validate_program
+
+__all__ = [
+    "Action",
+    "ActionPrimitive",
+    "CacheInfo",
+    "Condition",
+    "ConditionalNode",
+    "ExactValue",
+    "LpmValue",
+    "MatchKey",
+    "MatchType",
+    "Node",
+    "Param",
+    "Pipeline",
+    "Program",
+    "ProgramBuilder",
+    "RangeValue",
+    "TableEntry",
+    "TableKind",
+    "TableNode",
+    "TernaryValue",
+    "WILDCARD",
+    "can_swap",
+    "dependency_graph",
+    "depends_on",
+    "drop_action",
+    "dump_program",
+    "dumps_program",
+    "entry_from_json",
+    "entry_to_json",
+    "exact_entry",
+    "forward_action",
+    "from_bmv2_json",
+    "linear_program",
+    "load_bmv2",
+    "load_program",
+    "loads_bmv2",
+    "looks_like_bmv2",
+    "loads_program",
+    "movable_to_front",
+    "noop_action",
+    "order_is_valid",
+    "prim",
+    "program_from_json",
+    "program_to_json",
+    "set_field_action",
+    "valid_orders",
+    "validate_program",
+]

@@ -1,0 +1,158 @@
+"""Actions and action primitives of the P4 graph IR.
+
+An :class:`Action` is a named sequence of :class:`ActionPrimitive` steps.
+Primitives are tiny interpreted operations (set a field, add to a field,
+drop, forward, ...) whose *count* is what the paper's cost model charges
+(``n_a`` primitives, each costing ``Lact``).
+
+Entry-supplied runtime arguments ("action data" in P4 speak) are referenced
+from primitives through :class:`Param` placeholders, bound at execution time
+by the NIC emulator.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.errors import IrError
+
+#: Known primitive operations mapped to their expected argument count.
+PRIMITIVE_OPS: dict[str, int] = {
+    "set_field": 2,  # (field, value) -- write a header/metadata field
+    "add_to_field": 2,  # (field, delta)
+    "copy_field": 2,  # (dst_field, src_field)
+    "set_meta": 2,  # (meta_key, value) -- alias of set_field on metadata
+    "forward": 1,  # (egress_port)
+    "drop": 0,  # halt processing, discard packet
+    "no_op": 0,  # costs one primitive, does nothing (padding workloads)
+    "count": 1,  # (counter_name) explicit counter bump
+}
+
+#: Sentinel fields used by dependency analysis for fate-deciding primitives.
+DROP_FIELD = "__drop__"
+PORT_FIELD = "__egress_port__"
+
+
+@dataclass(frozen=True)
+class Param:
+    """Placeholder for the i-th runtime action-data argument of an entry."""
+
+    index: int
+
+    def __post_init__(self) -> None:
+        if self.index < 0:
+            raise IrError(f"Param index must be >= 0, got {self.index}")
+
+    def __repr__(self) -> str:  # compact in dumps of big programs
+        return f"Param({self.index})"
+
+
+@dataclass(frozen=True)
+class ActionPrimitive:
+    """One interpreted step of an action, e.g. ``set_field(ipv4.ttl, 64)``."""
+
+    op: str
+    args: tuple[Any, ...] = ()
+
+    def __post_init__(self) -> None:
+        if self.op not in PRIMITIVE_OPS:
+            raise IrError(f"Unknown primitive op {self.op!r}")
+        expected = PRIMITIVE_OPS[self.op]
+        if len(self.args) != expected:
+            raise IrError(
+                f"Primitive {self.op!r} expects {expected} args, "
+                f"got {len(self.args)}"
+            )
+
+    @property
+    def writes_field(self) -> str | None:
+        """The field this primitive writes, if any (dependency analysis)."""
+        if self.op in ("set_field", "add_to_field", "set_meta"):
+            return str(self.args[0])
+        if self.op == "copy_field":
+            return str(self.args[0])
+        if self.op == "drop":
+            return DROP_FIELD
+        if self.op == "forward":
+            return PORT_FIELD
+        return None
+
+    @property
+    def reads_fields(self) -> tuple[str, ...]:
+        """Fields this primitive reads (dependency analysis)."""
+        if self.op == "add_to_field":
+            return (str(self.args[0]),)
+        if self.op == "copy_field":
+            return (str(self.args[1]),)
+        return ()
+
+
+@dataclass(frozen=True)
+class Action:
+    """A named action: an ordered tuple of primitives."""
+
+    name: str
+    primitives: tuple[ActionPrimitive, ...] = field(default_factory=tuple)
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise IrError("Action name must be non-empty")
+        object.__setattr__(self, "primitives", tuple(self.primitives))
+
+    @property
+    def primitive_count(self) -> int:
+        """``n_a`` in the paper's cost model (Equation 4b)."""
+        return len(self.primitives)
+
+    @property
+    def drops(self) -> bool:
+        """True if executing this action discards the packet."""
+        return any(p.op == "drop" for p in self.primitives)
+
+    def written_fields(self) -> set[str]:
+        return {
+            w for p in self.primitives if (w := p.writes_field) is not None
+        }
+
+    def read_fields(self) -> set[str]:
+        fields: set[str] = set()
+        for primitive in self.primitives:
+            fields.update(primitive.reads_fields)
+        return fields
+
+
+# ---------------------------------------------------------------------------
+# Convenience constructors used throughout apps, synthesis and tests.
+# ---------------------------------------------------------------------------
+
+
+def prim(op: str, *args: Any) -> ActionPrimitive:
+    """Shorthand primitive constructor."""
+    return ActionPrimitive(op, tuple(args))
+
+
+def drop_action(name: str = "drop") -> Action:
+    """An action that discards the packet."""
+    return Action(name, (prim("drop"),))
+
+
+def forward_action(port: int | Param, name: str = "forward") -> Action:
+    """An action that sets the egress port."""
+    return Action(name, (prim("forward", port),))
+
+
+def noop_action(name: str = "nop", n_primitives: int = 1) -> Action:
+    """An action of ``n_primitives`` no-ops (controls action complexity)."""
+    return Action(name, tuple(prim("no_op") for _ in range(n_primitives)))
+
+
+def set_field_action(
+    name: str, assignments: dict[str, Any] | None = None
+) -> Action:
+    """An action assigning constant/Param values to fields."""
+    assignments = assignments or {}
+    return Action(
+        name,
+        tuple(prim("set_field", f, v) for f, v in assignments.items()),
+    )

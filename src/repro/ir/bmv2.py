@@ -1,0 +1,246 @@
+"""Importer for real p4c/BMv2 compiler JSON.
+
+`repro.ir.json_io` defines this project's own interchange format; this
+module additionally accepts the artifact an actual P4 toolchain emits
+(`p4c-bm2-ss program.p4 -o program.json`), which is what the paper's
+prototype consumes. The supported subset covers what match-action
+optimization needs: pipelines with tables/conditionals, action
+primitives with runtime data, match keys, and default entries.
+
+Unsupported BMv2 features (registers, meters, checksums, parser state
+machines) are outside Pipeleon's optimization scope; encountering one
+in an *action body* degrades to a cost-equivalent ``no_op`` primitive
+(the cost model only counts primitives), while structural features we
+cannot represent raise :class:`IrError`.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, IO, Mapping, Optional
+
+from repro.errors import IrError
+from repro.ir.actions import Action, ActionPrimitive, Param
+from repro.ir.conditionals import Condition, ConditionalNode
+from repro.ir.program import Program
+from repro.ir.tables import MatchKey, MatchType, TableNode
+
+_MATCH_TYPES = {
+    "exact": MatchType.EXACT,
+    "lpm": MatchType.LPM,
+    "ternary": MatchType.TERNARY,
+    "range": MatchType.RANGE,
+    # 'valid' matches degrade to exact on the validity bit.
+    "valid": MatchType.EXACT,
+}
+
+_RELATIONAL_OPS = {
+    "==": "eq",
+    "!=": "ne",
+    "<": "lt",
+    "<=": "le",
+    ">": "gt",
+    ">=": "ge",
+}
+
+
+def _field_name(target: Any) -> str:
+    """BMv2 field refs are ["header", "field"] lists."""
+    if isinstance(target, list) and len(target) == 2:
+        return f"{target[0]}.{target[1]}"
+    if isinstance(target, str):
+        return target
+    raise IrError(f"Unsupported field reference {target!r}")
+
+
+def _value_of(operand: Mapping[str, Any]) -> int:
+    kind = operand.get("type")
+    value = operand.get("value")
+    if kind == "hexstr":
+        return int(str(value), 16)
+    if kind in ("int", "bool"):
+        return int(value)
+    raise IrError(f"Unsupported constant operand {operand!r}")
+
+
+def _convert_primitive(primitive: Mapping[str, Any]) -> ActionPrimitive:
+    op = primitive.get("op")
+    params = primitive.get("parameters", [])
+
+    def arg(index: int) -> Any:
+        operand = params[index]
+        kind = operand.get("type")
+        if kind == "field":
+            return _field_name(operand["value"])
+        if kind == "runtime_data":
+            return Param(int(operand["value"]))
+        if kind in ("hexstr", "int", "bool"):
+            return _value_of(operand)
+        raise IrError(f"Unsupported primitive operand {operand!r}")
+
+    if op == "assign":
+        destination = arg(0)
+        try:
+            return ActionPrimitive(
+                "set_field", (str(destination), arg(1))
+            )
+        except IrError:
+            # Source expression we cannot evaluate: keep the cost.
+            return ActionPrimitive("no_op", ())
+    if op in ("mark_to_drop", "drop"):
+        return ActionPrimitive("drop", ())
+    if op == "count":
+        return ActionPrimitive("no_op", ())
+    # Registers, hashes, clones, ...: cost-equivalent placeholder.
+    return ActionPrimitive("no_op", ())
+
+
+def _convert_action(raw: Mapping[str, Any]) -> Action:
+    primitives = tuple(
+        _convert_primitive(p) for p in raw.get("primitives", [])
+    )
+    return Action(str(raw["name"]), primitives)
+
+
+def _convert_condition(expression: Mapping[str, Any]) -> Condition:
+    """Support `field <relop> const` (either operand order) and
+    validity checks (`d2b(field)`)."""
+    node = expression
+    while node.get("type") == "expression":
+        node = node["value"]
+    op = node.get("op")
+    if op == "d2b":
+        inner = node.get("left") or node.get("right")
+        if inner and inner.get("type") == "field":
+            return Condition(_field_name(inner["value"]), "valid")
+        raise IrError(f"Unsupported d2b expression {node!r}")
+    if op not in _RELATIONAL_OPS:
+        raise IrError(f"Unsupported conditional op {op!r}")
+    left, right = node.get("left"), node.get("right")
+    if left and left.get("type") == "field":
+        return Condition(
+            _field_name(left["value"]),
+            _RELATIONAL_OPS[op],
+            _value_of(right),
+        )
+    if right and right.get("type") == "field":
+        flipped = {
+            "lt": "gt", "gt": "lt", "le": "ge", "ge": "le",
+            "eq": "eq", "ne": "ne",
+        }
+        return Condition(
+            _field_name(right["value"]),
+            flipped[_RELATIONAL_OPS[op]],
+            _value_of(left),
+        )
+    raise IrError(
+        f"Conditional without a field operand: {node!r}"
+    )
+
+
+def from_bmv2_json(
+    data: Mapping[str, Any], pipeline_name: Optional[str] = None
+) -> Program:
+    """Convert one BMv2 pipeline (default: the first, i.e. ingress)."""
+    pipelines = data.get("pipelines") or []
+    if not pipelines:
+        raise IrError("BMv2 JSON has no pipelines")
+    if pipeline_name is None:
+        pipeline = pipelines[0]
+    else:
+        matches = [
+            p for p in pipelines if p.get("name") == pipeline_name
+        ]
+        if not matches:
+            raise IrError(
+                f"No pipeline named {pipeline_name!r}; available: "
+                f"{[p.get('name') for p in pipelines]}"
+            )
+        pipeline = matches[0]
+
+    actions_by_id: dict[int, Action] = {}
+    actions_by_name: dict[str, Action] = {}
+    for raw in data.get("actions", []):
+        action = _convert_action(raw)
+        actions_by_id[int(raw["id"])] = action
+        # Later duplicates (same name, different id) share the name.
+        actions_by_name.setdefault(action.name, action)
+
+    program = Program(
+        name=str(data.get("program", pipeline.get("name", "bmv2")))
+    )
+
+    for raw in pipeline.get("tables", []):
+        keys = tuple(
+            MatchKey(
+                _field_name(k["target"]),
+                _MATCH_TYPES.get(
+                    str(k.get("match_type", "exact")),
+                    MatchType.EXACT,
+                ),
+            )
+            for k in raw.get("key", [])
+        )
+        table_actions: dict[str, Action] = {}
+        for action_name in raw.get("actions", []):
+            action = actions_by_name.get(str(action_name))
+            if action is None:
+                action = Action(str(action_name))
+            table_actions[action.name] = action
+        default = raw.get("default_entry", {})
+        default_name: Optional[str] = None
+        if "action_id" in default:
+            default_action = actions_by_id.get(
+                int(default["action_id"])
+            )
+            if default_action is not None:
+                default_name = default_action.name
+        if default_name is None or default_name not in table_actions:
+            default_name = next(iter(table_actions))
+        program.add(
+            TableNode(
+                name=str(raw["name"]),
+                keys=keys,
+                actions=table_actions,
+                default_action=default_name,
+                next_map={
+                    str(a): nxt
+                    for a, nxt in raw.get("next_tables", {}).items()
+                    if str(a) in table_actions
+                },
+                size=int(raw.get("max_size", 1024)),
+            )
+        )
+
+    for raw in pipeline.get("conditionals", []):
+        program.add(
+            ConditionalNode(
+                name=str(raw["name"]),
+                condition=_convert_condition(raw["expression"]),
+                true_next=raw.get("true_next"),
+                false_next=raw.get("false_next"),
+            )
+        )
+
+    program.root = pipeline.get("init_table")
+    if program.root is None and program.nodes:
+        program.root = next(iter(program.nodes))
+    from repro.ir.validate import validate_program
+
+    validate_program(program)
+    return program
+
+
+def load_bmv2(fp: IO[str], pipeline_name: Optional[str] = None) -> Program:
+    return from_bmv2_json(json.load(fp), pipeline_name)
+
+
+def loads_bmv2(
+    text: str, pipeline_name: Optional[str] = None
+) -> Program:
+    return from_bmv2_json(json.loads(text), pipeline_name)
+
+
+def looks_like_bmv2(data: Mapping[str, Any]) -> bool:
+    """Heuristic: p4c output has `pipelines`; our format has `nodes`."""
+    return "pipelines" in data and "nodes" not in data

@@ -1,0 +1,89 @@
+"""Conditional-branch nodes and their small expression language."""
+
+from __future__ import annotations
+
+import operator
+from dataclasses import dataclass, field
+from typing import Any, Callable, Optional
+
+from repro.errors import IrError
+from repro.ir.tables import Pipeline
+
+_OPS: dict[str, Callable[[int, int], bool]] = {
+    "eq": operator.eq,
+    "ne": operator.ne,
+    "lt": operator.lt,
+    "le": operator.le,
+    "gt": operator.gt,
+    "ge": operator.ge,
+}
+
+
+@dataclass(frozen=True)
+class Condition:
+    """A simple ``field <op> value`` predicate.
+
+    ``op`` may also be ``"valid"``: true iff the field is present on the
+    packet (models P4 header validity checks); ``value`` is ignored.
+    """
+
+    field: str
+    op: str
+    value: int = 0
+
+    def __post_init__(self) -> None:
+        if self.op not in _OPS and self.op != "valid":
+            raise IrError(f"Unknown condition op {self.op!r}")
+
+    def evaluate(self, get_field: Callable[[str], Optional[int]]) -> bool:
+        """Evaluate against an accessor returning None for absent fields."""
+        packet_value = get_field(self.field)
+        if self.op == "valid":
+            return packet_value is not None
+        if packet_value is None:
+            return False
+        return _OPS[self.op](packet_value, self.value)
+
+    def read_fields(self) -> set[str]:
+        return {self.field}
+
+
+@dataclass
+class ConditionalNode:
+    """An if/else branch in the program DAG."""
+
+    name: str
+    condition: Condition
+    true_next: Optional[str]
+    false_next: Optional[str]
+    pipeline: Pipeline = Pipeline.ASIC
+    annotations: dict[str, Any] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise IrError("Conditional name must be non-empty")
+
+    def successors(self) -> list[Optional[str]]:
+        seen: list[Optional[str]] = []
+        for nxt in (self.true_next, self.false_next):
+            if nxt not in seen:
+                seen.append(nxt)
+        return seen
+
+    def read_fields(self) -> set[str]:
+        return self.condition.read_fields()
+
+    def written_fields(self) -> set[str]:
+        return set()
+
+    def clone(self, **overrides: Any) -> "ConditionalNode":
+        data = {
+            "name": self.name,
+            "condition": self.condition,
+            "true_next": self.true_next,
+            "false_next": self.false_next,
+            "pipeline": self.pipeline,
+            "annotations": dict(self.annotations),
+        }
+        data.update(overrides)
+        return ConditionalNode(**data)

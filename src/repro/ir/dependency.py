@@ -1,0 +1,134 @@
+"""Table dependency analysis (reordering safety).
+
+Two tables can be swapped only when doing so cannot change program
+behaviour. We use classic read/write-set analysis with one domain-specific
+relaxation from the paper: *drop* decisions commute. Two ACL tables that
+may both drop a packet can be reordered freely (whichever drops first,
+the packet's observable fate is identical), so the synthetic ``__drop__``
+field is excluded from output-dependency checks.
+"""
+
+from __future__ import annotations
+
+from itertools import permutations
+from typing import Iterable, Iterator, Sequence
+
+import networkx as nx
+
+from repro.ir.actions import DROP_FIELD
+from repro.ir.tables import TableNode
+
+
+def depends_on(first: TableNode, second: TableNode) -> bool:
+    """True if ``second`` must stay after ``first`` (cannot swap them).
+
+    Checks true (RAW), anti (WAR) and output (WAW) dependencies over the
+    tables' read/write field sets, ignoring commutative drop writes.
+    """
+    first_writes = first.written_fields() - {DROP_FIELD}
+    second_writes = second.written_fields() - {DROP_FIELD}
+    if first_writes & second.read_fields():
+        return True  # true dependency
+    if first.read_fields() & second_writes:
+        return True  # anti dependency
+    if first_writes & second_writes:
+        return True  # output dependency
+    return False
+
+
+def can_swap(first: TableNode, second: TableNode) -> bool:
+    """True if adjacent tables ``first -> second`` may be reordered."""
+    return not depends_on(first, second) and not depends_on(second, first)
+
+
+def dependency_graph(tables: Sequence[TableNode]) -> nx.DiGraph:
+    """Build the must-precede DAG over a linear run of tables.
+
+    An edge ``a -> b`` means ``a`` must execute before ``b``. Only pairs
+    in their current relative order are considered (the current order is
+    assumed correct).
+    """
+    graph = nx.DiGraph()
+    for table in tables:
+        graph.add_node(table.name)
+    for i, first in enumerate(tables):
+        for second in tables[i + 1:]:
+            if depends_on(first, second) or depends_on(second, first):
+                graph.add_edge(first.name, second.name)
+    return graph
+
+
+def order_is_valid(
+    tables: Sequence[TableNode], order: Sequence[str]
+) -> bool:
+    """Check that ``order`` respects all pairwise dependencies."""
+    graph = dependency_graph(tables)
+    position = {name: i for i, name in enumerate(order)}
+    if set(position) != set(graph.nodes):
+        return False
+    return all(
+        position[a] < position[b] for a, b in graph.edges
+    )
+
+
+def valid_orders(
+    tables: Sequence[TableNode], limit: int = 64
+) -> Iterator[tuple[str, ...]]:
+    """Yield dependency-respecting orders (up to ``limit``).
+
+    For short runs this enumerates all topological orders; the identity
+    order is always yielded first so callers can treat index 0 as the
+    no-op candidate.
+    """
+    names = [t.name for t in tables]
+    graph = dependency_graph(tables)
+    yield tuple(names)
+    count = 1
+    if len(tables) <= 7:
+        seen = {tuple(names)}
+        for perm in permutations(names):
+            if perm in seen:
+                continue
+            position = {name: i for i, name in enumerate(perm)}
+            if all(position[a] < position[b] for a, b in graph.edges):
+                seen.add(perm)
+                yield perm
+                count += 1
+                if count >= limit:
+                    return
+    else:
+        # Long runs: enumerating permutations is hopeless; fall back to
+        # networkx topological-sort sampling (deterministic subset).
+        for perm in nx.all_topological_sorts(graph):
+            tpl = tuple(perm)
+            if tpl == tuple(names):
+                continue
+            yield tpl
+            count += 1
+            if count >= limit:
+                return
+
+
+def movable_to_front(
+    tables: Sequence[TableNode], target: str
+) -> tuple[str, ...] | None:
+    """The order obtained by hoisting ``target`` as early as allowed.
+
+    Returns None when the table cannot move at all. This is the greedy
+    primitive behind drop-rate-driven reordering.
+    """
+    names = [t.name for t in tables]
+    if target not in names:
+        return None
+    by_name = {t.name: t for t in tables}
+    index = names.index(target)
+    position = index
+    while position > 0 and can_swap(
+        by_name[names[position - 1]], by_name[target]
+    ):
+        position -= 1
+    if position == index:
+        return None
+    names.pop(index)
+    names.insert(position, target)
+    return tuple(names)

@@ -1,0 +1,293 @@
+"""BMv2-style JSON serialization of programs.
+
+Pipeleon is a source-to-source optimizer: it consumes the intermediate
+``.json`` produced by the P4 compiler and emits an optimized ``.json`` for
+the vendor toolchain (§5.1). This module defines that interchange format
+for the reproduction: a faithful subset of the BMv2 JSON shape (pipelines
+of tables with per-action ``next_tables``, plus conditionals), extended
+with Pipeleon's cache/merge metadata.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, IO, Optional
+
+from repro.errors import IrError
+from repro.ir.actions import Action, ActionPrimitive, Param
+from repro.ir.conditionals import Condition, ConditionalNode
+from repro.ir.entries import (
+    ExactValue,
+    LpmValue,
+    MatchValue,
+    RangeValue,
+    TableEntry,
+    TernaryValue,
+)
+from repro.ir.program import Program
+from repro.ir.tables import (
+    CacheInfo,
+    MatchKey,
+    MatchType,
+    MemoryTier,
+    Pipeline,
+    TableKind,
+    TableNode,
+)
+
+FORMAT_VERSION = 1
+
+
+# -- arguments (Param placeholders) -----------------------------------------
+
+
+def _arg_to_json(arg: Any) -> Any:
+    if isinstance(arg, Param):
+        return {"__param__": arg.index}
+    return arg
+
+
+def _arg_from_json(data: Any) -> Any:
+    if isinstance(data, dict) and "__param__" in data:
+        return Param(int(data["__param__"]))
+    return data
+
+
+# -- actions -----------------------------------------------------------------
+
+
+def action_to_json(action: Action) -> dict[str, Any]:
+    return {
+        "name": action.name,
+        "primitives": [
+            {"op": p.op, "args": [_arg_to_json(a) for a in p.args]}
+            for p in action.primitives
+        ],
+    }
+
+
+def action_from_json(data: dict[str, Any]) -> Action:
+    return Action(
+        name=data["name"],
+        primitives=tuple(
+            ActionPrimitive(
+                p["op"], tuple(_arg_from_json(a) for a in p.get("args", []))
+            )
+            for p in data.get("primitives", [])
+        ),
+    )
+
+
+# -- nodes ---------------------------------------------------------------------
+
+
+def _table_to_json(table: TableNode) -> dict[str, Any]:
+    data: dict[str, Any] = {
+        "type": "table",
+        "name": table.name,
+        "keys": [
+            {"field": k.field, "match_type": k.match_type.value}
+            for k in table.keys
+        ],
+        "actions": [action_to_json(a) for a in table.actions.values()],
+        "default_action": table.default_action,
+        "next_tables": dict(table.next_map),
+        "size": table.size,
+        "kind": table.kind.value,
+        "pipeline": table.pipeline.value,
+        "memory_tier": table.memory_tier.value,
+        "annotations": dict(table.annotations),
+    }
+    if table.cache_info is not None:
+        info = table.cache_info
+        data["cache_info"] = {
+            "covers": list(info.covers),
+            "hit_next": info.hit_next,
+            "miss_next": info.miss_next,
+            "mode": info.mode,
+            "capacity": info.capacity,
+            "insertion_limit_pps": info.insertion_limit_pps,
+            "estimated_hit_rate": info.estimated_hit_rate,
+        }
+    return data
+
+
+def _table_from_json(data: dict[str, Any]) -> TableNode:
+    cache_info = None
+    if "cache_info" in data:
+        raw = data["cache_info"]
+        cache_info = CacheInfo(
+            covers=tuple(raw["covers"]),
+            hit_next=raw.get("hit_next"),
+            miss_next=raw["miss_next"],
+            mode=raw.get("mode", "flow"),
+            capacity=int(raw.get("capacity", 4096)),
+            insertion_limit_pps=float(
+                raw.get("insertion_limit_pps", 10000.0)
+            ),
+            estimated_hit_rate=float(raw.get("estimated_hit_rate", 0.9)),
+        )
+    actions = [action_from_json(a) for a in data.get("actions", [])]
+    return TableNode(
+        name=data["name"],
+        keys=tuple(
+            MatchKey(k["field"], MatchType(k.get("match_type", "exact")))
+            for k in data.get("keys", [])
+        ),
+        actions={a.name: a for a in actions},
+        default_action=data["default_action"],
+        next_map=dict(data.get("next_tables", {})),
+        size=int(data.get("size", 1024)),
+        kind=TableKind(data.get("kind", "table")),
+        pipeline=Pipeline(data.get("pipeline", "asic")),
+        memory_tier=MemoryTier(data.get("memory_tier", "emem")),
+        cache_info=cache_info,
+        annotations=dict(data.get("annotations", {})),
+    )
+
+
+def _conditional_to_json(node: ConditionalNode) -> dict[str, Any]:
+    return {
+        "type": "conditional",
+        "name": node.name,
+        "condition": {
+            "field": node.condition.field,
+            "op": node.condition.op,
+            "value": node.condition.value,
+        },
+        "true_next": node.true_next,
+        "false_next": node.false_next,
+        "pipeline": node.pipeline.value,
+        "annotations": dict(node.annotations),
+    }
+
+
+def _conditional_from_json(data: dict[str, Any]) -> ConditionalNode:
+    cond = data["condition"]
+    return ConditionalNode(
+        name=data["name"],
+        condition=Condition(
+            cond["field"], cond["op"], int(cond.get("value", 0))
+        ),
+        true_next=data.get("true_next"),
+        false_next=data.get("false_next"),
+        pipeline=Pipeline(data.get("pipeline", "asic")),
+        annotations=dict(data.get("annotations", {})),
+    )
+
+
+# -- program ---------------------------------------------------------------------
+
+
+def program_to_json(program: Program) -> dict[str, Any]:
+    nodes = []
+    for name in sorted(program.nodes):
+        node = program.nodes[name]
+        if isinstance(node, TableNode):
+            nodes.append(_table_to_json(node))
+        else:
+            nodes.append(_conditional_to_json(node))
+    return {
+        "format_version": FORMAT_VERSION,
+        "program": program.name,
+        "root": program.root,
+        "metadata": dict(program.metadata),
+        "nodes": nodes,
+    }
+
+
+def program_from_json(data: dict[str, Any]) -> Program:
+    version = data.get("format_version", FORMAT_VERSION)
+    if version != FORMAT_VERSION:
+        raise IrError(f"Unsupported format version {version}")
+    program = Program(
+        name=data.get("program", "program"),
+        metadata=dict(data.get("metadata", {})),
+    )
+    for node_data in data.get("nodes", []):
+        node_type = node_data.get("type", "table")
+        if node_type == "table":
+            program.add(_table_from_json(node_data))
+        elif node_type == "conditional":
+            program.add(_conditional_from_json(node_data))
+        else:
+            raise IrError(f"Unknown node type {node_type!r}")
+    program.root = data.get("root")
+    return program
+
+
+def dump_program(program: Program, fp: IO[str], indent: int = 2) -> None:
+    json.dump(program_to_json(program), fp, indent=indent, sort_keys=True)
+
+
+def dumps_program(program: Program, indent: Optional[int] = 2) -> str:
+    return json.dumps(
+        program_to_json(program), indent=indent, sort_keys=True
+    )
+
+
+def load_program(fp: IO[str]) -> Program:
+    return program_from_json(json.load(fp))
+
+
+def loads_program(text: str) -> Program:
+    return program_from_json(json.loads(text))
+
+
+# -- entries (control-plane snapshots) -------------------------------------------
+
+
+def _value_to_json(value: MatchValue) -> dict[str, Any]:
+    if isinstance(value, ExactValue):
+        return {"kind": "exact", "value": value.value}
+    if isinstance(value, LpmValue):
+        return {
+            "kind": "lpm",
+            "value": value.value,
+            "prefix_len": value.prefix_len,
+            "width_bits": value.width_bits,
+        }
+    if isinstance(value, TernaryValue):
+        return {"kind": "ternary", "value": value.value, "mask": value.mask}
+    if isinstance(value, RangeValue):
+        return {"kind": "range", "lo": value.lo, "hi": value.hi}
+    raise IrError(f"Unknown match value type {type(value).__name__}")
+
+
+def _value_from_json(data: dict[str, Any]) -> MatchValue:
+    kind = data["kind"]
+    if kind == "exact":
+        return ExactValue(int(data["value"]))
+    if kind == "lpm":
+        return LpmValue(
+            int(data["value"]),
+            int(data["prefix_len"]),
+            int(data.get("width_bits", 32)),
+        )
+    if kind == "ternary":
+        return TernaryValue(int(data["value"]), int(data["mask"]))
+    if kind == "range":
+        return RangeValue(int(data["lo"]), int(data["hi"]))
+    raise IrError(f"Unknown match value kind {kind!r}")
+
+
+def entry_to_json(entry: TableEntry) -> dict[str, Any]:
+    return {
+        "match": [_value_to_json(v) for v in entry.match_values],
+        "action": entry.action_name,
+        "action_data": [_arg_to_json(a) for a in entry.action_data],
+        "priority": entry.priority,
+    }
+
+
+def entry_from_json(data: dict[str, Any]) -> TableEntry:
+    return TableEntry(
+        match_values=tuple(
+            _value_from_json(v) for v in data.get("match", [])
+        ),
+        action_name=data["action"],
+        action_data=tuple(
+            _arg_from_json(a) for a in data.get("action_data", [])
+        ),
+        priority=int(data.get("priority", 0)),
+    )

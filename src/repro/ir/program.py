@@ -1,0 +1,258 @@
+"""The program DAG: the unit that Pipeleon analyses and transforms."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Iterable, Iterator, Optional, Union
+
+from repro.errors import IrError
+from repro.ir.conditionals import ConditionalNode
+from repro.ir.tables import Pipeline, TableKind, TableNode
+
+Node = Union[TableNode, ConditionalNode]
+
+
+@dataclass
+class Program:
+    """A P4 program as a DAG of tables and conditionals.
+
+    Nodes reference each other by name through their ``next`` links;
+    ``None`` means "end of pipeline" (the sink). Entries are *not* stored
+    here — they live in the control plane — which lets transformations
+    clone and rewrite programs cheaply.
+    """
+
+    name: str = "program"
+    nodes: dict[str, Node] = field(default_factory=dict)
+    root: Optional[str] = None
+    metadata: dict[str, Any] = field(default_factory=dict)
+
+    # -- construction -------------------------------------------------------
+
+    def add(self, node: Node) -> Node:
+        if node.name in self.nodes:
+            raise IrError(f"Duplicate node name {node.name!r}")
+        self.nodes[node.name] = node
+        if self.root is None:
+            self.root = node.name
+        return node
+
+    def remove(self, name: str) -> Node:
+        if name not in self.nodes:
+            raise IrError(f"No such node {name!r}")
+        node = self.nodes.pop(name)
+        if self.root == name:
+            self.root = None
+        return node
+
+    def node(self, name: str) -> Node:
+        try:
+            return self.nodes[name]
+        except KeyError:
+            raise IrError(
+                f"Program {self.name!r} has no node {name!r}"
+            ) from None
+
+    def table(self, name: str) -> TableNode:
+        node = self.node(name)
+        if not isinstance(node, TableNode):
+            raise IrError(f"Node {name!r} is not a table")
+        return node
+
+    def __contains__(self, name: str) -> bool:
+        return name in self.nodes
+
+    def __len__(self) -> int:
+        return len(self.nodes)
+
+    # -- structure queries ---------------------------------------------------
+
+    def tables(self) -> list[TableNode]:
+        return [n for n in self.nodes.values() if isinstance(n, TableNode)]
+
+    def plain_tables(self) -> list[TableNode]:
+        return [t for t in self.tables() if t.kind is TableKind.PLAIN]
+
+    def conditionals(self) -> list[ConditionalNode]:
+        return [
+            n for n in self.nodes.values()
+            if isinstance(n, ConditionalNode)
+        ]
+
+    def successors(self, name: str) -> list[str]:
+        return [s for s in self.node(name).successors() if s is not None]
+
+    def predecessors(self, name: str) -> list[str]:
+        preds = []
+        for other in self.nodes.values():
+            if name in other.successors():
+                preds.append(other.name)
+        return preds
+
+    def edges(self) -> Iterator[tuple[str, Optional[str], str]]:
+        """Yield ``(src, dst, label)`` for every edge.
+
+        Labels are action names for tables, ``"true"``/``"false"`` for
+        conditionals; ``dst`` is None for edges into the sink.
+        """
+        for node in self.nodes.values():
+            if isinstance(node, TableNode):
+                for action_name, nxt in node.next_map.items():
+                    yield node.name, nxt, action_name
+            else:
+                yield node.name, node.true_next, "true"
+                yield node.name, node.false_next, "false"
+
+    def reachable(self, start: Optional[str] = None) -> set[str]:
+        start = start if start is not None else self.root
+        if start is None:
+            return set()
+        seen: set[str] = set()
+        stack = [start]
+        while stack:
+            current = stack.pop()
+            if current in seen or current not in self.nodes:
+                continue
+            seen.add(current)
+            stack.extend(self.successors(current))
+        return seen
+
+    def topological_order(self) -> list[str]:
+        """Names of reachable nodes in topological order.
+
+        Raises :class:`IrError` if the reachable subgraph has a cycle.
+        """
+        reachable = self.reachable()
+        indegree = {name: 0 for name in reachable}
+        for name in reachable:
+            for succ in self.successors(name):
+                if succ in indegree:
+                    indegree[succ] += 1
+        ready = sorted(n for n, d in indegree.items() if d == 0)
+        order: list[str] = []
+        while ready:
+            current = ready.pop(0)
+            order.append(current)
+            for succ in self.successors(current):
+                if succ not in indegree:
+                    continue
+                indegree[succ] -= 1
+                if indegree[succ] == 0:
+                    # Insert keeping deterministic (sorted) tie-breaking.
+                    ready.append(succ)
+                    ready.sort()
+        if len(order) != len(reachable):
+            raise IrError(
+                f"Program {self.name!r} contains a cycle among "
+                f"{sorted(reachable - set(order))}"
+            )
+        return order
+
+    def paths(self, limit: int = 100000) -> list[list[str]]:
+        """All root->sink execution paths (node-name sequences).
+
+        Exponential in branching depth; used by tests and small-program
+        analyses. ``limit`` guards against blow-ups.
+        """
+        if self.root is None:
+            return []
+        results: list[list[str]] = []
+        stack: list[tuple[str, list[str]]] = [(self.root, [])]
+        while stack:
+            current, prefix = stack.pop()
+            path = prefix + [current]
+            successors = self.successors(current)
+            node = self.node(current)
+            # A node is a sink hop if any next is None.
+            if None in [
+                s for s in node.successors()
+            ] or not successors:
+                results.append(path)
+                if len(results) > limit:
+                    raise IrError("Path enumeration exceeded limit")
+            for succ in successors:
+                stack.append((succ, path))
+        return results
+
+    # -- rewriting ------------------------------------------------------------
+
+    def replace_next(self, old: Optional[str], new: Optional[str]) -> int:
+        """Rewire every edge pointing at ``old`` to point at ``new``."""
+        count = 0
+        for node in self.nodes.values():
+            if isinstance(node, TableNode):
+                for action_name, nxt in node.next_map.items():
+                    if nxt == old:
+                        node.next_map[action_name] = new
+                        count += 1
+                if node.cache_info is not None:
+                    if node.cache_info.hit_next == old:
+                        node.cache_info.hit_next = new
+                        count += 1
+                    if node.cache_info.miss_next == old:
+                        node.cache_info.miss_next = new
+                        count += 1
+            else:
+                if node.true_next == old:
+                    node.true_next = new
+                    count += 1
+                if node.false_next == old:
+                    node.false_next = new
+                    count += 1
+        if self.root == old:
+            self.root = new
+            count += 1
+        return count
+
+    def clone(self, name: Optional[str] = None) -> "Program":
+        cloned = Program(
+            name=name or self.name,
+            root=self.root,
+            metadata=dict(self.metadata),
+        )
+        for node in self.nodes.values():
+            cloned.nodes[node.name] = node.clone()
+        return cloned
+
+    def prune_unreachable(self) -> list[str]:
+        """Drop nodes unreachable from the root; return their names."""
+        keep = self.reachable()
+        removed = [n for n in self.nodes if n not in keep]
+        for name in removed:
+            del self.nodes[name]
+        return removed
+
+    # -- pipeline assignment (§3.2.4) ----------------------------------------
+
+    def assign_pipeline(self, names: Iterable[str], pipeline: Pipeline) -> None:
+        for name in names:
+            self.node(name).pipeline = pipeline
+
+    def pipelines_used(self) -> set[Pipeline]:
+        return {n.pipeline for n in self.nodes.values()}
+
+    @property
+    def is_heterogeneous(self) -> bool:
+        return len(self.pipelines_used()) > 1
+
+    def summary(self) -> str:
+        """Human-readable one-line-per-node dump (debugging aid)."""
+        lines = [f"Program {self.name!r} root={self.root!r}"]
+        for name in self.topological_order():
+            node = self.node(name)
+            if isinstance(node, TableNode):
+                nexts = ", ".join(
+                    f"{a}->{n}" for a, n in sorted(node.next_map.items())
+                )
+                lines.append(
+                    f"  table {name} [{node.kind.value}/"
+                    f"{node.pipeline.value}] keys="
+                    f"{[k.field for k in node.keys]} next=({nexts})"
+                )
+            else:
+                lines.append(
+                    f"  if {name} ({node.condition.field} "
+                    f"{node.condition.op} {node.condition.value}) "
+                    f"T->{node.true_next} F->{node.false_next}"
+                )
+        return "\n".join(lines)

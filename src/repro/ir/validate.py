@@ -1,0 +1,68 @@
+"""Structural validation of program DAGs."""
+
+from __future__ import annotations
+
+from repro.errors import ValidationError
+from repro.ir.program import Program
+from repro.ir.tables import TableKind, TableNode
+
+
+def validate_program(program: Program) -> None:
+    """Raise :class:`ValidationError` listing every structural problem."""
+    problems: list[str] = []
+
+    if program.root is None:
+        problems.append("program has no root")
+    elif program.root not in program.nodes:
+        problems.append(f"root {program.root!r} is not a node")
+
+    for node in program.nodes.values():
+        for succ in node.successors():
+            if succ is not None and succ not in program.nodes:
+                problems.append(
+                    f"node {node.name!r} points at missing node {succ!r}"
+                )
+        if isinstance(node, TableNode):
+            problems.extend(_check_table(program, node))
+
+    if not problems:
+        # Cycle check only makes sense on a structurally sound graph.
+        try:
+            program.topological_order()
+        except Exception as exc:  # IrError carries the cycle info
+            problems.append(str(exc))
+
+    if problems:
+        raise ValidationError(problems)
+
+
+def _check_table(program: Program, table: TableNode) -> list[str]:
+    problems: list[str] = []
+    keyless_kinds = (TableKind.NAVIGATION, TableKind.MIGRATION)
+    if not table.keys and table.kind not in keyless_kinds:
+        problems.append(f"table {table.name!r} has no match keys")
+    if table.kind in (TableKind.CACHE, TableKind.MERGED):
+        info = table.cache_info
+        if info is None:
+            if table.kind is TableKind.CACHE:
+                problems.append(
+                    f"cache table {table.name!r} lacks cache_info"
+                )
+            return problems
+        for covered in info.covers:
+            if covered not in program.nodes:
+                problems.append(
+                    f"cache table {table.name!r} covers missing table "
+                    f"{covered!r}"
+                )
+        if info.miss_next not in program.nodes:
+            problems.append(
+                f"cache table {table.name!r} miss_next "
+                f"{info.miss_next!r} missing"
+            )
+        if info.hit_next is not None and info.hit_next not in program.nodes:
+            problems.append(
+                f"cache table {table.name!r} hit_next "
+                f"{info.hit_next!r} missing"
+            )
+    return problems

@@ -1,0 +1,454 @@
+"""The SmartNIC emulator: a dual-pipeline run-to-completion interpreter.
+
+This is the reproduction's stand-in for the paper's three hardware setups.
+It walks a packet through the program DAG, charging each node the cost the
+target's core model assigns to it (match = ``m * Lmat``, action =
+``n * Lact``, branches, counter updates), executes Pipeleon's special node
+kinds (flow caches, merged tables, navigation/migration tables), migrates
+packets between the ASIC and CPU pipelines, and aggregates the per-pool
+busy time that the throughput model converts to Gbps.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Optional
+
+from repro.errors import EmulationError
+from repro.ir.conditionals import ConditionalNode
+from repro.ir.entries import TableEntry
+from repro.ir.program import Program
+from repro.ir.tables import Pipeline, TableKind, TableNode
+from repro.nic.control_plane import SimClock
+from repro.nic.counters import (
+    CounterBank,
+    action_counter,
+    branch_counter,
+    cache_counter,
+)
+from repro.nic.flow_cache import Effect, FlowCache
+from repro.nic.packet import NEXT_TAB_ID, Packet
+from repro.nic.pipeline import BoundPrimitive, apply_primitive, bind_action
+from repro.nic.stats import PacketResult, RunStats
+from repro.nic.table_runtime import RuntimeTable
+from repro.nic.targets import TargetModel
+
+
+@dataclass
+class _CacheRecording:
+    """Miss-path effect recording for one flow cache.
+
+    Effects of covered tables accumulate until execution reaches the
+    cache's ``hit_next`` node (or the packet terminates), at which point
+    the recording is committed. Committing on reaching ``hit_next``
+    rather than on "all covered tables executed" lets caches span branch
+    diamonds (pipelet groups, §4.1.1) where only one side executes.
+    """
+
+    cache_name: str
+    key: tuple[int, ...]
+    covers: set[str]  # {"*"} means record everything (native cache)
+    hit_next: Optional[str] = None
+    effects: list[BoundPrimitive] = field(default_factory=list)
+    finished: bool = False
+
+
+class NicEmulator:
+    """Executes a deployed program on a modelled SmartNIC target."""
+
+    def __init__(
+        self,
+        program: Program,
+        target: TargetModel,
+        clock: Optional[SimClock] = None,
+        sample_stride: int = 1,
+        instrument: bool = True,
+        native_cache: Optional[bool] = None,
+        max_steps: int = 100000,
+    ):
+        self.program = program
+        self.target = target
+        self.clock = clock or SimClock()
+        self.instrument = instrument
+        self.counters = CounterBank(sample_stride=sample_stride)
+        self.explicit_counters: dict[str, int] = {}
+        self.max_steps = max_steps
+
+        # Nodes assigned to a pool the target doesn't have execute on
+        # the pool it does have (e.g. ASIC-annotated tables on the
+        # CPU-only Agilio CX).
+        self._pipeline_map: dict[str, Pipeline] = {}
+        for name, node in program.nodes.items():
+            pipeline = node.pipeline
+            if not target.has(pipeline):
+                pipeline = target.default_pipeline
+            self._pipeline_map[name] = pipeline
+
+        # Numeric node ids for navigation tables (metadata is int-typed).
+        self.node_ids: dict[str, int] = {
+            name: i + 1
+            for i, name in enumerate(sorted(program.nodes))
+        }
+        self._id_nodes = {v: k for k, v in self.node_ids.items()}
+
+        self.runtime_tables: dict[str, RuntimeTable] = {}
+        self.flow_caches: dict[str, FlowCache] = {}
+        for table in program.tables():
+            if table.kind is TableKind.CACHE and table.cache_info:
+                if table.cache_info.mode == "flow":
+                    self.flow_caches[table.name] = FlowCache(
+                        capacity=table.cache_info.capacity,
+                        insertion_limit_pps=(
+                            table.cache_info.insertion_limit_pps
+                        ),
+                    )
+                    continue
+            if table.kind in (
+                TableKind.PLAIN,
+                TableKind.MERGED,
+                TableKind.MIGRATION,
+            ) or (
+                table.kind is TableKind.CACHE
+                and table.cache_info
+                and table.cache_info.mode == "merge"
+            ):
+                self.runtime_tables[table.name] = RuntimeTable(table)
+
+        if native_cache is None:
+            native_cache = target.native_flow_cache and program.metadata.get(
+                "native_cache_compatible", True
+            )
+        self.native_cache: Optional[FlowCache] = (
+            FlowCache(capacity=target.native_cache_capacity)
+            if native_cache
+            else None
+        )
+
+    # -- state management -------------------------------------------------------
+
+    def set_table_entries(
+        self, table: str, entries: Iterable[TableEntry]
+    ) -> None:
+        runtime = self.runtime_tables.get(table)
+        if runtime is None:
+            raise EmulationError(
+                f"Emulator has no runtime table {table!r}"
+            )
+        runtime.clear()
+        for entry in entries:
+            runtime.insert(entry)
+
+    def invalidate_caches_covering(self, table: str) -> list[str]:
+        """Invalidate flow caches whose covered run includes ``table``.
+
+        The paper: "an update in any of the original tables will
+        invalidate the entire cache".
+        """
+        invalidated = []
+        for name, cache in self.flow_caches.items():
+            node = self.program.table(name)
+            if node.cache_info and table in node.cache_info.covers:
+                cache.invalidate_all()
+                invalidated.append(name)
+        if self.native_cache is not None:
+            self.native_cache.invalidate_all()
+        return invalidated
+
+    def table_memory_bytes(self) -> dict[str, int]:
+        return {
+            name: runtime.memory_bytes
+            for name, runtime in self.runtime_tables.items()
+        }
+
+    # -- data path ----------------------------------------------------------------
+
+    def process(self, packet: Packet) -> PacketResult:
+        """Run one packet to completion; returns its cost breakdown."""
+        busy: dict[Pipeline, float] = {}
+        path: list[str] = []
+        migrations = 0
+        recordings: list[_CacheRecording] = []
+        sampled = self.counters.begin_packet() if self.instrument else False
+
+        def charge(pipeline: Pipeline, ns: float) -> None:
+            busy[pipeline] = busy.get(pipeline, 0.0) + ns
+
+        current = self.program.root
+        if current is None:
+            return PacketResult(0.0, False, None, 0, busy, ())
+        entry_pipeline = self._pipeline_map[current]
+
+        # Vendor-native whole-program flow cache (Agilio CX).
+        if self.native_cache is not None:
+            core = self.target.core(entry_pipeline)
+            charge(entry_pipeline, core.lookup_ns)
+            effect = self.native_cache.lookup(packet.flow_key())
+            if effect is not None:
+                for op, args in effect:
+                    charge(entry_pipeline, core.action_ns)
+                    apply_primitive(
+                        packet, op, args, self.explicit_counters
+                    )
+                return self._finish(packet, busy, path, migrations)
+            recordings.append(
+                _CacheRecording(
+                    "__native__", packet.flow_key(), {"*"}, hit_next=None
+                )
+            )
+
+        previous_pipeline: Optional[Pipeline] = None
+        steps = 0
+        while current is not None:
+            steps += 1
+            if steps > self.max_steps:
+                raise EmulationError(
+                    f"Packet exceeded {self.max_steps} steps; "
+                    f"program {self.program.name!r} likely has a cycle"
+                )
+            for recording in recordings:
+                if (
+                    not recording.finished
+                    and recording.hit_next == current
+                ):
+                    if self._commit_recording(recording):
+                        self._charge_insert(recording, charge)
+            node = self.program.node(current)
+            pipeline = self._pipeline_map[current]
+            core = self.target.core(pipeline)
+            if (
+                previous_pipeline is not None
+                and pipeline is not previous_pipeline
+            ):
+                charge(pipeline, self.target.migration_ns)
+                migrations += 1
+            previous_pipeline = pipeline
+            path.append(current)
+
+            if isinstance(node, ConditionalNode):
+                charge(pipeline, core.branch_ns)
+                taken = node.condition.evaluate(packet.get)
+                if sampled:
+                    self.counters.bump(
+                        branch_counter(node.name, taken),
+                        packet.size_bytes,
+                    )
+                    charge(pipeline, core.counter_update_ns)
+                current = node.true_next if taken else node.false_next
+                continue
+
+            current = self._execute_table(
+                node, packet, pipeline, core, charge, sampled, recordings
+            )
+            if packet.dropped:
+                break
+
+        self._finalize_recordings(packet, recordings, charge)
+        return self._finish(packet, busy, path, migrations)
+
+    def _execute_table(self, node, packet, pipeline, core, charge,
+                       sampled, recordings):
+        """Dispatch on table kind; returns the next node name."""
+        kind = node.kind
+
+        if kind is TableKind.NAVIGATION:
+            charge(pipeline, core.lookup_ns)
+            node_id = packet.metadata.get(NEXT_TAB_ID)
+            if node_id is None:
+                # First entry into the component: fall through.
+                return node.next_map[node.default_action]
+            target_name = self._id_nodes.get(node_id)
+            if target_name is None:
+                raise EmulationError(
+                    f"Navigation table {node.name!r}: unknown "
+                    f"next_tab_id {node_id}"
+                )
+            packet.metadata.pop(NEXT_TAB_ID, None)
+            return target_name
+
+        if kind is TableKind.MIGRATION:
+            charge(pipeline, core.action_ns)
+            resume = node.annotations.get("resume")
+            if resume is not None:
+                packet.set(NEXT_TAB_ID, self.node_ids[resume])
+            return node.next_map[node.default_action]
+
+        if (
+            kind is TableKind.CACHE
+            and node.cache_info
+            and node.cache_info.mode == "flow"
+        ):
+            return self._execute_flow_cache(
+                node, packet, pipeline, core, charge, sampled, recordings
+            )
+
+        if kind is TableKind.MERGED or (
+            kind is TableKind.CACHE
+            and node.cache_info
+            and node.cache_info.mode == "merge"
+        ):
+            return self._execute_merged(
+                node, packet, pipeline, core, charge, sampled, recordings
+            )
+
+        # Plain table.
+        runtime = self.runtime_tables[node.name]
+        charge(
+            pipeline,
+            core.match_cost_ns(
+                node.worst_match_type,
+                runtime.memory_accesses,
+                node.memory_tier,
+            ),
+        )
+        result = runtime.lookup(packet)
+        if sampled:
+            self.counters.bump(
+                action_counter(node.name, result.action.name),
+                packet.size_bytes,
+            )
+            charge(pipeline, core.counter_update_ns)
+        bound = bind_action(result.action, result.action_data)
+        for op, args in bound:
+            charge(pipeline, core.action_ns)
+            apply_primitive(packet, op, args, self.explicit_counters)
+        self._record(node.name, bound, packet, recordings)
+        if packet.dropped:
+            return None
+        return node.next_map[result.action.name]
+
+    def _execute_flow_cache(self, node, packet, pipeline, core, charge,
+                            sampled, recordings):
+        info = node.cache_info
+        cache = self.flow_caches[node.name]
+        charge(pipeline, core.lookup_ns)
+        key = packet.key(node.match_fields)
+        effect = cache.lookup(key)
+        if sampled:
+            self.counters.bump(
+                cache_counter(node.name, effect is not None),
+                packet.size_bytes,
+            )
+            charge(pipeline, core.counter_update_ns)
+        if effect is not None:
+            for op, args in effect:
+                charge(pipeline, core.action_ns)
+                apply_primitive(packet, op, args, self.explicit_counters)
+            # Replayed effects also belong in any outer recording.
+            self._record(node.name, list(effect), packet, recordings,
+                         covered_names=set(info.covers))
+            if packet.dropped:
+                return None
+            return info.hit_next
+        recordings.append(
+            _CacheRecording(
+                node.name,
+                key,
+                set(info.covers),
+                hit_next=info.hit_next,
+            )
+        )
+        return info.miss_next
+
+    def _execute_merged(self, node, packet, pipeline, core, charge,
+                        sampled, recordings):
+        info = node.cache_info
+        runtime = self.runtime_tables[node.name]
+        charge(
+            pipeline,
+            core.match_cost_ns(
+                node.worst_match_type,
+                runtime.memory_accesses,
+                node.memory_tier,
+            ),
+        )
+        result = runtime.lookup(packet)
+        if sampled:
+            self.counters.bump(
+                cache_counter(node.name, result.hit), packet.size_bytes
+            )
+            charge(pipeline, core.counter_update_ns)
+        if not result.hit:
+            # Fall back to the original tables (merge-as-cache, §3.2.3).
+            return info.miss_next if info else None
+        bound = bind_action(result.action, result.action_data)
+        for op, args in bound:
+            charge(pipeline, core.action_ns)
+            apply_primitive(packet, op, args, self.explicit_counters)
+        covered = set(info.covers) if info else set()
+        self._record(node.name, bound, packet, recordings,
+                     covered_names=covered)
+        if packet.dropped:
+            return None
+        return info.hit_next if info else None
+
+    # -- cache recording ------------------------------------------------------------
+
+    def _record(self, table_name, bound, packet, recordings,
+                covered_names=None):
+        """Feed executed primitives into any active miss recordings."""
+        names = covered_names or {table_name}
+        for recording in recordings:
+            if recording.finished:
+                continue
+            if "*" in recording.covers or recording.covers & names:
+                recording.effects.extend(bound)
+
+    def _finalize_recordings(self, packet, recordings, charge):
+        """Commit whatever is still open once the packet terminates."""
+        for recording in recordings:
+            if not recording.finished:
+                if self._commit_recording(recording):
+                    self._charge_insert(recording, charge)
+
+    def _charge_insert(self, recording: _CacheRecording, charge) -> None:
+        """Bill a cache insertion to the owning pipeline (§3.2.2:
+        cache inserts consume entry-insertion bandwidth)."""
+        pipeline = self._pipeline_map.get(
+            recording.cache_name,
+            self._pipeline_map[self.program.root]
+            if self.program.root
+            else self.target.default_pipeline,
+        )
+        charge(pipeline, self.target.core(pipeline).table_insert_ns)
+
+    def _commit_recording(self, recording: _CacheRecording) -> bool:
+        """Install the recorded effect; True if an insert happened."""
+        recording.finished = True
+        effect: Effect = tuple(recording.effects)
+        if recording.cache_name == "__native__":
+            if self.native_cache is not None:
+                return self.native_cache.insert(
+                    recording.key, effect, self.clock.now_s
+                )
+            return False
+        cache = self.flow_caches.get(recording.cache_name)
+        if cache is not None:
+            return cache.insert(recording.key, effect, self.clock.now_s)
+        return False
+
+    def _finish(self, packet, busy, path, migrations) -> PacketResult:
+        return PacketResult(
+            latency_ns=sum(busy.values()),
+            dropped=packet.dropped,
+            egress_port=packet.egress_port,
+            migrations=migrations,
+            busy_ns=busy,
+            path=tuple(path),
+        )
+
+    # -- batch runs --------------------------------------------------------------------
+
+    def run(
+        self,
+        packets: Iterable[Packet],
+        offered_pps: Optional[float] = None,
+    ) -> RunStats:
+        """Process packets; optionally advance the sim clock per packet."""
+        stats = RunStats()
+        dt = 1.0 / offered_pps if offered_pps else 0.0
+        for packet in packets:
+            if dt:
+                self.clock.advance(dt)
+            result = self.process(packet)
+            stats.record(result, packet.size_bytes)
+        return stats

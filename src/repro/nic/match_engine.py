@@ -1,0 +1,331 @@
+"""Lookup engines for the four P4 match kinds.
+
+The engines double as the emulator's performance model input: each engine
+reports ``memory_accesses`` — the paper's ``m`` (Equation 4a) — derived
+from its actual structure (one hash table per distinct ternary mask or LPM
+prefix length, as described in §3.1).
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Optional
+
+from repro.errors import ControlPlaneError, UnknownEntryError
+from repro.ir.entries import (
+    ExactValue,
+    LpmValue,
+    RangeValue,
+    TableEntry,
+    TernaryValue,
+)
+from repro.ir.tables import MatchKey, MatchType
+
+
+class MatchEngine(ABC):
+    """Stores entries and answers lookups for one table."""
+
+    def __init__(self, keys: tuple[MatchKey, ...]):
+        self.keys = keys
+        self._entries: dict[int, TableEntry] = {}
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def entries(self) -> list[TableEntry]:
+        return list(self._entries.values())
+
+    @property
+    @abstractmethod
+    def memory_accesses(self) -> int:
+        """The cost-model ``m``: hash-table probes per lookup (>= 1)."""
+
+    def add(self, entry: TableEntry) -> None:
+        if len(entry.match_values) != len(self.keys):
+            raise ControlPlaneError(
+                f"Entry has {len(entry.match_values)} match values, "
+                f"table has {len(self.keys)} keys"
+            )
+        if entry.entry_id in self._entries:
+            raise ControlPlaneError(
+                f"Entry id {entry.entry_id} already installed"
+            )
+        self._check_types(entry)
+        self._entries[entry.entry_id] = entry
+        self._index_add(entry)
+
+    def remove(self, entry_id: int) -> TableEntry:
+        entry = self._entries.pop(entry_id, None)
+        if entry is None:
+            raise UnknownEntryError(f"No entry with id {entry_id}")
+        self._index_remove(entry)
+        return entry
+
+    def clear(self) -> None:
+        self._entries.clear()
+        self._index_clear()
+
+    @abstractmethod
+    def lookup(self, values: tuple[int, ...]) -> Optional[TableEntry]:
+        """Best matching entry for the packet's key-field values."""
+
+    # Index maintenance hooks ------------------------------------------------
+
+    @abstractmethod
+    def _index_add(self, entry: TableEntry) -> None: ...
+
+    @abstractmethod
+    def _index_remove(self, entry: TableEntry) -> None: ...
+
+    @abstractmethod
+    def _index_clear(self) -> None: ...
+
+    def _check_types(self, entry: TableEntry) -> None:
+        """Subclasses may restrict which value kinds they accept."""
+
+    def oracle_lookup(self, values: tuple[int, ...]) -> Optional[TableEntry]:
+        """Reference linear scan (tests compare engines against this)."""
+        best: Optional[TableEntry] = None
+        for entry in self._entries.values():
+            if entry.matches(values):
+                if best is None or (entry.priority, -entry.entry_id) > (
+                    best.priority,
+                    -best.entry_id,
+                ):
+                    best = entry
+        return best
+
+
+class ExactEngine(MatchEngine):
+    """All-exact keys: a single hash table, ``m = 1``."""
+
+    def __init__(self, keys: tuple[MatchKey, ...]):
+        super().__init__(keys)
+        self._map: dict[tuple[int, ...], TableEntry] = {}
+
+    @property
+    def memory_accesses(self) -> int:
+        return 1
+
+    def _check_types(self, entry: TableEntry) -> None:
+        for value in entry.match_values:
+            if not isinstance(value, ExactValue):
+                raise ControlPlaneError(
+                    "ExactEngine only accepts ExactValue matches"
+                )
+
+    def _key_of(self, entry: TableEntry) -> tuple[int, ...]:
+        return tuple(v.value for v in entry.match_values)  # type: ignore[union-attr]
+
+    def _index_add(self, entry: TableEntry) -> None:
+        key = self._key_of(entry)
+        if key in self._map:
+            del self._entries[entry.entry_id]
+            raise ControlPlaneError(
+                f"Duplicate exact key {key} (existing entry "
+                f"{self._map[key].entry_id})"
+            )
+        self._map[key] = entry
+
+    def _index_remove(self, entry: TableEntry) -> None:
+        self._map.pop(self._key_of(entry), None)
+
+    def _index_clear(self) -> None:
+        self._map.clear()
+
+    def lookup(self, values: tuple[int, ...]) -> Optional[TableEntry]:
+        return self._map.get(values)
+
+
+class LpmEngine(MatchEngine):
+    """Exact keys plus at most one LPM key.
+
+    Modelled as one hash table per distinct prefix length, probed from the
+    longest prefix down — exactly the structure the paper assumes when it
+    sets ``m`` to the number of distinct prefixes.
+    """
+
+    def __init__(self, keys: tuple[MatchKey, ...]):
+        super().__init__(keys)
+        lpm_positions = [
+            i for i, k in enumerate(keys) if k.match_type is MatchType.LPM
+        ]
+        if len(lpm_positions) != 1:
+            raise ControlPlaneError(
+                f"LpmEngine requires exactly one LPM key, got "
+                f"{len(lpm_positions)}"
+            )
+        self._lpm_index = lpm_positions[0]
+        self._by_prefix: dict[int, dict[tuple[int, ...], TableEntry]] = {}
+
+    @property
+    def memory_accesses(self) -> int:
+        return max(1, len(self._by_prefix))
+
+    def _check_types(self, entry: TableEntry) -> None:
+        for i, value in enumerate(entry.match_values):
+            if i == self._lpm_index:
+                if not isinstance(value, LpmValue):
+                    raise ControlPlaneError(
+                        "LPM key position requires an LpmValue"
+                    )
+            elif not isinstance(value, ExactValue):
+                raise ControlPlaneError(
+                    "Non-LPM keys of an LpmEngine must be ExactValue"
+                )
+
+    def _key_of(self, entry: TableEntry) -> tuple[int, tuple[int, ...]]:
+        lpm_value = entry.match_values[self._lpm_index]
+        assert isinstance(lpm_value, LpmValue)
+        parts = []
+        for i, value in enumerate(entry.match_values):
+            if i == self._lpm_index:
+                parts.append(lpm_value.value & lpm_value.mask)
+            else:
+                parts.append(value.value)  # type: ignore[union-attr]
+        return lpm_value.prefix_len, tuple(parts)
+
+    def _index_add(self, entry: TableEntry) -> None:
+        prefix_len, key = self._key_of(entry)
+        bucket = self._by_prefix.setdefault(prefix_len, {})
+        if key in bucket:
+            del self._entries[entry.entry_id]
+            raise ControlPlaneError(
+                f"Duplicate LPM key {key} at /{prefix_len}"
+            )
+        bucket[key] = entry
+
+    def _index_remove(self, entry: TableEntry) -> None:
+        prefix_len, key = self._key_of(entry)
+        bucket = self._by_prefix.get(prefix_len)
+        if bucket is not None:
+            bucket.pop(key, None)
+            if not bucket:
+                del self._by_prefix[prefix_len]
+
+    def _index_clear(self) -> None:
+        self._by_prefix.clear()
+
+    def lookup(self, values: tuple[int, ...]) -> Optional[TableEntry]:
+        lpm_key = self.keys[self._lpm_index]
+        width = 32
+        for prefix_len in sorted(self._by_prefix, reverse=True):
+            if prefix_len == 0:
+                mask = 0
+            else:
+                mask = ((1 << prefix_len) - 1) << (width - prefix_len)
+            probe = tuple(
+                (v & mask) if i == self._lpm_index else v
+                for i, v in enumerate(values)
+            )
+            entry = self._by_prefix[prefix_len].get(probe)
+            if entry is not None:
+                return entry
+        return None
+
+
+class TernaryEngine(MatchEngine):
+    """Arbitrary key mixes, normalised to (value, mask) pairs.
+
+    One hash table per distinct mask combination; the winning entry is the
+    highest-priority hit across all mask groups.
+    """
+
+    def __init__(self, keys: tuple[MatchKey, ...]):
+        super().__init__(keys)
+        self._groups: dict[
+            tuple[int, ...], dict[tuple[int, ...], list[TableEntry]]
+        ] = {}
+
+    @property
+    def memory_accesses(self) -> int:
+        return max(1, len(self._groups))
+
+    def _check_types(self, entry: TableEntry) -> None:
+        for value in entry.match_values:
+            if isinstance(value, RangeValue):
+                raise ControlPlaneError(
+                    "TernaryEngine cannot store RangeValue matches"
+                )
+
+    def _normalise(
+        self, entry: TableEntry
+    ) -> tuple[tuple[int, ...], tuple[int, ...]]:
+        masks = []
+        masked = []
+        for value in entry.match_values:
+            ternary = value.as_ternary()  # type: ignore[union-attr]
+            masks.append(ternary.mask)
+            masked.append(ternary.value & ternary.mask)
+        return tuple(masks), tuple(masked)
+
+    def _index_add(self, entry: TableEntry) -> None:
+        masks, masked = self._normalise(entry)
+        group = self._groups.setdefault(masks, {})
+        group.setdefault(masked, []).append(entry)
+
+    def _index_remove(self, entry: TableEntry) -> None:
+        masks, masked = self._normalise(entry)
+        group = self._groups.get(masks)
+        if group is None:
+            return
+        bucket = group.get(masked)
+        if bucket is None:
+            return
+        bucket[:] = [e for e in bucket if e.entry_id != entry.entry_id]
+        if not bucket:
+            del group[masked]
+        if not group:
+            del self._groups[masks]
+
+    def _index_clear(self) -> None:
+        self._groups.clear()
+
+    def lookup(self, values: tuple[int, ...]) -> Optional[TableEntry]:
+        best: Optional[TableEntry] = None
+        for masks, group in self._groups.items():
+            probe = tuple(v & m for v, m in zip(values, masks))
+            for entry in group.get(probe, ()):
+                if best is None or (entry.priority, -entry.entry_id) > (
+                    best.priority,
+                    -best.entry_id,
+                ):
+                    best = entry
+        return best
+
+
+class RangeEngine(MatchEngine):
+    """Linear-scan engine for tables with range keys."""
+
+    @property
+    def memory_accesses(self) -> int:
+        # A range lookup degenerates to a scan over entry groups; cap the
+        # modelled probe count so a big table doesn't dominate everything.
+        return max(1, min(len(self._entries), 8))
+
+    def _index_add(self, entry: TableEntry) -> None:
+        pass
+
+    def _index_remove(self, entry: TableEntry) -> None:
+        pass
+
+    def _index_clear(self) -> None:
+        pass
+
+    def lookup(self, values: tuple[int, ...]) -> Optional[TableEntry]:
+        return self.oracle_lookup(values)
+
+
+def build_engine(keys: tuple[MatchKey, ...]) -> MatchEngine:
+    """Pick the cheapest engine able to serve the key set."""
+    types = {k.match_type for k in keys}
+    if not keys or types == {MatchType.EXACT}:
+        return ExactEngine(keys)
+    if MatchType.RANGE in types:
+        return RangeEngine(keys)
+    if MatchType.TERNARY in types:
+        return TernaryEngine(keys)
+    lpm_count = sum(1 for k in keys if k.match_type is MatchType.LPM)
+    if lpm_count == 1:
+        return LpmEngine(keys)
+    return TernaryEngine(keys)

@@ -1,0 +1,172 @@
+"""Wire-format packet parsing and serialization.
+
+The emulator mostly works on pre-parsed field maps, but a SmartNIC's
+first pipeline stage is a parser: this module implements the
+Ethernet(+802.1Q)/IPv4/TCP|UDP subset the evaluation programs match on,
+in both directions (bytes -> :class:`Packet` and back). Round-tripping
+is property-tested.
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import Optional
+
+from repro.errors import EmulationError
+from repro.nic.packet import DEFAULT_PACKET_BYTES, Packet
+
+ETHERTYPE_IPV4 = 0x0800
+ETHERTYPE_VLAN = 0x8100
+PROTO_TCP = 6
+PROTO_UDP = 17
+
+_ETH = struct.Struct("!6s6sH")
+_VLAN = struct.Struct("!HH")
+_IPV4 = struct.Struct("!BBHHHBBH4s4s")
+_PORTS = struct.Struct("!HH")
+
+ETH_HEADER_LEN = _ETH.size  # 14
+VLAN_HEADER_LEN = _VLAN.size  # 4
+IPV4_HEADER_LEN = 20
+MIN_L4_LEN = 4
+
+
+def _mac_to_int(raw: bytes) -> int:
+    return int.from_bytes(raw, "big")
+
+
+def _int_to_mac(value: int) -> bytes:
+    return (value & 0xFFFFFFFFFFFF).to_bytes(6, "big")
+
+
+def parse_packet(data: bytes) -> Packet:
+    """Parse an Ethernet frame into a :class:`Packet`.
+
+    Raises :class:`EmulationError` on truncated or unsupported frames
+    (only IPv4 with TCP/UDP payloads carry L4 fields; other ethertypes
+    stop after L2).
+    """
+    if len(data) < ETH_HEADER_LEN:
+        raise EmulationError(
+            f"Frame too short for Ethernet: {len(data)} bytes"
+        )
+    dst, src, ethertype = _ETH.unpack_from(data, 0)
+    packet = Packet(size_bytes=max(len(data), 1))
+    packet.set("eth.dst", _mac_to_int(dst))
+    packet.set("eth.src", _mac_to_int(src))
+    offset = ETH_HEADER_LEN
+
+    if ethertype == ETHERTYPE_VLAN:
+        if len(data) < offset + VLAN_HEADER_LEN:
+            raise EmulationError("Frame truncated inside 802.1Q tag")
+        tci, ethertype = _VLAN.unpack_from(data, offset)
+        packet.set("vlan.id", tci & 0x0FFF)
+        packet.set("vlan.pcp", tci >> 13)
+        offset += VLAN_HEADER_LEN
+    packet.set("eth.type", ethertype)
+
+    if ethertype != ETHERTYPE_IPV4:
+        return packet
+
+    if len(data) < offset + IPV4_HEADER_LEN:
+        raise EmulationError("Frame truncated inside IPv4 header")
+    (
+        version_ihl,
+        tos,
+        _total_len,
+        _ident,
+        _flags_frag,
+        ttl,
+        proto,
+        _checksum,
+        src_ip,
+        dst_ip,
+    ) = _IPV4.unpack_from(data, offset)
+    version = version_ihl >> 4
+    if version != 4:
+        raise EmulationError(f"Not an IPv4 packet (version {version})")
+    ihl_bytes = (version_ihl & 0x0F) * 4
+    if ihl_bytes < IPV4_HEADER_LEN:
+        raise EmulationError(f"Bad IPv4 IHL: {ihl_bytes} bytes")
+    packet.set("ipv4.tos", tos)
+    packet.set("ipv4.ttl", ttl)
+    packet.set("ipv4.proto", proto)
+    packet.set("ipv4.src", int.from_bytes(src_ip, "big"))
+    packet.set("ipv4.dst", int.from_bytes(dst_ip, "big"))
+    offset += ihl_bytes
+
+    if proto in (PROTO_TCP, PROTO_UDP):
+        if len(data) < offset + MIN_L4_LEN:
+            raise EmulationError("Frame truncated inside L4 ports")
+        sport, dport = _PORTS.unpack_from(data, offset)
+        packet.set("l4.sport", sport)
+        packet.set("l4.dport", dport)
+    return packet
+
+
+def serialize_packet(
+    packet: Packet, pad_to: Optional[int] = None
+) -> bytes:
+    """Serialize a packet's parsed fields back to an Ethernet frame.
+
+    Headers present in the field map are emitted; the payload is zero
+    padding up to ``pad_to`` (default: the packet's ``size_bytes``).
+    """
+    get = packet.get
+    parts: list[bytes] = []
+    ethertype = get("eth.type") or 0
+    has_vlan = get("vlan.id") is not None
+    parts.append(
+        _ETH.pack(
+            _int_to_mac(get("eth.dst") or 0),
+            _int_to_mac(get("eth.src") or 0),
+            ETHERTYPE_VLAN if has_vlan else ethertype,
+        )
+    )
+    if has_vlan:
+        tci = ((get("vlan.pcp") or 0) << 13) | (
+            (get("vlan.id") or 0) & 0x0FFF
+        )
+        parts.append(_VLAN.pack(tci, ethertype))
+    if ethertype == ETHERTYPE_IPV4 and get("ipv4.src") is not None:
+        proto = get("ipv4.proto") or 0
+        has_l4 = proto in (PROTO_TCP, PROTO_UDP) and (
+            get("l4.sport") is not None
+        )
+        total_len = IPV4_HEADER_LEN + (MIN_L4_LEN if has_l4 else 0)
+        parts.append(
+            _IPV4.pack(
+                (4 << 4) | 5,
+                get("ipv4.tos") or 0,
+                total_len,
+                0,
+                0,
+                get("ipv4.ttl") or 64,
+                proto,
+                0,  # checksum left zero (the emulator never checks it)
+                ((get("ipv4.src") or 0) & 0xFFFFFFFF).to_bytes(4, "big"),
+                ((get("ipv4.dst") or 0) & 0xFFFFFFFF).to_bytes(4, "big"),
+            )
+        )
+        if has_l4:
+            parts.append(
+                _PORTS.pack(
+                    (get("l4.sport") or 0) & 0xFFFF,
+                    (get("l4.dport") or 0) & 0xFFFF,
+                )
+            )
+    frame = b"".join(parts)
+    target = pad_to if pad_to is not None else max(
+        packet.size_bytes, len(frame)
+    )
+    if target < len(frame):
+        raise EmulationError(
+            f"pad_to {target} smaller than headers ({len(frame)})"
+        )
+    return frame + b"\x00" * (target - len(frame))
+
+
+def parse_stream(frames: list[bytes]) -> list[Packet]:
+    """Parse a batch of frames (drops unparseable ones silently is NOT
+    what a NIC does — errors propagate)."""
+    return [parse_packet(frame) for frame in frames]

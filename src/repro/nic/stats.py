@@ -1,0 +1,128 @@
+"""Latency/throughput aggregation for emulator runs."""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+from repro.ir.tables import Pipeline
+from repro.nic.targets import TargetModel
+
+
+@dataclass
+class PacketResult:
+    """Per-packet outcome from the emulator."""
+
+    latency_ns: float
+    dropped: bool
+    egress_port: int | None
+    migrations: int = 0
+    busy_ns: dict[Pipeline, float] = field(default_factory=dict)
+    path: tuple[str, ...] = ()
+
+
+class RunStats:
+    """Aggregates packet results and converts them to Gbps.
+
+    Throughput model: each core pool is a set of run-to-completion
+    processors; a pool's capacity is ``cores / mean busy time per packet``
+    and the NIC's capacity is the bottleneck pool, capped at line rate.
+    This is the natural model for the paper's architecture (Figure 1) and
+    reduces to ``cores / mean latency`` for homogeneous programs.
+    """
+
+    def __init__(self) -> None:
+        self.packets = 0
+        self.dropped = 0
+        self.migrations = 0
+        self.total_latency_ns = 0.0
+        self.total_bytes = 0
+        self._latencies: list[float] = []
+        self._busy_ns: dict[Pipeline, float] = {}
+
+    def record(self, result: PacketResult, size_bytes: int) -> None:
+        self.packets += 1
+        self.total_latency_ns += result.latency_ns
+        self.total_bytes += size_bytes
+        self.migrations += result.migrations
+        if result.dropped:
+            self.dropped += 1
+        self._latencies.append(result.latency_ns)
+        for pipeline, busy in result.busy_ns.items():
+            self._busy_ns[pipeline] = (
+                self._busy_ns.get(pipeline, 0.0) + busy
+            )
+
+    # -- latency -------------------------------------------------------------
+
+    @property
+    def mean_latency_ns(self) -> float:
+        if not self.packets:
+            return 0.0
+        return self.total_latency_ns / self.packets
+
+    def percentile_latency_ns(self, percentile: float) -> float:
+        if not self._latencies:
+            return 0.0
+        ordered = sorted(self._latencies)
+        rank = min(
+            len(ordered) - 1,
+            max(0, math.ceil(percentile / 100.0 * len(ordered)) - 1),
+        )
+        return ordered[rank]
+
+    @property
+    def drop_rate(self) -> float:
+        return self.dropped / self.packets if self.packets else 0.0
+
+    @property
+    def mean_packet_bytes(self) -> float:
+        return self.total_bytes / self.packets if self.packets else 0.0
+
+    def mean_busy_ns(self, pipeline: Pipeline) -> float:
+        if not self.packets:
+            return 0.0
+        return self._busy_ns.get(pipeline, 0.0) / self.packets
+
+    # -- throughput -------------------------------------------------------------
+
+    def capacity_pps(self, target: TargetModel) -> float:
+        """Sustainable packets/second given per-pool busy times."""
+        if not self.packets:
+            return 0.0
+        capacities = []
+        for pipeline, total_busy in self._busy_ns.items():
+            mean_busy_ns = total_busy / self.packets
+            if mean_busy_ns <= 0:
+                continue
+            cores = target.n_cores(pipeline)
+            if cores <= 0:
+                # Work assigned to a pool the target doesn't have: treat a
+                # single borrowed core as the bottleneck.
+                cores = 1
+            capacities.append(cores / (mean_busy_ns * 1e-9))
+        if not capacities:
+            return math.inf
+        return min(capacities)
+
+    def throughput_gbps(self, target: TargetModel) -> float:
+        """Offered-load processing rate in Gbps, capped at line rate."""
+        if not self.packets:
+            return 0.0
+        pps = self.capacity_pps(target)
+        if math.isinf(pps):
+            return target.line_rate_gbps
+        gbps = pps * self.mean_packet_bytes * 8 / 1e9
+        return min(target.line_rate_gbps, gbps)
+
+    def summary(self, target: TargetModel | None = None) -> dict[str, float]:
+        data = {
+            "packets": float(self.packets),
+            "mean_latency_ns": self.mean_latency_ns,
+            "p99_latency_ns": self.percentile_latency_ns(99.0),
+            "drop_rate": self.drop_rate,
+            "migrations": float(self.migrations),
+        }
+        if target is not None:
+            data["throughput_gbps"] = self.throughput_gbps(target)
+        return data

@@ -1,0 +1,100 @@
+"""Runtime state of one table: its entries in a match engine."""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional
+
+from repro.errors import TableFullError, UnknownEntryError
+from repro.ir.actions import Action
+from repro.ir.entries import TableEntry
+from repro.ir.tables import TableNode
+from repro.nic.match_engine import MatchEngine, build_engine
+from repro.nic.packet import Packet
+
+
+class LookupResult:
+    """Outcome of a table lookup: the chosen action and its binding."""
+
+    __slots__ = ("entry", "action", "action_data", "hit")
+
+    def __init__(
+        self,
+        entry: Optional[TableEntry],
+        action: Action,
+        action_data: tuple,
+        hit: bool,
+    ):
+        self.entry = entry
+        self.action = action
+        self.action_data = action_data
+        self.hit = hit
+
+
+class RuntimeTable:
+    """A table node bound to its installed entries."""
+
+    def __init__(
+        self, node: TableNode, entries: Iterable[TableEntry] = ()
+    ):
+        self.node = node
+        self.engine: MatchEngine = build_engine(node.keys)
+        for entry in entries:
+            self.insert(entry)
+
+    @property
+    def name(self) -> str:
+        return self.node.name
+
+    def __len__(self) -> int:
+        return len(self.engine)
+
+    # -- entry management ------------------------------------------------------
+
+    def insert(self, entry: TableEntry) -> None:
+        if len(self.engine) >= self.node.size:
+            raise TableFullError(
+                f"Table {self.name!r} is full ({self.node.size} entries)"
+            )
+        if entry.action_name not in self.node.actions:
+            raise UnknownEntryError(
+                f"Table {self.name!r} has no action "
+                f"{entry.action_name!r}"
+            )
+        self.engine.add(entry)
+
+    def delete(self, entry_id: int) -> TableEntry:
+        return self.engine.remove(entry_id)
+
+    def modify(self, entry_id: int, new_entry: TableEntry) -> None:
+        self.engine.remove(entry_id)
+        self.engine.add(new_entry)
+
+    def clear(self) -> None:
+        self.engine.clear()
+
+    def entries(self) -> list[TableEntry]:
+        return self.engine.entries()
+
+    # -- data path ---------------------------------------------------------------
+
+    def lookup(self, packet: Packet) -> LookupResult:
+        values = packet.key(self.node.match_fields)
+        entry = self.engine.lookup(values)
+        if entry is None:
+            action = self.node.actions[self.node.default_action]
+            return LookupResult(None, action, (), hit=False)
+        action = self.node.actions[entry.action_name]
+        return LookupResult(entry, action, entry.action_data, hit=True)
+
+    # -- accounting ----------------------------------------------------------------
+
+    @property
+    def memory_accesses(self) -> int:
+        """The cost-model ``m`` derived from the installed entries."""
+        return self.engine.memory_accesses
+
+    @property
+    def memory_bytes(self) -> int:
+        """Paper's M(v): entry bytes scaled by the hash-table count m."""
+        total = sum(e.size_bytes for e in self.engine.entries())
+        return total * self.memory_accesses

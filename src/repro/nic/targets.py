@@ -1,0 +1,216 @@
+"""SmartNIC target models.
+
+The paper evaluates on three targets; none of them is available here, so
+each is modelled by the constants its cost model needs (§3.1): the latency
+of one exact-match memory access (``Lmat``), of one action primitive
+(``Lact``), branch and counter-update costs, core counts, and line rate.
+The emulator charges exactly these costs, which makes optimizer decisions
+and relative speedups target-faithful even though absolute nanoseconds are
+synthetic (calibrated so headline Gbps numbers land in the paper's ranges).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from types import MappingProxyType
+from typing import Mapping, Optional
+
+from repro.errors import EmulationError
+from repro.ir.tables import MatchType, MemoryTier, Pipeline
+
+_UNIT_MULTIPLIERS: Mapping[MatchType, float] = MappingProxyType(
+    {
+        MatchType.EXACT: 1.0,
+        MatchType.LPM: 1.0,
+        MatchType.TERNARY: 1.0,
+        MatchType.RANGE: 1.0,
+    }
+)
+
+#: Relative lookup cost per memory tier (EMEM is the §3.1 baseline).
+DEFAULT_TIER_MULTIPLIERS: Mapping[MemoryTier, float] = MappingProxyType(
+    {
+        MemoryTier.EMEM: 1.0,
+        MemoryTier.IMEM: 0.5,
+        MemoryTier.LMEM: 0.25,
+    }
+)
+
+
+@dataclass(frozen=True)
+class CoreModel:
+    """Per-core-type cost constants.
+
+    ``use_entry_m`` selects how the per-lookup probe count ``m`` is
+    obtained: from the installed entries (distinct masks / prefix lengths,
+    the BlueField2 behaviour from §3.1) or purely from the per-match-type
+    multiplier (the emulated NIC in §5.3.3, where "LPM and ternary matches
+    have the same cost, which is 3x slower than exact matches").
+    """
+
+    lookup_ns: float
+    action_ns: float
+    branch_ns: float
+    counter_update_ns: float
+    #: Datapath cost of installing one table entry (flow-cache inserts
+    #: consume entry-insertion bandwidth, §3.2.2).
+    table_insert_ns: float = 0.0
+    match_multiplier: Mapping[MatchType, float] = field(
+        default_factory=lambda: _UNIT_MULTIPLIERS
+    )
+    tier_multiplier: Mapping[MemoryTier, float] = field(
+        default_factory=lambda: DEFAULT_TIER_MULTIPLIERS
+    )
+    use_entry_m: bool = True
+
+    def match_cost_ns(
+        self,
+        match_type: MatchType,
+        entry_m: int,
+        tier: MemoryTier = MemoryTier.EMEM,
+    ) -> float:
+        """Cost of one key match with ``entry_m`` engine probes."""
+        multiplier = self.match_multiplier.get(match_type, 1.0)
+        m = entry_m if self.use_entry_m else 1
+        tier_mult = self.tier_multiplier.get(tier, 1.0)
+        return self.lookup_ns * multiplier * max(1, m) * tier_mult
+
+
+@dataclass(frozen=True)
+class TargetModel:
+    """A SmartNIC: core pools, their models, and link parameters."""
+
+    name: str
+    line_rate_gbps: float
+    asic: Optional[CoreModel] = None
+    cpu: Optional[CoreModel] = None
+    asic_cores: int = 0
+    cpu_cores: int = 0
+    migration_ns: float = 500.0
+    native_flow_cache: bool = False
+    native_cache_capacity: int = 65536
+
+    def core(self, pipeline: Pipeline) -> CoreModel:
+        model = self.asic if pipeline is Pipeline.ASIC else self.cpu
+        if model is None:
+            raise EmulationError(
+                f"Target {self.name!r} has no {pipeline.value} cores"
+            )
+        return model
+
+    def n_cores(self, pipeline: Pipeline) -> int:
+        return self.asic_cores if pipeline is Pipeline.ASIC else self.cpu_cores
+
+    def has(self, pipeline: Pipeline) -> bool:
+        return (
+            self.asic if pipeline is Pipeline.ASIC else self.cpu
+        ) is not None
+
+    @property
+    def default_pipeline(self) -> Pipeline:
+        return Pipeline.ASIC if self.asic is not None else Pipeline.CPU
+
+    def replace(self, **overrides: object) -> "TargetModel":
+        from dataclasses import replace as dc_replace
+
+        return dc_replace(self, **overrides)  # type: ignore[arg-type]
+
+
+#: Nvidia BlueField2-like model: disaggregated-RMT ASIC cores whose MA
+#: lookups dominate, plus a smaller pool of slower ARM CPU cores.
+BLUEFIELD2 = TargetModel(
+    name="bluefield2",
+    line_rate_gbps=100.0,
+    asic=CoreModel(
+        lookup_ns=36.0,
+        action_ns=4.0,
+        branch_ns=2.0,
+        counter_update_ns=1.5,
+        table_insert_ns=1000.0,
+    ),
+    cpu=CoreModel(
+        lookup_ns=150.0,
+        action_ns=20.0,
+        branch_ns=10.0,
+        counter_update_ns=10.0,
+        table_insert_ns=2000.0,
+    ),
+    asic_cores=12,
+    cpu_cores=8,
+    migration_ns=500.0,
+)
+
+#: Netronome Agilio CX-like model: a pool of micro-engine CPU cores with
+#: far-memory table lookups and a vendor-native whole-program flow cache.
+AGILIO_CX = TargetModel(
+    name="agilio_cx",
+    line_rate_gbps=40.0,
+    asic=None,
+    cpu=CoreModel(
+        lookup_ns=450.0,
+        action_ns=60.0,
+        branch_ns=45.0,
+        counter_update_ns=50.0,
+        table_insert_ns=4000.0,
+    ),
+    asic_cores=0,
+    cpu_cores=54,
+    migration_ns=0.0,
+    native_flow_cache=True,
+)
+
+#: The paper's BMv2-based emulator configured as in §5.3.3: LPM and
+#: ternary cost 3x an exact match regardless of entries, and conditional
+#: branches cost 1/10 of an exact table.
+EMULATED_NIC = TargetModel(
+    name="emulated_nic",
+    line_rate_gbps=10.0,
+    asic=CoreModel(
+        lookup_ns=100.0,
+        action_ns=10.0,
+        branch_ns=10.0,
+        counter_update_ns=5.0,
+        table_insert_ns=800.0,
+        match_multiplier=MappingProxyType(
+            {
+                MatchType.EXACT: 1.0,
+                MatchType.LPM: 3.0,
+                MatchType.TERNARY: 3.0,
+                MatchType.RANGE: 3.0,
+            }
+        ),
+        use_entry_m=False,
+    ),
+    cpu=CoreModel(
+        lookup_ns=300.0,
+        action_ns=30.0,
+        branch_ns=30.0,
+        counter_update_ns=15.0,
+        table_insert_ns=1600.0,
+        match_multiplier=MappingProxyType(
+            {
+                MatchType.EXACT: 1.0,
+                MatchType.LPM: 3.0,
+                MatchType.TERNARY: 3.0,
+                MatchType.RANGE: 3.0,
+            }
+        ),
+        use_entry_m=False,
+    ),
+    asic_cores=4,
+    cpu_cores=4,
+    migration_ns=200.0,
+)
+
+TARGETS: Mapping[str, TargetModel] = MappingProxyType(
+    {t.name: t for t in (BLUEFIELD2, AGILIO_CX, EMULATED_NIC)}
+)
+
+
+def get_target(name: str) -> TargetModel:
+    try:
+        return TARGETS[name]
+    except KeyError:
+        raise EmulationError(
+            f"Unknown target {name!r}; known: {sorted(TARGETS)}"
+        ) from None

@@ -1,0 +1,31 @@
+"""Random program and profile synthesis for the corpus experiments."""
+
+from repro.synthesis.categories import (
+    CATEGORIES,
+    CategoryCase,
+    make_case,
+    make_corpus,
+)
+from repro.synthesis.generator import (
+    ProgramSynthesizer,
+    SynthesisConfig,
+    synthesize_corpus,
+)
+from repro.synthesis.profiles import (
+    profiles_by_entropy,
+    synthesize_profile,
+    synthesize_profiles,
+)
+
+__all__ = [
+    "CATEGORIES",
+    "CategoryCase",
+    "ProgramSynthesizer",
+    "SynthesisConfig",
+    "make_case",
+    "make_corpus",
+    "profiles_by_entropy",
+    "synthesize_corpus",
+    "synthesize_profile",
+    "synthesize_profiles",
+]

@@ -1,0 +1,105 @@
+"""The three workload categories of Figure 10.
+
+"programs with heavy packet drops, programs composed of small static
+tables, and programs with high traffic locality" — each restricted to a
+single pipelet, with a matching synthesized profile.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.core.profiling import RuntimeProfile
+from repro.ir.program import Program
+from repro.synthesis.generator import (
+    ProgramSynthesizer,
+    SynthesisConfig,
+)
+from repro.synthesis.profiles import synthesize_profile
+
+CATEGORIES = ("heavy_drop", "small_static", "high_locality")
+
+
+@dataclass(frozen=True)
+class CategoryCase:
+    """One synthesized (program, profile) pair of a category."""
+
+    category: str
+    pipelet_len: tuple[int, int]
+    program: Program
+    profile: RuntimeProfile
+
+
+def _program(
+    seed: int,
+    pipelet_len: tuple[int, int],
+    drop_fraction: float,
+    complex_fraction: float,
+) -> Program:
+    config = SynthesisConfig(
+        n_pipelets=1,  # Fig. 10 restricts programs to one pipelet
+        pipelet_len_min=pipelet_len[0],
+        pipelet_len_max=pipelet_len[1],
+        drop_table_fraction=drop_fraction,
+        lpm_fraction=complex_fraction / 2,
+        ternary_fraction=complex_fraction / 2,
+        seed=seed,
+    )
+    return ProgramSynthesizer(config).generate()
+
+
+def make_case(
+    category: str,
+    pipelet_len: tuple[int, int],
+    seed: int = 0,
+) -> CategoryCase:
+    if category == "heavy_drop":
+        # A couple of heavy droppers per program (if every table drops
+        # half the traffic, the baseline already sheds load early and
+        # reordering has nothing left to win).
+        program = _program(seed, pipelet_len, 0.4, 0.2)
+        profile = synthesize_profile(
+            program,
+            seed=seed,
+            drop_bias=1.0,
+            hit_bias=0.5,
+            max_update_rate=0.2,
+        )
+    elif category == "small_static":
+        program = _program(seed, pipelet_len, 0.0, 0.1)
+        profile = synthesize_profile(
+            program,
+            seed=seed,
+            drop_bias=0.0,
+            hit_bias=0.95,
+            max_entries=8,
+            max_update_rate=0.01,
+        )
+    elif category == "high_locality":
+        # Complex (LPM/ternary) matches make caching worthwhile; the
+        # locality itself shows up as a high expected cache hit rate.
+        program = _program(seed, pipelet_len, 0.05, 0.9)
+        # High-locality flows imply stable rule sets (low churn).
+        profile = synthesize_profile(
+            program,
+            seed=seed,
+            drop_bias=0.0,
+            hit_bias=0.6,
+            max_update_rate=0.02,
+        )
+    else:
+        raise ValueError(f"Unknown category {category!r}")
+    return CategoryCase(category, pipelet_len, program, profile)
+
+
+def make_corpus(
+    category: str,
+    pipelet_len: tuple[int, int],
+    count: int,
+    base_seed: int = 0,
+) -> list[CategoryCase]:
+    return [
+        make_case(category, pipelet_len, seed=base_seed + i)
+        for i in range(count)
+    ]

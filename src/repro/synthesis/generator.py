@@ -1,0 +1,188 @@
+"""Random P4 program synthesis (the paper's Gauntlet-based tool [50]).
+
+Generates DAG programs with controllable *pipelet number* (PN) and
+*pipelet length* (PL) — the two parameters Figures 13-15 sweep. The
+generator alternates conditional branches with linear table runs so the
+pipelet partitioner recovers approximately the requested shape.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.ir.actions import Action, drop_action, noop_action, prim
+from repro.ir.builder import ProgramBuilder
+from repro.ir.conditionals import Condition
+from repro.ir.program import Program
+from repro.ir.tables import MatchType
+
+#: Field pool for random match keys (each table draws a distinct one so
+#: runs stay dependency-free and reorderable unless add_dependencies).
+FIELD_POOL = [f"hdr.f{i}" for i in range(64)]
+BRANCH_FIELDS = ["ipv4.tos", "eth.type", "l4.dport", "ipv4.proto"]
+
+
+@dataclass
+class SynthesisConfig:
+    """Shape parameters for one random program."""
+
+    n_pipelets: int = 8
+    pipelet_len_min: int = 2
+    pipelet_len_max: int = 3
+    drop_table_fraction: float = 0.2
+    lpm_fraction: float = 0.1
+    ternary_fraction: float = 0.1
+    n_actions: int = 2
+    max_primitives: int = 3
+    dependency_fraction: float = 0.0
+    #: When True, each branch diamond reconverges into a linear join
+    #: run before the next branch (the Figure 8 group shape); when
+    #: False, diamonds chain directly into the next conditional.
+    join_runs: bool = False
+    seed: int = 0
+
+
+class ProgramSynthesizer:
+    """Deterministic (seeded) random program generator."""
+
+    def __init__(self, config: Optional[SynthesisConfig] = None):
+        self.config = config or SynthesisConfig()
+        self._rng = random.Random(self.config.seed)
+        self._table_index = 0
+
+    def _match_type(self) -> MatchType:
+        roll = self._rng.random()
+        if roll < self.config.lpm_fraction:
+            return MatchType.LPM
+        if roll < self.config.lpm_fraction + self.config.ternary_fraction:
+            return MatchType.TERNARY
+        return MatchType.EXACT
+
+    def _table(
+        self,
+        builder: ProgramBuilder,
+        run_fields: list[str],
+    ) -> str:
+        name = f"syn_t{self._table_index}"
+        self._table_index += 1
+        field = self._rng.choice(FIELD_POOL)
+        actions: list[Action] = []
+        can_drop = self._rng.random() < self.config.drop_table_fraction
+        if can_drop:
+            actions.append(drop_action(f"{name}_deny"))
+        for j in range(self.config.n_actions):
+            n_prims = self._rng.randint(1, self.config.max_primitives)
+            if (
+                run_fields
+                and self._rng.random() < self.config.dependency_fraction
+            ):
+                # Write a field a previous table in the run matches on,
+                # creating a real dependency.
+                target = self._rng.choice(run_fields)
+                primitives = tuple(
+                    prim("set_field", target, j)
+                    for _ in range(n_prims)
+                )
+                actions.append(Action(f"{name}_a{j}", primitives))
+            else:
+                actions.append(noop_action(f"{name}_a{j}", n_prims))
+        builder.table(
+            name,
+            [(field, self._match_type())],
+            actions,
+            default_action=actions[-1].name,
+        )
+        run_fields.append(field)
+        return name
+
+    def _linear_run(self, builder: ProgramBuilder, length: int) -> list[str]:
+        run_fields: list[str] = []
+        names = [
+            self._table(builder, run_fields) for _ in range(length)
+        ]
+        builder.chain(names)
+        return names
+
+    def generate(self) -> Program:
+        """Build one program of roughly the configured PN x PL shape.
+
+        Layout: a head run, then a spine of branch diamonds — each
+        conditional splits into one or two runs that reconverge at the
+        next conditional (or the sink). The pipelet partitioner recovers
+        one pipelet per run.
+        """
+        config = self.config
+        builder = ProgramBuilder(f"synthetic_{config.seed}")
+        runs: list[list[str]] = []
+        for _ in range(max(1, config.n_pipelets)):
+            length = self._rng.randint(
+                config.pipelet_len_min, config.pipelet_len_max
+            )
+            runs.append(self._linear_run(builder, length))
+
+        stride = 3 if config.join_runs else 2
+        cells: list[tuple[list[str], Optional[list[str]],
+                          Optional[list[str]]]] = []
+        index = 1
+        while index < len(runs):
+            true_run = runs[index]
+            false_run = (
+                runs[index + 1] if index + 1 < len(runs) else None
+            )
+            join_run = (
+                runs[index + 2]
+                if config.join_runs and index + 2 < len(runs)
+                else None
+            )
+            cells.append((true_run, false_run, join_run))
+            index += stride
+
+        branch_names = [f"syn_br{j}" for j in range(len(cells))]
+        for j, (true_run, false_run, join_run) in enumerate(cells):
+            next_branch = (
+                branch_names[j + 1] if j + 1 < len(cells) else None
+            )
+            reconverge = join_run[0] if join_run else next_branch
+            builder.conditional(
+                branch_names[j],
+                Condition(
+                    self._rng.choice(BRANCH_FIELDS),
+                    "eq",
+                    self._rng.randint(0, 3),
+                ),
+                true_next=true_run[0],
+                false_next=(false_run[0] if false_run else reconverge),
+            )
+            builder.set_next(true_run[-1], reconverge)
+            if false_run is not None:
+                builder.set_next(false_run[-1], reconverge)
+            if join_run is not None:
+                builder.set_next(join_run[-1], next_branch)
+        builder.set_next(
+            runs[0][-1], branch_names[0] if branch_names else None
+        )
+        return builder.build(root=runs[0][0])
+
+
+def synthesize_corpus(
+    n_programs: int,
+    n_pipelets: int,
+    pipelet_len_min: int,
+    pipelet_len_max: int,
+    base_seed: int = 0,
+    **kwargs,
+) -> list[Program]:
+    """A corpus of programs for one (PN, PL) experiment group."""
+    programs = []
+    for i in range(n_programs):
+        config = SynthesisConfig(
+            n_pipelets=n_pipelets,
+            pipelet_len_min=pipelet_len_min,
+            pipelet_len_max=pipelet_len_max,
+            seed=base_seed + i,
+            **kwargs,
+        )
+        programs.append(ProgramSynthesizer(config).generate())
+    return programs

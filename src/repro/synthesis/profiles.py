@@ -1,0 +1,101 @@
+"""Runtime-profile synthesis (§5.2.2's "runtime profile synthesizer").
+
+Generates random but internally-consistent profiles for a program:
+random branch probabilities, random action distributions (hence drop
+rates), random entry counts and update rates. Used by Figures 10, 13,
+14, 18, 19 which evaluate the optimizer over thousands of profiles.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Optional, Sequence
+
+from repro.core.costmodel import CostModel
+from repro.core.hotspots import traffic_entropy
+from repro.core.pipelets import Pipelet, partition
+from repro.core.profiling import RuntimeProfile
+from repro.ir.program import Program
+from repro.ir.tables import TableKind
+
+
+def synthesize_profile(
+    program: Program,
+    seed: int = 0,
+    drop_bias: float = 0.0,
+    hit_bias: float = 0.5,
+    max_entries: int = 256,
+    max_update_rate: float = 10.0,
+    offered_pps: float = 1e6,
+) -> RuntimeProfile:
+    """One random profile.
+
+    ``drop_bias`` skews traffic towards dropping actions (heavy-drop
+    workloads); ``hit_bias`` sets how much probability mass installed
+    entries capture vs the default action (static-table workloads want
+    this high).
+    """
+    rng = random.Random(seed)
+    profile = RuntimeProfile(offered_pps=offered_pps)
+    for table in program.tables():
+        if table.kind is not TableKind.PLAIN:
+            continue
+        weights: dict[str, float] = {}
+        for name, action in table.actions.items():
+            weight = rng.random()
+            if action.drops:
+                weight *= 1.0 + 3.0 * drop_bias
+            if name == table.default_action:
+                weight *= 2.0 * (1.0 - hit_bias) + 0.05
+            weights[name] = weight + 1e-6
+        profile.set_action_probs(table.name, weights)
+        profile.entry_counts[table.name] = rng.randint(1, max_entries)
+        profile.update_rates[table.name] = (
+            rng.random() * max_update_rate
+        )
+    for conditional in program.conditionals():
+        profile.branch_probs[conditional.name] = rng.random()
+    return profile
+
+
+def synthesize_profiles(
+    program: Program,
+    count: int,
+    base_seed: int = 0,
+    **kwargs,
+) -> list[RuntimeProfile]:
+    return [
+        synthesize_profile(program, seed=base_seed + i, **kwargs)
+        for i in range(count)
+    ]
+
+
+def profiles_by_entropy(
+    program: Program,
+    profiles: Sequence[RuntimeProfile],
+    model: CostModel,
+    percentiles: Sequence[float] = (10.0, 50.0, 90.0),
+    pipelets: Optional[Sequence[Pipelet]] = None,
+) -> list[tuple[float, float, RuntimeProfile]]:
+    """Pick the profiles at the given entropy percentiles (§5.4.3).
+
+    Returns ``(percentile, entropy, profile)`` rows sorted by percentile.
+    """
+    if pipelets is None:
+        pipelets = partition(program)
+    scored = sorted(
+        (
+            traffic_entropy(program, pipelets, profile, model),
+            index,
+        )
+        for index, profile in enumerate(profiles)
+    )
+    rows = []
+    for percentile in percentiles:
+        position = min(
+            len(scored) - 1,
+            max(0, int(round(percentile / 100.0 * (len(scored) - 1)))),
+        )
+        entropy, index = scored[position]
+        rows.append((percentile, entropy, profiles[index]))
+    return rows

@@ -1,0 +1,15 @@
+"""Workload substrate: flows, packet streams, and timed scenarios."""
+
+from repro.traffic.flows import FlowSpec, synth_flow, synth_flows
+from repro.traffic.generator import TrafficGenerator, drop_rate_stream
+from repro.traffic.scenarios import Phase, Scenario
+
+__all__ = [
+    "FlowSpec",
+    "Phase",
+    "Scenario",
+    "TrafficGenerator",
+    "drop_rate_stream",
+    "synth_flow",
+    "synth_flows",
+]

@@ -1,0 +1,119 @@
+"""Traffic generation: the reproduction's TRex/trafgen stand-in.
+
+Generates packet streams over a set of flows with a chosen locality
+pattern. All experiments in the paper use 512-byte packets (§5.1); flow
+locality controls cache hit rates (Zipf concentrates traffic on few flows,
+uniform spreads it).
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Iterable, Iterator, Optional, Sequence
+
+import numpy as np
+
+from repro.nic.packet import DEFAULT_PACKET_BYTES, Packet
+from repro.traffic.flows import FlowSpec, synth_flows
+
+
+class TrafficGenerator:
+    """Deterministic (seeded) packet stream generator."""
+
+    def __init__(self, seed: int = 0):
+        self.seed = seed
+        self._rng = random.Random(seed)
+        self._np_rng = np.random.default_rng(seed)
+
+    # -- flow selection patterns -------------------------------------------------
+
+    def uniform_indices(self, n_flows: int, n_packets: int) -> list[int]:
+        return [
+            self._rng.randrange(n_flows) for _ in range(n_packets)
+        ]
+
+    def zipf_indices(
+        self, n_flows: int, n_packets: int, skew: float = 1.2
+    ) -> list[int]:
+        """Zipf-distributed flow choices (high traffic locality)."""
+        ranks = np.arange(1, n_flows + 1, dtype=float)
+        weights = ranks ** (-skew)
+        weights /= weights.sum()
+        choices = self._np_rng.choice(n_flows, size=n_packets, p=weights)
+        return [int(c) for c in choices]
+
+    def round_robin_indices(
+        self, n_flows: int, n_packets: int
+    ) -> list[int]:
+        return [i % n_flows for i in range(n_packets)]
+
+    # -- streams -------------------------------------------------------------------
+
+    def stream(
+        self,
+        flows: Sequence[FlowSpec],
+        n_packets: int,
+        locality: str = "uniform",
+        zipf_skew: float = 1.2,
+        size_bytes: int = DEFAULT_PACKET_BYTES,
+    ) -> Iterator[Packet]:
+        """Yield packets drawn from ``flows`` with the given locality."""
+        if not flows:
+            return
+        if locality == "uniform":
+            indices = self.uniform_indices(len(flows), n_packets)
+        elif locality == "zipf":
+            indices = self.zipf_indices(len(flows), n_packets, zipf_skew)
+        elif locality == "round_robin":
+            indices = self.round_robin_indices(len(flows), n_packets)
+        else:
+            raise ValueError(f"Unknown locality {locality!r}")
+        for index in indices:
+            yield flows[index].packet(size_bytes)
+
+    def mixed_stream(
+        self,
+        flow_groups: Sequence[tuple[Sequence[FlowSpec], float]],
+        n_packets: int,
+        size_bytes: int = DEFAULT_PACKET_BYTES,
+    ) -> Iterator[Packet]:
+        """Draw from weighted flow groups (e.g. 25% droppable traffic).
+
+        ``flow_groups`` is a list of ``(flows, weight)``; weights are
+        normalised. Used to hit configured ACL drop rates.
+        """
+        groups = [g for g in flow_groups if g[0]]
+        if not groups:
+            return
+        weights = [w for _, w in groups]
+        total = sum(weights)
+        cumulative = []
+        acc = 0.0
+        for weight in weights:
+            acc += weight / total
+            cumulative.append(acc)
+        for _ in range(n_packets):
+            roll = self._rng.random()
+            for (flows, _), edge in zip(groups, cumulative):
+                if roll <= edge:
+                    chosen = flows[self._rng.randrange(len(flows))]
+                    yield chosen.packet(size_bytes)
+                    break
+
+
+def drop_rate_stream(
+    generator: TrafficGenerator,
+    n_packets: int,
+    drop_rate: float,
+    dropped_flows: Optional[Sequence[FlowSpec]] = None,
+    passing_flows: Optional[Sequence[FlowSpec]] = None,
+) -> Iterable[Packet]:
+    """A stream where ``drop_rate`` of packets come from droppable flows."""
+    if not 0.0 <= drop_rate <= 1.0:
+        raise ValueError("drop_rate must be in [0, 1]")
+    dropped_flows = dropped_flows or synth_flows(64, dport=6666)
+    passing_flows = passing_flows or synth_flows(64, dport=80)
+    return generator.mixed_stream(
+        [(dropped_flows, drop_rate), (passing_flows, 1.0 - drop_rate)],
+        n_packets,
+    )

@@ -1,0 +1,70 @@
+"""Timed workload scenarios for runtime-adaptation experiments (§5.3).
+
+A scenario is a sequence of phases; each phase supplies a packet stream
+factory and optional control-plane activity (e.g. an entry-insertion
+burst). The controller benches step the scenario second by second,
+re-profiling and re-optimizing as the paper's runtime does.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Iterable, Iterator, Optional
+
+from repro.nic.packet import Packet
+
+#: Called once per emulated second with (control_plane_like, time_s).
+ControlAction = Callable[[object, float], None]
+#: Yields the packets offered during one emulated second.
+StreamFactory = Callable[[int], Iterable[Packet]]
+
+
+@dataclass
+class Phase:
+    """One period of stable workload behaviour."""
+
+    name: str
+    duration_s: float
+    stream_factory: StreamFactory
+    control_action: Optional[ControlAction] = None
+
+
+@dataclass
+class Scenario:
+    """An ordered list of phases plus bookkeeping helpers."""
+
+    name: str
+    phases: list[Phase] = field(default_factory=list)
+
+    def add_phase(
+        self,
+        name: str,
+        duration_s: float,
+        stream_factory: StreamFactory,
+        control_action: Optional[ControlAction] = None,
+    ) -> "Scenario":
+        self.phases.append(
+            Phase(name, duration_s, stream_factory, control_action)
+        )
+        return self
+
+    @property
+    def total_duration_s(self) -> float:
+        return sum(p.duration_s for p in self.phases)
+
+    def phase_at(self, time_s: float) -> Optional[Phase]:
+        elapsed = 0.0
+        for phase in self.phases:
+            elapsed += phase.duration_s
+            if time_s < elapsed:
+                return phase
+        return None
+
+    def ticks(self) -> Iterator[tuple[float, Phase]]:
+        """Yield ``(time_s, phase)`` once per emulated second."""
+        time_s = 0.0
+        for phase in self.phases:
+            end = time_s + phase.duration_s
+            while time_s < end - 1e-9:
+                yield time_s, phase
+                time_s += 1.0

@@ -1,0 +1,214 @@
+"""Tests for the evaluation application programs."""
+
+import pytest
+
+from repro.apps import (
+    acl_chain,
+    dash_routing,
+    l2l3_acl,
+    load_balancer,
+    microbench,
+    migration,
+    nf_composition,
+)
+from repro.core import Deployment, partition
+from repro.ir import validate_program
+from repro.nic.packet import ipv4, make_packet
+from repro.nic.targets import AGILIO_CX, BLUEFIELD2, EMULATED_NIC
+
+
+class TestMicrobench:
+    def test_reorder_program_structure(self):
+        program = microbench.reorder_benchmark_program(22, 21)
+        validate_program(program)
+        order = program.topological_order()
+        assert order[-1] == "acl"
+        assert len(order) == 22
+
+    def test_acl_position_front(self):
+        program = microbench.reorder_benchmark_program(22, 0)
+        assert program.root == "acl"
+
+    def test_invalid_position_rejected(self):
+        from repro.errors import IrError
+
+        with pytest.raises(IrError):
+            microbench.reorder_benchmark_program(10, 10)
+
+    def test_acl_drops_matching_traffic(self):
+        program = microbench.reorder_benchmark_program(5, 0)
+        deployment = Deployment(program, BLUEFIELD2)
+        microbench.install_acl_deny_entry(deployment.control_plane)
+        bad = make_packet(dport=microbench.DENY_PORT)
+        good = make_packet(dport=80)
+        assert deployment.emulator.process(bad).dropped
+        assert not deployment.emulator.process(good).dropped
+
+    def test_pipelet_benchmark_replication(self):
+        program = microbench.pipelet_benchmark_program(n_copies=3)
+        validate_program(program)
+        assert len(program) == 12
+        pipelets = partition(program, max_len=4)
+        assert len(pipelets) == 3
+
+    def test_ternary_mask_entries_set_m(self):
+        program = microbench.pipelet_benchmark_program(n_copies=1)
+        deployment = Deployment(program, BLUEFIELD2)
+        microbench.install_ternary_mask_entries(
+            deployment.control_plane, program, n_masks=8
+        )
+        runtime = deployment.emulator.runtime_tables["p0_t1"]
+        assert runtime.memory_accesses == 8
+
+
+class TestAclChain:
+    def test_structure(self):
+        program = acl_chain.build_program()
+        validate_program(program)
+        assert program.root == "acl_cloud"
+        assert "routing" in program
+
+    def test_acls_reorderable(self):
+        from repro.ir.dependency import can_swap
+
+        program = acl_chain.build_program()
+        names = acl_chain.acl_table_names()
+        for i, a in enumerate(names):
+            for b in names[i + 1:]:
+                assert can_swap(program.table(a), program.table(b))
+
+    def test_deny_entries_drop(self):
+        program = acl_chain.build_program()
+        deployment = Deployment(program, BLUEFIELD2)
+        acl_chain.install_acl_entries(deployment.control_plane)
+        dropped = make_packet(extra={"ipv4.tos": 1})
+        assert deployment.emulator.process(dropped).dropped
+        assert not deployment.emulator.process(make_packet()).dropped
+
+
+class TestLoadBalancer:
+    def test_backend_rewrite(self):
+        program = load_balancer.build_program()
+        validate_program(program)
+        deployment = Deployment(program, BLUEFIELD2)
+        load_balancer.install_base_entries(deployment.control_plane)
+        packet = make_packet(dst=load_balancer.VIP, sport=1024)
+        deployment.emulator.process(packet)
+        assert packet.get("ipv4.dst") == ipv4(10, 0, 1, 1)
+        assert packet.get("l4.dport") == 8080
+
+    def test_insertion_burst_inserts(self):
+        program = load_balancer.build_program()
+        deployment = Deployment(program, BLUEFIELD2)
+        load_balancer.install_base_entries(deployment.control_plane)
+        before = deployment.control_plane.entry_count("lb_backend")
+        load_balancer.insertion_burst(
+            deployment.control_plane, 30000, 50
+        )
+        after = deployment.control_plane.entry_count("lb_backend")
+        assert after == before + 50
+
+
+class TestDashRouting:
+    def test_native_cache_disabled(self):
+        program = dash_routing.build_program()
+        deployment = Deployment(program, AGILIO_CX)
+        assert deployment.emulator.native_cache is None
+
+    def test_metadata_tables_mergeable(self):
+        from repro.core.transform import apply_merge
+
+        program = dash_routing.build_program()
+        result = apply_merge(
+            program, list(dash_routing.METADATA_TABLES[:2])
+        )
+        validate_program(result.program)
+
+    def test_routing_forwards(self):
+        program = dash_routing.build_program()
+        deployment = Deployment(program, AGILIO_CX)
+        dash_routing.install_base_entries(deployment.control_plane)
+        packet = make_packet(dst=ipv4(192, 168, 3, 7))
+        result = deployment.emulator.process(packet)
+        assert not result.dropped
+        assert packet.egress_port is not None
+        assert packet.get("ipv4.ttl") == 63
+
+
+class TestL2L3:
+    def test_ip_traffic_takes_route_path(self):
+        program = l2l3_acl.build_program()
+        validate_program(program)
+        deployment = Deployment(program, BLUEFIELD2)
+        l2l3_acl.install_base_entries(deployment.control_plane)
+        packet = make_packet(dst=ipv4(192, 168, 0, 5))
+        result = deployment.emulator.process(packet)
+        assert "l2l3_route" in result.path
+        assert "l2l3_dmac" not in result.path
+
+    def test_non_ip_takes_l2_path(self):
+        program = l2l3_acl.build_program()
+        deployment = Deployment(program, BLUEFIELD2)
+        l2l3_acl.install_base_entries(deployment.control_plane)
+        packet = make_packet()
+        packet.set("eth.type", 0x0806)  # ARP
+        result = deployment.emulator.process(packet)
+        assert "l2l3_dmac" in result.path
+        assert "l2l3_route" not in result.path
+
+
+class TestNfComposition:
+    def test_structure_and_pipelets(self):
+        program = nf_composition.build_program()
+        validate_program(program)
+        pipelets = partition(program, max_len=3)
+        assert len(pipelets) >= 8  # the paper's nine, modulo chunking
+
+    def test_tos_steering(self):
+        program = nf_composition.build_program()
+        deployment = Deployment(program, EMULATED_NIC)
+        nf_composition.install_base_entries(deployment.control_plane)
+        lb = deployment.emulator.process(
+            make_packet(extra={"ipv4.tos": nf_composition.TOS_LB})
+        )
+        routing = deployment.emulator.process(
+            make_packet(extra={"ipv4.tos": nf_composition.TOS_ROUTING})
+        )
+        l2 = deployment.emulator.process(
+            make_packet(extra={"ipv4.tos": 0})
+        )
+        assert any(n.startswith("nf1_") for n in lb.path)
+        assert any(n.startswith("nf2_") for n in routing.path)
+        assert any(n.startswith("nf3_") for n in l2.path)
+
+
+class TestMigrationApp:
+    def test_naive_partition_migrates_per_pair(self):
+        program = migration.partitioned_program(4, n_copies=0)
+        validate_program(program)
+        deployment = Deployment(program, EMULATED_NIC)
+        result = deployment.emulator.process(make_packet())
+        # asic->cpu and back per pair, minus the final return.
+        assert result.migrations == 7
+
+    def test_more_copies_fewer_migrations(self):
+        counts = []
+        for n_copies in range(4):
+            program = migration.partitioned_program(5, n_copies)
+            deployment = Deployment(program, EMULATED_NIC)
+            counts.append(
+                deployment.emulator.process(make_packet()).migrations
+            )
+        assert counts == sorted(counts, reverse=True)
+        assert counts[-1] < counts[0]
+
+    def test_copies_share_entries(self):
+        from repro.ir import exact_entry
+
+        program = migration.partitioned_program(4, n_copies=2)
+        deployment = Deployment(program, EMULATED_NIC)
+        deployment.insert_entry("asic1", exact_entry(5, "asic1_a0"))
+        copy_runtime = deployment.emulator.runtime_tables[
+            "asic1__copy_cpu"
+        ]
+        assert len(copy_runtime) == 1

@@ -1,0 +1,143 @@
+"""Tests for the command-line interface."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.core import profile_to_json, uniform_profile
+from repro.ir import dumps_program, linear_program, loads_program
+from repro.ir.tables import MatchType, MemoryTier, TableKind
+
+
+@pytest.fixture
+def program_file(tmp_path):
+    program = linear_program("cli_demo", 6, MatchType.TERNARY)
+    path = tmp_path / "program.json"
+    path.write_text(dumps_program(program))
+    return path
+
+
+class TestOptimize:
+    def test_optimize_writes_valid_program(self, program_file, tmp_path):
+        out = tmp_path / "optimized.json"
+        code = main(
+            ["optimize", str(program_file), "-o", str(out), "--k", "1.0"]
+        )
+        assert code == 0
+        optimized = loads_program(out.read_text())
+        assert any(
+            t.kind is not TableKind.PLAIN for t in optimized.tables()
+        )
+
+    def test_optimize_stdout(self, program_file, capsys):
+        assert main(["optimize", str(program_file)]) == 0
+        out = capsys.readouterr().out
+        loads_program(out)  # parses
+
+    def test_optimize_with_profile(self, program_file, tmp_path):
+        program = loads_program(program_file.read_text())
+        profile = uniform_profile(program)
+        profile.set_action_probs(
+            "cli_demo_t0",
+            {"cli_demo_t0_a0": 0.9, "cli_demo_t0_a1": 0.1},
+        )
+        profile_path = tmp_path / "profile.json"
+        profile_path.write_text(json.dumps(profile_to_json(profile)))
+        out = tmp_path / "optimized.json"
+        code = main(
+            [
+                "optimize",
+                str(program_file),
+                "-o",
+                str(out),
+                "--profile",
+                str(profile_path),
+            ]
+        )
+        assert code == 0
+
+    def test_zero_budget(self, program_file, tmp_path):
+        out = tmp_path / "optimized.json"
+        code = main(
+            [
+                "optimize",
+                str(program_file),
+                "-o",
+                str(out),
+                "--memory-budget",
+                "0",
+                "--update-budget",
+                "0",
+            ]
+        )
+        assert code == 0
+        optimized = loads_program(out.read_text())
+        # Nothing that costs memory was added.
+        assert all(
+            t.kind is TableKind.PLAIN for t in optimized.tables()
+        )
+
+
+class TestInspect:
+    def test_inspect_prints_pipelets(self, program_file, capsys):
+        assert main(["inspect", str(program_file)]) == 0
+        out = capsys.readouterr().out
+        assert "pipelets" in out
+        assert "expected latency" in out
+        assert "cli_demo_t0" in out
+
+    def test_unknown_target_fails(self, program_file):
+        from repro.errors import EmulationError
+
+        with pytest.raises(EmulationError):
+            main(
+                ["inspect", str(program_file), "--target", "tofino"]
+            )
+
+
+class TestCalibrate:
+    def test_calibrate_prints_constants(self, capsys):
+        assert main(["calibrate", "--packets", "40"]) == 0
+        out = capsys.readouterr().out
+        assert "Lmat=" in out
+        assert "m_ternary=" in out
+
+
+class TestPlacement:
+    def test_placement_promotes_tables(self, program_file, tmp_path):
+        out = tmp_path / "placed.json"
+        code = main(
+            [
+                "placement",
+                str(program_file),
+                "-o",
+                str(out),
+                "--imem-bytes",
+                "1000000",
+            ]
+        )
+        assert code == 0
+        placed = loads_program(out.read_text())
+        assert any(
+            t.memory_tier is MemoryTier.IMEM for t in placed.tables()
+        )
+
+
+class TestProfileJson:
+    def test_round_trip(self):
+        program = linear_program("p", 3)
+        profile = uniform_profile(program)
+        profile.entry_counts["p_t0"] = 5
+        profile.update_rates["p_t1"] = 2.5
+        profile.table_m["p_t2"] = 4
+        profile.cache_hit_rates["cacheX"] = 0.8
+        from repro.core import profile_from_json
+
+        restored = profile_from_json(profile_to_json(profile))
+        assert restored.action_probs == profile.action_probs
+        assert restored.entry_counts == profile.entry_counts
+        assert restored.update_rates == profile.update_rates
+        assert restored.table_m == profile.table_m
+        assert restored.cache_hit_rates == profile.cache_hit_rates
+        assert restored.offered_pps == profile.offered_pps

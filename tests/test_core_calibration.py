@@ -1,0 +1,100 @@
+"""Tests for the §3.1 calibration methodology."""
+
+import pytest
+
+from repro.core.calibration import (
+    CalibrationPoint,
+    fit,
+    measure_throughput,
+    mean_deviation,
+    run_suite,
+    validate,
+)
+from repro.errors import CalibrationError
+from repro.ir import linear_program
+from repro.ir.tables import MatchType
+from repro.nic.targets import BLUEFIELD2
+
+
+@pytest.fixture(scope="module")
+def suite():
+    """One measured suite shared across tests (measurement is the slow
+    part; fitting is instant)."""
+    return run_suite(
+        BLUEFIELD2,
+        exact_lengths=range(8, 41, 4),
+        primitive_counts=range(1, 9),
+        lpm_lengths=range(8, 17, 2),
+        ternary_lengths=range(8, 17, 2),
+        n_packets=60,
+    )
+
+
+@pytest.fixture(scope="module")
+def fitted(suite):
+    return fit(suite)
+
+
+class TestMeasurement:
+    def test_throughput_decreases_with_length(self):
+        t10 = measure_throughput(
+            linear_program("a", 10), BLUEFIELD2, n_packets=40
+        )
+        t40 = measure_throughput(
+            linear_program("b", 40), BLUEFIELD2, n_packets=40
+        )
+        assert t40 < t10
+
+    def test_relative_latency_is_reciprocal(self):
+        point = CalibrationPoint("exact", 10, 50.0)
+        assert point.relative_latency == pytest.approx(0.02)
+
+    def test_zero_throughput_rejected(self):
+        with pytest.raises(CalibrationError):
+            CalibrationPoint("exact", 10, 0.0).relative_latency
+
+
+class TestFit:
+    def test_positive_constants(self, fitted):
+        assert fitted.lmat > 0
+        assert fitted.lact >= 0
+
+    def test_lmat_to_lact_ratio_recovered(self, fitted):
+        """The fitted ratio should resemble the emulator's 36:4."""
+        true_ratio = (
+            BLUEFIELD2.asic.lookup_ns / BLUEFIELD2.asic.action_ns
+        )
+        assert fitted.lmat / fitted.lact == pytest.approx(
+            true_ratio, rel=0.35
+        )
+
+    def test_lpm_multiplier_near_three_prefixes(self, fitted):
+        """Calibration entries use 3 prefixes, so m_lpm ~ 3."""
+        assert 2.0 < fitted.m_lpm < 4.5
+
+    def test_ternary_multiplier_near_five_masks(self, fitted):
+        assert 3.5 < fitted.m_ternary < 7.0
+
+    def test_insufficient_points_rejected(self):
+        with pytest.raises(CalibrationError):
+            fit([CalibrationPoint("exact", 10, 50.0)])
+
+    def test_cost_model_built_from_fit(self, fitted):
+        model = fitted.cost_model()
+        assert model.params.lmat_ns == fitted.lmat
+
+
+class TestValidation:
+    def test_figure5_mean_deviation_small(self, fitted):
+        """The paper reports ~5% average deviation; we check < 15%."""
+        rows = validate(fitted, BLUEFIELD2, n_packets=60)
+        assert rows
+        assert mean_deviation(rows) < 0.15
+
+    def test_validation_covers_four_scenarios(self, fitted):
+        rows = validate(fitted, BLUEFIELD2, n_packets=40)
+        kinds = {row.scenario for row in rows}
+        assert kinds == {"exact", "primitives", "lpm", "ternary"}
+
+    def test_mean_deviation_empty(self):
+        assert mean_deviation([]) == 0.0

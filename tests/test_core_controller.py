@@ -1,0 +1,139 @@
+"""Tests for the runtime adaptation controller (§5.3)."""
+
+import pytest
+
+from repro.core import PipeleonController, ResourceBudget
+from repro.core.controller import ControllerOptions, plan_signature
+from repro.core.plan import Candidate, OptimizationPlan, Segment
+from repro.core.search import SearchOptions
+from repro.ir import exact_entry, linear_program
+from repro.ir.tables import MatchType
+from repro.nic.packet import make_packet
+from repro.nic.targets import BLUEFIELD2
+from repro.traffic import Scenario
+
+
+def make_plan(gain=1.0):
+    return OptimizationPlan(
+        candidates=[
+            Candidate(
+                pipelet_id="pl_0",
+                run=("a", "b"),
+                order=("b", "a"),
+                segments=(
+                    Segment("none", ("b",)),
+                    Segment("none", ("a",)),
+                ),
+                gain_ns=gain,
+                memory_bytes=0.0,
+                update_pps=0.0,
+            )
+        ]
+    )
+
+
+class TestPlanSignature:
+    def test_ignores_gain(self):
+        assert plan_signature(make_plan(1.0)) == plan_signature(
+            make_plan(99.0)
+        )
+
+    def test_detects_structural_change(self):
+        other = OptimizationPlan(
+            candidates=[
+                Candidate(
+                    pipelet_id="pl_0",
+                    run=("a", "b"),
+                    order=("a", "b"),
+                    segments=(Segment("cache", ("a", "b")),),
+                    gain_ns=1.0,
+                    memory_bytes=0.0,
+                    update_pps=0.0,
+                )
+            ]
+        )
+        assert plan_signature(make_plan()) != plan_signature(other)
+
+    def test_order_insensitive_across_pipelets(self):
+        a = make_plan()
+        b = make_plan()
+        b.candidates = list(reversed(b.candidates))
+        assert plan_signature(a) == plan_signature(b)
+
+
+class TestController:
+    def make_controller(self, enabled=True):
+        program = linear_program("p", 6, MatchType.TERNARY)
+        return PipeleonController(
+            program,
+            BLUEFIELD2,
+            budget=ResourceBudget(memory_bytes=1e6, update_pps=1e5),
+            search=SearchOptions(k=1.0),
+            options=ControllerOptions(profile_period_s=1.0),
+            enabled=enabled,
+        )
+
+    def test_first_reoptimization_applies_plan(self):
+        controller = self.make_controller()
+        controller.run([make_packet() for _ in range(20)])
+        changed = controller.maybe_reoptimize()
+        assert changed
+        assert controller.current_plan is not None
+        assert controller.reoptimizations == 1
+
+    def test_stable_profile_no_redeploy(self):
+        controller = self.make_controller()
+        controller.run([make_packet() for _ in range(20)])
+        controller.maybe_reoptimize()
+        controller.run([make_packet() for _ in range(20)])
+        changed = controller.maybe_reoptimize()
+        assert not changed
+        assert controller.reoptimizations == 1
+
+    def test_disabled_controller_never_optimizes(self):
+        controller = self.make_controller(enabled=False)
+        controller.run([make_packet() for _ in range(20)])
+        assert not controller.maybe_reoptimize()
+        assert controller.current_plan is None
+
+    def test_entries_survive_redeployment(self):
+        controller = self.make_controller()
+        program = controller.original
+        table = program.table("p_t0")
+        action = next(iter(table.actions))
+        controller.deployment.insert_entry(
+            "p_t0", exact_entry(1, action)
+        )
+        controller.run([make_packet() for _ in range(20)])
+        controller.maybe_reoptimize()
+        assert controller.control_plane.entry_count("p_t0") == 1
+
+    def test_run_scenario_produces_timeline(self):
+        controller = self.make_controller()
+        scenario = Scenario("s").add_phase(
+            "steady",
+            5.0,
+            lambda n: [make_packet() for _ in range(n)],
+        )
+        timeline = controller.run_scenario(
+            scenario, packets_per_tick=30
+        )
+        assert len(timeline) == 5
+        assert any(point.reoptimized for point in timeline)
+        assert all(point.throughput_gbps > 0 for point in timeline)
+
+    def test_scenario_control_action_invoked(self):
+        controller = self.make_controller()
+        calls = []
+
+        def burst(deployment, time_s):
+            calls.append(time_s)
+
+        scenario = Scenario("s").add_phase(
+            "phase",
+            3.0,
+            lambda n: [make_packet() for _ in range(n)],
+            control_action=burst,
+        )
+        controller.run_scenario(scenario, packets_per_tick=5)
+        assert len(calls) == 3

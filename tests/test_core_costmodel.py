@@ -1,0 +1,197 @@
+"""Tests for the §3.1 cost model, including model-vs-emulator agreement."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core import CostModel, uniform_profile
+from repro.core.costmodel import CostParams
+from repro.core.profiling import RuntimeProfile
+from repro.ir import linear_program
+from repro.ir.actions import drop_action, noop_action
+from repro.ir.builder import ProgramBuilder
+from repro.ir.tables import MatchType
+from repro.nic.emulator import NicEmulator
+from repro.nic.packet import make_packet
+from repro.nic.targets import BLUEFIELD2, EMULATED_NIC
+from repro.synthesis import ProgramSynthesizer, SynthesisConfig
+
+
+@pytest.fixture
+def model():
+    return CostModel.for_target(BLUEFIELD2)
+
+
+class TestNodeCosts:
+    def test_exact_match_cost(self, model, chain5, chain5_profile):
+        table = chain5.table("chain5_t0")
+        assert model.match_cost(table, chain5_profile) == pytest.approx(
+            BLUEFIELD2.asic.lookup_ns
+        )
+
+    def test_ternary_match_uses_default_m(self, model):
+        program = linear_program("p", 1, MatchType.TERNARY)
+        profile = uniform_profile(program)
+        cost = model.match_cost(program.table("p_t0"), profile)
+        assert cost == pytest.approx(5 * BLUEFIELD2.asic.lookup_ns)
+
+    def test_measured_m_overrides(self, model):
+        program = linear_program("p", 1, MatchType.TERNARY)
+        profile = uniform_profile(program)
+        profile.table_m["p_t0"] = 2
+        cost = model.match_cost(program.table("p_t0"), profile)
+        assert cost == pytest.approx(2 * BLUEFIELD2.asic.lookup_ns)
+
+    def test_emulated_nic_multiplier_policy(self):
+        """EMULATED_NIC: ternary = 3x exact regardless of entries."""
+        model = CostModel.for_target(EMULATED_NIC)
+        program = linear_program("p", 1, MatchType.TERNARY)
+        profile = uniform_profile(program)
+        profile.table_m["p_t0"] = 7  # must be ignored
+        cost = model.match_cost(program.table("p_t0"), profile)
+        assert cost == pytest.approx(3 * EMULATED_NIC.asic.lookup_ns)
+
+    def test_action_cost_weighted(self, model):
+        builder = ProgramBuilder("p")
+        builder.table(
+            "t",
+            ["f"],
+            [noop_action("cheap", 1), noop_action("pricey", 5)],
+        )
+        program = builder.build(root="t")
+        profile = RuntimeProfile()
+        profile.set_action_probs("t", {"cheap": 0.8, "pricey": 0.2})
+        expected = (0.8 * 1 + 0.2 * 5) * BLUEFIELD2.asic.action_ns
+        assert model.action_cost(
+            program.table("t"), profile
+        ) == pytest.approx(expected)
+
+
+class TestReachProbs:
+    def test_linear_program_all_reached(self, model, chain5, chain5_profile):
+        probs = model.reach_probs(chain5, chain5_profile)
+        assert all(p == pytest.approx(1.0) for p in probs.values())
+
+    def test_branching_split(self, model, branching_program):
+        profile = uniform_profile(branching_program)
+        profile.branch_probs["cond"] = 0.7
+        probs = model.reach_probs(branching_program, profile)
+        assert probs["left"] == pytest.approx(0.7)
+        assert probs["right"] == pytest.approx(0.3)
+        assert probs["join"] == pytest.approx(1.0)
+
+    def test_drop_reduces_downstream(self, model, acl_program):
+        profile = uniform_profile(acl_program)
+        profile.set_action_probs(
+            "acl0", {"acl0_deny": 0.4, "acl0_permit": 0.6}
+        )
+        probs = model.reach_probs(acl_program, profile)
+        assert probs["acl1"] == pytest.approx(0.6)
+
+
+class TestExpectedLatency:
+    def test_scales_linearly_with_tables(self, model):
+        p5 = linear_program("a", 5)
+        p10 = linear_program("b", 10)
+        l5 = model.expected_latency(p5, uniform_profile(p5))
+        l10 = model.expected_latency(p10, uniform_profile(p10))
+        assert l10 == pytest.approx(2 * l5)
+
+    def test_drop_shortens_expected_latency(self, model, acl_program):
+        neutral = uniform_profile(acl_program)
+        for name in ("acl0", "acl1", "acl2"):
+            neutral.set_action_probs(
+                name, {f"{name}_deny": 0.0, f"{name}_permit": 1.0}
+            )
+        heavy = neutral.copy()
+        heavy.set_action_probs(
+            "acl0", {"acl0_deny": 0.9, "acl0_permit": 0.1}
+        )
+        assert model.expected_latency(
+            acl_program, heavy
+        ) < model.expected_latency(acl_program, neutral)
+
+    def test_matches_emulator_linear(self, model, chain5):
+        """The analytic model equals the emulator on a profile-free run."""
+        emulator = NicEmulator(chain5, BLUEFIELD2, instrument=False)
+        measured = emulator.run(
+            [make_packet() for _ in range(10)]
+        ).mean_latency_ns
+        profile = uniform_profile(chain5)
+        # Without entries only default actions fire.
+        for i in range(5):
+            profile.set_action_probs(
+                f"chain5_t{i}",
+                {f"chain5_t{i}_a0": 0.0, f"chain5_t{i}_a1": 1.0},
+            )
+        predicted = model.expected_latency(chain5, profile)
+        assert predicted == pytest.approx(measured, rel=1e-6)
+
+    @settings(max_examples=15, deadline=None)
+    @given(st.integers(min_value=0, max_value=500))
+    def test_matches_emulator_on_synthetic_programs(self, seed):
+        """Property: model(L) == emulator mean latency when the model is
+        fed the emulator's own measured profile (uninstrumented run,
+        default actions only)."""
+        program = ProgramSynthesizer(
+            SynthesisConfig(
+                n_pipelets=4, seed=seed, drop_table_fraction=0.0
+            )
+        ).generate()
+        emulator = NicEmulator(program, EMULATED_NIC, instrument=True)
+        packets = [make_packet() for _ in range(40)]
+        counter_cost_free = NicEmulator(
+            program, EMULATED_NIC, instrument=False
+        )
+        measured = counter_cost_free.run(packets).mean_latency_ns
+        # Re-run instrumented to learn the actual branch behaviour.
+        emulator.run([make_packet() for _ in range(40)])
+        from repro.core.profiling import profile_from_counts
+
+        profile = profile_from_counts(
+            program, emulator.counters.snapshot()
+        )
+        model = CostModel.for_target(EMULATED_NIC)
+        predicted = model.expected_latency(program, profile)
+        assert predicted == pytest.approx(measured, rel=0.01)
+
+
+class TestMemoryAccounting:
+    def test_table_memory_scales_with_m(self, model):
+        program = linear_program("p", 1, MatchType.TERNARY)
+        profile = uniform_profile(program)
+        profile.entry_counts["p_t0"] = 10
+        profile.table_m["p_t0"] = 4
+        table = program.table("p_t0")
+        expected = 10 * model.entry_bytes(table) * 4
+        assert model.table_memory_bytes(table, profile) == expected
+
+    def test_cache_memory_is_reserved_capacity(self, model, chain5):
+        from repro.core.transform import apply_cache
+
+        cached = apply_cache(
+            chain5, ["chain5_t0", "chain5_t1"], capacity=128
+        ).program
+        cache_node = cached.table("cache__chain5_t0__chain5_t1")
+        profile = uniform_profile(chain5)
+        memory = model.table_memory_bytes(cache_node, profile)
+        assert memory == 128 * model.entry_bytes(cache_node)
+
+    def test_program_memory_sums_tables(self, model, chain5):
+        profile = uniform_profile(chain5)
+        for i in range(5):
+            profile.entry_counts[f"chain5_t{i}"] = 2
+        total = model.program_memory_bytes(chain5, profile)
+        per_table = 2 * model.entry_bytes(chain5.table("chain5_t0"))
+        assert total == pytest.approx(5 * per_table)
+
+
+class TestCostParams:
+    def test_from_core_with_counters(self):
+        params = CostParams.from_core(
+            BLUEFIELD2.asic, include_counters=True
+        )
+        assert params.counter_ns == BLUEFIELD2.asic.counter_update_ns
+
+    def test_from_core_without_counters(self):
+        params = CostParams.from_core(BLUEFIELD2.asic)
+        assert params.counter_ns == 0.0

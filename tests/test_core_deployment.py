@@ -1,0 +1,229 @@
+"""Tests for plan application and the deployment layer."""
+
+import pytest
+
+from repro.core import (
+    CostModel,
+    Deployment,
+    apply_plan,
+    optimize,
+    partition,
+    uniform_profile,
+)
+from repro.core.plan import (
+    Candidate,
+    OptimizationPlan,
+    ResourceBudget,
+    Segment,
+)
+from repro.ir import exact_entry, linear_program, validate_program
+from repro.ir.entries import ExactValue, TableEntry
+from repro.ir.tables import MatchType
+from repro.nic.packet import make_packet
+from repro.nic.targets import BLUEFIELD2
+
+
+def cache_plan(run, covers):
+    return OptimizationPlan(
+        candidates=[
+            Candidate(
+                pipelet_id="pl_0",
+                run=tuple(run),
+                order=tuple(run),
+                segments=(
+                    Segment("cache", tuple(covers)),
+                ),
+                gain_ns=1.0,
+                memory_bytes=0.0,
+                update_pps=0.0,
+            )
+        ]
+    )
+
+
+def merge_plan(run, covers):
+    plan = cache_plan(run, covers)
+    candidate = plan.candidates[0]
+    plan.candidates[0] = Candidate(
+        pipelet_id=candidate.pipelet_id,
+        run=candidate.run,
+        order=candidate.order,
+        segments=(Segment("merge", tuple(covers)),),
+        gain_ns=1.0,
+        memory_bytes=0.0,
+        update_pps=0.0,
+    )
+    return plan
+
+
+class TestApplyPlan:
+    def test_noop_plan_clones(self, chain5):
+        plan = OptimizationPlan()
+        result = apply_plan(chain5, plan)
+        assert result.program is not chain5
+        assert result.program.topological_order() == (
+            chain5.topological_order()
+        )
+
+    def test_reorder_then_cache_compose(self, chain5):
+        run = tuple(f"chain5_t{i}" for i in range(5))
+        order = (run[2], run[0], run[1], run[3], run[4])
+        plan = OptimizationPlan(
+            candidates=[
+                Candidate(
+                    pipelet_id="pl_0",
+                    run=run,
+                    order=order,
+                    segments=(
+                        Segment("cache", (order[0], order[1])),
+                        Segment("none", (order[2],)),
+                        Segment("merge", (order[3], order[4])),
+                    ),
+                    gain_ns=1.0,
+                    memory_bytes=0.0,
+                    update_pps=0.0,
+                )
+            ]
+        )
+        result = apply_plan(chain5, plan)
+        validate_program(result.program)
+        assert f"cache__{order[0]}__{order[1]}" in result.program
+        assert f"merged__{order[3]}__{order[4]}" in result.program
+
+    def test_optimized_plan_applies(self):
+        program = linear_program("p", 6, MatchType.TERNARY)
+        profile = uniform_profile(program)
+        model = CostModel.for_target(BLUEFIELD2)
+        plan = optimize(program, profile, model)
+        result = apply_plan(program, plan)
+        validate_program(result.program)
+
+
+class TestDeploymentDirect:
+    def test_entries_materialize(self, chain5):
+        deployment = Deployment(chain5, BLUEFIELD2)
+        entry = exact_entry(5, "chain5_t0_a0")
+        deployment.insert_entry("chain5_t0", entry)
+        runtime = deployment.emulator.runtime_tables["chain5_t0"]
+        assert len(runtime) == 1
+
+    def test_delete_propagates(self, chain5):
+        deployment = Deployment(chain5, BLUEFIELD2)
+        entry = exact_entry(5, "chain5_t0_a0")
+        deployment.insert_entry("chain5_t0", entry)
+        deployment.delete_entry("chain5_t0", entry.entry_id)
+        assert len(deployment.emulator.runtime_tables["chain5_t0"]) == 0
+
+    def test_profile_collection(self, chain5):
+        deployment = Deployment(chain5, BLUEFIELD2)
+        deployment.run([make_packet() for _ in range(10)])
+        profile = deployment.profile()
+        table = chain5.table("chain5_t0")
+        assert profile.action_prob(table, "chain5_t0_a1") == 1.0
+
+
+class TestDeploymentWithCache:
+    def test_cache_invalidated_on_covered_update(self, chain5):
+        plan = cache_plan(
+            [f"chain5_t{i}" for i in range(5)],
+            ["chain5_t1", "chain5_t2"],
+        )
+        deployment = Deployment(chain5, BLUEFIELD2, plan=plan)
+        deployment.run([make_packet() for _ in range(5)])
+        cache = deployment.emulator.flow_caches[
+            "cache__chain5_t1__chain5_t2"
+        ]
+        assert len(cache) == 1
+        deployment.insert_entry(
+            "chain5_t1", exact_entry(9, "chain5_t1_a0")
+        )
+        assert len(cache) == 0  # whole-cache invalidation
+
+    def test_update_of_uncovered_table_keeps_cache(self, chain5):
+        plan = cache_plan(
+            [f"chain5_t{i}" for i in range(5)],
+            ["chain5_t1", "chain5_t2"],
+        )
+        deployment = Deployment(chain5, BLUEFIELD2, plan=plan)
+        deployment.run([make_packet() for _ in range(5)])
+        cache = deployment.emulator.flow_caches[
+            "cache__chain5_t1__chain5_t2"
+        ]
+        deployment.insert_entry(
+            "chain5_t4", exact_entry(9, "chain5_t4_a0")
+        )
+        assert len(cache) == 1
+
+    def test_cache_hit_rates_reported(self, chain5):
+        plan = cache_plan(
+            [f"chain5_t{i}" for i in range(5)], ["chain5_t0"]
+        )
+        deployment = Deployment(chain5, BLUEFIELD2, plan=plan)
+        deployment.run([make_packet() for _ in range(10)])
+        rates = deployment.cache_hit_rates()
+        assert rates["cache__chain5_t0"] == pytest.approx(0.9)
+
+
+class TestDeploymentWithMerge:
+    def make_deployment(self, chain5):
+        plan = merge_plan(
+            [f"chain5_t{i}" for i in range(5)],
+            ["chain5_t1", "chain5_t2"],
+        )
+        return Deployment(chain5, BLUEFIELD2, plan=plan)
+
+    def test_merged_entries_cross_product(self, chain5):
+        deployment = self.make_deployment(chain5)
+        for value in (1, 2):
+            deployment.insert_entry(
+                "chain5_t1", exact_entry(value, "chain5_t1_a0")
+            )
+        for value in (10, 20, 30):
+            deployment.insert_entry(
+                "chain5_t2", exact_entry(value, "chain5_t2_a0")
+            )
+        merged = deployment.emulator.runtime_tables[
+            "merged__chain5_t1__chain5_t2"
+        ]
+        assert len(merged) == 6  # 2 x 3
+
+    def test_merged_hit_executes_both_actions(self, chain5):
+        deployment = self.make_deployment(chain5)
+        deployment.insert_entry(
+            "chain5_t1", exact_entry(1, "chain5_t1_a0")
+        )
+        deployment.insert_entry(
+            "chain5_t2", exact_entry(2, "chain5_t2_a0")
+        )
+        packet = make_packet(extra={"ipv4.f1": 1, "ipv4.f2": 2})
+        result = deployment.emulator.process(packet)
+        merged_name = "merged__chain5_t1__chain5_t2"
+        assert merged_name in result.path
+        assert "chain5_t1" not in result.path
+
+    def test_merged_miss_falls_back(self, chain5):
+        deployment = self.make_deployment(chain5)
+        deployment.insert_entry(
+            "chain5_t1", exact_entry(1, "chain5_t1_a0")
+        )
+        packet = make_packet(extra={"ipv4.f1": 77, "ipv4.f2": 88})
+        result = deployment.emulator.process(packet)
+        assert "chain5_t1" in result.path
+        assert "chain5_t2" in result.path
+
+    def test_update_amplification_tracked(self, chain5):
+        deployment = self.make_deployment(chain5)
+        for value in (1, 2, 3):
+            deployment.insert_entry(
+                "chain5_t1", exact_entry(value, "chain5_t1_a0")
+            )
+        deployment.insert_entry(
+            "chain5_t2", exact_entry(10, "chain5_t2_a0")
+        )
+        deployment.insert_entry(
+            "chain5_t2", exact_entry(20, "chain5_t2_a0")
+        )
+        merged_name = "merged__chain5_t1__chain5_t2"
+        # 5 control-plane updates materialised 3 + 6 = 9 merged entries:
+        # the I(T_A)*N(T_B) amplification of §3.2.3.
+        assert deployment.materialized_updates[merged_name] == 9

@@ -1,0 +1,170 @@
+"""Tests for pipelet formation, groups, and hot-pipelet detection."""
+
+import pytest
+
+from repro.core import (
+    CostModel,
+    find_groups,
+    partition,
+    rank_pipelets,
+    top_k,
+    traffic_entropy,
+    uniform_profile,
+)
+from repro.core.hotspots import pipelet_latency
+from repro.ir import linear_program
+from repro.ir.actions import noop_action
+from repro.ir.builder import ProgramBuilder
+from repro.ir.conditionals import Condition
+from repro.nic.targets import BLUEFIELD2
+
+
+@pytest.fixture
+def model():
+    return CostModel.for_target(BLUEFIELD2)
+
+
+class TestPartition:
+    def test_linear_program_single_pipelet(self):
+        program = linear_program("p", 4)
+        pipelets = partition(program)
+        assert len(pipelets) == 1
+        assert pipelets[0].table_names == tuple(
+            f"p_t{i}" for i in range(4)
+        )
+        assert pipelets[0].exit_next is None
+
+    def test_long_run_split(self):
+        program = linear_program("p", 14)
+        pipelets = partition(program, max_len=6)
+        assert [len(p) for p in pipelets] == [6, 6, 2]
+        # chunks chain into one another
+        assert pipelets[0].exit_next == pipelets[1].entry
+
+    def test_branches_cut_pipelets(self, branching_program):
+        pipelets = partition(branching_program)
+        entries = {p.entry for p in pipelets}
+        assert entries == {"t0", "left", "right", "join"}
+
+    def test_conditional_not_in_any_pipelet(self, branching_program):
+        pipelets = partition(branching_program)
+        for pipelet in pipelets:
+            assert "cond" not in pipelet.table_names
+
+    def test_switch_case_table_is_own_pipelet(self):
+        builder = ProgramBuilder("p")
+        builder.table("t0", ["f0"], [noop_action("a")], next_node="sw")
+        builder.table(
+            "sw",
+            ["f1"],
+            [noop_action("x"), noop_action("y")],
+            next_map={"x": "t1", "y": "t2"},
+        )
+        builder.table("t1", ["f2"], [noop_action("b")])
+        builder.table("t2", ["f3"], [noop_action("c")])
+        program = builder.build(root="t0")
+        pipelets = partition(program)
+        by_entry = {p.entry: p for p in pipelets}
+        assert by_entry["sw"].is_switch_case
+        assert len(by_entry["sw"]) == 1
+        assert len(by_entry["t0"]) == 1  # cut before the switch-case
+
+    def test_join_node_starts_new_pipelet(self, branching_program):
+        pipelets = partition(branching_program)
+        join = next(p for p in pipelets if p.entry == "join")
+        assert join.table_names == ("join",)
+
+    def test_empty_program(self):
+        from repro.ir.program import Program
+
+        assert partition(Program("empty")) == []
+
+    def test_pipelets_cover_all_plain_tables(self, branching_program):
+        pipelets = partition(branching_program)
+        covered = {n for p in pipelets for n in p.table_names}
+        plain = {t.name for t in branching_program.plain_tables()}
+        assert covered == plain
+
+
+class TestGroups:
+    def test_diamond_detected(self, branching_program):
+        pipelets = partition(branching_program)
+        groups = find_groups(branching_program, pipelets)
+        assert len(groups) == 1
+        group = groups[0]
+        assert group.branch == "cond"
+        # The reconvergence pipelet is absorbed into the group, so the
+        # group spans branch + both sides + the join run (Figure 8).
+        assert set(group.table_names()) == {"left", "right", "join"}
+        assert group.join is not None
+        assert group.join.entry == "join"
+        assert group.exit_next is None
+
+    def test_no_group_for_half_diamond(self):
+        """A branch whose false side skips straight to the join has no
+        two-sided group (members must share the same exit)."""
+        builder = ProgramBuilder("p")
+        builder.conditional(
+            "cond",
+            Condition("ipv4.tos", "eq", 1),
+            true_next="a",
+            false_next="join",
+        )
+        builder.table("a", ["f1"], [noop_action("aa")], next_node="join")
+        builder.table("join", ["f3"], [noop_action("xx")])
+        program = builder.build(root="cond")
+        groups = find_groups(program, partition(program))
+        assert groups == []
+
+    def test_group_needs_both_members_selected(self, branching_program):
+        pipelets = partition(branching_program)
+        only_left = [p for p in pipelets if p.entry != "right"]
+        assert find_groups(branching_program, only_left) == []
+
+
+class TestHotspots:
+    def test_rank_orders_by_weighted_cost(self, model, branching_program):
+        profile = uniform_profile(branching_program)
+        profile.branch_probs["cond"] = 0.95
+        pipelets = partition(branching_program)
+        ranked = rank_pipelets(
+            branching_program, pipelets, profile, model
+        )
+        entries = [c.pipelet.entry for c in ranked]
+        # 'left' gets 95% of branch traffic, 'right' 5%.
+        assert entries.index("left") < entries.index("right")
+
+    def test_top_k_fraction(self, model):
+        program = linear_program("p", 12)
+        pipelets = partition(program, max_len=2)  # 6 pipelets
+        profile = uniform_profile(program)
+        hot = top_k(program, pipelets, profile, model, k=0.5)
+        assert len(hot) == 3
+
+    def test_top_k_at_least_one(self, model, chain5, chain5_profile):
+        pipelets = partition(chain5)
+        hot = top_k(chain5, pipelets, chain5_profile, model, k=0.01)
+        assert len(hot) == 1
+
+    def test_invalid_k(self, model, chain5, chain5_profile):
+        with pytest.raises(ValueError):
+            top_k(chain5, partition(chain5), chain5_profile, model, k=0)
+
+    def test_pipelet_latency_accounts_for_drops(self, model, acl_program):
+        profile = uniform_profile(acl_program)
+        pipelets = partition(acl_program)
+        base = pipelet_latency(acl_program, pipelets[0], profile, model)
+        profile.set_action_probs(
+            "acl0", {"acl0_deny": 0.99, "acl0_permit": 0.01}
+        )
+        heavy = pipelet_latency(acl_program, pipelets[0], profile, model)
+        assert heavy < base
+
+    def test_entropy_reflects_balance(self, model, branching_program):
+        pipelets = partition(branching_program)
+        even = uniform_profile(branching_program)
+        skewed = uniform_profile(branching_program)
+        skewed.branch_probs["cond"] = 0.999
+        assert traffic_entropy(
+            branching_program, pipelets, even, model
+        ) > traffic_entropy(branching_program, pipelets, skewed, model)

@@ -1,0 +1,218 @@
+"""Tests for runtime profiles, counter maps, and profile collection."""
+
+import math
+
+import pytest
+
+from repro.core.profiling import (
+    CounterMap,
+    RuntimeProfile,
+    collect_profile,
+    measure_table_m,
+    profile_entropy,
+    profile_from_counts,
+    uniform_profile,
+)
+from repro.ir import exact_entry, linear_program
+from repro.ir.entries import LpmValue, TableEntry, TernaryValue
+from repro.ir.tables import MatchType
+from repro.nic.control_plane import ControlPlane
+from repro.nic.counters import action_counter, branch_counter, cache_counter
+from repro.nic.emulator import NicEmulator
+from repro.nic.packet import make_packet
+from repro.nic.targets import BLUEFIELD2
+
+
+class TestRuntimeProfile:
+    def test_uniform_defaults(self, chain5):
+        profile = uniform_profile(chain5)
+        table = chain5.table("chain5_t0")
+        assert profile.action_prob(table, "chain5_t0_a0") == 0.5
+        assert profile.branch_prob("any") == 0.5
+
+    def test_action_prob_without_data_is_uniform(self, chain5):
+        profile = RuntimeProfile()
+        table = chain5.table("chain5_t0")
+        assert profile.action_prob(table, "chain5_t0_a0") == 0.5
+
+    def test_set_action_probs_normalises(self, chain5):
+        profile = RuntimeProfile()
+        profile.set_action_probs(
+            "chain5_t0", {"chain5_t0_a0": 3.0, "chain5_t0_a1": 1.0}
+        )
+        table = chain5.table("chain5_t0")
+        assert profile.action_prob(table, "chain5_t0_a0") == 0.75
+
+    def test_set_action_probs_zero_rejected(self):
+        profile = RuntimeProfile()
+        with pytest.raises(ValueError):
+            profile.set_action_probs("t", {"a": 0.0})
+
+    def test_drop_rate(self, acl_program):
+        profile = RuntimeProfile()
+        profile.set_action_probs(
+            "acl0", {"acl0_deny": 0.3, "acl0_permit": 0.7}
+        )
+        table = acl_program.table("acl0")
+        assert profile.drop_rate(table) == pytest.approx(0.3)
+
+    def test_hit_prob_is_one_minus_default(self, chain5):
+        profile = RuntimeProfile()
+        profile.set_action_probs(
+            "chain5_t0", {"chain5_t0_a0": 0.9, "chain5_t0_a1": 0.1}
+        )
+        table = chain5.table("chain5_t0")
+        # default action is the last one (a1)
+        assert profile.hit_prob(table) == pytest.approx(0.9)
+
+    def test_m_defaults_by_match_type(self):
+        program = linear_program("p", 1, MatchType.TERNARY)
+        profile = RuntimeProfile()
+        assert profile.m_for(program.table("p_t0")) == 5
+
+    def test_m_measured_overrides_default(self):
+        program = linear_program("p", 1, MatchType.TERNARY)
+        profile = RuntimeProfile(table_m={"p_t0": 2})
+        assert profile.m_for(program.table("p_t0")) == 2
+
+    def test_distance_symmetric(self, chain5):
+        a = uniform_profile(chain5)
+        b = uniform_profile(chain5)
+        b.set_action_probs(
+            "chain5_t0", {"chain5_t0_a0": 1.0, "chain5_t0_a1": 0.0}
+        )
+        assert a.distance(b) == pytest.approx(b.distance(a))
+        assert a.distance(a) == 0.0
+
+    def test_copy_independent(self, chain5):
+        a = uniform_profile(chain5)
+        b = a.copy()
+        b.set_action_probs(
+            "chain5_t0", {"chain5_t0_a0": 1.0, "chain5_t0_a1": 0.0}
+        )
+        assert a.action_probs["chain5_t0"]["chain5_t0_a0"] == 0.5
+
+
+class TestEntropy:
+    def test_uniform_is_max(self):
+        assert profile_entropy([0.25] * 4) == pytest.approx(2.0)
+
+    def test_point_mass_is_zero(self):
+        assert profile_entropy([1.0, 0.0, 0.0]) == 0.0
+
+    def test_normalisation(self):
+        assert profile_entropy([2, 2, 2, 2]) == pytest.approx(2.0)
+
+    def test_empty(self):
+        assert profile_entropy([]) == 0.0
+
+
+class TestCounterMap:
+    def test_identity_passthrough(self):
+        cmap = CounterMap()
+        counts = {action_counter("t", "a"): 10}
+        assert cmap.translate(counts) == {action_counter("t", "a"): 10.0}
+
+    def test_mapped_counter(self):
+        cmap = CounterMap()
+        cmap.map_counter(
+            action_counter("merged", "a+b"),
+            [
+                (action_counter("t1", "a"), 1.0),
+                (action_counter("t2", "b"), 1.0),
+            ],
+        )
+        counts = {action_counter("merged", "a+b"): 5}
+        translated = cmap.translate(counts)
+        assert translated[action_counter("t1", "a")] == 5.0
+        assert translated[action_counter("t2", "b")] == 5.0
+
+    def test_dropped_counter(self):
+        cmap = CounterMap()
+        cmap.drop_counter(cache_counter("c", True))
+        assert cmap.translate({cache_counter("c", True): 7}) == {}
+
+    def test_merge(self):
+        a, b = CounterMap(), CounterMap()
+        a.drop_counter(cache_counter("c1", True))
+        b.drop_counter(cache_counter("c2", True))
+        a.merge(b)
+        assert len(a.mapping) == 2
+
+
+class TestProfileFromCounts:
+    def test_action_probabilities(self, chain5):
+        counts = {
+            action_counter("chain5_t0", "chain5_t0_a0"): 30,
+            action_counter("chain5_t0", "chain5_t0_a1"): 10,
+        }
+        profile = profile_from_counts(chain5, counts)
+        table = chain5.table("chain5_t0")
+        assert profile.action_prob(table, "chain5_t0_a0") == 0.75
+
+    def test_branch_probabilities(self, branching_program):
+        counts = {
+            branch_counter("cond", True): 9,
+            branch_counter("cond", False): 1,
+        }
+        profile = profile_from_counts(branching_program, counts)
+        assert profile.branch_prob("cond") == pytest.approx(0.9)
+
+    def test_cache_hit_rates(self, chain5):
+        counts = {
+            cache_counter("cacheX", True): 8,
+            cache_counter("cacheX", False): 2,
+        }
+        profile = profile_from_counts(chain5, counts)
+        assert profile.cache_hit_rates["cacheX"] == pytest.approx(0.8)
+
+    def test_unknown_table_counts_ignored(self, chain5):
+        counts = {action_counter("ghost", "a"): 5}
+        profile = profile_from_counts(chain5, counts)
+        assert "ghost" not in profile.action_probs
+
+
+class TestMeasureTableM:
+    def test_exact_is_one(self):
+        program = linear_program("p", 1)
+        assert measure_table_m(
+            program.table("p_t0"), [exact_entry(1, "p_t0_a0")]
+        ) == 1
+
+    def test_lpm_counts_prefixes(self):
+        program = linear_program("p", 1, MatchType.LPM)
+        entries = [
+            TableEntry((LpmValue(0, 8),), "p_t0_a0"),
+            TableEntry((LpmValue(0x0A000000, 16),), "p_t0_a0"),
+        ]
+        assert measure_table_m(program.table("p_t0"), entries) == 2
+
+    def test_ternary_counts_masks(self):
+        program = linear_program("p", 1, MatchType.TERNARY)
+        entries = [
+            TableEntry((TernaryValue(1, 0xF),), "p_t0_a0"),
+            TableEntry((TernaryValue(2, 0xF0),), "p_t0_a0"),
+            TableEntry((TernaryValue(3, 0xF00),), "p_t0_a0"),
+        ]
+        assert measure_table_m(program.table("p_t0"), entries) == 3
+
+    def test_empty_uses_default(self):
+        program = linear_program("p", 1, MatchType.TERNARY)
+        assert measure_table_m(program.table("p_t0"), []) == 5
+
+
+class TestCollectProfile:
+    def test_end_to_end_against_emulator(self, chain5):
+        emulator = NicEmulator(chain5, BLUEFIELD2)
+        control_plane = ControlPlane(chain5, emulator.clock)
+        for _ in range(20):
+            emulator.process(make_packet())
+        profile = collect_profile(
+            chain5,
+            emulator.counters.snapshot(),
+            control_plane=control_plane,
+        )
+        table = chain5.table("chain5_t0")
+        # No entries installed: the default action always fires.
+        assert profile.action_prob(table, "chain5_t0_a1") == 1.0
+        assert profile.entry_counts["chain5_t0"] == 0

@@ -1,0 +1,240 @@
+"""Tests for the §6 future-work extensions.
+
+* hierarchical memory placement (MemoryTier + plan_placement)
+* incremental redeployment (warm cache-state carry-over)
+"""
+
+import pytest
+
+from repro.core import (
+    CostModel,
+    Deployment,
+    Pipeleon,
+    TierBudget,
+    apply_placement,
+    plan_placement,
+    placement_within_budget,
+    uniform_profile,
+)
+from repro.core.plan import Candidate, OptimizationPlan, Segment
+from repro.core.pipelets import partition
+from repro.ir import linear_program, loads_program, dumps_program
+from repro.ir.tables import MatchType, MemoryTier
+from repro.nic.emulator import NicEmulator
+from repro.nic.packet import make_packet
+from repro.nic.targets import BLUEFIELD2
+
+
+@pytest.fixture
+def model():
+    return CostModel.for_target(BLUEFIELD2)
+
+
+class TestMemoryTierEmulation:
+    def test_faster_tier_reduces_latency(self):
+        slow = linear_program("p", 4)
+        fast = linear_program("p", 4)
+        for table in fast.tables():
+            table.memory_tier = MemoryTier.LMEM
+        lat_slow = NicEmulator(slow, BLUEFIELD2, instrument=False).process(
+            make_packet()
+        ).latency_ns
+        lat_fast = NicEmulator(fast, BLUEFIELD2, instrument=False).process(
+            make_packet()
+        ).latency_ns
+        assert lat_fast < lat_slow
+        # Only the lookup part shrinks (actions unchanged): the LMEM
+        # multiplier is 0.25, so the saving is 0.75 x 4 lookups.
+        saved = lat_slow - lat_fast
+        assert saved == pytest.approx(
+            0.75 * 4 * BLUEFIELD2.asic.lookup_ns
+        )
+
+    def test_tier_in_cost_model(self, model):
+        program = linear_program("p", 1)
+        profile = uniform_profile(program)
+        table = program.table("p_t0")
+        base = model.match_cost(table, profile)
+        table.memory_tier = MemoryTier.IMEM
+        assert model.match_cost(table, profile) == pytest.approx(
+            base / 2
+        )
+
+    def test_tier_survives_json_round_trip(self):
+        program = linear_program("p", 2)
+        program.table("p_t0").memory_tier = MemoryTier.LMEM
+        restored = loads_program(dumps_program(program))
+        assert restored.table("p_t0").memory_tier is MemoryTier.LMEM
+        assert restored.table("p_t1").memory_tier is MemoryTier.EMEM
+
+    def test_tier_survives_clone(self):
+        program = linear_program("p", 1)
+        program.table("p_t0").memory_tier = MemoryTier.IMEM
+        clone = program.clone()
+        assert clone.table("p_t0").memory_tier is MemoryTier.IMEM
+
+
+class TestPlacementPlanning:
+    def make_profile(self, program, hot_table):
+        """A profile where one table carries much more weight (drops
+        upstream shrink downstream reach)."""
+        profile = uniform_profile(program)
+        for table in program.tables():
+            profile.entry_counts[table.name] = 4
+        # The hot table: few entries (small footprint) but expensive
+        # lookups -> the best promotion density by far.
+        profile.entry_counts[hot_table] = 1
+        profile.table_m[hot_table] = 8
+        return profile
+
+    def test_promotes_hottest_table_first(self, model):
+        program = linear_program("p", 4)
+        profile = self.make_profile(program, "p_t2")
+        table_bytes = model.table_memory_bytes(
+            program.table("p_t2"), profile
+        )
+        budget = TierBudget(imem_bytes=table_bytes + 1)
+        plan = plan_placement(program, profile, model, budget)
+        assert plan.assignments["p_t2"] is MemoryTier.IMEM
+        assert plan.gain_ns > 0
+
+    def test_budget_respected(self, model):
+        program = linear_program("p", 6)
+        profile = uniform_profile(program)
+        for table in program.tables():
+            profile.entry_counts[table.name] = 10
+        budget = TierBudget(imem_bytes=300.0, lmem_bytes=150.0)
+        plan = plan_placement(program, profile, model, budget)
+        placed = apply_placement(program, plan).program
+        assert placement_within_budget(placed, profile, model, budget)
+
+    def test_zero_budget_is_noop(self, model):
+        program = linear_program("p", 3)
+        profile = uniform_profile(program)
+        plan = plan_placement(
+            program, profile, model, TierBudget()
+        )
+        assert plan.is_noop
+        assert plan.gain_ns == 0.0
+
+    def test_lmem_preferred_over_imem(self, model):
+        """With room in both tiers, the hottest table goes to LMEM."""
+        program = linear_program("p", 2)
+        profile = uniform_profile(program)
+        profile.entry_counts["p_t0"] = 2
+        profile.entry_counts["p_t1"] = 2
+        profile.table_m["p_t0"] = 8
+        budget = TierBudget(imem_bytes=1e6, lmem_bytes=200.0)
+        plan = plan_placement(program, profile, model, budget)
+        assert plan.assignments["p_t0"] is MemoryTier.LMEM
+
+    def test_end_to_end_throughput_improves(self):
+        pipeleon = Pipeleon(BLUEFIELD2)
+        # Long exact chain: below line rate, lookup-dominated.
+        program = linear_program("p", 30)
+        deployment = Deployment(
+            program, BLUEFIELD2, instrument=False
+        )
+        base = deployment.run(
+            [make_packet() for _ in range(30)]
+        ).throughput_gbps(BLUEFIELD2)
+        profile = uniform_profile(program)
+        plan = pipeleon.optimize_placement(
+            program, profile, TierBudget(imem_bytes=1e6)
+        )
+        placed = pipeleon.apply_placement(program, plan)
+        fast = Deployment(placed, BLUEFIELD2, instrument=False)
+        improved = fast.run(
+            [make_packet() for _ in range(30)]
+        ).throughput_gbps(BLUEFIELD2)
+        assert improved > base
+
+    def test_unknown_table_rejected(self, model):
+        from repro.errors import SearchError
+
+        program = linear_program("p", 1)
+        with pytest.raises(SearchError):
+            apply_placement(program, {"ghost": MemoryTier.IMEM})
+
+
+def cache_plan(run, covers):
+    return OptimizationPlan(
+        candidates=[
+            Candidate(
+                pipelet_id="pl_0",
+                run=tuple(run),
+                order=tuple(run),
+                segments=(Segment("cache", tuple(covers)),),
+                gain_ns=1.0,
+                memory_bytes=0.0,
+                update_pps=0.0,
+            )
+        ]
+    )
+
+
+class TestIncrementalRedeploy:
+    def test_identical_cache_carried_warm(self, chain5):
+        run = [f"chain5_t{i}" for i in range(5)]
+        plan = cache_plan(run, run[:2])
+        first = Deployment(chain5, BLUEFIELD2, plan=plan)
+        first.run([make_packet() for _ in range(10)])
+        cache_name = "cache__chain5_t0__chain5_t1"
+        assert len(first.emulator.flow_caches[cache_name]) == 1
+        first.close()
+        second = Deployment(
+            chain5,
+            BLUEFIELD2,
+            plan=plan,
+            control_plane=first.control_plane,
+            previous=first,
+        )
+        assert second.carried_caches == [cache_name]
+        # The very first packet on the new deployment hits.
+        result = second.emulator.process(make_packet())
+        assert second.emulator.flow_caches[cache_name].stats.hits >= 1
+        assert run[0] not in result.path
+
+    def test_changed_coverage_not_carried(self, chain5):
+        run = [f"chain5_t{i}" for i in range(5)]
+        first = Deployment(
+            chain5, BLUEFIELD2, plan=cache_plan(run, run[:2])
+        )
+        first.run([make_packet() for _ in range(5)])
+        first.close()
+        second = Deployment(
+            chain5,
+            BLUEFIELD2,
+            plan=cache_plan(run, run[:3]),  # different covers
+            control_plane=first.control_plane,
+            previous=first,
+        )
+        assert second.carried_caches == []
+
+    def test_controller_carries_caches_across_reopts(self):
+        from repro.core import PipeleonController, ResourceBudget
+        from repro.core.controller import ControllerOptions
+        from repro.core.search import SearchOptions
+
+        program = linear_program("p", 6, MatchType.TERNARY)
+        controller = PipeleonController(
+            program,
+            BLUEFIELD2,
+            budget=ResourceBudget(memory_bytes=1e6, update_pps=1e5),
+            search=SearchOptions(k=1.0),
+            options=ControllerOptions(profile_period_s=1.0),
+        )
+        controller.run([make_packet() for _ in range(20)])
+        controller.maybe_reoptimize()
+        first_deployment = controller.deployment
+        controller.run([make_packet() for _ in range(20)])
+        # Force a different plan structure by toggling the current one.
+        controller.current_plan = OptimizationPlan()
+        controller.maybe_reoptimize()
+        if controller.deployment is not first_deployment:
+            # Any cache with unchanged shape must have been carried.
+            shared = set(
+                first_deployment.emulator.flow_caches
+            ) & set(controller.deployment.emulator.flow_caches)
+            for name in shared:
+                assert name in controller.deployment.carried_caches

@@ -1,0 +1,195 @@
+"""End-to-end integration tests across the whole stack."""
+
+import pytest
+
+from repro.core import (
+    CostModel,
+    Deployment,
+    Pipeleon,
+    PipeleonController,
+    ResourceBudget,
+    collect_profile,
+    uniform_profile,
+)
+from repro.core.controller import ControllerOptions
+from repro.core.search import SearchOptions
+from repro.apps import dash_routing, nf_composition
+from repro.ir import dumps_program, exact_entry, loads_program
+from repro.ir.tables import MatchType
+from repro.nic.packet import ipv4, make_packet
+from repro.nic.targets import AGILIO_CX, BLUEFIELD2, EMULATED_NIC
+from repro.traffic import Scenario, TrafficGenerator, synth_flows
+
+
+class TestProfileOptimizeRedeployLoop:
+    def test_counter_map_round_trip_through_merge(self):
+        """Profiles collected on the optimized program describe the
+        original program (the §4.1.2 counter-map requirement)."""
+        from repro.core.plan import (
+            Candidate,
+            OptimizationPlan,
+            Segment,
+        )
+        from repro.ir import linear_program
+
+        program = linear_program("p", 4)
+        run = tuple(f"p_t{i}" for i in range(4))
+        plan = OptimizationPlan(
+            candidates=[
+                Candidate(
+                    pipelet_id="pl_0",
+                    run=run,
+                    order=run,
+                    segments=(
+                        Segment("merge", run[:2]),
+                        Segment("none", (run[2],)),
+                        Segment("none", (run[3],)),
+                    ),
+                    gain_ns=1.0,
+                    memory_bytes=0.0,
+                    update_pps=0.0,
+                )
+            ]
+        )
+        deployment = Deployment(program, BLUEFIELD2, plan=plan)
+        deployment.insert_entry("p_t0", exact_entry(1, "p_t0_a0"))
+        deployment.insert_entry("p_t1", exact_entry(2, "p_t1_a0"))
+        # Half the traffic hits the merged pair, half misses.
+        hit = make_packet(extra={"ipv4.f0": 1, "ipv4.f1": 2})
+        miss = make_packet(extra={"ipv4.f0": 9, "ipv4.f1": 9})
+        for _ in range(25):
+            deployment.emulator.process(hit.clone())
+            deployment.emulator.process(miss.clone())
+        profile = deployment.profile()
+        table = program.table("p_t2")
+        # Downstream tables saw every packet regardless of the merge.
+        assert profile.action_prob(table, "p_t2_a1") == 1.0
+        # The merged cache reports its hit rate.
+        merged_name = "merged__p_t0__p_t1"
+        assert profile.cache_hit_rates[merged_name] == pytest.approx(
+            0.5, abs=0.05
+        )
+
+    def test_dash_program_full_loop_on_agilio(self):
+        program = dash_routing.build_program()
+        controller = PipeleonController(
+            program,
+            AGILIO_CX,
+            budget=ResourceBudget(memory_bytes=8e6, update_pps=1e4),
+            search=SearchOptions(k=1.0, max_pipelet_len=10),
+            options=ControllerOptions(profile_period_s=2.0),
+            native_cache=False,
+        )
+        dash_routing.install_base_entries(controller.control_plane)
+        controller.clock.advance(10.0)
+        flows = synth_flows(32)
+        generator = TrafficGenerator(seed=5)
+        scenario = Scenario("loop").add_phase(
+            "steady",
+            6,
+            lambda n: generator.stream(flows, n),
+        )
+        timeline = controller.run_scenario(
+            scenario, packets_per_tick=100
+        )
+        assert controller.reoptimizations >= 1
+        # Throughput after optimization is at least the unoptimized
+        # steady-state.
+        assert timeline[-1].throughput_gbps >= timeline[0].throughput_gbps
+
+    def test_json_source_to_source_deployable(self):
+        """Optimized JSON emitted by Pipeleon runs on the emulator and
+        forwards identically."""
+        program = nf_composition.build_program()
+        pipeleon = Pipeleon(
+            EMULATED_NIC, model=CostModel.for_target(EMULATED_NIC)
+        )
+        out_json, _plan = pipeleon.optimize_json(
+            dumps_program(program)
+        )
+        optimized = loads_program(out_json)
+
+        def outcomes(prog):
+            deployment = Deployment(
+                prog, EMULATED_NIC, native_cache=False
+            )
+            nf_composition.install_base_entries(
+                deployment.control_plane
+            )
+            results = []
+            for tos in (0, 1, 2):
+                packet = make_packet(
+                    dst=ipv4(192, 168, 0, 9),
+                    extra={"ipv4.tos": tos},
+                )
+                deployment.emulator.process(packet)
+                results.append((packet.dropped, packet.egress_port))
+            return results
+
+        assert outcomes(optimized) == outcomes(program)
+
+
+class TestHeterogeneousEndToEnd:
+    def test_partition_copy_and_run(self):
+        from repro.apps import migration
+
+        for n_copies in (0, 2):
+            program = migration.partitioned_program(4, n_copies)
+            deployment = Deployment(program, EMULATED_NIC)
+            deployment.insert_entry(
+                "cpu0", exact_entry(7, "cpu0_a0")
+            )
+            stats = deployment.run(
+                [make_packet() for _ in range(10)]
+            )
+            assert stats.packets == 10
+            assert stats.migrations > 0
+
+    def test_navigation_state_restored(self):
+        """Packets resume at the right table after migrating."""
+        from repro.apps import migration
+
+        program = migration.partitioned_program(3, 0)
+        deployment = Deployment(
+            program, EMULATED_NIC, instrument=False
+        )
+        result = deployment.emulator.process(make_packet())
+        tables_seen = [
+            n
+            for n in result.path
+            if n.startswith(("asic", "cpu")) and "__copy" not in n
+        ]
+        assert tables_seen == [
+            "asic0", "cpu0", "asic1", "cpu1", "asic2", "cpu2",
+        ]
+
+
+class TestBudgetsEndToEnd:
+    def test_zero_budget_means_reorder_only(self):
+        from repro.ir import linear_program
+
+        program = linear_program("p", 6, MatchType.TERNARY)
+        pipeleon = Pipeleon(
+            BLUEFIELD2,
+            budget=ResourceBudget(memory_bytes=0.0, update_pps=0.0),
+        )
+        plan = pipeleon.optimize(program)
+        for candidate in plan.candidates:
+            assert all(s.op == "none" for s in candidate.segments)
+
+    def test_memory_budget_limits_cache_count(self):
+        from repro.ir import linear_program
+
+        program = linear_program("p", 12, MatchType.TERNARY)
+        small = Pipeleon(
+            BLUEFIELD2,
+            budget=ResourceBudget(memory_bytes=70000),
+            search=SearchOptions(k=1.0, max_pipelet_len=3),
+        ).optimize(program)
+        large = Pipeleon(
+            BLUEFIELD2,
+            budget=ResourceBudget(memory_bytes=1e7),
+            search=SearchOptions(k=1.0, max_pipelet_len=3),
+        ).optimize(program)
+        assert large.total_gain_ns >= small.total_gain_ns
+        assert small.total_memory_bytes <= 70000

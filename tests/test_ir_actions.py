@@ -1,0 +1,99 @@
+"""Tests for repro.ir.actions."""
+
+import pytest
+
+from repro.errors import IrError
+from repro.ir.actions import (
+    Action,
+    ActionPrimitive,
+    DROP_FIELD,
+    PORT_FIELD,
+    Param,
+    drop_action,
+    forward_action,
+    noop_action,
+    prim,
+    set_field_action,
+)
+
+
+class TestParam:
+    def test_valid_index(self):
+        assert Param(0).index == 0
+        assert Param(3).index == 3
+
+    def test_negative_index_rejected(self):
+        with pytest.raises(IrError):
+            Param(-1)
+
+    def test_equality(self):
+        assert Param(1) == Param(1)
+        assert Param(1) != Param(2)
+
+
+class TestActionPrimitive:
+    def test_unknown_op_rejected(self):
+        with pytest.raises(IrError):
+            ActionPrimitive("teleport", ())
+
+    def test_arity_checked(self):
+        with pytest.raises(IrError):
+            ActionPrimitive("set_field", ("only_one",))
+        with pytest.raises(IrError):
+            ActionPrimitive("drop", ("extra",))
+
+    def test_writes_field_set_field(self):
+        assert prim("set_field", "ipv4.ttl", 64).writes_field == "ipv4.ttl"
+
+    def test_writes_field_drop_and_forward(self):
+        assert prim("drop").writes_field == DROP_FIELD
+        assert prim("forward", 3).writes_field == PORT_FIELD
+
+    def test_writes_field_noop(self):
+        assert prim("no_op").writes_field is None
+
+    def test_reads_fields_copy(self):
+        p = prim("copy_field", "a.x", "b.y")
+        assert p.reads_fields == ("b.y",)
+        assert p.writes_field == "a.x"
+
+    def test_reads_fields_add(self):
+        p = prim("add_to_field", "ipv4.ttl", -1)
+        assert p.reads_fields == ("ipv4.ttl",)
+
+
+class TestAction:
+    def test_primitive_count(self):
+        assert noop_action("n", 3).primitive_count == 3
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(IrError):
+            Action("")
+
+    def test_drops(self):
+        assert drop_action().drops
+        assert not noop_action().drops
+
+    def test_mixed_drop_detected(self):
+        action = Action("a", (prim("no_op"), prim("drop")))
+        assert action.drops
+
+    def test_written_fields(self):
+        action = set_field_action("s", {"ipv4.ttl": 64, "l4.dport": 80})
+        assert action.written_fields() == {"ipv4.ttl", "l4.dport"}
+
+    def test_read_fields(self):
+        action = Action(
+            "a",
+            (prim("copy_field", "x", "y"), prim("add_to_field", "z", 1)),
+        )
+        assert action.read_fields() == {"y", "z"}
+
+    def test_forward_action(self):
+        action = forward_action(7)
+        assert action.primitives[0].op == "forward"
+        assert action.primitives[0].args == (7,)
+
+    def test_param_in_action(self):
+        action = set_field_action("s", {"ipv4.dst": Param(0)})
+        assert Param(0) in action.primitives[0].args

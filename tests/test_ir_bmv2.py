@@ -1,0 +1,236 @@
+"""Tests for the p4c/BMv2 JSON importer, using a miniature but
+schema-faithful basic.p4-style compiler artifact."""
+
+import json
+
+import pytest
+
+from repro.errors import IrError
+from repro.ir.actions import Param
+from repro.ir.bmv2 import (
+    from_bmv2_json,
+    loads_bmv2,
+    looks_like_bmv2,
+)
+from repro.ir.tables import MatchType
+
+
+def basic_bmv2() -> dict:
+    """A hand-shrunk p4c-bm2-ss output for a basic L3 forwarder."""
+    return {
+        "program": "basic.p4",
+        "actions": [
+            {
+                "name": "MyIngress.drop",
+                "id": 0,
+                "runtime_data": [],
+                "primitives": [
+                    {
+                        "op": "mark_to_drop",
+                        "parameters": [
+                            {"type": "header", "value": "standard_metadata"}
+                        ],
+                    }
+                ],
+            },
+            {
+                "name": "MyIngress.ipv4_forward",
+                "id": 1,
+                "runtime_data": [
+                    {"name": "dstAddr", "bitwidth": 48},
+                    {"name": "port", "bitwidth": 9},
+                ],
+                "primitives": [
+                    {
+                        "op": "assign",
+                        "parameters": [
+                            {
+                                "type": "field",
+                                "value": ["ethernet", "dstAddr"],
+                            },
+                            {"type": "runtime_data", "value": 0},
+                        ],
+                    },
+                    {
+                        "op": "assign",
+                        "parameters": [
+                            {"type": "field", "value": ["ipv4", "ttl"]},
+                            {"type": "hexstr", "value": "0x3f"},
+                        ],
+                    },
+                ],
+            },
+            {
+                "name": "NoAction",
+                "id": 2,
+                "runtime_data": [],
+                "primitives": [],
+            },
+        ],
+        "pipelines": [
+            {
+                "name": "ingress",
+                "init_table": "node_2",
+                "tables": [
+                    {
+                        "name": "MyIngress.ipv4_lpm",
+                        "id": 0,
+                        "key": [
+                            {
+                                "match_type": "lpm",
+                                "target": ["ipv4", "dstAddr"],
+                            }
+                        ],
+                        "max_size": 1024,
+                        "actions": [
+                            "MyIngress.ipv4_forward",
+                            "MyIngress.drop",
+                            "NoAction",
+                        ],
+                        "next_tables": {
+                            "MyIngress.ipv4_forward": "MyIngress.acl",
+                            "MyIngress.drop": None,
+                            "NoAction": "MyIngress.acl",
+                        },
+                        "default_entry": {
+                            "action_id": 2,
+                            "action_const": False,
+                        },
+                    },
+                    {
+                        "name": "MyIngress.acl",
+                        "id": 1,
+                        "key": [
+                            {
+                                "match_type": "ternary",
+                                "target": ["ipv4", "srcAddr"],
+                            }
+                        ],
+                        "max_size": 512,
+                        "actions": ["MyIngress.drop", "NoAction"],
+                        "next_tables": {
+                            "MyIngress.drop": None,
+                            "NoAction": None,
+                        },
+                        "default_entry": {"action_id": 2},
+                    },
+                ],
+                "conditionals": [
+                    {
+                        "name": "node_2",
+                        "expression": {
+                            "type": "expression",
+                            "value": {
+                                "op": "==",
+                                "left": {
+                                    "type": "field",
+                                    "value": ["ethernet", "etherType"],
+                                },
+                                "right": {
+                                    "type": "hexstr",
+                                    "value": "0x800",
+                                },
+                            },
+                        },
+                        "true_next": "MyIngress.ipv4_lpm",
+                        "false_next": None,
+                    }
+                ],
+            }
+        ],
+    }
+
+
+class TestImport:
+    def test_structure(self):
+        program = from_bmv2_json(basic_bmv2())
+        assert program.root == "node_2"
+        assert set(program.nodes) == {
+            "node_2",
+            "MyIngress.ipv4_lpm",
+            "MyIngress.acl",
+        }
+
+    def test_match_types(self):
+        program = from_bmv2_json(basic_bmv2())
+        lpm = program.table("MyIngress.ipv4_lpm")
+        assert lpm.keys[0].match_type is MatchType.LPM
+        assert lpm.keys[0].field == "ipv4.dstAddr"
+        acl = program.table("MyIngress.acl")
+        assert acl.keys[0].match_type is MatchType.TERNARY
+
+    def test_action_conversion(self):
+        program = from_bmv2_json(basic_bmv2())
+        forward = program.table("MyIngress.ipv4_lpm").actions[
+            "MyIngress.ipv4_forward"
+        ]
+        ops = [p.op for p in forward.primitives]
+        assert ops == ["set_field", "set_field"]
+        assert forward.primitives[0].args == (
+            "ethernet.dstAddr",
+            Param(0),
+        )
+        assert forward.primitives[1].args == ("ipv4.ttl", 0x3F)
+        drop = program.table("MyIngress.acl").actions["MyIngress.drop"]
+        assert drop.drops
+
+    def test_default_action_from_default_entry(self):
+        program = from_bmv2_json(basic_bmv2())
+        assert (
+            program.table("MyIngress.ipv4_lpm").default_action
+            == "NoAction"
+        )
+
+    def test_conditional(self):
+        program = from_bmv2_json(basic_bmv2())
+        node = program.node("node_2")
+        assert node.condition.field == "ethernet.etherType"
+        assert node.condition.op == "eq"
+        assert node.condition.value == 0x800
+        assert node.true_next == "MyIngress.ipv4_lpm"
+
+    def test_loads_and_detection(self):
+        text = json.dumps(basic_bmv2())
+        program = loads_bmv2(text)
+        assert len(program) == 3
+        assert looks_like_bmv2(basic_bmv2())
+        assert not looks_like_bmv2({"nodes": []})
+
+    def test_unknown_pipeline_rejected(self):
+        with pytest.raises(IrError):
+            from_bmv2_json(basic_bmv2(), pipeline_name="egress")
+
+    def test_empty_rejected(self):
+        with pytest.raises(IrError):
+            from_bmv2_json({})
+
+
+class TestImportedProgramRuns:
+    def test_optimizes_and_executes(self):
+        """The imported program goes through the full Pipeleon stack."""
+        from repro.core import Deployment, Pipeleon
+        from repro.ir.entries import LpmValue, TableEntry
+        from repro.nic.packet import ipv4, make_packet
+        from repro.nic.targets import BLUEFIELD2
+
+        program = from_bmv2_json(basic_bmv2())
+        pipeleon = Pipeleon(BLUEFIELD2)
+        plan = pipeleon.optimize(program)
+        optimized = pipeleon.apply(program, plan).program
+
+        deployment = Deployment(program, BLUEFIELD2)
+        deployment.insert_entry(
+            "MyIngress.ipv4_lpm",
+            TableEntry(
+                (LpmValue(ipv4(10, 0, 0, 0), 8),),
+                "MyIngress.ipv4_forward",
+                (0x112233445566, 3),
+            ),
+        )
+        packet = make_packet(dst=ipv4(10, 1, 2, 3))
+        packet.set("ethernet.etherType", 0x800)
+        packet.set("ipv4.dstAddr", ipv4(10, 1, 2, 3))
+        result = deployment.emulator.process(packet)
+        assert "MyIngress.ipv4_lpm" in result.path
+        assert packet.get("ethernet.dstAddr") == 0x112233445566
+        assert packet.get("ipv4.ttl") == 0x3F

@@ -1,0 +1,183 @@
+"""Tests for ProgramBuilder, validation, and JSON round-tripping."""
+
+import json
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import IrError, ValidationError
+from repro.ir import (
+    Condition,
+    MatchType,
+    Param,
+    dumps_program,
+    entry_from_json,
+    entry_to_json,
+    linear_program,
+    loads_program,
+    program_from_json,
+    program_to_json,
+    validate_program,
+)
+from repro.ir.actions import Action, noop_action, prim
+from repro.ir.builder import ProgramBuilder
+from repro.ir.entries import (
+    ExactValue,
+    LpmValue,
+    RangeValue,
+    TableEntry,
+    TernaryValue,
+)
+from repro.synthesis import ProgramSynthesizer, SynthesisConfig
+
+
+class TestBuilder:
+    def test_chain_preserves_explicit_next(self):
+        builder = ProgramBuilder("p")
+        builder.table(
+            "a",
+            ["f"],
+            [noop_action("x"), noop_action("y")],
+            next_map={"x": "c"},
+        )
+        builder.table("b", ["g"], [noop_action("b_a")])
+        builder.table("c", ["h"], [noop_action("c_a")])
+        builder.chain(["a", "b", "c"])
+        program = builder.build(root="a")
+        # x was explicitly routed to c; only y got chained to b.
+        assert program.table("a").next_map["x"] == "c"
+        assert program.table("a").next_map["y"] == "b"
+
+    def test_duplicate_action_names_rejected(self):
+        builder = ProgramBuilder("p")
+        with pytest.raises(IrError):
+            builder.table(
+                "t", ["f"], [noop_action("same"), noop_action("same")]
+            )
+
+    def test_acl_table_defaults_to_permit(self):
+        builder = ProgramBuilder("p")
+        builder.acl_table("acl")
+        program = builder.build(root="acl")
+        table = program.table("acl")
+        assert table.default_action == "acl_permit"
+        assert table.annotations["role"] == "acl"
+
+    def test_build_validates(self):
+        builder = ProgramBuilder("p")
+        builder.table("t", ["f"], [noop_action("a")], next_node="ghost")
+        with pytest.raises(ValidationError):
+            builder.build(root="t")
+
+    def test_unknown_root_rejected(self):
+        builder = ProgramBuilder("p")
+        builder.table("t", ["f"], [noop_action("a")])
+        with pytest.raises(IrError):
+            builder.build(root="ghost")
+
+    def test_set_next(self):
+        builder = ProgramBuilder("p")
+        builder.table("a", ["f"], [noop_action("a0"), noop_action("a1")])
+        builder.table("b", ["g"], [noop_action("b0")])
+        builder.set_next("a", "b")
+        program = builder.build(root="a")
+        assert program.successors("a") == ["b"]
+
+
+class TestValidation:
+    def test_missing_next_reference(self, chain5):
+        node = chain5.table("chain5_t0")
+        node.next_map["chain5_t0_a0"] = "ghost"
+        with pytest.raises(ValidationError) as info:
+            validate_program(chain5)
+        assert any("ghost" in p for p in info.value.problems)
+
+    def test_no_root(self):
+        from repro.ir.program import Program
+
+        with pytest.raises(ValidationError):
+            validate_program(Program("empty"))
+
+    def test_all_problems_reported(self, chain5):
+        chain5.table("chain5_t0").next_map["chain5_t0_a0"] = "g1"
+        chain5.table("chain5_t1").next_map["chain5_t1_a0"] = "g2"
+        with pytest.raises(ValidationError) as info:
+            validate_program(chain5)
+        assert len(info.value.problems) >= 2
+
+
+class TestJsonRoundTrip:
+    def test_linear_program(self):
+        program = linear_program("p", 4, MatchType.LPM, n_primitives=2)
+        restored = loads_program(dumps_program(program))
+        assert program_to_json(restored) == program_to_json(program)
+
+    def test_param_serialization(self):
+        builder = ProgramBuilder("p")
+        builder.table(
+            "t",
+            ["f"],
+            [Action("set", (prim("set_field", "ipv4.dst", Param(0)),))],
+        )
+        program = builder.build(root="t")
+        restored = loads_program(dumps_program(program))
+        action = restored.table("t").actions["set"]
+        assert action.primitives[0].args[1] == Param(0)
+
+    def test_cache_info_round_trip(self, chain5):
+        from repro.core.transform import apply_cache
+
+        cached = apply_cache(
+            chain5, ["chain5_t1", "chain5_t2"], capacity=99
+        ).program
+        restored = loads_program(dumps_program(cached))
+        node = restored.table("cache__chain5_t1__chain5_t2")
+        assert node.cache_info is not None
+        assert node.cache_info.capacity == 99
+        assert node.cache_info.covers == ("chain5_t1", "chain5_t2")
+
+    def test_unknown_version_rejected(self):
+        with pytest.raises(IrError):
+            program_from_json({"format_version": 99, "nodes": []})
+
+    def test_unknown_node_type_rejected(self):
+        with pytest.raises(IrError):
+            program_from_json(
+                {"format_version": 1, "nodes": [{"type": "alien"}]}
+            )
+
+    def test_json_is_valid_json(self, branching_program):
+        text = dumps_program(branching_program)
+        json.loads(text)
+
+    @settings(max_examples=25, deadline=None)
+    @given(st.integers(min_value=0, max_value=10000))
+    def test_synthetic_program_round_trip(self, seed):
+        """Property: any synthesized program survives JSON round trip."""
+        program = ProgramSynthesizer(
+            SynthesisConfig(n_pipelets=5, seed=seed)
+        ).generate()
+        restored = loads_program(dumps_program(program))
+        assert program_to_json(restored) == program_to_json(program)
+        assert (
+            restored.topological_order() == program.topological_order()
+        )
+
+
+class TestEntryJson:
+    @pytest.mark.parametrize(
+        "value",
+        [
+            ExactValue(42),
+            LpmValue(0x0A000000, 8),
+            TernaryValue(0x12, 0xFF),
+            RangeValue(1, 10),
+        ],
+    )
+    def test_entry_round_trip(self, value):
+        entry = TableEntry((value,), "act", (1, Param(0)), priority=3)
+        restored = entry_from_json(entry_to_json(entry))
+        assert restored.match_values == entry.match_values
+        assert restored.action_name == entry.action_name
+        assert restored.action_data == entry.action_data
+        assert restored.priority == entry.priority

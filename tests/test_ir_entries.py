@@ -1,0 +1,138 @@
+"""Tests for repro.ir.entries — match value semantics."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import IrError
+from repro.ir.entries import (
+    ExactValue,
+    LpmValue,
+    RangeValue,
+    TableEntry,
+    TernaryValue,
+    WILDCARD,
+    distinct_masks,
+    distinct_prefix_lengths,
+    exact_entry,
+)
+
+u32 = st.integers(min_value=0, max_value=0xFFFFFFFF)
+
+
+class TestExactValue:
+    def test_matches(self):
+        assert ExactValue(5).matches(5)
+        assert not ExactValue(5).matches(6)
+
+    @given(u32)
+    def test_matches_itself(self, value):
+        assert ExactValue(value).matches(value)
+
+    @given(u32)
+    def test_as_ternary_equivalent(self, value):
+        ternary = ExactValue(value).as_ternary()
+        assert ternary.matches(value)
+        assert not ternary.matches(value ^ 1)
+
+
+class TestLpmValue:
+    def test_mask_computation(self):
+        assert LpmValue(0, 0).mask == 0
+        assert LpmValue(0, 32).mask == 0xFFFFFFFF
+        assert LpmValue(0, 8).mask == 0xFF000000
+
+    def test_prefix_match(self):
+        value = LpmValue(0x0A000000, 8)  # 10.0.0.0/8
+        assert value.matches(0x0A010203)
+        assert not value.matches(0x0B010203)
+
+    def test_invalid_prefix_rejected(self):
+        with pytest.raises(IrError):
+            LpmValue(0, 33)
+        with pytest.raises(IrError):
+            LpmValue(0, -1)
+
+    @given(u32, st.integers(min_value=0, max_value=32))
+    def test_lpm_and_ternary_agree(self, value, prefix_len):
+        lpm = LpmValue(value, prefix_len)
+        ternary = lpm.as_ternary()
+        for probe in (value, value ^ 0x1, value ^ 0x80000000):
+            assert lpm.matches(probe) == ternary.matches(probe)
+
+
+class TestTernaryValue:
+    def test_masked_match(self):
+        value = TernaryValue(0x1200, 0xFF00)
+        assert value.matches(0x12FF)
+        assert not value.matches(0x1300)
+
+    def test_wildcard_matches_everything(self):
+        assert WILDCARD.matches(0)
+        assert WILDCARD.matches(0xFFFFFFFF)
+        assert WILDCARD.is_wildcard
+
+    @given(u32, u32, u32)
+    def test_match_depends_only_on_masked_bits(self, value, mask, probe):
+        ternary = TernaryValue(value, mask)
+        assert ternary.matches(probe) == (
+            (probe & mask) == (value & mask)
+        )
+
+
+class TestRangeValue:
+    def test_inclusive_bounds(self):
+        value = RangeValue(10, 20)
+        assert value.matches(10)
+        assert value.matches(20)
+        assert not value.matches(9)
+        assert not value.matches(21)
+
+    def test_inverted_range_rejected(self):
+        with pytest.raises(IrError):
+            RangeValue(5, 4)
+
+
+class TestTableEntry:
+    def test_unique_ids(self):
+        a = exact_entry(1, "act")
+        b = exact_entry(1, "act")
+        assert a.entry_id != b.entry_id
+
+    def test_clone_gets_fresh_id(self):
+        entry = exact_entry((1, 2), "act", (9,))
+        clone = entry.clone()
+        assert clone.entry_id != entry.entry_id
+        assert clone.match_values == entry.match_values
+        assert clone.action_data == entry.action_data
+
+    def test_matches_tuple(self):
+        entry = exact_entry((1, 2), "act")
+        assert entry.matches((1, 2))
+        assert not entry.matches((1, 3))
+        assert not entry.matches((1,))  # arity mismatch
+
+    def test_size_bytes_scales_with_fields(self):
+        one = exact_entry((1,), "a")
+        three = exact_entry((1, 2, 3), "a")
+        assert three.size_bytes > one.size_bytes
+
+
+class TestEntryStatistics:
+    def test_distinct_masks_counts_groups(self):
+        entries = [
+            TableEntry((TernaryValue(1, 0xFF),), "a"),
+            TableEntry((TernaryValue(2, 0xFF),), "a"),
+            TableEntry((TernaryValue(3, 0xFF00),), "a"),
+        ]
+        assert distinct_masks(entries) == 2
+
+    def test_distinct_masks_empty_is_one(self):
+        assert distinct_masks([]) == 1
+
+    def test_distinct_prefix_lengths(self):
+        entries = [
+            TableEntry((LpmValue(0, 8),), "a"),
+            TableEntry((LpmValue(0x0A000000, 16),), "a"),
+            TableEntry((LpmValue(0x0B000000, 16),), "a"),
+        ]
+        assert distinct_prefix_lengths(entries) == 2

@@ -1,0 +1,124 @@
+"""Tests for the program DAG container."""
+
+import pytest
+
+from repro.errors import IrError
+from repro.ir import linear_program
+from repro.ir.actions import noop_action
+from repro.ir.builder import ProgramBuilder
+from repro.ir.conditionals import Condition
+from repro.ir.program import Program
+from repro.ir.tables import Pipeline
+
+
+class TestConstruction:
+    def test_duplicate_name_rejected(self, chain5):
+        with pytest.raises(IrError):
+            chain5.add(chain5.node("chain5_t0"))
+
+    def test_first_node_becomes_root(self):
+        program = linear_program("p", 3)
+        assert program.root == "p_t0"
+
+    def test_missing_node_raises(self, chain5):
+        with pytest.raises(IrError):
+            chain5.node("ghost")
+
+    def test_table_accessor_rejects_conditionals(self, branching_program):
+        with pytest.raises(IrError):
+            branching_program.table("cond")
+
+    def test_contains_and_len(self, chain5):
+        assert "chain5_t0" in chain5
+        assert "ghost" not in chain5
+        assert len(chain5) == 5
+
+
+class TestTraversal:
+    def test_successors(self, chain5):
+        assert chain5.successors("chain5_t0") == ["chain5_t1"]
+        assert chain5.successors("chain5_t4") == []
+
+    def test_predecessors(self, branching_program):
+        assert set(branching_program.predecessors("join")) == {
+            "left",
+            "right",
+        }
+
+    def test_topological_order_linear(self, chain5):
+        assert chain5.topological_order() == [
+            f"chain5_t{i}" for i in range(5)
+        ]
+
+    def test_topological_order_diamond(self, branching_program):
+        order = branching_program.topological_order()
+        assert order.index("t0") < order.index("cond")
+        assert order.index("cond") < order.index("left")
+        assert order.index("left") < order.index("join")
+        assert order.index("right") < order.index("join")
+
+    def test_cycle_detected(self):
+        program = linear_program("cyc", 3)
+        tail = program.table("cyc_t2")
+        for action in tail.next_map:
+            tail.next_map[action] = "cyc_t0"
+        with pytest.raises(IrError):
+            program.topological_order()
+
+    def test_reachable_excludes_orphans(self, chain5):
+        builder_orphan = linear_program("orphan", 1).node("orphan_t0")
+        chain5.nodes["orphan_t0"] = builder_orphan
+        assert "orphan_t0" not in chain5.reachable()
+
+    def test_prune_unreachable(self, chain5):
+        chain5.nodes["zombie"] = linear_program("z", 1).node("z_t0").clone(
+            name="zombie"
+        )
+        removed = chain5.prune_unreachable()
+        assert removed == ["zombie"]
+        assert "zombie" not in chain5
+
+    def test_paths_diamond(self, branching_program):
+        paths = branching_program.paths()
+        as_sets = {tuple(p) for p in paths}
+        assert ("t0", "cond", "left", "join") in as_sets
+        assert ("t0", "cond", "right", "join") in as_sets
+        assert len(paths) == 2
+
+    def test_edges_labelled(self, branching_program):
+        edges = list(branching_program.edges())
+        assert ("cond", "left", "true") in edges
+        assert ("cond", "right", "false") in edges
+
+
+class TestRewriting:
+    def test_replace_next(self, chain5):
+        count = chain5.replace_next("chain5_t1", "chain5_t2")
+        assert count == 2  # two actions of t0 pointed at t1
+        assert chain5.successors("chain5_t0") == ["chain5_t2"]
+
+    def test_replace_next_updates_root(self, chain5):
+        chain5.replace_next("chain5_t0", "chain5_t1")
+        assert chain5.root == "chain5_t1"
+
+    def test_clone_deep(self, chain5):
+        clone = chain5.clone()
+        node = clone.table("chain5_t0")
+        for action in node.next_map:
+            node.next_map[action] = None
+        assert chain5.successors("chain5_t0") == ["chain5_t1"]
+
+
+class TestPipelines:
+    def test_homogeneous_by_default(self, chain5):
+        assert not chain5.is_heterogeneous
+
+    def test_assign_pipeline(self, chain5):
+        chain5.assign_pipeline(["chain5_t3", "chain5_t4"], Pipeline.CPU)
+        assert chain5.is_heterogeneous
+        assert chain5.node("chain5_t3").pipeline is Pipeline.CPU
+
+    def test_summary_lists_all_nodes(self, branching_program):
+        summary = branching_program.summary()
+        for name in branching_program.nodes:
+            assert name in summary

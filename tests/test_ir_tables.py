@@ -1,0 +1,125 @@
+"""Tests for repro.ir.tables."""
+
+import pytest
+
+from repro.errors import IrError
+from repro.ir.actions import drop_action, noop_action
+from repro.ir.tables import (
+    CacheInfo,
+    MatchKey,
+    MatchType,
+    Pipeline,
+    TableKind,
+    TableNode,
+)
+
+
+def make_table(name="t", next_map=None, **kwargs):
+    actions = {
+        "a0": noop_action("a0"),
+        "a1": noop_action("a1"),
+    }
+    defaults = dict(
+        name=name,
+        keys=(MatchKey("ipv4.dst"),),
+        actions=actions,
+        default_action="a1",
+        next_map=next_map or {"a0": None, "a1": None},
+    )
+    defaults.update(kwargs)
+    return TableNode(**defaults)
+
+
+class TestMatchKey:
+    def test_string_coercion(self):
+        key = MatchKey("f", "lpm")
+        assert key.match_type is MatchType.LPM
+
+    def test_empty_field_rejected(self):
+        with pytest.raises(IrError):
+            MatchKey("")
+
+
+class TestTableNode:
+    def test_default_action_must_exist(self):
+        with pytest.raises(IrError):
+            make_table(default_action="missing")
+
+    def test_next_map_unknown_action_rejected(self):
+        with pytest.raises(IrError):
+            make_table(next_map={"ghost": None})
+
+    def test_next_map_filled_for_all_actions(self):
+        table = make_table(next_map={"a0": "x"})
+        assert table.next_map["a1"] is None
+
+    def test_switch_case_detection(self):
+        linear = make_table(next_map={"a0": "x", "a1": "x"})
+        assert not linear.is_switch_case
+        switch = make_table(next_map={"a0": "x", "a1": "y"})
+        assert switch.is_switch_case
+
+    def test_successors_deduplicated(self):
+        table = make_table(next_map={"a0": "x", "a1": "x"})
+        assert table.successors() == ["x"]
+
+    def test_next_for_unknown_action(self):
+        with pytest.raises(IrError):
+            make_table().next_for("nope")
+
+    def test_worst_match_type_ordering(self):
+        table = TableNode(
+            name="t",
+            keys=(
+                MatchKey("a", MatchType.EXACT),
+                MatchKey("b", MatchType.TERNARY),
+                MatchKey("c", MatchType.LPM),
+            ),
+            actions={"a0": noop_action("a0")},
+            default_action="a0",
+            next_map={"a0": None},
+        )
+        assert table.worst_match_type is MatchType.TERNARY
+
+    def test_can_drop(self):
+        table = TableNode(
+            name="acl",
+            keys=(MatchKey("f"),),
+            actions={
+                "deny": drop_action("deny"),
+                "permit": noop_action("permit"),
+            },
+            default_action="permit",
+            next_map={"deny": None, "permit": None},
+        )
+        assert table.can_drop
+        assert not make_table().can_drop
+
+    def test_read_fields_include_keys(self):
+        assert "ipv4.dst" in make_table().read_fields()
+
+    def test_clone_is_independent(self):
+        table = make_table(next_map={"a0": "x", "a1": "x"})
+        clone = table.clone()
+        clone.next_map["a0"] = "y"
+        assert table.next_map["a0"] == "x"
+
+    def test_clone_with_overrides(self):
+        clone = make_table().clone(name="other", pipeline=Pipeline.CPU)
+        assert clone.name == "other"
+        assert clone.pipeline is Pipeline.CPU
+
+    def test_cache_kind_requires_cache_info(self):
+        with pytest.raises(IrError):
+            make_table(kind=TableKind.CACHE)
+
+
+class TestCacheInfo:
+    def test_mode_validation(self):
+        with pytest.raises(IrError):
+            CacheInfo(covers=("t",), hit_next=None, miss_next="t",
+                      mode="bogus")
+
+    def test_empty_covers_rejected(self):
+        with pytest.raises(IrError):
+            CacheInfo(covers=(), hit_next=None, miss_next="t")

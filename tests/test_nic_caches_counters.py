@@ -1,0 +1,145 @@
+"""Tests for flow caches, token buckets, and counter banks."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.nic.counters import (
+    CounterBank,
+    action_counter,
+    branch_counter,
+    cache_counter,
+)
+from repro.nic.flow_cache import FlowCache, TokenBucket
+
+
+class TestTokenBucket:
+    def test_allows_up_to_burst(self):
+        bucket = TokenBucket(rate_per_s=10, burst=3)
+        assert bucket.allow(0.0)
+        assert bucket.allow(0.0)
+        assert bucket.allow(0.0)
+        assert not bucket.allow(0.0)
+
+    def test_refills_over_time(self):
+        bucket = TokenBucket(rate_per_s=10, burst=1)
+        assert bucket.allow(0.0)
+        assert not bucket.allow(0.0)
+        assert bucket.allow(0.2)  # 2 tokens refilled, capped at burst 1
+
+    def test_rejects_nonpositive_rate(self):
+        with pytest.raises(ValueError):
+            TokenBucket(0)
+
+
+class TestFlowCache:
+    def test_lookup_miss_then_hit(self):
+        cache = FlowCache(capacity=4)
+        assert cache.lookup(("k",)) is None
+        cache.insert(("k",), (("no_op", ()),), now_s=0.0)
+        assert cache.lookup(("k",)) == (("no_op", ()),)
+        assert cache.stats.hits == 1
+        assert cache.stats.misses == 1
+
+    def test_lru_eviction(self):
+        cache = FlowCache(capacity=2)
+        cache.insert("a", (), 0.0)
+        cache.insert("b", (), 0.0)
+        cache.lookup("a")  # refresh a
+        cache.insert("c", (), 0.0)  # evicts b
+        assert "a" in cache
+        assert "b" not in cache
+        assert "c" in cache
+        assert cache.stats.evictions == 1
+
+    def test_capacity_never_exceeded(self):
+        cache = FlowCache(capacity=8)
+        for i in range(100):
+            cache.insert(i, (), 0.0)
+        assert len(cache) == 8
+
+    @settings(max_examples=30, deadline=None)
+    @given(st.lists(st.integers(min_value=0, max_value=30), max_size=200))
+    def test_capacity_invariant_property(self, ops):
+        cache = FlowCache(capacity=5)
+        for i, key in enumerate(ops):
+            if key % 3 == 0:
+                cache.lookup(key)
+            else:
+                cache.insert(key, (), float(i))
+            assert len(cache) <= 5
+
+    def test_insertion_rate_limit(self):
+        cache = FlowCache(capacity=100, insertion_limit_pps=1.0)
+        # burst = 1 token; only the first immediate insert succeeds.
+        assert cache.insert("a", (), 0.0)
+        assert not cache.insert("b", (), 0.0)
+        assert cache.stats.rejected_insertions == 1
+        assert cache.insert("c", (), 2.0)  # refilled after 2s
+
+    def test_invalidate_all(self):
+        cache = FlowCache(capacity=4)
+        cache.insert("a", (), 0.0)
+        cache.insert("b", (), 0.0)
+        assert cache.invalidate_all() == 2
+        assert len(cache) == 0
+        assert cache.stats.invalidations == 1
+
+    def test_reinsert_updates_value(self):
+        cache = FlowCache(capacity=4)
+        cache.insert("a", (("no_op", ()),), 0.0)
+        cache.insert("a", (("drop", ()),), 0.0)
+        assert cache.lookup("a") == (("drop", ()),)
+        assert len(cache) == 1
+
+    def test_hit_rate(self):
+        cache = FlowCache(capacity=4)
+        cache.insert("a", (), 0.0)
+        cache.lookup("a")
+        cache.lookup("b")
+        assert cache.hit_rate() == pytest.approx(0.5)
+
+    def test_invalid_capacity(self):
+        with pytest.raises(ValueError):
+            FlowCache(capacity=0)
+
+
+class TestCounterBank:
+    def test_bump_and_read(self):
+        bank = CounterBank()
+        key = action_counter("t1", "a0")
+        bank.bump(key, 512)
+        bank.bump(key, 512)
+        assert bank.packets(key) == 2
+        assert bank.snapshot()[key] == 2
+
+    def test_counter_key_helpers_distinct(self):
+        assert action_counter("t", "a") != branch_counter("t", True)
+        assert branch_counter("c", True) != branch_counter("c", False)
+        assert cache_counter("x", True) == ("cache", "x", "hit")
+
+    def test_sampling_stride(self):
+        bank = CounterBank(sample_stride=4)
+        sampled = [bank.begin_packet() for _ in range(8)]
+        assert sampled == [True, False, False, False] * 2
+
+    def test_scaled_counts(self):
+        bank = CounterBank(sample_stride=10)
+        key = action_counter("t", "a")
+        for _ in range(30):
+            if bank.begin_packet():
+                bank.bump(key)
+        assert bank.packets(key) == 3
+        assert bank.scaled_packets(key) == 30
+        assert bank.snapshot()[key] == 30
+
+    def test_reset(self):
+        bank = CounterBank()
+        bank.begin_packet()
+        bank.bump(action_counter("t", "a"))
+        bank.reset()
+        assert bank.snapshot() == {}
+        assert bank.begin_packet()  # stride restarts
+
+    def test_invalid_stride(self):
+        with pytest.raises(ValueError):
+            CounterBank(sample_stride=0)

@@ -1,0 +1,220 @@
+"""Tests for the NIC emulator: execution, costs, caches, migration."""
+
+import pytest
+
+from repro.errors import EmulationError
+from repro.ir import exact_entry, linear_program
+from repro.ir.actions import Action, Param, drop_action, noop_action, prim
+from repro.ir.builder import ProgramBuilder
+from repro.ir.conditionals import Condition
+from repro.ir.entries import ExactValue, TableEntry
+from repro.ir.tables import Pipeline
+from repro.nic.counters import action_counter, branch_counter
+from repro.nic.emulator import NicEmulator
+from repro.nic.packet import make_packet
+from repro.nic.targets import AGILIO_CX, BLUEFIELD2, EMULATED_NIC
+
+
+class TestBasicExecution:
+    def test_latency_scales_with_tables(self):
+        short = linear_program("s", 5)
+        long = linear_program("l", 20)
+        lat_short = NicEmulator(short, BLUEFIELD2).process(
+            make_packet()
+        ).latency_ns
+        lat_long = NicEmulator(long, BLUEFIELD2).process(
+            make_packet()
+        ).latency_ns
+        assert lat_long == pytest.approx(lat_short * 4)
+
+    def test_exact_table_cost_formula(self):
+        """1 table, 1 action primitive, 1 counter update per packet."""
+        program = linear_program("p", 1, n_actions=1, n_primitives=1)
+        result = NicEmulator(program, BLUEFIELD2).process(make_packet())
+        core = BLUEFIELD2.asic
+        expected = core.lookup_ns + core.action_ns + core.counter_update_ns
+        assert result.latency_ns == pytest.approx(expected)
+
+    def test_uninstrumented_skips_counter_cost(self):
+        program = linear_program("p", 1, n_actions=1, n_primitives=1)
+        result = NicEmulator(
+            program, BLUEFIELD2, instrument=False
+        ).process(make_packet())
+        core = BLUEFIELD2.asic
+        assert result.latency_ns == pytest.approx(
+            core.lookup_ns + core.action_ns
+        )
+
+    def test_entry_action_executes(self):
+        builder = ProgramBuilder("p")
+        builder.table(
+            "t",
+            ["ipv4.dst"],
+            [
+                Action("rewrite", (prim("set_field", "l4.dport", Param(0)),)),
+                noop_action("miss"),
+            ],
+            default_action="miss",
+        )
+        program = builder.build(root="t")
+        emulator = NicEmulator(program, BLUEFIELD2)
+        packet = make_packet(dst=42)
+        emulator.set_table_entries(
+            "t", [TableEntry((ExactValue(42),), "rewrite", (9999,))]
+        )
+        emulator.process(packet)
+        assert packet.get("l4.dport") == 9999
+
+    def test_drop_halts_execution(self):
+        builder = ProgramBuilder("p")
+        builder.table(
+            "acl",
+            ["l4.dport"],
+            [drop_action("deny"), noop_action("permit")],
+            default_action="permit",
+            next_node="t2",
+        )
+        builder.table("t2", ["ipv4.dst"], [noop_action("t2_a")])
+        program = builder.build(root="acl")
+        emulator = NicEmulator(program, BLUEFIELD2)
+        emulator.set_table_entries(
+            "acl", [TableEntry((ExactValue(6666),), "deny")]
+        )
+        dropped = emulator.process(make_packet(dport=6666))
+        passed = emulator.process(make_packet(dport=80))
+        assert dropped.dropped and not passed.dropped
+        assert "t2" not in dropped.path
+        assert "t2" in passed.path
+        assert dropped.latency_ns < passed.latency_ns
+
+    def test_conditional_branching(self, branching_program):
+        emulator = NicEmulator(branching_program, BLUEFIELD2)
+        left = emulator.process(make_packet(extra={"ipv4.tos": 1}))
+        right = emulator.process(make_packet(extra={"ipv4.tos": 0}))
+        assert "left" in left.path and "right" not in left.path
+        assert "right" in right.path and "left" not in right.path
+
+    def test_cycle_guard(self):
+        program = linear_program("cyc", 2)
+        tail = program.table("cyc_t1")
+        for action in tail.next_map:
+            tail.next_map[action] = "cyc_t0"
+        emulator = NicEmulator(program, BLUEFIELD2, max_steps=50)
+        with pytest.raises(EmulationError):
+            emulator.process(make_packet())
+
+    def test_counters_recorded(self, branching_program):
+        emulator = NicEmulator(branching_program, BLUEFIELD2)
+        emulator.process(make_packet(extra={"ipv4.tos": 1}))
+        snapshot = emulator.counters.snapshot()
+        assert snapshot[branch_counter("cond", True)] == 1
+        # default action of t0 fired (no entries installed)
+        assert snapshot[action_counter("t0", "t0_a1")] == 1
+
+
+class TestThroughputModel:
+    def test_line_rate_cap(self):
+        tiny = linear_program("tiny", 1)
+        stats = NicEmulator(tiny, BLUEFIELD2).run(
+            [make_packet() for _ in range(10)]
+        )
+        assert stats.throughput_gbps(BLUEFIELD2) == pytest.approx(100.0)
+
+    def test_22_exact_tables_in_fig9a_range(self):
+        """The Fig. 9a baseline: ~50 Gbps at 22 exact tables."""
+        program = linear_program("bench", 22)
+        stats = NicEmulator(program, BLUEFIELD2).run(
+            [make_packet() for _ in range(50)]
+        )
+        assert 40 < stats.throughput_gbps(BLUEFIELD2) < 65
+
+    def test_agilio_slower_than_bluefield(self):
+        program = linear_program("bench", 22)
+        bf = NicEmulator(program, BLUEFIELD2, native_cache=False).run(
+            [make_packet() for _ in range(20)]
+        )
+        ag = NicEmulator(program, AGILIO_CX, native_cache=False).run(
+            [make_packet() for _ in range(20)]
+        )
+        assert ag.throughput_gbps(AGILIO_CX) < bf.throughput_gbps(
+            BLUEFIELD2
+        )
+
+    def test_run_advances_clock(self):
+        program = linear_program("p", 2)
+        emulator = NicEmulator(program, BLUEFIELD2)
+        emulator.run(
+            [make_packet() for _ in range(100)], offered_pps=1000.0
+        )
+        assert emulator.clock.now_s == pytest.approx(0.1)
+
+
+class TestMigration:
+    def build_hetero(self):
+        program = linear_program("het", 4)
+        program.assign_pipeline(["het_t1", "het_t2"], Pipeline.CPU)
+        return program
+
+    def test_migrations_counted(self):
+        result = NicEmulator(self.build_hetero(), EMULATED_NIC).process(
+            make_packet()
+        )
+        assert result.migrations == 2  # asic->cpu and cpu->asic
+
+    def test_migration_latency_charged(self):
+        hetero = self.build_hetero()
+        flat = linear_program("het", 4)
+        lat_hetero = NicEmulator(hetero, EMULATED_NIC).process(
+            make_packet()
+        ).latency_ns
+        lat_flat = NicEmulator(flat, EMULATED_NIC).process(
+            make_packet()
+        ).latency_ns
+        # CPU tables cost 3x plus two migrations.
+        assert lat_hetero > lat_flat + 2 * EMULATED_NIC.migration_ns - 1
+
+    def test_busy_time_split_between_pools(self):
+        result = NicEmulator(self.build_hetero(), EMULATED_NIC).process(
+            make_packet()
+        )
+        assert result.busy_ns[Pipeline.ASIC] > 0
+        assert result.busy_ns[Pipeline.CPU] > 0
+
+
+class TestNativeCache:
+    def test_native_cache_speeds_up_repeated_flow(self):
+        program = linear_program("p", 10)
+        emulator = NicEmulator(program, AGILIO_CX, native_cache=True)
+        first = emulator.process(make_packet())
+        second = emulator.process(make_packet())
+        assert second.latency_ns < first.latency_ns / 2
+
+    def test_native_cache_respects_program_metadata(self):
+        program = linear_program("p", 4)
+        program.metadata["native_cache_compatible"] = False
+        emulator = NicEmulator(program, AGILIO_CX)
+        assert emulator.native_cache is None
+
+    def test_native_cache_preserves_effects(self):
+        builder = ProgramBuilder("p")
+        builder.table(
+            "t",
+            ["ipv4.dst"],
+            [
+                Action("mark", (prim("set_field", "ipv4.tos", 7),)),
+                noop_action("miss"),
+            ],
+            default_action="miss",
+        )
+        program = builder.build(root="t")
+        emulator = NicEmulator(program, AGILIO_CX, native_cache=True)
+        emulator.set_table_entries(
+            "t", [TableEntry((ExactValue(make_packet().get("ipv4.dst")),),
+                             "mark")]
+        )
+        p1 = make_packet()
+        emulator.process(p1)
+        p2 = make_packet()
+        emulator.process(p2)  # served from native cache
+        assert p1.get("ipv4.tos") == 7
+        assert p2.get("ipv4.tos") == 7

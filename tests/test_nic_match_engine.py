@@ -1,0 +1,277 @@
+"""Tests for the match engines, including oracle-equivalence properties."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import ControlPlaneError, UnknownEntryError
+from repro.ir.entries import (
+    ExactValue,
+    LpmValue,
+    RangeValue,
+    TableEntry,
+    TernaryValue,
+)
+from repro.ir.tables import MatchKey, MatchType
+from repro.nic.match_engine import (
+    ExactEngine,
+    LpmEngine,
+    RangeEngine,
+    TernaryEngine,
+    build_engine,
+)
+
+u32 = st.integers(min_value=0, max_value=0xFFFFFFFF)
+
+
+def keys(*specs):
+    return tuple(MatchKey(f, t) for f, t in specs)
+
+
+class TestBuildEngine:
+    def test_exact(self):
+        engine = build_engine(keys(("a", MatchType.EXACT)))
+        assert isinstance(engine, ExactEngine)
+
+    def test_single_lpm(self):
+        engine = build_engine(
+            keys(("a", MatchType.EXACT), ("b", MatchType.LPM))
+        )
+        assert isinstance(engine, LpmEngine)
+
+    def test_two_lpm_falls_back_to_ternary(self):
+        engine = build_engine(
+            keys(("a", MatchType.LPM), ("b", MatchType.LPM))
+        )
+        assert isinstance(engine, TernaryEngine)
+
+    def test_ternary(self):
+        engine = build_engine(keys(("a", MatchType.TERNARY)))
+        assert isinstance(engine, TernaryEngine)
+
+    def test_range(self):
+        engine = build_engine(
+            keys(("a", MatchType.RANGE), ("b", MatchType.EXACT))
+        )
+        assert isinstance(engine, RangeEngine)
+
+    def test_no_keys_is_exact(self):
+        assert isinstance(build_engine(()), ExactEngine)
+
+
+class TestExactEngine:
+    def test_lookup_hit_and_miss(self):
+        engine = ExactEngine(keys(("a", MatchType.EXACT)))
+        entry = TableEntry((ExactValue(5),), "act")
+        engine.add(entry)
+        assert engine.lookup((5,)) is entry
+        assert engine.lookup((6,)) is None
+
+    def test_duplicate_key_rejected(self):
+        engine = ExactEngine(keys(("a", MatchType.EXACT)))
+        engine.add(TableEntry((ExactValue(5),), "act"))
+        with pytest.raises(ControlPlaneError):
+            engine.add(TableEntry((ExactValue(5),), "other"))
+        assert len(engine) == 1  # failed add didn't leak
+
+    def test_wrong_value_kind_rejected(self):
+        engine = ExactEngine(keys(("a", MatchType.EXACT)))
+        with pytest.raises(ControlPlaneError):
+            engine.add(TableEntry((TernaryValue(1, 1),), "act"))
+
+    def test_arity_mismatch_rejected(self):
+        engine = ExactEngine(
+            keys(("a", MatchType.EXACT), ("b", MatchType.EXACT))
+        )
+        with pytest.raises(ControlPlaneError):
+            engine.add(TableEntry((ExactValue(1),), "act"))
+
+    def test_remove(self):
+        engine = ExactEngine(keys(("a", MatchType.EXACT)))
+        entry = TableEntry((ExactValue(5),), "act")
+        engine.add(entry)
+        engine.remove(entry.entry_id)
+        assert engine.lookup((5,)) is None
+        with pytest.raises(UnknownEntryError):
+            engine.remove(entry.entry_id)
+
+    def test_memory_accesses_constant(self):
+        engine = ExactEngine(keys(("a", MatchType.EXACT)))
+        assert engine.memory_accesses == 1
+        for i in range(10):
+            engine.add(TableEntry((ExactValue(i),), "act"))
+        assert engine.memory_accesses == 1
+
+
+class TestLpmEngine:
+    def make(self):
+        return LpmEngine(
+            keys(("port", MatchType.EXACT), ("dst", MatchType.LPM))
+        )
+
+    def test_longest_prefix_wins(self):
+        engine = self.make()
+        short = TableEntry(
+            (ExactValue(1), LpmValue(0x0A000000, 8)), "short"
+        )
+        long = TableEntry(
+            (ExactValue(1), LpmValue(0x0A010000, 16)), "long"
+        )
+        engine.add(short)
+        engine.add(long)
+        assert engine.lookup((1, 0x0A010203)) is long
+        assert engine.lookup((1, 0x0A990203)) is short
+
+    def test_exact_key_must_match(self):
+        engine = self.make()
+        engine.add(TableEntry((ExactValue(1), LpmValue(0, 0)), "any"))
+        assert engine.lookup((2, 1234)) is None
+        assert engine.lookup((1, 1234)) is not None
+
+    def test_memory_accesses_tracks_prefix_lengths(self):
+        engine = self.make()
+        assert engine.memory_accesses == 1
+        engine.add(TableEntry((ExactValue(1), LpmValue(0, 8)), "a"))
+        engine.add(
+            TableEntry((ExactValue(1), LpmValue(0x0A000000, 16)), "b")
+        )
+        engine.add(
+            TableEntry((ExactValue(1), LpmValue(0x0B000000, 16)), "c")
+        )
+        assert engine.memory_accesses == 2
+        for entry in list(engine.entries()):
+            engine.remove(entry.entry_id)
+        assert engine.memory_accesses == 1
+
+    def test_requires_exactly_one_lpm(self):
+        with pytest.raises(ControlPlaneError):
+            LpmEngine(keys(("a", MatchType.EXACT)))
+
+    def test_default_route(self):
+        engine = self.make()
+        default = TableEntry((ExactValue(1), LpmValue(0, 0)), "default")
+        engine.add(default)
+        assert engine.lookup((1, 0xDEADBEEF)) is default
+
+    @settings(max_examples=50, deadline=None)
+    @given(
+        st.lists(
+            st.tuples(u32, st.integers(min_value=0, max_value=32)),
+            min_size=1,
+            max_size=12,
+        ),
+        u32,
+    )
+    def test_agrees_with_oracle(self, rows, probe):
+        """Property: LPM lookup == longest matching prefix by scan."""
+        engine = LpmEngine(keys(("dst", MatchType.LPM)))
+        seen = set()
+        for value, plen in rows:
+            lpm = LpmValue(value, plen)
+            key = (plen, value & lpm.mask)
+            if key in seen:
+                continue
+            seen.add(key)
+            engine.add(TableEntry((lpm,), "act", priority=plen))
+        got = engine.lookup((probe,))
+        expected = engine.oracle_lookup((probe,))
+        if expected is None:
+            assert got is None
+        else:
+            # Both must match; the engine returns the longest prefix,
+            # the oracle the highest priority (= prefix length here).
+            assert got is not None
+            got_len = got.match_values[0].prefix_len
+            exp_len = expected.match_values[0].prefix_len
+            assert got_len == exp_len
+
+
+class TestTernaryEngine:
+    def test_priority_wins(self):
+        engine = TernaryEngine(keys(("f", MatchType.TERNARY)))
+        low = TableEntry((TernaryValue(0, 0),), "low", priority=0)
+        high = TableEntry(
+            (TernaryValue(0x10, 0xF0),), "high", priority=5
+        )
+        engine.add(low)
+        engine.add(high)
+        assert engine.lookup((0x12,)) is high
+        assert engine.lookup((0x22,)) is low
+
+    def test_mixed_exact_and_ternary_keys(self):
+        engine = TernaryEngine(
+            keys(("a", MatchType.EXACT), ("b", MatchType.TERNARY))
+        )
+        entry = TableEntry(
+            (ExactValue(7), TernaryValue(0x100, 0xF00)), "act"
+        )
+        engine.add(entry)
+        assert engine.lookup((7, 0x123)) is entry
+        assert engine.lookup((8, 0x123)) is None
+
+    def test_memory_accesses_counts_mask_groups(self):
+        engine = TernaryEngine(keys(("f", MatchType.TERNARY)))
+        assert engine.memory_accesses == 1
+        for i in range(4):
+            engine.add(
+                TableEntry(
+                    (TernaryValue(i, 0xFF << (4 * i)),), "act"
+                )
+            )
+        assert engine.memory_accesses == 4
+
+    def test_remove_cleans_groups(self):
+        engine = TernaryEngine(keys(("f", MatchType.TERNARY)))
+        entry = TableEntry((TernaryValue(1, 0xFF),), "act")
+        engine.add(entry)
+        engine.remove(entry.entry_id)
+        assert engine.memory_accesses == 1
+        assert engine.lookup((1,)) is None
+
+    def test_range_values_rejected(self):
+        engine = TernaryEngine(keys(("f", MatchType.TERNARY)))
+        with pytest.raises(ControlPlaneError):
+            engine.add(TableEntry((RangeValue(1, 2),), "act"))
+
+    @settings(max_examples=50, deadline=None)
+    @given(
+        st.lists(
+            st.tuples(
+                u32, u32, st.integers(min_value=0, max_value=100)
+            ),
+            max_size=12,
+        ),
+        u32,
+    )
+    def test_agrees_with_oracle(self, rows, probe):
+        """Property: ternary lookup == highest-priority linear scan."""
+        engine = TernaryEngine(keys(("f", MatchType.TERNARY)))
+        for value, mask, priority in rows:
+            engine.add(
+                TableEntry(
+                    (TernaryValue(value, mask),), "act", priority=priority
+                )
+            )
+        got = engine.lookup((probe,))
+        expected = engine.oracle_lookup((probe,))
+        if expected is None:
+            assert got is None
+        else:
+            assert got is not None
+            assert got.priority == expected.priority
+
+
+class TestRangeEngine:
+    def test_range_lookup(self):
+        engine = RangeEngine(keys(("p", MatchType.RANGE)))
+        entry = TableEntry((RangeValue(1000, 2000),), "act")
+        engine.add(entry)
+        assert engine.lookup((1500,)) is entry
+        assert engine.lookup((2001,)) is None
+
+    def test_memory_accesses_capped(self):
+        engine = RangeEngine(keys(("p", MatchType.RANGE)))
+        for i in range(20):
+            engine.add(
+                TableEntry((RangeValue(i * 10, i * 10 + 5),), "act")
+            )
+        assert engine.memory_accesses == 8

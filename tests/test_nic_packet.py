@@ -1,0 +1,137 @@
+"""Tests for packets and primitive execution."""
+
+import pytest
+
+from repro.errors import EmulationError
+from repro.ir.actions import Action, Param, noop_action, prim
+from repro.nic.packet import (
+    DEFAULT_PACKET_BYTES,
+    FIVE_TUPLE,
+    Packet,
+    ipv4,
+    make_packet,
+)
+from repro.nic.pipeline import apply_primitive, bind_action, bind_primitive
+
+
+class TestPacket:
+    def test_default_size(self):
+        assert make_packet().size_bytes == DEFAULT_PACKET_BYTES
+
+    def test_get_set_header(self):
+        packet = make_packet()
+        packet.set("ipv4.ttl", 10)
+        assert packet.get("ipv4.ttl") == 10
+
+    def test_metadata_namespace(self):
+        packet = make_packet()
+        packet.set("meta.x", 5)
+        assert packet.get("meta.x") == 5
+        assert "meta.x" not in packet.fields
+        assert packet.metadata["meta.x"] == 5
+
+    def test_absent_field_is_none(self):
+        assert make_packet().get("vxlan.vni") is None
+
+    def test_key_uses_zero_for_absent(self):
+        packet = make_packet()
+        assert packet.key(("vxlan.vni", "ipv4.proto")) == (0, 6)
+
+    def test_flow_key_five_tuple(self):
+        packet = make_packet(src=1, dst=2, proto=17, sport=3, dport=4)
+        assert packet.flow_key() == (1, 2, 17, 3, 4)
+        assert len(FIVE_TUPLE) == 5
+
+    def test_add(self):
+        packet = make_packet()
+        packet.add("ipv4.ttl", -1)
+        assert packet.get("ipv4.ttl") == 63
+
+    def test_clone_independent(self):
+        packet = make_packet()
+        clone = packet.clone()
+        clone.set("ipv4.ttl", 1)
+        clone.dropped = True
+        assert packet.get("ipv4.ttl") == 64
+        assert not packet.dropped
+
+    def test_ipv4_helper(self):
+        assert ipv4(10, 0, 0, 1) == 0x0A000001
+        assert ipv4(255, 255, 255, 255) == 0xFFFFFFFF
+
+
+class TestPrimitiveExecution:
+    def test_set_field(self):
+        packet = make_packet()
+        apply_primitive(packet, "set_field", ("ipv4.dst", 99))
+        assert packet.get("ipv4.dst") == 99
+
+    def test_add_to_field(self):
+        packet = make_packet()
+        apply_primitive(packet, "add_to_field", ("ipv4.ttl", -1))
+        assert packet.get("ipv4.ttl") == 63
+
+    def test_copy_field(self):
+        packet = make_packet(src=123)
+        apply_primitive(packet, "copy_field", ("ipv4.dst", "ipv4.src"))
+        assert packet.get("ipv4.dst") == 123
+
+    def test_copy_missing_source_is_zero(self):
+        packet = make_packet()
+        apply_primitive(packet, "copy_field", ("ipv4.dst", "ghost.f"))
+        assert packet.get("ipv4.dst") == 0
+
+    def test_set_meta_normalises_prefix(self):
+        packet = make_packet()
+        apply_primitive(packet, "set_meta", ("vip_id", 7))
+        assert packet.get("meta.vip_id") == 7
+
+    def test_forward(self):
+        packet = make_packet()
+        apply_primitive(packet, "forward", (3,))
+        assert packet.egress_port == 3
+
+    def test_drop(self):
+        packet = make_packet()
+        apply_primitive(packet, "drop", ())
+        assert packet.dropped
+
+    def test_count_bumps_explicit_counter(self):
+        counters: dict[str, int] = {}
+        apply_primitive(make_packet(), "count", ("c1",), counters)
+        apply_primitive(make_packet(), "count", ("c1",), counters)
+        assert counters["c1"] == 2
+
+    def test_unknown_op_raises(self):
+        with pytest.raises(EmulationError):
+            apply_primitive(make_packet(), "warp", ())
+
+
+class TestBinding:
+    def test_bind_constant_args(self):
+        bound = bind_primitive(prim("set_field", "f", 1), ())
+        assert bound == ("set_field", ("f", 1))
+
+    def test_bind_param(self):
+        bound = bind_primitive(
+            prim("set_field", "f", Param(1)), (10, 20)
+        )
+        assert bound == ("set_field", ("f", 20))
+
+    def test_bind_param_out_of_range(self):
+        with pytest.raises(EmulationError):
+            bind_primitive(prim("set_field", "f", Param(2)), (1,))
+
+    def test_bind_action(self):
+        action = Action(
+            "a",
+            (prim("set_field", "x", Param(0)), prim("no_op")),
+        )
+        bound = bind_action(action, (5,))
+        assert bound == [("set_field", ("x", 5)), ("no_op", ())]
+
+    def test_bind_noop_action(self):
+        assert bind_action(noop_action("n", 2), ()) == [
+            ("no_op", ()),
+            ("no_op", ()),
+        ]

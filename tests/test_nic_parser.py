@@ -1,0 +1,127 @@
+"""Tests for wire-format parsing/serialization."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import EmulationError
+from repro.nic.packet import make_packet
+from repro.nic.parser import (
+    ETHERTYPE_IPV4,
+    parse_packet,
+    parse_stream,
+    serialize_packet,
+)
+
+u16 = st.integers(min_value=0, max_value=0xFFFF)
+u32 = st.integers(min_value=0, max_value=0xFFFFFFFF)
+u48 = st.integers(min_value=0, max_value=0xFFFFFFFFFFFF)
+
+
+class TestRoundTrip:
+    def test_tcp_packet(self):
+        original = make_packet(
+            src=0x0A000001, dst=0xC0A80001, sport=1234, dport=80
+        )
+        frame = serialize_packet(original)
+        assert len(frame) == original.size_bytes
+        parsed = parse_packet(frame)
+        for field in (
+            "eth.src",
+            "eth.dst",
+            "eth.type",
+            "ipv4.src",
+            "ipv4.dst",
+            "ipv4.ttl",
+            "ipv4.proto",
+            "l4.sport",
+            "l4.dport",
+        ):
+            assert parsed.get(field) == original.get(field), field
+
+    def test_vlan_tagged(self):
+        original = make_packet(extra={"vlan.id": 7, "vlan.pcp": 3})
+        parsed = parse_packet(serialize_packet(original))
+        assert parsed.get("vlan.id") == 7
+        assert parsed.get("vlan.pcp") == 3
+        assert parsed.get("eth.type") == ETHERTYPE_IPV4
+        assert parsed.get("ipv4.dst") == original.get("ipv4.dst")
+
+    def test_non_ip_frame_stops_at_l2(self):
+        original = make_packet()
+        original.set("eth.type", 0x0806)  # ARP
+        parsed = parse_packet(serialize_packet(original))
+        assert parsed.get("eth.type") == 0x0806
+        assert parsed.get("ipv4.src") is None
+        assert parsed.get("l4.sport") is None
+
+    def test_udp_packet(self):
+        original = make_packet(proto=17, sport=53, dport=5353)
+        parsed = parse_packet(serialize_packet(original))
+        assert parsed.get("ipv4.proto") == 17
+        assert parsed.get("l4.dport") == 5353
+
+    def test_non_l4_proto_has_no_ports(self):
+        original = make_packet(proto=1)  # ICMP
+        parsed = parse_packet(serialize_packet(original))
+        assert parsed.get("ipv4.proto") == 1
+        assert parsed.get("l4.sport") is None
+
+    @settings(max_examples=60, deadline=None)
+    @given(src=u32, dst=u32, sport=u16, dport=u16, smac=u48,
+           tos=st.integers(min_value=0, max_value=255))
+    def test_round_trip_property(
+        self, src, dst, sport, dport, smac, tos
+    ):
+        original = make_packet(
+            src=src, dst=dst, sport=sport, dport=dport,
+            extra={"ipv4.tos": tos},
+        )
+        original.set("eth.src", smac)
+        parsed = parse_packet(serialize_packet(original))
+        assert parsed.get("ipv4.src") == src
+        assert parsed.get("ipv4.dst") == dst
+        assert parsed.get("l4.sport") == sport
+        assert parsed.get("l4.dport") == dport
+        assert parsed.get("eth.src") == smac
+        assert parsed.get("ipv4.tos") == tos
+
+
+class TestErrors:
+    def test_truncated_ethernet(self):
+        with pytest.raises(EmulationError):
+            parse_packet(b"\x00" * 5)
+
+    def test_truncated_ipv4(self):
+        frame = serialize_packet(make_packet())[:20]
+        with pytest.raises(EmulationError):
+            parse_packet(frame)
+
+    def test_bad_ip_version(self):
+        frame = bytearray(serialize_packet(make_packet()))
+        frame[14] = 0x65  # version 6
+        with pytest.raises(EmulationError):
+            parse_packet(bytes(frame))
+
+    def test_pad_too_small(self):
+        with pytest.raises(EmulationError):
+            serialize_packet(make_packet(), pad_to=10)
+
+
+class TestStream:
+    def test_parse_stream(self):
+        frames = [
+            serialize_packet(make_packet(sport=i)) for i in range(5)
+        ]
+        packets = parse_stream(frames)
+        assert [p.get("l4.sport") for p in packets] == list(range(5))
+
+    def test_parsed_packets_run_on_emulator(self):
+        from repro.ir import linear_program
+        from repro.nic.emulator import NicEmulator
+        from repro.nic.targets import BLUEFIELD2
+
+        program = linear_program("p", 3)
+        emulator = NicEmulator(program, BLUEFIELD2)
+        frame = serialize_packet(make_packet())
+        stats = emulator.run(parse_stream([frame] * 5))
+        assert stats.packets == 5

@@ -1,0 +1,148 @@
+"""Tests for run statistics and target models."""
+
+import math
+
+import pytest
+
+from repro.errors import EmulationError
+from repro.ir.tables import MatchType, MemoryTier, Pipeline
+from repro.nic.stats import PacketResult, RunStats
+from repro.nic.targets import (
+    AGILIO_CX,
+    BLUEFIELD2,
+    EMULATED_NIC,
+    TARGETS,
+    get_target,
+)
+
+
+def result(latency_ns, dropped=False, busy=None, migrations=0):
+    return PacketResult(
+        latency_ns=latency_ns,
+        dropped=dropped,
+        egress_port=None,
+        migrations=migrations,
+        busy_ns=busy or {Pipeline.ASIC: latency_ns},
+    )
+
+
+class TestRunStats:
+    def test_mean_latency(self):
+        stats = RunStats()
+        stats.record(result(100.0), 512)
+        stats.record(result(300.0), 512)
+        assert stats.mean_latency_ns == 200.0
+
+    def test_percentile(self):
+        stats = RunStats()
+        for latency in range(1, 101):
+            stats.record(result(float(latency)), 512)
+        assert stats.percentile_latency_ns(50) == 50.0
+        assert stats.percentile_latency_ns(99) == 99.0
+
+    def test_empty_stats(self):
+        stats = RunStats()
+        assert stats.mean_latency_ns == 0.0
+        assert stats.percentile_latency_ns(99) == 0.0
+        assert stats.throughput_gbps(BLUEFIELD2) == 0.0
+
+    def test_drop_rate(self):
+        stats = RunStats()
+        stats.record(result(10.0, dropped=True), 512)
+        stats.record(result(10.0), 512)
+        assert stats.drop_rate == 0.5
+
+    def test_capacity_single_pool(self):
+        stats = RunStats()
+        stats.record(result(500.0), 512)
+        # 12 cores / 500ns = 24 Mpps
+        assert stats.capacity_pps(BLUEFIELD2) == pytest.approx(
+            12 / 500e-9
+        )
+
+    def test_capacity_bottleneck_pool(self):
+        """The slower pool per packet bounds throughput."""
+        stats = RunStats()
+        stats.record(
+            result(
+                300.0,
+                busy={Pipeline.ASIC: 100.0, Pipeline.CPU: 200.0},
+            ),
+            512,
+        )
+        asic_cap = BLUEFIELD2.asic_cores / 100e-9
+        cpu_cap = BLUEFIELD2.cpu_cores / 200e-9
+        assert stats.capacity_pps(BLUEFIELD2) == pytest.approx(
+            min(asic_cap, cpu_cap)
+        )
+
+    def test_line_rate_cap(self):
+        stats = RunStats()
+        stats.record(result(1.0), 512)
+        assert stats.throughput_gbps(BLUEFIELD2) == 100.0
+
+    def test_migrations_counted(self):
+        stats = RunStats()
+        stats.record(result(10.0, migrations=3), 512)
+        assert stats.migrations == 3
+
+    def test_summary_keys(self):
+        stats = RunStats()
+        stats.record(result(10.0), 512)
+        summary = stats.summary(BLUEFIELD2)
+        assert {"packets", "mean_latency_ns", "throughput_gbps"} <= set(
+            summary
+        )
+
+
+class TestTargets:
+    def test_registry(self):
+        assert set(TARGETS) == {
+            "bluefield2",
+            "agilio_cx",
+            "emulated_nic",
+        }
+        assert get_target("bluefield2") is BLUEFIELD2
+
+    def test_unknown_target(self):
+        with pytest.raises(EmulationError):
+            get_target("tofino")
+
+    def test_agilio_has_no_asic(self):
+        assert not AGILIO_CX.has(Pipeline.ASIC)
+        assert AGILIO_CX.default_pipeline is Pipeline.CPU
+        with pytest.raises(EmulationError):
+            AGILIO_CX.core(Pipeline.ASIC)
+
+    def test_replace_makes_variant(self):
+        scaled = BLUEFIELD2.replace(asic_cores=2)
+        assert scaled.asic_cores == 2
+        assert BLUEFIELD2.asic_cores == 12  # original untouched
+
+    def test_emulated_match_multipliers(self):
+        """§5.3.3: LPM and ternary cost 3x exact, entries ignored."""
+        core = EMULATED_NIC.asic
+        exact = core.match_cost_ns(MatchType.EXACT, entry_m=5)
+        lpm = core.match_cost_ns(MatchType.LPM, entry_m=1)
+        ternary = core.match_cost_ns(MatchType.TERNARY, entry_m=9)
+        assert lpm == ternary == 3 * exact
+
+    def test_bluefield_uses_entry_m(self):
+        core = BLUEFIELD2.asic
+        assert core.match_cost_ns(
+            MatchType.TERNARY, entry_m=5
+        ) == pytest.approx(5 * core.lookup_ns)
+
+    def test_tier_multipliers(self):
+        core = BLUEFIELD2.asic
+        emem = core.match_cost_ns(MatchType.EXACT, 1, MemoryTier.EMEM)
+        imem = core.match_cost_ns(MatchType.EXACT, 1, MemoryTier.IMEM)
+        lmem = core.match_cost_ns(MatchType.EXACT, 1, MemoryTier.LMEM)
+        assert imem == emem / 2
+        assert lmem == emem / 4
+
+    def test_line_rates(self):
+        assert BLUEFIELD2.line_rate_gbps == 100.0
+        assert AGILIO_CX.line_rate_gbps == 40.0
+        assert AGILIO_CX.native_flow_cache
+        assert not BLUEFIELD2.native_flow_cache

@@ -1,0 +1,118 @@
+"""Tests for RuntimeTable (entries bound to a match engine)."""
+
+import pytest
+
+from repro.errors import TableFullError, UnknownEntryError
+from repro.ir import exact_entry, linear_program
+from repro.ir.actions import Action, Param, noop_action, prim
+from repro.ir.builder import ProgramBuilder
+from repro.ir.entries import LpmValue, TableEntry
+from repro.ir.tables import MatchType
+from repro.nic.packet import make_packet
+from repro.nic.table_runtime import RuntimeTable
+
+
+@pytest.fixture
+def table_node():
+    builder = ProgramBuilder("p")
+    builder.table(
+        "t",
+        ["ipv4.dst"],
+        [
+            Action("hit", (prim("set_field", "l4.dport", Param(0)),)),
+            noop_action("miss"),
+        ],
+        default_action="miss",
+        size=3,
+    )
+    return builder.build(root="t").table("t")
+
+
+class TestEntryManagement:
+    def test_insert_and_lookup(self, table_node):
+        runtime = RuntimeTable(table_node)
+        entry = exact_entry(42, "hit", (9999,))
+        runtime.insert(entry)
+        packet = make_packet(dst=42)
+        result = runtime.lookup(packet)
+        assert result.hit
+        assert result.entry is entry
+        assert result.action.name == "hit"
+        assert result.action_data == (9999,)
+
+    def test_miss_returns_default(self, table_node):
+        runtime = RuntimeTable(table_node)
+        result = runtime.lookup(make_packet(dst=1))
+        assert not result.hit
+        assert result.entry is None
+        assert result.action.name == "miss"
+        assert result.action_data == ()
+
+    def test_capacity_enforced(self, table_node):
+        runtime = RuntimeTable(table_node)
+        for value in range(3):
+            runtime.insert(exact_entry(value, "hit", (1,)))
+        with pytest.raises(TableFullError):
+            runtime.insert(exact_entry(99, "hit", (1,)))
+
+    def test_unknown_action_rejected(self, table_node):
+        runtime = RuntimeTable(table_node)
+        with pytest.raises(UnknownEntryError):
+            runtime.insert(exact_entry(1, "teleport"))
+
+    def test_delete(self, table_node):
+        runtime = RuntimeTable(table_node)
+        entry = exact_entry(5, "hit", (1,))
+        runtime.insert(entry)
+        runtime.delete(entry.entry_id)
+        assert len(runtime) == 0
+        assert not runtime.lookup(make_packet(dst=5)).hit
+
+    def test_modify(self, table_node):
+        runtime = RuntimeTable(table_node)
+        old = exact_entry(5, "hit", (1,))
+        runtime.insert(old)
+        new = exact_entry(5, "hit", (2,))
+        runtime.modify(old.entry_id, new)
+        assert runtime.lookup(make_packet(dst=5)).action_data == (2,)
+
+    def test_clear(self, table_node):
+        runtime = RuntimeTable(table_node)
+        runtime.insert(exact_entry(5, "hit", (1,)))
+        runtime.clear()
+        assert len(runtime) == 0
+
+    def test_constructor_installs_entries(self, table_node):
+        entries = [exact_entry(v, "hit", (v,)) for v in range(2)]
+        runtime = RuntimeTable(table_node, entries)
+        assert len(runtime) == 2
+
+
+class TestAccounting:
+    def test_memory_accesses_track_entries(self):
+        program = linear_program("p", 1, MatchType.LPM)
+        runtime = RuntimeTable(program.table("p_t0"))
+        assert runtime.memory_accesses == 1
+        runtime.insert(TableEntry((LpmValue(0, 8),), "p_t0_a0"))
+        runtime.insert(
+            TableEntry((LpmValue(0x0A000000, 24),), "p_t0_a0")
+        )
+        assert runtime.memory_accesses == 2
+
+    def test_memory_bytes_scale_with_m(self):
+        program = linear_program("p", 1, MatchType.LPM)
+        runtime = RuntimeTable(program.table("p_t0"))
+        runtime.insert(TableEntry((LpmValue(0, 8),), "p_t0_a0"))
+        one_prefix = runtime.memory_bytes
+        runtime.insert(
+            TableEntry((LpmValue(0x0A000000, 24),), "p_t0_a0")
+        )
+        # Two entries at m=2 cost four times one entry at m=1.
+        assert runtime.memory_bytes == 4 * one_prefix
+
+    def test_absent_fields_read_as_zero(self, table_node):
+        runtime = RuntimeTable(table_node)
+        runtime.insert(exact_entry(0, "hit", (1,)))
+        packet = make_packet()
+        del packet.fields["ipv4.dst"]
+        assert runtime.lookup(packet).hit

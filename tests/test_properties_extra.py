@@ -1,0 +1,179 @@
+"""Extra property-based tests on core invariants."""
+
+import itertools
+import random
+
+from hypothesis import given, settings, strategies as st
+
+from repro.core import CostModel, global_search, partition, uniform_profile
+from repro.core.plan import Candidate, ResourceBudget, Segment
+from repro.core.search import SearchOptions
+from repro.ir.program import Program
+from repro.ir.tables import TableKind, TableNode
+from repro.nic.targets import BLUEFIELD2
+from repro.synthesis import ProgramSynthesizer, SynthesisConfig
+
+
+def make_candidate(pipelet_id, gain, mem_units, memory_unit):
+    tables = (f"{pipelet_id}_a", f"{pipelet_id}_b")
+    return Candidate(
+        pipelet_id=pipelet_id,
+        run=tables,
+        order=tables,
+        segments=(Segment("cache", tables),),
+        gain_ns=gain,
+        memory_bytes=mem_units * memory_unit,
+        update_pps=0.0,
+    )
+
+
+class TestKnapsackOptimality:
+    """The grouped knapsack matches brute force when candidate costs
+    align with the discretization grid (no rounding slack)."""
+
+    @settings(max_examples=40, deadline=None)
+    @given(st.integers(min_value=0, max_value=10000))
+    def test_matches_bruteforce(self, seed):
+        rng = random.Random(seed)
+        options = SearchOptions(memory_grid=16, update_grid=4)
+        budget_units = 16
+        memory_unit = 100.0
+        budget = ResourceBudget(
+            memory_bytes=budget_units * memory_unit
+        )
+        groups = {}
+        for g in range(rng.randint(1, 4)):
+            candidates = [
+                make_candidate(
+                    f"p{g}",
+                    gain=rng.randint(1, 50),
+                    mem_units=rng.randint(0, 12),
+                    memory_unit=memory_unit,
+                )
+                for _ in range(rng.randint(1, 3))
+            ]
+            groups[f"p{g}"] = candidates
+
+        chosen = global_search(groups, budget, options)
+        knapsack_gain = sum(c.gain_ns for c in chosen)
+        assert sum(c.memory_bytes for c in chosen) <= (
+            budget.memory_bytes
+        )
+
+        # Brute force over at-most-one-per-group selections.
+        best = 0.0
+        option_lists = [
+            [None] + candidates for candidates in groups.values()
+        ]
+        for combo in itertools.product(*option_lists):
+            picked = [c for c in combo if c is not None]
+            total_mem = sum(c.memory_bytes for c in picked)
+            if total_mem <= budget.memory_bytes:
+                best = max(best, sum(c.gain_ns for c in picked))
+        assert knapsack_gain == best
+
+
+class TestPartitionInvariants:
+    @settings(max_examples=30, deadline=None)
+    @given(
+        st.integers(min_value=0, max_value=5000),
+        st.integers(min_value=1, max_value=14),
+    )
+    def test_pipelets_partition_plain_tables(self, seed, n_pipelets):
+        """Every reachable plain table is in exactly one pipelet, and
+        each pipelet is a contiguous single-next run."""
+        program = ProgramSynthesizer(
+            SynthesisConfig(n_pipelets=n_pipelets, seed=seed)
+        ).generate()
+        pipelets = partition(program, max_len=5)
+        seen: dict[str, int] = {}
+        for pipelet in pipelets:
+            assert len(pipelet) >= 1
+            assert len(pipelet) <= 5 or pipelet.is_switch_case
+            for i, name in enumerate(pipelet.table_names):
+                seen[name] = seen.get(name, 0) + 1
+                node = program.table(name)
+                if i + 1 < len(pipelet.table_names):
+                    nexts = set(node.next_map.values())
+                    assert nexts == {pipelet.table_names[i + 1]}
+        reachable = program.reachable()
+        plain = {
+            t.name
+            for t in program.plain_tables()
+            if t.name in reachable
+        }
+        assert set(seen) == plain
+        assert all(count == 1 for count in seen.values())
+
+    @settings(max_examples=20, deadline=None)
+    @given(st.integers(min_value=0, max_value=2000))
+    def test_reach_probabilities_bounded(self, seed):
+        """0 <= P(reach v) <= 1 for every node under random profiles."""
+        from repro.synthesis import synthesize_profile
+
+        program = ProgramSynthesizer(
+            SynthesisConfig(n_pipelets=6, seed=seed)
+        ).generate()
+        profile = synthesize_profile(program, seed=seed)
+        model = CostModel.for_target(BLUEFIELD2)
+        probs = model.reach_probs(program, profile)
+        for name, p in probs.items():
+            assert -1e-9 <= p <= 1.0 + 1e-9, (name, p)
+        assert probs[program.root] == 1.0
+
+
+class TestCounterTranslationTotals:
+    @settings(max_examples=15, deadline=None)
+    @given(st.integers(min_value=0, max_value=1000))
+    def test_reorder_preserves_counter_totals(self, seed):
+        """After a pure reorder, translated per-table action counts are
+        identical to what the original program would have counted."""
+        from repro.core import Deployment
+        from repro.core.plan import Candidate, OptimizationPlan, Segment
+        from repro.nic.packet import make_packet
+        from repro.ir.dependency import valid_orders
+        from repro.nic.targets import EMULATED_NIC
+
+        program = ProgramSynthesizer(
+            SynthesisConfig(
+                n_pipelets=2, seed=seed, drop_table_fraction=0.0
+            )
+        ).generate()
+        pipelets = [
+            p for p in partition(program, max_len=6) if len(p) >= 2
+        ]
+        if not pipelets:
+            return
+        pipelet = pipelets[0]
+        tables = pipelet.tables(program)
+        orders = list(valid_orders(tables, 3))
+        order = orders[-1]
+        plan = OptimizationPlan(
+            candidates=[
+                Candidate(
+                    pipelet_id=pipelet.pipelet_id,
+                    run=pipelet.table_names,
+                    order=order,
+                    segments=tuple(
+                        Segment("none", (n,)) for n in order
+                    ),
+                    gain_ns=0.0,
+                    memory_bytes=0.0,
+                    update_pps=0.0,
+                )
+            ]
+        )
+        packets = [make_packet() for _ in range(20)]
+        base = Deployment(program, EMULATED_NIC, native_cache=False)
+        base.run([p.clone() for p in packets])
+        base_counts = base.counter_map.translate(
+            base.emulator.counters.snapshot()
+        )
+        reordered = Deployment(
+            program, EMULATED_NIC, plan=plan, native_cache=False
+        )
+        reordered.run([p.clone() for p in packets])
+        reordered_counts = reordered.counter_map.translate(
+            reordered.emulator.counters.snapshot()
+        )
+        assert reordered_counts == base_counts

@@ -1,0 +1,194 @@
+"""Additional search-layer tests: candidate orders, plan re-pricing,
+curated segmentations, and knapsack grid edges."""
+
+import pytest
+
+from repro.core import (
+    CostModel,
+    optimize,
+    partition,
+    uniform_profile,
+)
+from repro.core.plan import Candidate, OptimizationPlan, Segment
+from repro.core.search import (
+    FULL_ENUMERATION_LIMIT,
+    SearchOptions,
+    _candidate_orders,
+    enumerate_segmentations,
+    evaluate_candidate_gain,
+    evaluate_plan_gain,
+)
+from repro.ir import linear_program
+from repro.ir.actions import drop_action, noop_action
+from repro.ir.builder import ProgramBuilder
+from repro.ir.tables import MatchType
+from repro.nic.targets import BLUEFIELD2
+
+
+@pytest.fixture
+def model():
+    return CostModel.for_target(BLUEFIELD2)
+
+
+def acl_chain_program(n_regular=4):
+    builder = ProgramBuilder("p")
+    names = []
+    for i in range(n_regular):
+        name = f"t{i}"
+        builder.table(name, [f"f{i}"], [noop_action(f"{name}_a")])
+        names.append(name)
+    builder.table(
+        "acl",
+        ["l4.dport"],
+        [drop_action("deny"), noop_action("permit")],
+        default_action="permit",
+    )
+    names.append("acl")
+    builder.chain(names)
+    return builder.build(root=names[0])
+
+
+class TestCandidateOrders:
+    def test_includes_identity_first(self, model):
+        program = acl_chain_program()
+        tables = [program.table(n) for n in program.topological_order()]
+        profile = uniform_profile(program)
+        orders = _candidate_orders(tables, profile, SearchOptions())
+        assert orders[0] == tuple(t.name for t in tables)
+
+    def test_includes_drop_greedy_order(self, model):
+        program = acl_chain_program()
+        profile = uniform_profile(program)
+        profile.set_action_probs(
+            "acl", {"deny": 0.9, "permit": 0.1}
+        )
+        tables = [program.table(n) for n in program.topological_order()]
+        orders = _candidate_orders(tables, profile, SearchOptions())
+        # The drop-rate-greedy order hoists the ACL to the front.
+        assert any(order[0] == "acl" for order in orders)
+
+    def test_respects_max_orders(self, model):
+        program = acl_chain_program(6)
+        tables = [program.table(n) for n in program.topological_order()]
+        profile = uniform_profile(program)
+        options = SearchOptions(max_orders=3)
+        orders = _candidate_orders(tables, profile, options)
+        assert len(orders) <= 3
+
+    def test_long_runs_skip_permutation_enumeration(self, model):
+        program = linear_program("p", 10)
+        tables = [program.table(f"p_t{i}") for i in range(10)]
+        profile = uniform_profile(program)
+        orders = _candidate_orders(tables, profile, SearchOptions())
+        # identity only (no droppers, >7 tables): small, not factorial.
+        assert len(orders) <= 4
+
+
+class TestCuratedSegmentations:
+    def test_kicks_in_above_limit(self):
+        n = FULL_ENUMERATION_LIMIT + 2
+        labelings = enumerate_segmentations(n, SearchOptions())
+        assert len(labelings) < 20
+        for labels in labelings:
+            assert sum(length for _op, length in labels) == n
+
+    def test_contains_whole_and_half_caches(self):
+        n = 10
+        labelings = enumerate_segmentations(n, SearchOptions())
+        assert (("cache", 10),) in labelings
+        assert (("cache", 5), ("cache", 5)) in labelings
+        # half-cache + rest untouched, both sides
+        assert (("cache", 5),) + (("none", 1),) * 5 in labelings
+        assert (("none", 1),) * 5 + (("cache", 5),) in labelings
+
+
+class TestPlanRePricing:
+    def test_gain_matches_fresh_search(self, model):
+        program = linear_program("p", 4, MatchType.TERNARY)
+        profile = uniform_profile(program)
+        plan = optimize(program, profile, model)
+        assert plan.candidates
+        repriced = evaluate_plan_gain(
+            program, plan, profile, model, SearchOptions()
+        )
+        assert repriced == pytest.approx(
+            plan.total_gain_ns, rel=1e-6
+        )
+
+    def test_gain_changes_with_profile(self, model):
+        program = acl_chain_program()
+        run = tuple(program.topological_order())
+        hoisted = ("acl",) + run[:-1]
+        candidate = Candidate(
+            pipelet_id="pl_0",
+            run=run,
+            order=hoisted,
+            segments=tuple(Segment("none", (n,)) for n in hoisted),
+            gain_ns=0.0,
+            memory_bytes=0.0,
+            update_pps=0.0,
+        )
+        no_drop = uniform_profile(program)
+        no_drop.set_action_probs("acl", {"deny": 0.0, "permit": 1.0})
+        heavy = uniform_profile(program)
+        heavy.set_action_probs("acl", {"deny": 0.9, "permit": 0.1})
+        options = SearchOptions()
+        assert evaluate_candidate_gain(
+            program, candidate, heavy, model, options
+        ) > evaluate_candidate_gain(
+            program, candidate, no_drop, model, options
+        )
+
+    def test_stale_candidate_prices_to_zero(self, model):
+        program = linear_program("p", 2)
+        candidate = Candidate(
+            pipelet_id="pl_0",
+            run=("ghost_a", "ghost_b"),
+            order=("ghost_a", "ghost_b"),
+            segments=(Segment("cache", ("ghost_a", "ghost_b")),),
+            gain_ns=10.0,
+            memory_bytes=0.0,
+            update_pps=0.0,
+        )
+        assert evaluate_candidate_gain(
+            program, candidate, uniform_profile(program), model,
+            SearchOptions(),
+        ) == 0.0
+
+    def test_empty_plan_prices_to_zero(self, model):
+        program = linear_program("p", 2)
+        assert evaluate_plan_gain(
+            program,
+            OptimizationPlan(),
+            uniform_profile(program),
+            model,
+            SearchOptions(),
+        ) == 0.0
+
+
+class TestTechniqueToggles:
+    @pytest.mark.parametrize(
+        "disabled",
+        ["enable_reorder", "enable_cache", "enable_merge"],
+    )
+    def test_disabled_technique_never_appears(self, model, disabled):
+        program = linear_program("p", 4, MatchType.TERNARY)
+        profile = uniform_profile(program)
+        for name in ("p_t0", "p_t1"):
+            profile.set_action_probs(
+                name, {f"{name}_a0": 0.9, f"{name}_a1": 0.1}
+            )
+        options = SearchOptions(k=1.0, **{disabled: False})
+        plan = optimize(program, profile, model, options=options)
+        op = {
+            "enable_reorder": None,
+            "enable_cache": "cache",
+            "enable_merge": "merge",
+        }[disabled]
+        for candidate in plan.candidates:
+            if disabled == "enable_reorder":
+                assert candidate.order == candidate.run
+            else:
+                assert not any(
+                    s.op == op for s in candidate.segments
+                )

@@ -1,0 +1,142 @@
+"""Tests for the traffic substrate (flows, generators, scenarios)."""
+
+import collections
+
+import pytest
+
+from repro.nic.packet import DEFAULT_PACKET_BYTES
+from repro.traffic import (
+    Scenario,
+    TrafficGenerator,
+    drop_rate_stream,
+    synth_flow,
+    synth_flows,
+)
+
+
+class TestFlows:
+    def test_synth_flows_distinct(self):
+        flows = synth_flows(100)
+        assert len({(f.src, f.sport) for f in flows}) == 100
+
+    def test_flow_packet_fields(self):
+        flow = synth_flow(3, dport=443)
+        packet = flow.packet()
+        assert packet.get("l4.dport") == 443
+        assert packet.get("ipv4.src") == flow.src
+        assert packet.size_bytes == DEFAULT_PACKET_BYTES
+
+    def test_with_fields(self):
+        flow = synth_flow(0).with_fields(**{"ipv4.tos": 3})
+        assert flow.packet().get("ipv4.tos") == 3
+        # Original five-tuple untouched.
+        assert flow.dport == synth_flow(0).dport
+
+
+class TestGenerator:
+    def test_deterministic_per_seed(self):
+        flows = synth_flows(10)
+        a = [
+            p.flow_key()
+            for p in TrafficGenerator(5).stream(flows, 50)
+        ]
+        b = [
+            p.flow_key()
+            for p in TrafficGenerator(5).stream(flows, 50)
+        ]
+        assert a == b
+
+    def test_uniform_covers_flows(self):
+        flows = synth_flows(5)
+        keys = {
+            p.flow_key()
+            for p in TrafficGenerator(1).stream(flows, 300)
+        }
+        assert len(keys) == 5
+
+    def test_zipf_concentrates(self):
+        flows = synth_flows(50)
+        generator = TrafficGenerator(2)
+        counts = collections.Counter(
+            p.flow_key()
+            for p in generator.stream(
+                flows, 1000, locality="zipf", zipf_skew=1.5
+            )
+        )
+        top = counts.most_common(5)
+        top_share = sum(c for _k, c in top) / 1000
+        assert top_share > 0.5  # heavy concentration
+
+    def test_round_robin(self):
+        flows = synth_flows(3)
+        packets = list(
+            TrafficGenerator(0).stream(
+                flows, 6, locality="round_robin"
+            )
+        )
+        keys = [p.flow_key() for p in packets]
+        assert keys[0] == keys[3]
+        assert keys[1] == keys[4]
+
+    def test_unknown_locality(self):
+        with pytest.raises(ValueError):
+            list(
+                TrafficGenerator(0).stream(
+                    synth_flows(2), 5, locality="fractal"
+                )
+            )
+
+    def test_empty_flows_yields_nothing(self):
+        assert list(TrafficGenerator(0).stream([], 10)) == []
+
+    def test_mixed_stream_respects_weights(self):
+        group_a = synth_flows(4, dport=1111)
+        group_b = synth_flows(4, dport=2222)
+        packets = list(
+            TrafficGenerator(3).mixed_stream(
+                [(group_a, 0.9), (group_b, 0.1)], 1000
+            )
+        )
+        share_a = sum(
+            1 for p in packets if p.get("l4.dport") == 1111
+        ) / len(packets)
+        assert 0.85 < share_a < 0.95
+
+    def test_drop_rate_stream_rate(self):
+        from repro.apps.microbench import DENY_PORT
+
+        packets = list(
+            drop_rate_stream(TrafficGenerator(4), 1000, 0.25)
+        )
+        droppable = sum(
+            1 for p in packets if p.get("l4.dport") == 6666
+        )
+        assert 0.2 < droppable / 1000 < 0.3
+
+    def test_drop_rate_validation(self):
+        with pytest.raises(ValueError):
+            list(drop_rate_stream(TrafficGenerator(0), 10, 1.5))
+
+
+class TestScenario:
+    def make(self):
+        return (
+            Scenario("s")
+            .add_phase("a", 3, lambda n: [])
+            .add_phase("b", 2, lambda n: [])
+        )
+
+    def test_total_duration(self):
+        assert self.make().total_duration_s == 5
+
+    def test_phase_at(self):
+        scenario = self.make()
+        assert scenario.phase_at(0.0).name == "a"
+        assert scenario.phase_at(2.9).name == "a"
+        assert scenario.phase_at(3.0).name == "b"
+        assert scenario.phase_at(10.0) is None
+
+    def test_ticks_one_per_second(self):
+        ticks = list(self.make().ticks())
+        assert [t for t, _p in ticks] == [0.0, 1.0, 2.0, 3.0, 4.0]
+        assert [p.name for _t, p in ticks] == ["a", "a", "a", "b", "b"]

@@ -1,0 +1,284 @@
+"""Tests for the program transformations (§3.2)."""
+
+import pytest
+
+from repro.core import Deployment, partition, find_groups
+from repro.core.transform import (
+    apply_cache,
+    apply_copy,
+    apply_group_cache,
+    apply_merge,
+    apply_naive_merge,
+    apply_partition,
+    apply_reorder,
+    composite_action,
+    count_crossings,
+    drop_rate_order,
+)
+from repro.core.profiling import RuntimeProfile, uniform_profile
+from repro.errors import TransformError
+from repro.ir import linear_program, validate_program
+from repro.ir.actions import Action, Param, noop_action, prim
+from repro.ir.entries import ExactValue, TableEntry
+from repro.ir.tables import MatchType, Pipeline, TableKind
+from repro.nic.emulator import NicEmulator
+from repro.nic.packet import make_packet
+from repro.nic.targets import BLUEFIELD2, EMULATED_NIC
+
+
+class TestReorder:
+    def test_simple_swap(self, chain5):
+        run = [f"chain5_t{i}" for i in range(5)]
+        order = [run[1], run[0]] + run[2:]
+        result = apply_reorder(chain5, run, order)
+        validate_program(result.program)
+        assert result.program.root == "chain5_t1"
+        assert result.program.successors("chain5_t1") == ["chain5_t0"]
+        assert result.program.successors("chain5_t0") == ["chain5_t2"]
+
+    def test_original_untouched(self, chain5):
+        run = [f"chain5_t{i}" for i in range(5)]
+        apply_reorder(chain5, run, list(reversed(run)))
+        assert chain5.root == "chain5_t0"
+
+    def test_identity_is_noop(self, chain5):
+        run = [f"chain5_t{i}" for i in range(5)]
+        result = apply_reorder(chain5, run, run)
+        assert result.program.topological_order() == (
+            chain5.topological_order()
+        )
+
+    def test_non_permutation_rejected(self, chain5):
+        with pytest.raises(TransformError):
+            apply_reorder(
+                chain5, ["chain5_t0", "chain5_t1"], ["chain5_t0"]
+            )
+
+    def test_dependency_violation_rejected(self):
+        from repro.ir.builder import ProgramBuilder
+
+        builder = ProgramBuilder("dep")
+        builder.table(
+            "w",
+            ["f1"],
+            [Action("write", (prim("set_field", "f2", 1),))],
+        )
+        builder.table("r", ["f2"], [noop_action("read")])
+        builder.chain(["w", "r"])
+        program = builder.build(root="w")
+        with pytest.raises(TransformError):
+            apply_reorder(program, ["w", "r"], ["r", "w"])
+
+    def test_interior_run_reorder(self, chain5):
+        """Reordering a run in the middle rewires the incoming edge."""
+        run = ["chain5_t1", "chain5_t2", "chain5_t3"]
+        result = apply_reorder(chain5, run, list(reversed(run)))
+        program = result.program
+        assert program.successors("chain5_t0") == ["chain5_t3"]
+        assert program.successors("chain5_t1") == ["chain5_t4"]
+
+    def test_drop_rate_order_greedy(self, acl_program):
+        profile = uniform_profile(acl_program)
+        profile.set_action_probs(
+            "acl2", {"acl2_deny": 0.9, "acl2_permit": 0.1}
+        )
+        profile.set_action_probs(
+            "acl0", {"acl0_deny": 0.1, "acl0_permit": 0.9}
+        )
+        profile.set_action_probs(
+            "acl1", {"acl1_deny": 0.5, "acl1_permit": 0.5}
+        )
+        tables = [acl_program.table(f"acl{i}") for i in range(3)]
+        assert drop_rate_order(tables, profile) == (
+            "acl2",
+            "acl1",
+            "acl0",
+        )
+
+
+class TestCache:
+    def test_cache_node_shape(self, chain5):
+        result = apply_cache(chain5, ["chain5_t1", "chain5_t2"])
+        program = result.program
+        validate_program(program)
+        cache = program.table("cache__chain5_t1__chain5_t2")
+        assert cache.kind is TableKind.CACHE
+        assert cache.cache_info.mode == "flow"
+        assert cache.cache_info.hit_next == "chain5_t3"
+        assert cache.cache_info.miss_next == "chain5_t1"
+        # Key is the union of covered match fields.
+        assert set(cache.match_fields) == {"ipv4.f1", "ipv4.f2"}
+        # Incoming edge now points at the cache.
+        assert program.successors("chain5_t0") == [cache.name]
+
+    def test_cache_at_root(self, chain5):
+        result = apply_cache(chain5, ["chain5_t0"])
+        assert result.program.root == "cache__chain5_t0"
+
+    def test_non_contiguous_rejected(self, chain5):
+        with pytest.raises(TransformError):
+            apply_cache(chain5, ["chain5_t0", "chain5_t2"])
+
+    def test_switch_case_rejected(self):
+        from repro.ir.builder import ProgramBuilder
+
+        builder = ProgramBuilder("p")
+        builder.table(
+            "sw",
+            ["f"],
+            [noop_action("x"), noop_action("y")],
+            next_map={"x": "a", "y": "b"},
+        )
+        builder.table("a", ["fa"], [noop_action("aa")])
+        builder.table("b", ["fb"], [noop_action("bb")])
+        program = builder.build(root="sw")
+        with pytest.raises(TransformError):
+            apply_cache(program, ["sw"])
+
+    def test_cache_semantics_in_emulator(self, chain5):
+        """Hits replay recorded effects and skip the covered tables."""
+        result = apply_cache(chain5, ["chain5_t1", "chain5_t2"])
+        emulator = NicEmulator(
+            result.program, BLUEFIELD2, instrument=False
+        )
+        first = emulator.process(make_packet())
+        second = emulator.process(make_packet())
+        cache_name = "cache__chain5_t1__chain5_t2"
+        assert "chain5_t1" in first.path
+        assert "chain5_t1" not in second.path
+        assert second.latency_ns < first.latency_ns
+        assert emulator.flow_caches[cache_name].stats.hits == 1
+
+    def test_group_cache(self, branching_program):
+        pipelets = partition(branching_program)
+        group = find_groups(branching_program, pipelets)[0]
+        result = apply_group_cache(branching_program, group)
+        program = result.program
+        validate_program(program)
+        cache = program.table(f"gcache__{group.branch}")
+        # Branch condition field is part of the cache key.
+        assert "ipv4.tos" in cache.match_fields
+        emulator = NicEmulator(program, BLUEFIELD2, instrument=False)
+        p1 = emulator.process(make_packet(extra={"ipv4.tos": 1}))
+        p2 = emulator.process(make_packet(extra={"ipv4.tos": 1}))
+        assert "left" in p1.path
+        # The hit skips the branch, the taken side, and (because the
+        # group absorbed the reconvergence pipelet) the join table.
+        assert "left" not in p2.path and "cond" not in p2.path
+        cache_node = program.table(f"gcache__{group.branch}")
+        assert "join" in cache_node.cache_info.covers
+        assert p2.latency_ns < p1.latency_ns
+
+
+class TestMerge:
+    def test_merged_node_shape(self, chain5):
+        result = apply_merge(chain5, ["chain5_t1", "chain5_t2"])
+        program = result.program
+        validate_program(program)
+        merged = program.table("merged__chain5_t1__chain5_t2")
+        assert merged.kind is TableKind.MERGED
+        assert merged.cache_info.mode == "merge"
+        # Composite hit x hit actions: 2 x 2 plus the miss action.
+        assert len(merged.actions) == 5
+        assert all(
+            k.match_type is MatchType.EXACT for k in merged.keys
+        )
+
+    def test_merge_requires_exact_tables(self):
+        program = linear_program("p", 3, MatchType.TERNARY)
+        with pytest.raises(TransformError):
+            apply_merge(program, ["p_t0", "p_t1"])
+
+    def test_merge_needs_two_tables(self, chain5):
+        with pytest.raises(TransformError):
+            apply_merge(chain5, ["chain5_t0"])
+
+    def test_naive_merge_is_ternary_and_removes_originals(self, chain5):
+        result = apply_naive_merge(chain5, ["chain5_t1", "chain5_t2"])
+        program = result.program
+        merged = program.table("tmerged__chain5_t1__chain5_t2")
+        assert all(
+            k.match_type is MatchType.TERNARY for k in merged.keys
+        )
+        assert "chain5_t1" not in program
+        assert "chain5_t2" not in program
+        validate_program(program)
+
+    def test_composite_action_param_reindexing(self):
+        a = Action("a", (prim("set_field", "x", Param(0)),))
+        b = Action("b", (prim("set_field", "y", Param(0)),))
+        combo = composite_action([a, b])
+        assert combo.name == "a+b"
+        args = [p.args for p in combo.primitives]
+        assert args[0] == ("x", Param(0))
+        assert args[1] == ("y", Param(1))
+
+
+class TestPartitionAndCopy:
+    def test_partition_inserts_plumbing(self):
+        program = linear_program("p", 4)
+        result = apply_partition(
+            program, {"p_t1": Pipeline.CPU, "p_t2": Pipeline.CPU}
+        )
+        partitioned = result.program
+        validate_program(partitioned)
+        assert "mig__asic__p_t1" in partitioned
+        assert "nav__cpu" in partitioned
+        assert "mig__cpu__p_t3" in partitioned
+        assert "nav__asic" in partitioned
+
+    def test_partition_preserves_semantics(self):
+        program = linear_program("p", 4)
+        result = apply_partition(
+            program, {"p_t1": Pipeline.CPU, "p_t2": Pipeline.CPU}
+        )
+        emulator = NicEmulator(
+            result.program, EMULATED_NIC, instrument=False
+        )
+        outcome = emulator.process(make_packet())
+        # All four tables still execute, in order, plus plumbing.
+        tables_seen = [n for n in outcome.path if n.startswith("p_t")]
+        assert tables_seen == ["p_t0", "p_t1", "p_t2", "p_t3"]
+        assert outcome.migrations == 2
+
+    def test_count_crossings(self):
+        program = linear_program("p", 4)
+        program.assign_pipeline(["p_t1", "p_t3"], Pipeline.CPU)
+        # t0->t1 (cross), t1->t2 (cross), t2->t3 (cross) = 3; t3->None no
+        assert count_crossings(program) == 3
+
+    def test_unknown_node_rejected(self, chain5):
+        with pytest.raises(TransformError):
+            apply_partition(chain5, {"ghost": Pipeline.CPU})
+
+    def test_copy_rewires_cpu_edges(self):
+        program = linear_program("p", 3)
+        program.assign_pipeline(["p_t0", "p_t2"], Pipeline.CPU)
+        # p_t1 is ASIC, between two CPU tables; copy it to CPU.
+        result = apply_copy(program, "p_t1", Pipeline.CPU)
+        copied = result.program
+        assert copied.successors("p_t0") == ["p_t1__copy_cpu"]
+        assert copied.successors("p_t1__copy_cpu") == ["p_t2"]
+        # Original keeps its place for ASIC-side users (none here).
+        assert "p_t1" in copied
+
+    def test_copy_reduces_migrations(self):
+        from repro.apps.migration import partitioned_program
+
+        naive = partitioned_program(4, n_copies=0)
+        copied = partitioned_program(4, n_copies=3)
+        emulator_naive = NicEmulator(
+            naive, EMULATED_NIC, instrument=False
+        )
+        emulator_copied = NicEmulator(
+            copied, EMULATED_NIC, instrument=False
+        )
+        naive_result = emulator_naive.process(make_packet())
+        copied_result = emulator_copied.process(make_packet())
+        assert copied_result.migrations < naive_result.migrations
+
+    def test_copy_rejects_same_pipeline(self):
+        program = linear_program("p", 2)
+        program.assign_pipeline(["p_t0"], Pipeline.CPU)
+        with pytest.raises(TransformError):
+            apply_copy(program, "p_t0", Pipeline.CPU)
