@@ -1,0 +1,119 @@
+"""Replay throughput: interpreter vs the compiled fast path.
+
+Replays the same pre-generated stream through ``NicEmulator.run``
+(reference interpreter) and ``NicEmulator.replay`` (compiled fast path)
+for each of the five example applications, and writes the packets-per-
+second comparison to ``BENCH_emulator.json`` at the repo root (plus the
+usual text block under ``benchmarks/results/``).
+
+The headline target is >=5x on ``l2l3_acl``; the differential tests
+(``tests/test_nic_fastpath.py``) prove the speedup changes nothing
+observable.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from pathlib import Path
+
+from figutil import emit, fmt_table
+
+from repro.apps import (
+    acl_chain,
+    dash_routing,
+    l2l3_acl,
+    load_balancer,
+    nf_composition,
+)
+from repro.core import Deployment
+from repro.nic.targets import BLUEFIELD2
+from repro.traffic.flows import synth_flows
+from repro.traffic.generator import TrafficGenerator
+
+BENCH_JSON = Path(__file__).parent.parent / "BENCH_emulator.json"
+
+APPS = {
+    "l2l3_acl": (l2l3_acl.build_program, l2l3_acl.install_base_entries),
+    "acl_chain": (
+        acl_chain.build_program,
+        acl_chain.install_acl_entries,
+    ),
+    "dash_routing": (
+        dash_routing.build_program,
+        dash_routing.install_base_entries,
+    ),
+    "load_balancer": (
+        load_balancer.build_program,
+        load_balancer.install_base_entries,
+    ),
+    "nf_composition": (
+        nf_composition.build_program,
+        nf_composition.install_base_entries,
+    ),
+}
+
+N_PACKETS = 20000
+
+
+def _packets(n: int = N_PACKETS):
+    generator = TrafficGenerator(1)
+    flows = synth_flows(64) + synth_flows(16, dport=6666)
+    return list(generator.stream(flows, n, locality="zipf"))
+
+
+def _measure(app: str) -> dict[str, float]:
+    build, install = APPS[app]
+    deployment = Deployment(build(), BLUEFIELD2)
+    install(deployment.control_plane)
+    emulator = deployment.emulator
+    # Processing mutates packets (header rewrites), so each engine gets
+    # its own same-seed stream, pre-built outside the timed region.
+    interp_packets = _packets()
+    fast_packets = _packets()
+    emulator.run(_packets(500))  # warm caches + counters
+    emulator.fastpath  # compile outside the timed region
+
+    start = time.perf_counter()
+    emulator.run(iter(interp_packets))
+    interp_s = time.perf_counter() - start
+
+    start = time.perf_counter()
+    emulator.replay(iter(fast_packets))
+    fast_s = time.perf_counter() - start
+
+    interp_pps = N_PACKETS / interp_s
+    fast_pps = N_PACKETS / fast_s
+    return {
+        "interpreter_pps": round(interp_pps),
+        "fastpath_pps": round(fast_pps),
+        "speedup": round(fast_pps / interp_pps, 2),
+    }
+
+
+def test_bench_emulator_throughput():
+    results = {app: _measure(app) for app in APPS}
+    BENCH_JSON.write_text(json.dumps(results, indent=2) + "\n")
+    rows = [
+        (
+            app,
+            data["interpreter_pps"],
+            data["fastpath_pps"],
+            data["speedup"],
+        )
+        for app, data in results.items()
+    ]
+    emit(
+        "BENCH_emulator",
+        fmt_table(
+            ["app", "interp_pps", "fastpath_pps", "speedup"], rows
+        ),
+    )
+    # Headline acceptance target; the other apps just need to be faster.
+    assert results["l2l3_acl"]["speedup"] >= 5.0
+    for app, data in results.items():
+        assert data["speedup"] > 1.0, app
+
+
+if __name__ == "__main__":
+    test_bench_emulator_throughput()

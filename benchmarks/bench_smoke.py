@@ -1,0 +1,65 @@
+"""Tier-1 throughput smoke check (~2 seconds).
+
+A miniature version of ``bench_emulator_throughput`` that runs with the
+regular test suite: replays one app through both engines and asserts
+the compiled fast path is comfortably faster than the interpreter and
+still bit-identical on aggregate stats. Catches perf regressions (a
+fast path slower than 2x means someone broke the compilation) without
+the full benchmark's runtime.
+"""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro.apps import l2l3_acl
+from repro.core import Deployment
+from repro.nic.targets import BLUEFIELD2
+from repro.traffic.flows import synth_flows
+from repro.traffic.generator import TrafficGenerator
+
+pytestmark = pytest.mark.tier1
+
+N_PACKETS = 4000
+
+
+def _packets():
+    generator = TrafficGenerator(1)
+    flows = synth_flows(64) + synth_flows(16, dport=6666)
+    return list(generator.stream(flows, N_PACKETS, locality="zipf"))
+
+
+def test_fastpath_throughput_smoke():
+    deployment = Deployment(l2l3_acl.build_program(), BLUEFIELD2)
+    l2l3_acl.install_base_entries(deployment.control_plane)
+    emulator = deployment.emulator
+    # Processing mutates packets (route rewrites), so each engine gets
+    # its own same-seed stream, pre-built outside the timed region.
+    interp_packets = _packets()
+    fast_packets = _packets()
+    emulator.run(_packets()[:200])  # warm-up
+    emulator.fastpath  # compile outside the timed region
+
+    start = time.perf_counter()
+    interp = emulator.run(iter(interp_packets))
+    interp_s = time.perf_counter() - start
+
+    start = time.perf_counter()
+    fast = emulator.replay(iter(fast_packets))
+    fast_s = time.perf_counter() - start
+
+    # Same traffic, same state machine: aggregates must agree exactly.
+    assert fast.packets == interp.packets
+    assert fast.dropped == interp.dropped
+    assert fast.total_latency_ns == interp.total_latency_ns
+    assert fast._busy_ns == interp._busy_ns
+
+    # Loose margin vs the benchmark's 5x headline to avoid flaking on
+    # loaded CI machines.
+    speedup = interp_s / fast_s
+    assert speedup >= 2.0, (
+        f"fast path only {speedup:.2f}x the interpreter "
+        f"({N_PACKETS / fast_s:,.0f} vs {N_PACKETS / interp_s:,.0f} pps)"
+    )

@@ -346,5 +346,20 @@ class Deployment:
     ) -> RunStats:
         return self.emulator.run(packets, offered_pps=offered_pps)
 
+    def replay(
+        self,
+        packets: Iterable[Packet],
+        offered_pps: Optional[float] = None,
+        batch: int = 256,
+        packet_pool=None,
+    ) -> RunStats:
+        """Batch replay through the emulator's compiled fast path."""
+        return self.emulator.replay(
+            packets,
+            offered_pps=offered_pps,
+            batch=batch,
+            packet_pool=packet_pool,
+        )
+
     def throughput_gbps(self, stats: RunStats) -> float:
         return stats.throughput_gbps(self.target)

@@ -8,6 +8,7 @@ from repro.nic.counters import (
     cache_counter,
 )
 from repro.nic.emulator import NicEmulator
+from repro.nic.fastpath import FastPathEngine
 from repro.nic.flow_cache import CacheStats, FlowCache, TokenBucket
 from repro.nic.match_engine import (
     ExactEngine,
@@ -22,10 +23,11 @@ from repro.nic.packet import (
     FIVE_TUPLE,
     NEXT_TAB_ID,
     Packet,
+    PacketPool,
     ipv4,
     make_packet,
 )
-from repro.nic.stats import PacketResult, RunStats
+from repro.nic.stats import PacketResult, PacketResultPool, RunStats
 from repro.nic.table_runtime import LookupResult, RuntimeTable
 from repro.nic.targets import (
     AGILIO_CX,
@@ -48,6 +50,7 @@ __all__ = [
     "EMULATED_NIC",
     "ExactEngine",
     "FIVE_TUPLE",
+    "FastPathEngine",
     "FlowCache",
     "LookupResult",
     "LpmEngine",
@@ -55,7 +58,9 @@ __all__ = [
     "NEXT_TAB_ID",
     "NicEmulator",
     "Packet",
+    "PacketPool",
     "PacketResult",
+    "PacketResultPool",
     "RangeEngine",
     "RunStats",
     "RuntimeTable",

@@ -12,6 +12,7 @@ busy time that the throughput model converts to Gbps.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from itertools import islice
 from typing import Iterable, Optional
 
 from repro.errors import EmulationError
@@ -124,6 +125,36 @@ class NicEmulator:
             else None
         )
 
+        # Reverse index for cache invalidation: original-table name ->
+        # flow caches whose covered run includes it. Built once here so
+        # control-plane updates don't rescan the program per event.
+        self._cache_cover_index: dict[str, list[str]] = {}
+        for name in self.flow_caches:
+            info = program.table(name).cache_info
+            if info is None:
+                continue
+            for covered in info.covers:
+                self._cache_cover_index.setdefault(covered, []).append(
+                    name
+                )
+        # Tables whose updates can change what the whole-program native
+        # cache would replay: everything on the datapath, plus the
+        # sources that merged/copied tables were derived from.
+        self._native_relevant: set[str] = set(program.nodes)
+        for node in program.nodes.values():
+            annotations = node.annotations
+            info = getattr(node, "cache_info", None)
+            if info is not None:
+                self._native_relevant.update(info.covers)
+            self._native_relevant.update(
+                str(c) for c in annotations.get("naive_merge_of", ())
+            )
+            source = annotations.get("copy_of")
+            if source:
+                self._native_relevant.add(str(source))
+
+        self._fastpath = None
+
     # -- state management -------------------------------------------------------
 
     def set_table_entries(
@@ -142,15 +173,20 @@ class NicEmulator:
         """Invalidate flow caches whose covered run includes ``table``.
 
         The paper: "an update in any of the original tables will
-        invalidate the entire cache".
+        invalidate the entire cache". Covered caches come from the
+        precomputed reverse index; the native whole-program cache is
+        flushed only when the updated table actually feeds this
+        program's datapath (previously any update — even to a table
+        this program never reads — cold-started it).
         """
         invalidated = []
-        for name, cache in self.flow_caches.items():
-            node = self.program.table(name)
-            if node.cache_info and table in node.cache_info.covers:
-                cache.invalidate_all()
-                invalidated.append(name)
-        if self.native_cache is not None:
+        for name in self._cache_cover_index.get(table, ()):
+            self.flow_caches[name].invalidate_all()
+            invalidated.append(name)
+        if (
+            self.native_cache is not None
+            and table in self._native_relevant
+        ):
             self.native_cache.invalidate_all()
         return invalidated
 
@@ -452,3 +488,59 @@ class NicEmulator:
             result = self.process(packet)
             stats.record(result, packet.size_bytes)
         return stats
+
+    # -- compiled fast path ------------------------------------------------------------
+
+    @property
+    def fastpath(self):
+        """The compiled replay engine for the current installed state.
+
+        Compiled lazily and recompiled automatically whenever a runtime
+        table's entries changed or a cache object was swapped (see
+        :meth:`repro.nic.fastpath.FastPathEngine.stale`). Replay through
+        it is bit-identical to :meth:`process`.
+        """
+        from repro.nic.fastpath import FastPathEngine
+
+        engine = self._fastpath
+        if engine is None or engine.stale():
+            engine = self._fastpath = FastPathEngine(self)
+        return engine
+
+    def replay_one(self, packet: Packet, into=None) -> PacketResult:
+        """Fast-path equivalent of :meth:`process` for one packet."""
+        return self.fastpath.replay_one(packet, into=into)
+
+    def replay(
+        self,
+        packets: Iterable[Packet],
+        offered_pps: Optional[float] = None,
+        batch: int = 256,
+        packet_pool=None,
+        stats: Optional[RunStats] = None,
+    ) -> RunStats:
+        """Batch replay through the compiled fast path.
+
+        Equivalent to :meth:`run` (same stats, counters and cache
+        state), but packets are driven through the compiled engine in
+        ``batch``-sized chunks with no per-packet result allocation.
+        Pass a :class:`~repro.nic.packet.PacketPool` as ``packet_pool``
+        to recycle consumed packets back to the generator's free list.
+        """
+        if batch < 1:
+            raise ValueError("batch must be >= 1")
+        if stats is None:
+            stats = RunStats()
+        engine = self.fastpath
+        dt = 1.0 / offered_pps if offered_pps else 0.0
+        iterator = iter(packets)
+        buffer: list[Packet] = []
+        while True:
+            buffer.clear()
+            buffer.extend(islice(iterator, batch))
+            if not buffer:
+                return stats
+            engine.replay_batch(buffer, stats, dt)
+            if packet_pool is not None:
+                for packet in buffer:
+                    packet_pool.release(packet)

@@ -21,6 +21,39 @@ class PacketResult:
     path: tuple[str, ...] = ()
 
 
+class PacketResultPool:
+    """Free-list of reusable :class:`PacketResult` objects.
+
+    The fast-path replay engine fills a recycled result in place
+    (including its ``busy_ns`` dict) instead of allocating one per
+    packet. Results handed out by ``acquire`` are blank; callers that
+    keep a result must not ``release`` it.
+    """
+
+    def __init__(self, prealloc: int = 0):
+        self._free: list[PacketResult] = [
+            PacketResult(0.0, False, None) for _ in range(prealloc)
+        ]
+
+    def __len__(self) -> int:
+        return len(self._free)
+
+    def acquire(self) -> PacketResult:
+        if self._free:
+            result = self._free.pop()
+            result.latency_ns = 0.0
+            result.dropped = False
+            result.egress_port = None
+            result.migrations = 0
+            result.busy_ns.clear()
+            result.path = ()
+            return result
+        return PacketResult(0.0, False, None)
+
+    def release(self, result: PacketResult) -> None:
+        self._free.append(result)
+
+
 class RunStats:
     """Aggregates packet results and converts them to Gbps.
 
@@ -52,6 +85,37 @@ class RunStats:
             self._busy_ns[pipeline] = (
                 self._busy_ns.get(pipeline, 0.0) + busy
             )
+
+    def record_fast(
+        self,
+        latency_ns: float,
+        size_bytes: int,
+        dropped: bool,
+        migrations: int,
+        asic_busy_ns: float | None = None,
+        cpu_busy_ns: float | None = None,
+    ) -> None:
+        """Record one packet without materialising a PacketResult.
+
+        Aggregation must stay arithmetically identical to
+        :meth:`record` — per-pool busy time is accumulated in the same
+        per-packet order, so interpreter and fast-path runs produce the
+        same statistics bit for bit.
+        """
+        self.packets += 1
+        self.total_latency_ns += latency_ns
+        self.total_bytes += size_bytes
+        self.migrations += migrations
+        if dropped:
+            self.dropped += 1
+        self._latencies.append(latency_ns)
+        busy = self._busy_ns
+        if asic_busy_ns is not None:
+            busy[Pipeline.ASIC] = (
+                busy.get(Pipeline.ASIC, 0.0) + asic_busy_ns
+            )
+        if cpu_busy_ns is not None:
+            busy[Pipeline.CPU] = busy.get(Pipeline.CPU, 0.0) + cpu_busy_ns
 
     # -- latency -------------------------------------------------------------
 

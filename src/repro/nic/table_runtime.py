@@ -38,6 +38,9 @@ class RuntimeTable:
     ):
         self.node = node
         self.engine: MatchEngine = build_engine(node.keys)
+        #: Bumped on every entry mutation; the fast-path replay engine
+        #: uses it to detect that its compiled state went stale.
+        self.version = 0
         for entry in entries:
             self.insert(entry)
 
@@ -61,16 +64,21 @@ class RuntimeTable:
                 f"{entry.action_name!r}"
             )
         self.engine.add(entry)
+        self.version += 1
 
     def delete(self, entry_id: int) -> TableEntry:
-        return self.engine.remove(entry_id)
+        entry = self.engine.remove(entry_id)
+        self.version += 1
+        return entry
 
     def modify(self, entry_id: int, new_entry: TableEntry) -> None:
         self.engine.remove(entry_id)
         self.engine.add(new_entry)
+        self.version += 1
 
     def clear(self) -> None:
         self.engine.clear()
+        self.version += 1
 
     def entries(self) -> list[TableEntry]:
         return self.engine.entries()

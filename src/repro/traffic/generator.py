@@ -4,6 +4,11 @@ Generates packet streams over a set of flows with a chosen locality
 pattern. All experiments in the paper use 512-byte packets (§5.1); flow
 locality controls cache hit rates (Zipf concentrates traffic on few flows,
 uniform spreads it).
+
+Flow-index generation is vectorized: the selection patterns return numpy
+arrays drawn in one shot, and streams optionally recycle packets from a
+:class:`~repro.nic.packet.PacketPool` so high-rate replay allocates
+nothing per packet.
 """
 
 from __future__ import annotations
@@ -13,7 +18,7 @@ from typing import Iterable, Iterator, Optional, Sequence
 
 import numpy as np
 
-from repro.nic.packet import DEFAULT_PACKET_BYTES, Packet
+from repro.nic.packet import DEFAULT_PACKET_BYTES, Packet, PacketPool
 from repro.traffic.flows import FlowSpec, synth_flows
 
 
@@ -27,25 +32,26 @@ class TrafficGenerator:
 
     # -- flow selection patterns -------------------------------------------------
 
-    def uniform_indices(self, n_flows: int, n_packets: int) -> list[int]:
-        return [
-            self._rng.randrange(n_flows) for _ in range(n_packets)
-        ]
+    def uniform_indices(
+        self, n_flows: int, n_packets: int
+    ) -> np.ndarray:
+        return self._np_rng.integers(
+            0, n_flows, size=n_packets, dtype=np.int64
+        )
 
     def zipf_indices(
         self, n_flows: int, n_packets: int, skew: float = 1.2
-    ) -> list[int]:
+    ) -> np.ndarray:
         """Zipf-distributed flow choices (high traffic locality)."""
         ranks = np.arange(1, n_flows + 1, dtype=float)
         weights = ranks ** (-skew)
         weights /= weights.sum()
-        choices = self._np_rng.choice(n_flows, size=n_packets, p=weights)
-        return [int(c) for c in choices]
+        return self._np_rng.choice(n_flows, size=n_packets, p=weights)
 
     def round_robin_indices(
         self, n_flows: int, n_packets: int
-    ) -> list[int]:
-        return [i % n_flows for i in range(n_packets)]
+    ) -> np.ndarray:
+        return np.arange(n_packets, dtype=np.int64) % n_flows
 
     # -- streams -------------------------------------------------------------------
 
@@ -56,8 +62,14 @@ class TrafficGenerator:
         locality: str = "uniform",
         zipf_skew: float = 1.2,
         size_bytes: int = DEFAULT_PACKET_BYTES,
+        pool: Optional[PacketPool] = None,
     ) -> Iterator[Packet]:
-        """Yield packets drawn from ``flows`` with the given locality."""
+        """Yield packets drawn from ``flows`` with the given locality.
+
+        With ``pool``, packets are recycled from its free list instead
+        of freshly allocated (release them back after processing, e.g.
+        via ``NicEmulator.replay(..., packet_pool=pool)``).
+        """
         if not flows:
             return
         if locality == "uniform":
@@ -68,37 +80,62 @@ class TrafficGenerator:
             indices = self.round_robin_indices(len(flows), n_packets)
         else:
             raise ValueError(f"Unknown locality {locality!r}")
-        for index in indices:
-            yield flows[index].packet(size_bytes)
+        if pool is None:
+            for index in indices.tolist():
+                yield flows[index].packet(size_bytes)
+        else:
+            for index in indices.tolist():
+                yield flows[index].fill(
+                    pool.acquire(size_bytes), size_bytes
+                )
 
     def mixed_stream(
         self,
         flow_groups: Sequence[tuple[Sequence[FlowSpec], float]],
         n_packets: int,
         size_bytes: int = DEFAULT_PACKET_BYTES,
+        pool: Optional[PacketPool] = None,
     ) -> Iterator[Packet]:
         """Draw from weighted flow groups (e.g. 25% droppable traffic).
 
         ``flow_groups`` is a list of ``(flows, weight)``; weights are
-        normalised. Used to hit configured ACL drop rates.
+        normalised. Used to hit configured ACL drop rates. Group choice
+        is a single ``searchsorted`` over the precomputed CDF instead of
+        a per-packet linear scan.
         """
         groups = [g for g in flow_groups if g[0]]
         if not groups:
             return
-        weights = [w for _, w in groups]
-        total = sum(weights)
-        cumulative = []
-        acc = 0.0
-        for weight in weights:
-            acc += weight / total
-            cumulative.append(acc)
-        for _ in range(n_packets):
-            roll = self._rng.random()
-            for (flows, _), edge in zip(groups, cumulative):
-                if roll <= edge:
-                    chosen = flows[self._rng.randrange(len(flows))]
-                    yield chosen.packet(size_bytes)
-                    break
+        weights = np.array([w for _, w in groups], dtype=float)
+        cdf = np.cumsum(weights / weights.sum())
+        rolls = self._np_rng.random(n_packets)
+        chosen = np.minimum(
+            np.searchsorted(cdf, rolls, side="left"), len(groups) - 1
+        )
+        # Per-group flow picks drawn in bulk (order within a group is
+        # irrelevant to the distribution).
+        picks = np.zeros(n_packets, dtype=np.int64)
+        for group_index, (flows, _) in enumerate(groups):
+            mask = chosen == group_index
+            count = int(mask.sum())
+            if count:
+                picks[mask] = self._np_rng.integers(
+                    0, len(flows), size=count, dtype=np.int64
+                )
+        if pool is None:
+            for group_index, flow_index in zip(
+                chosen.tolist(), picks.tolist()
+            ):
+                yield groups[group_index][0][flow_index].packet(
+                    size_bytes
+                )
+        else:
+            for group_index, flow_index in zip(
+                chosen.tolist(), picks.tolist()
+            ):
+                yield groups[group_index][0][flow_index].fill(
+                    pool.acquire(size_bytes), size_bytes
+                )
 
 
 def drop_rate_stream(
@@ -107,6 +144,7 @@ def drop_rate_stream(
     drop_rate: float,
     dropped_flows: Optional[Sequence[FlowSpec]] = None,
     passing_flows: Optional[Sequence[FlowSpec]] = None,
+    pool: Optional[PacketPool] = None,
 ) -> Iterable[Packet]:
     """A stream where ``drop_rate`` of packets come from droppable flows."""
     if not 0.0 <= drop_rate <= 1.0:
@@ -116,4 +154,5 @@ def drop_rate_stream(
     return generator.mixed_stream(
         [(dropped_flows, drop_rate), (passing_flows, 1.0 - drop_rate)],
         n_packets,
+        pool=pool,
     )

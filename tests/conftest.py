@@ -11,6 +11,16 @@ from repro.ir.builder import ProgramBuilder
 from repro.ir.conditionals import Condition
 
 
+def pytest_collection_modifyitems(items):
+    """Everything under tests/ is tier-1 (fast, run on every verify).
+
+    Benchmarks opt in individually (``bench_smoke.py`` carries the
+    marker itself); select with ``-m tier1``.
+    """
+    for item in items:
+        item.add_marker(pytest.mark.tier1)
+
+
 @pytest.fixture
 def chain5():
     """Five exact tables in a chain."""
