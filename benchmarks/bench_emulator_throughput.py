@@ -3,8 +3,10 @@
 Replays the same pre-generated stream through ``NicEmulator.run``
 (reference interpreter) and ``NicEmulator.replay`` (compiled fast path)
 for each of the five example applications, and writes the packets-per-
-second comparison to ``BENCH_emulator.json`` at the repo root (plus the
-usual text block under ``benchmarks/results/``).
+second comparison — medians over ``REPEATS`` runs, plus host metadata
+so the trajectory is comparable across PRs — to ``BENCH_emulator.json``
+at the repo root (plus the usual text block under
+``benchmarks/results/``).
 
 The headline target is >=5x on ``l2l3_acl``; the differential tests
 (``tests/test_nic_fastpath.py``) prove the speedup changes nothing
@@ -17,7 +19,7 @@ import json
 import time
 from pathlib import Path
 
-from figutil import emit, fmt_table
+from figutil import emit, fmt_table, host_metadata, median
 
 from repro.apps import (
     acl_chain,
@@ -54,6 +56,7 @@ APPS = {
 }
 
 N_PACKETS = 20000
+REPEATS = 3
 
 
 def _packets(n: int = N_PACKETS):
@@ -67,23 +70,26 @@ def _measure(app: str) -> dict[str, float]:
     deployment = Deployment(build(), BLUEFIELD2)
     install(deployment.control_plane)
     emulator = deployment.emulator
-    # Processing mutates packets (header rewrites), so each engine gets
-    # its own same-seed stream, pre-built outside the timed region.
-    interp_packets = _packets()
-    fast_packets = _packets()
     emulator.run(_packets(500))  # warm caches + counters
     emulator.fastpath  # compile outside the timed region
 
-    start = time.perf_counter()
-    emulator.run(iter(interp_packets))
-    interp_s = time.perf_counter() - start
+    interp_samples, fast_samples = [], []
+    for _ in range(REPEATS):
+        # Processing mutates packets (header rewrites), so each engine
+        # gets its own same-seed stream, built outside the timed region.
+        interp_packets = _packets()
+        fast_packets = _packets()
 
-    start = time.perf_counter()
-    emulator.replay(iter(fast_packets))
-    fast_s = time.perf_counter() - start
+        start = time.perf_counter()
+        emulator.run(iter(interp_packets))
+        interp_samples.append(time.perf_counter() - start)
 
-    interp_pps = N_PACKETS / interp_s
-    fast_pps = N_PACKETS / fast_s
+        start = time.perf_counter()
+        emulator.replay(iter(fast_packets))
+        fast_samples.append(time.perf_counter() - start)
+
+    interp_pps = N_PACKETS / median(interp_samples)
+    fast_pps = N_PACKETS / median(fast_samples)
     return {
         "interpreter_pps": round(interp_pps),
         "fastpath_pps": round(fast_pps),
@@ -93,7 +99,13 @@ def _measure(app: str) -> dict[str, float]:
 
 def test_bench_emulator_throughput():
     results = {app: _measure(app) for app in APPS}
-    BENCH_JSON.write_text(json.dumps(results, indent=2) + "\n")
+    payload = {
+        "host": host_metadata(),
+        "n_packets": N_PACKETS,
+        "repeats": REPEATS,
+        "apps": results,
+    }
+    BENCH_JSON.write_text(json.dumps(payload, indent=2) + "\n")
     rows = [
         (
             app,

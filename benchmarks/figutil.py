@@ -47,6 +47,22 @@ def _fmt(cell: object) -> str:
     return str(cell)
 
 
+def host_metadata() -> dict:
+    """Host facts recorded alongside benchmark numbers.
+
+    Perf JSONs are compared across PRs; without the host fingerprint a
+    regression is indistinguishable from a slower machine.
+    """
+    import os
+    import platform
+
+    return {
+        "cpu_count": os.cpu_count(),
+        "python": platform.python_version(),
+        "platform": platform.platform(),
+    }
+
+
 def run_once(benchmark, fn: Callable):
     """Run the experiment exactly once under pytest-benchmark timing."""
     return benchmark.pedantic(fn, rounds=1, iterations=1)

@@ -11,7 +11,30 @@ from repro.apps import (
     nf_composition,
 )
 
+#: The five example applications with base table entries, as
+#: ``name -> (build_program, install_entries)``. ``install_entries``
+#: takes a :class:`~repro.nic.ControlPlane` for the built program.
+#: Consumers: the ``replay`` CLI subcommand, the differential sharding
+#: suite and the throughput benchmarks.
+EXAMPLE_APPS = {
+    "l2l3_acl": (l2l3_acl.build_program, l2l3_acl.install_base_entries),
+    "acl_chain": (acl_chain.build_program, acl_chain.install_acl_entries),
+    "dash_routing": (
+        dash_routing.build_program,
+        dash_routing.install_base_entries,
+    ),
+    "load_balancer": (
+        load_balancer.build_program,
+        load_balancer.install_base_entries,
+    ),
+    "nf_composition": (
+        nf_composition.build_program,
+        nf_composition.install_base_entries,
+    ),
+}
+
 __all__ = [
+    "EXAMPLE_APPS",
     "acl_chain",
     "calibration_suite",
     "dash_routing",

@@ -11,6 +11,9 @@ Subcommands:
 * ``calibrate`` — run the §3.1 calibration suite against a target model
   and print the fitted constants.
 * ``placement`` — hierarchical-memory placement (§6 extension).
+* ``replay``    — drive generated traffic through the emulator's
+  compiled fast path (``--jobs N`` shards it across N worker
+  processes) and print a JSON throughput/latency summary.
 
 Usage: ``python -m repro.cli <subcommand> ...``
 """
@@ -145,6 +148,82 @@ def cmd_placement(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_replay(args: argparse.Namespace) -> int:
+    import time
+
+    from repro.apps import EXAMPLE_APPS
+    from repro.core import Deployment
+    from repro.core.sharded import ShardedDeployment
+    from repro.traffic.flows import synth_flows
+    from repro.traffic.generator import TrafficGenerator
+
+    if (args.app is None) == (args.program is None):
+        print(
+            "replay: pass exactly one of --app or --program",
+            file=sys.stderr,
+        )
+        return 2
+    install = None
+    if args.app is not None:
+        try:
+            build, install = EXAMPLE_APPS[args.app]
+        except KeyError:
+            print(
+                f"replay: unknown app {args.app!r} "
+                f"(choose from {', '.join(sorted(EXAMPLE_APPS))})",
+                file=sys.stderr,
+            )
+            return 2
+        program = build()
+    else:
+        program = _load_program(args.program)
+    target = get_target(args.target)
+    if args.jobs > 1:
+        deployment = ShardedDeployment(
+            program, target, n_workers=args.jobs, batch=args.batch
+        )
+    else:
+        deployment = Deployment(program, target)
+    try:
+        if install is not None:
+            install(deployment.control_plane)
+        generator = TrafficGenerator(seed=args.seed)
+        flows = synth_flows(args.flows)
+        packets = generator.stream(
+            flows, args.packets, locality=args.locality
+        )
+        start = time.perf_counter()
+        stats = deployment.replay(
+            packets, offered_pps=args.pps, batch=args.batch
+        )
+        wall_s = time.perf_counter() - start
+        summary = {
+            "app": args.app or args.program,
+            "target": args.target,
+            "jobs": args.jobs,
+            "packets": stats.packets,
+            "dropped": stats.dropped,
+            "mean_latency_ns": stats.mean_latency_ns,
+            "wall_s": wall_s,
+            "wall_pps": stats.packets / wall_s if wall_s > 0 else 0.0,
+            "throughput_gbps": stats.throughput_gbps(target),
+        }
+        if args.jobs > 1:
+            busy = deployment.emulator.worker_busy_s
+            summary["worker_busy_s"] = busy
+            critical = max(busy) if busy else 0.0
+            # Modeled throughput under hardware flow dispatch (RSS):
+            # the fleet finishes when its busiest worker does.
+            summary["modeled_pps"] = (
+                stats.packets / critical if critical > 0 else 0.0
+            )
+        print(json.dumps(summary, indent=2))
+    finally:
+        if args.jobs > 1:
+            deployment.close()
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="pipeleon",
@@ -190,6 +269,45 @@ def build_parser() -> argparse.ArgumentParser:
     placement.add_argument("--lmem-bytes", type=float, default=0.0)
     _add_common(placement)
     placement.set_defaults(func=cmd_placement)
+
+    replay = subparsers.add_parser(
+        "replay",
+        help="replay generated traffic through the fast path "
+        "(--jobs N for the sharded multi-core engine)",
+    )
+    replay.add_argument(
+        "--app",
+        default=None,
+        help="example app name (see repro.apps.EXAMPLE_APPS)",
+    )
+    replay.add_argument(
+        "--program",
+        default=None,
+        help="program JSON path (alternative to --app)",
+    )
+    replay.add_argument("--packets", type=int, default=20000)
+    replay.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        help="worker processes; 1 = in-process fast path",
+    )
+    replay.add_argument("--flows", type=int, default=256)
+    replay.add_argument(
+        "--locality",
+        default="uniform",
+        help="uniform | zipf | round_robin",
+    )
+    replay.add_argument(
+        "--pps",
+        type=float,
+        default=None,
+        help="offered load driving the emulated clock",
+    )
+    replay.add_argument("--batch", type=int, default=256)
+    replay.add_argument("--seed", type=int, default=0)
+    _add_common(replay)
+    replay.set_defaults(func=cmd_replay)
     return parser
 
 

@@ -16,6 +16,7 @@ from typing import Callable, Iterable, Optional
 from repro.core.costmodel import CostModel
 from repro.core.deployment import Deployment
 from repro.core.plan import OptimizationPlan, ResourceBudget
+from repro.core.sharded import ShardedDeployment
 from repro.core.profiling import RuntimeProfile
 from repro.core.search import (
     SearchOptions,
@@ -84,7 +85,10 @@ class PipeleonController:
         sample_stride: int = 1,
         native_cache: Optional[bool] = None,
         baseline_plan: Optional[OptimizationPlan] = None,
+        jobs: int = 1,
     ):
+        if jobs < 1:
+            raise ValueError("jobs must be >= 1")
         self.original = program
         self.target = target
         self.budget = budget or ResourceBudget()
@@ -96,19 +100,9 @@ class PipeleonController:
         self.control_plane = ControlPlane(program, self.clock)
         self._sample_stride = sample_stride
         self._native_cache = native_cache
-        self.deployment = Deployment(
-            program,
-            target,
-            plan=baseline_plan,
-            control_plane=self.control_plane,
-            sample_stride=sample_stride,
-            cache_capacity=self.search.cache_capacity,
-            cache_insertion_limit_pps=(
-                self.search.cache_insertion_limit_pps
-            ),
-            default_hit_rate=self.search.default_hit_rate,
-            native_cache=native_cache,
-        )
+        #: Number of shard workers; 1 keeps the in-process data plane.
+        self.jobs = jobs
+        self.deployment = self._make_deployment(baseline_plan)
         self.current_plan: Optional[OptimizationPlan] = baseline_plan
         self.last_profile: Optional[RuntimeProfile] = None
         self.reoptimizations = 0
@@ -173,12 +167,19 @@ class PipeleonController:
             self.deployment.reset_telemetry()
         return changed
 
-    def _redeploy(self, plan: OptimizationPlan) -> None:
-        previous = self.deployment
-        previous.close()
-        self.deployment = Deployment(
-            self.original,
-            self.target,
+    def _make_deployment(
+        self,
+        plan: Optional[OptimizationPlan],
+        previous: Optional[Deployment] = None,
+    ):
+        """Build the data plane: in-process, or sharded when jobs > 1.
+
+        A sharded redeploy tears down every worker and forks a fresh
+        fleet from the newly materialised template, so a plan change
+        reaches all shards atomically (shard-wide redeploy); warm-cache
+        carry only applies to the in-process flavour.
+        """
+        kwargs = dict(
             plan=plan,
             control_plane=self.control_plane,
             sample_stride=self._sample_stride,
@@ -188,7 +189,24 @@ class PipeleonController:
             ),
             default_hit_rate=self.search.default_hit_rate,
             native_cache=self._native_cache,
-            previous=previous,
+        )
+        if self.jobs > 1:
+            return ShardedDeployment(
+                self.original,
+                self.target,
+                n_workers=self.jobs,
+                **kwargs,
+            )
+        return Deployment(
+            self.original, self.target, previous=previous, **kwargs
+        )
+
+    def _redeploy(self, plan: OptimizationPlan) -> None:
+        previous = self.deployment
+        previous.close()
+        self.deployment = self._make_deployment(
+            plan,
+            previous=previous if self.jobs == 1 else None,
         )
         self.current_plan = plan
         self.reoptimizations += 1

@@ -232,6 +232,9 @@ class Deployment:
     # -- runtime update propagation ----------------------------------------------------
 
     def _on_update(self, event: UpdateEvent) -> None:
+        if event.op == "flush":
+            self.emulator.flush_caches()
+            return
         table = event.table
         snapshot = None
         # Direct mirror (the original table may have been subsumed by a

@@ -1,0 +1,277 @@
+"""Sharded deployment: one optimized program replicated across cores.
+
+:class:`ShardedDeployment` composes the single-core :class:`Deployment`
+(which owns plan application, entry materialisation and the counter map)
+with a :class:`~repro.nic.sharding.ShardedEmulator` forked from the
+deployment's fully-configured emulator. The inner deployment's emulator
+becomes the *template*: workers inherit its entire state copy-on-write,
+then the template stops seeing traffic.
+
+Update flow: the control plane notifies the inner deployment first
+(listeners run in registration order), which re-materialises the
+template's runtime tables exactly as a single-core deployment would.
+This listener then broadcasts the affected tables' post-materialisation
+entry lists — plus the covering-cache invalidation — to every worker,
+epoch-tagged, through each worker's FIFO command pipe. A worker has
+therefore always applied an update before replaying any batch dispatched
+after it, and its fast path recompiles automatically off the bumped
+runtime-table versions.
+
+Profiling is shard-merged: each worker's counter bank is translated and
+profiled independently, the per-shard :class:`RuntimeProfile`\\ s are
+folded with :meth:`RuntimeProfile.merge` (support-weighted, so pooled
+probabilities are recovered), and control-plane-authoritative facts
+(entry counts, measured ``m``, update rates) are filled in once from the
+parent's shadow store.
+
+Unlike single-core redeployment, a sharded redeploy always cold-starts
+flow caches: worker cache state lives in the worker processes and dies
+with them (carrying it across a fork boundary would cost more than the
+warm-up it saves at these cache sizes).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional
+
+from repro.core.deployment import Deployment
+from repro.core.plan import OptimizationPlan
+from repro.core.profiling import (
+    RuntimeProfile,
+    collect_profile,
+    measure_table_m,
+)
+from repro.ir.entries import TableEntry
+from repro.ir.program import Program
+from repro.nic.control_plane import ControlPlane, SimClock, UpdateEvent
+from repro.nic.packet import Packet
+from repro.nic.sharding import ShardedEmulator
+from repro.nic.stats import RunStats
+from repro.nic.targets import TargetModel
+
+
+class ShardedDeployment:
+    """A deployment whose data plane is N flow-hash shard workers."""
+
+    def __init__(
+        self,
+        original: Program,
+        target: TargetModel,
+        n_workers: int = 2,
+        plan: Optional[OptimizationPlan] = None,
+        control_plane: Optional[ControlPlane] = None,
+        clock: Optional[SimClock] = None,
+        batch: int = 256,
+        sample_stride: int = 1,
+        instrument: bool = True,
+        cache_capacity: int = 4096,
+        cache_insertion_limit_pps: float = 10000.0,
+        default_hit_rate: float = 0.9,
+        native_cache: Optional[bool] = None,
+        previous: Optional[object] = None,
+    ):
+        # ``previous`` is accepted for signature parity with Deployment
+        # but ignored: sharded redeploys cold-start caches (see module
+        # docstring).
+        self.deployment = Deployment(
+            original,
+            target,
+            plan=plan,
+            control_plane=control_plane,
+            clock=clock,
+            sample_stride=sample_stride,
+            instrument=instrument,
+            cache_capacity=cache_capacity,
+            cache_insertion_limit_pps=cache_insertion_limit_pps,
+            default_hit_rate=default_hit_rate,
+            native_cache=native_cache,
+        )
+        self.original = original
+        self.target = target
+        self.plan = plan
+        self.n_workers = n_workers
+        self.control_plane = self.deployment.control_plane
+        self.clock = self.deployment.clock
+        self.counter_map = self.deployment.counter_map
+        self.program = self.deployment.program
+        # Fork AFTER materialize_all: workers inherit installed entries.
+        self.emulator = ShardedEmulator(
+            self.deployment.emulator,
+            n_workers,
+            batch=batch,
+            clock=self.clock,
+        )
+        self.control_plane.add_listener(self._on_update)
+        self._closed = False
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def __enter__(self) -> "ShardedDeployment":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    def close(self) -> None:
+        if self._closed:
+            return
+        self._closed = True
+        self.control_plane.remove_listener(self._on_update)
+        self.deployment.close()
+        self.emulator.close()
+
+    # -- update broadcast --------------------------------------------------
+
+    def _affected_runtime_tables(self, table: str) -> list[str]:
+        """Runtime tables the inner deployment rewrites for ``table``."""
+        inner = self.deployment
+        names = []
+        if table in inner.emulator.runtime_tables:
+            names.append(table)
+        names.extend(inner._copies.get(table, []))
+        for node in inner._merged_nodes:
+            covers = (
+                node.cache_info.covers
+                if node.cache_info is not None
+                else tuple(
+                    str(c)
+                    for c in node.annotations.get("naive_merge_of", ())
+                )
+            )
+            if table in covers:
+                names.append(node.name)
+        return names
+
+    def _on_update(self, event: UpdateEvent) -> None:
+        # Runs after Deployment._on_update: the template's runtime
+        # tables already reflect the event, so broadcast their state.
+        if event.op == "flush":
+            self.emulator.flush_caches()
+            return
+        runtime_tables = self.deployment.emulator.runtime_tables
+        for name in self._affected_runtime_tables(event.table):
+            runtime = runtime_tables[name]
+            self.emulator.set_table_entries(
+                name, [entry.clone() for entry in runtime.entries()]
+            )
+        self.emulator.invalidate_caches_covering(event.table)
+
+    # -- control-plane passthrough API -------------------------------------
+
+    def insert_entry(self, table: str, entry: TableEntry) -> int:
+        return self.control_plane.insert_entry(table, entry)
+
+    def insert_entries(
+        self, table: str, entries: Iterable[TableEntry]
+    ) -> list[int]:
+        return self.control_plane.insert_entries(table, entries)
+
+    def delete_entry(self, table: str, entry_id: int) -> TableEntry:
+        return self.control_plane.delete_entry(table, entry_id)
+
+    def modify_entry(
+        self, table: str, entry_id: int, new_entry: TableEntry
+    ) -> None:
+        self.control_plane.modify_entry(table, entry_id, new_entry)
+
+    # -- telemetry ---------------------------------------------------------
+
+    @property
+    def materialized_updates(self) -> dict[str, int]:
+        return self.deployment.materialized_updates
+
+    def cache_hit_rates(self) -> dict[str, float]:
+        """Merged hit rates (replay refreshes the merged view)."""
+        rates: dict[str, float] = {}
+        for name, stats in self.emulator.cache_stats.items():
+            if stats.lookups:
+                rates[name] = stats.hit_rate
+        snapshot = self.emulator.counters.snapshot()
+        merged_counts: dict[str, dict[str, float]] = {}
+        for key, count in snapshot.items():
+            if key[0] == "cache":
+                merged_counts.setdefault(key[1], {})[key[2]] = count
+        for name, legs in merged_counts.items():
+            total = legs.get("hit", 0.0) + legs.get("miss", 0.0)
+            if total:
+                rates.setdefault(name, legs.get("hit", 0.0) / total)
+        return rates
+
+    def profile(
+        self,
+        update_window_s: float = 10.0,
+        offered_pps: float = 1e6,
+    ) -> RuntimeProfile:
+        """Per-shard profiles, support-merged, in original coordinates."""
+        sharded = self.emulator
+        sharded.collect()
+        merged: Optional[RuntimeProfile] = None
+        share = offered_pps / max(1, sharded.n_workers)
+        for state in sharded.worker_states:
+            shard_profile = collect_profile(
+                self.original,
+                state["counters"].snapshot(),
+                counter_map=self.counter_map,
+                offered_pps=share,
+            )
+            for name, stats in state["cache_stats"].items():
+                if stats.lookups:
+                    shard_profile.cache_hit_rates[name] = stats.hit_rate
+                    shard_profile.cache_support[name] = float(
+                        stats.lookups
+                    )
+            merged = (
+                shard_profile
+                if merged is None
+                else merged.merge(shard_profile)
+            )
+        if merged is None:  # pragma: no cover - n_workers >= 1 always
+            merged = RuntimeProfile(offered_pps=offered_pps)
+        # Control-plane facts are global, not per-shard: fill them once
+        # from the authoritative shadow store.
+        for table_name, entries in self.control_plane.snapshot().items():
+            if table_name not in self.original.nodes:
+                continue
+            node = self.original.table(table_name)
+            merged.entry_counts[table_name] = len(entries)
+            merged.table_m[table_name] = measure_table_m(node, entries)
+        merged.update_rates = self.control_plane.update_rates(
+            window_s=update_window_s
+        )
+        return merged
+
+    def reset_telemetry(self) -> None:
+        self.emulator.reset_telemetry()
+        self.deployment.reset_telemetry()
+
+    # -- traffic -----------------------------------------------------------
+
+    def replay(
+        self,
+        packets: Iterable[Packet],
+        offered_pps: Optional[float] = None,
+        batch: Optional[int] = None,
+        packet_pool=None,
+    ) -> RunStats:
+        return self.emulator.replay(
+            packets,
+            offered_pps=offered_pps,
+            batch=batch,
+            packet_pool=packet_pool,
+        )
+
+    def run(
+        self,
+        packets: Iterable[Packet],
+        offered_pps: Optional[float] = None,
+    ) -> RunStats:
+        """Sharded data planes only run the compiled fast path.
+
+        Replay is stats-identical to the interpreter (the fast path's
+        core guarantee), so scenario drivers can call ``run`` on either
+        deployment flavour.
+        """
+        return self.replay(packets, offered_pps=offered_pps)
+
+    def throughput_gbps(self, stats: RunStats) -> float:
+        return stats.throughput_gbps(self.target)

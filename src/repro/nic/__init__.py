@@ -27,6 +27,13 @@ from repro.nic.packet import (
     ipv4,
     make_packet,
 )
+from repro.nic.sharding import (
+    ShardedEmulator,
+    decode_batch,
+    encode_batch,
+    flow_shard,
+    shard_seed,
+)
 from repro.nic.stats import PacketResult, PacketResultPool, RunStats
 from repro.nic.table_runtime import LookupResult, RuntimeTable
 from repro.nic.targets import (
@@ -64,6 +71,7 @@ __all__ = [
     "RangeEngine",
     "RunStats",
     "RuntimeTable",
+    "ShardedEmulator",
     "SimClock",
     "TARGETS",
     "TargetModel",
@@ -74,7 +82,11 @@ __all__ = [
     "branch_counter",
     "build_engine",
     "cache_counter",
+    "decode_batch",
+    "encode_batch",
+    "flow_shard",
     "get_target",
     "ipv4",
     "make_packet",
+    "shard_seed",
 ]

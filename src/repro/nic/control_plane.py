@@ -38,12 +38,20 @@ class SimClock:
 
 @dataclass(frozen=True)
 class UpdateEvent:
-    """One control-plane operation, delivered to listeners."""
+    """One control-plane operation, delivered to listeners.
 
-    op: str  # "insert" | "delete" | "modify"
+    ``epoch`` is the control plane's monotonically increasing update
+    version after this operation. Listeners that mirror state to remote
+    replicas (the sharded replay engine's worker processes) use it to
+    order and acknowledge broadcasts: every worker must have applied
+    epoch ``e`` before processing any packet batch dispatched after it.
+    """
+
+    op: str  # "insert" | "delete" | "modify" | "flush"
     table: str
-    entry: TableEntry
+    entry: Optional[TableEntry]
     time_s: float
+    epoch: int = 0
 
 
 Listener = Callable[[UpdateEvent], None]
@@ -66,6 +74,10 @@ class ControlPlane:
     ):
         self.program = program
         self.clock = clock or SimClock()
+        #: Update version: bumped on every mutation (insert, delete,
+        #: modify, cache flush). Replicated data planes compare epochs
+        #: to know whether they are current.
+        self.epoch = 0
         self._tables: dict[str, _TableState] = {}
         self._listeners: list[Listener] = []
         for table in program.tables():
@@ -115,8 +127,11 @@ class ControlPlane:
             )
         state.entries[entry.entry_id] = entry
         state.updates.append(self.clock.now_s)
+        self.epoch += 1
         self._notify(
-            UpdateEvent("insert", table, entry, self.clock.now_s)
+            UpdateEvent(
+                "insert", table, entry, self.clock.now_s, self.epoch
+            )
         )
         return entry.entry_id
 
@@ -133,8 +148,11 @@ class ControlPlane:
                 f"Table {table!r} has no entry {entry_id}"
             )
         state.updates.append(self.clock.now_s)
+        self.epoch += 1
         self._notify(
-            UpdateEvent("delete", table, entry, self.clock.now_s)
+            UpdateEvent(
+                "delete", table, entry, self.clock.now_s, self.epoch
+            )
         )
         return entry
 
@@ -149,14 +167,32 @@ class ControlPlane:
         del state.entries[entry_id]
         state.entries[new_entry.entry_id] = new_entry
         state.updates.append(self.clock.now_s)
+        self.epoch += 1
         self._notify(
-            UpdateEvent("modify", table, new_entry, self.clock.now_s)
+            UpdateEvent(
+                "modify", table, new_entry, self.clock.now_s, self.epoch
+            )
         )
 
     def clear_table(self, table: str) -> None:
         state = self._state(table)
         for entry_id in list(state.entries):
             self.delete_entry(table, entry_id)
+
+    def flush_caches(self) -> None:
+        """Broadcast a data-plane cache flush to every listener.
+
+        A flush is not an entry operation — shadow entries are
+        untouched — but it is epoch-versioned like one so replicated
+        data planes (sharded workers) apply it in order with entry
+        updates and cold-start their flow caches together.
+        """
+        self.epoch += 1
+        self._notify(
+            UpdateEvent(
+                "flush", "*", None, self.clock.now_s, self.epoch
+            )
+        )
 
     # -- reads ----------------------------------------------------------------------
 

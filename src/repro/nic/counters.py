@@ -66,6 +66,32 @@ class CounterBank:
             counter = self._counters[key] = Counter()
         counter.bump(size_bytes)
 
+    # -- merging ----------------------------------------------------------------
+
+    def merge(self, other: "CounterBank") -> "CounterBank":
+        """Fold another bank's counts into this one (associative).
+
+        Shards of a replay each own a bank; merging their banks yields
+        the same counts as one bank observing the unsplit stream,
+        provided ``sample_stride`` is 1 (with a coarser stride, which
+        packets get sampled depends on the global packet order, which
+        sharding does not preserve).
+        """
+        if other.sample_stride != self.sample_stride:
+            raise ValueError(
+                "Cannot merge counter banks with different sample "
+                f"strides ({self.sample_stride} vs {other.sample_stride})"
+            )
+        counters = self._counters
+        for key, counter in other._counters.items():
+            mine = counters.get(key)
+            if mine is None:
+                mine = counters[key] = Counter()
+            mine.packets += counter.packets
+            mine.bytes += counter.bytes
+        self._packet_index += other._packet_index
+        return self
+
     # -- reads ------------------------------------------------------------------
 
     def packets(self, key: CounterKey) -> int:

@@ -190,6 +190,18 @@ class NicEmulator:
             self.native_cache.invalidate_all()
         return invalidated
 
+    def flush_caches(self) -> None:
+        """Cold-start every flow cache (and the native cache).
+
+        The data-plane half of :meth:`repro.nic.control_plane.
+        ControlPlane.flush_caches`; sharded workers apply it when the
+        flush broadcast reaches them.
+        """
+        for cache in self.flow_caches.values():
+            cache.invalidate_all()
+        if self.native_cache is not None:
+            self.native_cache.invalidate_all()
+
     def table_memory_bytes(self) -> dict[str, int]:
         return {
             name: runtime.memory_bytes

@@ -785,11 +785,27 @@ class FastPathEngine:
         packets: Iterable[Packet],
         stats: RunStats,
         dt_s: float = 0.0,
+        timestamps: Optional[Iterable[float]] = None,
     ) -> None:
-        """Replay packets straight into ``stats`` (no result objects)."""
+        """Replay packets straight into ``stats`` (no result objects).
+
+        ``timestamps``, when given, sets the sim clock to the provided
+        absolute time before each packet instead of advancing it by
+        ``dt_s``. Sharded replay uses this so every worker observes the
+        same per-packet clock the single-core engine would (cache
+        insertion rate limiting is clock-driven).
+        """
         clock = self._em.clock
         record = stats.record_fast
+        if timestamps is not None:
+            packets = zip(packets, timestamps)
         if self._root_fn is None:
+            if timestamps is not None:
+                for packet, now_s in packets:
+                    clock.now_s = now_s
+                    self._begin_packet()
+                    record(0.0, packet.size_bytes, False, 0, None, None)
+                return
             for packet in packets:
                 if dt_s:
                     clock.advance(dt_s)
@@ -797,6 +813,28 @@ class FastPathEngine:
                 record(0.0, packet.size_bytes, False, 0, None, None)
             return
         run = self._run
+        if timestamps is not None:
+            for packet, now_s in packets:
+                clock.now_s = now_s
+                ctx = run(packet)
+                busy = ctx.busy
+                used = ctx.used
+                asic = busy[0] if used[0] else None
+                cpu = busy[1] if used[1] else None
+                latency = 0.0
+                if asic is not None:
+                    latency += asic
+                if cpu is not None:
+                    latency += cpu
+                record(
+                    latency,
+                    packet.size_bytes,
+                    packet.dropped,
+                    ctx.migrations,
+                    asic,
+                    cpu,
+                )
+            return
         for packet in packets:
             if dt_s:
                 clock.advance(dt_s)

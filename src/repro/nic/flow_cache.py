@@ -42,6 +42,16 @@ class CacheStats:
         self.hits = 0
         self.misses = 0
 
+    def merge(self, other: "CacheStats") -> "CacheStats":
+        """Fold another cache's stats into this one (associative)."""
+        self.hits += other.hits
+        self.misses += other.misses
+        self.insertions += other.insertions
+        self.rejected_insertions += other.rejected_insertions
+        self.evictions += other.evictions
+        self.invalidations += other.invalidations
+        return self
+
 
 class TokenBucket:
     """Simple token bucket used for the insertion-rate limit."""

@@ -1,0 +1,626 @@
+"""Sharded multi-core replay engine: flow-hash partitioning over workers.
+
+PR 1 compiled the replay loop into per-node closures; this module scales
+it across cores. A :class:`ShardedEmulator` owns N worker *processes*,
+each holding its own :class:`~repro.nic.emulator.NicEmulator` (and
+therefore its own compiled fast-path engine, flow caches and counter
+bank). Traffic is partitioned by a deterministic hash of the packet's
+five-tuple, so every packet of a flow lands on the same worker — which
+is exactly what NIC RSS does in hardware, and what preserves per-flow
+cache behaviour: a flow's hits, misses and recorded effects are
+identical whether the flow shares a core with every other flow or only
+with the flows that hash beside it.
+
+Equivalence contract: with ``sample_stride == 1``, flow caches that
+neither evict (capacity >= live flows) nor rate-limit insertions, and
+cache keys that resolve within a flow (each cache key is only ever
+produced by flows of one shard — true whenever keys include the five
+tuple, or are distinct per flow), the *merge* of the per-worker run
+stats, counter banks and cache stats is exactly — bit for bit — what a
+single-core replay of the unsharded stream produces (see
+``tests/test_nic_sharding.py``). This holds because all aggregates are
+either integer sums or ``math.fsum`` reductions (order-independent),
+and per-flow state never crosses shards. Outside that regime the
+engine stays *semantically* correct — every packet still gets the
+single-core forwarding result — but cold-start effects differ: a cache
+key shared by flows on different shards (e.g. a dst-only route cache
+key under traffic where several flows share a dst) warms once per
+shard instead of once globally, so miss counts can exceed one core's.
+
+Control-plane updates reach workers through an epoch-versioned
+broadcast: every mutation the parent applies (entry install/delete,
+cache invalidation, cache flush) is forwarded through each worker's
+command pipe *in order with packet batches*, so a worker has always
+applied update epoch ``e`` before it replays any batch dispatched after
+``e``. Workers re-use the fast path's existing staleness fingerprint:
+applying a broadcast bumps the runtime table's version, and the next
+batch's ``emulator.fastpath`` access recompiles automatically.
+
+Packet batches cross the process boundary as numpy record blocks (one
+``int64`` value matrix plus field-name header per batch) rather than
+pickled ``Packet`` objects; a pure-python fallback covers packets with
+metadata, oversized values, or heterogeneous header sets.
+"""
+
+from __future__ import annotations
+
+import multiprocessing as mp
+import time
+import traceback
+from typing import Callable, Iterable, Optional, Sequence
+
+import numpy as np
+
+from repro.errors import EmulationError
+from repro.ir.entries import TableEntry
+from repro.nic.control_plane import SimClock, UpdateEvent
+from repro.nic.counters import CounterBank
+from repro.nic.emulator import NicEmulator
+from repro.nic.flow_cache import CacheStats
+from repro.nic.packet import Packet, PacketPool
+from repro.nic.stats import RunStats
+
+__all__ = [
+    "ShardedEmulator",
+    "decode_batch",
+    "encode_batch",
+    "flow_shard",
+    "shard_seed",
+]
+
+
+# ---------------------------------------------------------------------------
+# Flow -> shard assignment
+# ---------------------------------------------------------------------------
+
+
+def flow_shard(flow_key: tuple[int, ...], n_shards: int) -> int:
+    """Deterministic shard index for a flow key.
+
+    Uses the builtin tuple hash, which for integer elements is *not*
+    randomized by ``PYTHONHASHSEED`` — the same key maps to the same
+    shard in every process and every run, which both the dispatcher and
+    the shard-aware traffic generator rely on.
+    """
+    if n_shards <= 1:
+        return 0
+    return hash(flow_key) % n_shards
+
+
+def shard_seed(seed: int, shard: int) -> int:
+    """Derived per-shard RNG seed for independent shard-local streams."""
+    return (seed * 1_000_003 + shard * 7_919 + 1) & 0x7FFFFFFF
+
+
+# ---------------------------------------------------------------------------
+# Compact batch serialization
+# ---------------------------------------------------------------------------
+
+_INT64_MIN = -(2**63)
+_INT64_MAX = 2**63 - 1
+
+
+def encode_batch(packets: Sequence[Packet]):
+    """Serialize packets for the worker pipe.
+
+    Fast path: every packet shares one header-name tuple, carries no
+    metadata and is undropped (true for generator streams) — the batch
+    becomes a single ``(names, int64 matrix, sizes)`` block, which
+    pickles as flat buffers instead of per-packet dicts. Anything else
+    falls back to an explicit per-packet encoding.
+    """
+    if not packets:
+        return ("py", [])
+    first = packets[0]
+    names = tuple(first.fields)
+    uniform = not (first.metadata or first.dropped)
+    if uniform:
+        for packet in packets:
+            if (
+                packet.metadata
+                or packet.dropped
+                or packet.egress_port is not None
+                or tuple(packet.fields) != names
+            ):
+                uniform = False
+                break
+    if uniform:
+        try:
+            values = np.array(
+                [list(p.fields.values()) for p in packets],
+                dtype=np.int64,
+            )
+        except (OverflowError, ValueError):
+            uniform = False
+        else:
+            sizes = np.array(
+                [p.size_bytes for p in packets], dtype=np.int32
+            )
+            return ("np", names, values, sizes)
+    return (
+        "py",
+        [
+            (
+                dict(p.fields),
+                dict(p.metadata),
+                p.size_bytes,
+                p.dropped,
+                p.egress_port,
+            )
+            for p in packets
+        ],
+    )
+
+
+def decode_batch(payload, pool: Optional[PacketPool] = None) -> list[Packet]:
+    """Inverse of :func:`encode_batch`; optionally fills pooled packets."""
+    kind = payload[0]
+    packets: list[Packet] = []
+    if kind == "np":
+        _, names, values, sizes = payload
+        for row, size in zip(values.tolist(), sizes.tolist()):
+            packet = (
+                pool.acquire(size) if pool is not None else Packet(size_bytes=size)
+            )
+            packet.fields = dict(zip(names, row))
+            packets.append(packet)
+        return packets
+    for fields, metadata, size, dropped, egress in payload[1]:
+        packet = (
+            pool.acquire(size) if pool is not None else Packet(size_bytes=size)
+        )
+        packet.fields = fields
+        packet.metadata = metadata
+        packet.dropped = dropped
+        packet.egress_port = egress
+        packets.append(packet)
+    return packets
+
+
+# ---------------------------------------------------------------------------
+# Worker process
+# ---------------------------------------------------------------------------
+
+
+def _worker_state(emulator: NicEmulator) -> dict:
+    """Cumulative mergeable telemetry shipped back to the parent."""
+    return {
+        "counters": emulator.counters,
+        "explicit": dict(emulator.explicit_counters),
+        "cache_stats": {
+            name: cache.stats
+            for name, cache in emulator.flow_caches.items()
+        },
+        "native_stats": (
+            emulator.native_cache.stats
+            if emulator.native_cache is not None
+            else None
+        ),
+    }
+
+
+def _worker_main(conn, factory, shard_index: int) -> None:
+    """Command loop for one shard worker.
+
+    Messages arrive strictly in the order the parent sent them; control
+    broadcasts therefore always take effect before any batch dispatched
+    after them. ``busy`` accounts the worker's own CPU time
+    (``time.process_time``: decode + replay + reply pickling, but not
+    time blocked on the pipe), which the throughput benchmark uses as
+    the critical-path denominator.
+    """
+    try:
+        emulator: NicEmulator = factory(shard_index)
+        pool = PacketPool()
+        stats: Optional[RunStats] = None
+        busy = 0.0
+        epoch = 0
+        while True:
+            message = conn.recv()
+            op = message[0]
+            start = time.process_time()
+            if op == "batch":
+                packets = decode_batch(message[1], pool)
+                if stats is None:
+                    stats = RunStats()
+                engine = emulator.fastpath  # recompiles if stale
+                engine.replay_batch(
+                    packets, stats, timestamps=message[2]
+                )
+                for packet in packets:
+                    pool.release(packet)
+            elif op == "begin":
+                stats = RunStats()
+                busy = 0.0
+            elif op == "end":
+                busy += time.process_time() - start
+                conn.send(
+                    (
+                        "done",
+                        stats if stats is not None else RunStats(),
+                        _worker_state(emulator),
+                        busy,
+                        epoch,
+                    )
+                )
+                stats = None
+                continue
+            elif op == "entries":
+                emulator.set_table_entries(message[1], message[2])
+                epoch = message[3]
+            elif op == "invalidate":
+                emulator.invalidate_caches_covering(message[1])
+                epoch = message[2]
+            elif op == "flush":
+                emulator.flush_caches()
+                epoch = message[1]
+            elif op == "reset":
+                emulator.counters.reset()
+                for cache in emulator.flow_caches.values():
+                    cache.stats.reset_rates()
+                if emulator.native_cache is not None:
+                    emulator.native_cache.stats.reset_rates()
+            elif op == "collect":
+                conn.send(("state", _worker_state(emulator), epoch))
+                continue
+            elif op == "dump":
+                conn.send(
+                    (
+                        "caches",
+                        {
+                            name: dict(cache._store)
+                            for name, cache in emulator.flow_caches.items()
+                        },
+                        (
+                            dict(emulator.native_cache._store)
+                            if emulator.native_cache is not None
+                            else None
+                        ),
+                        {
+                            name: runtime.entries()
+                            for name, runtime in emulator.runtime_tables.items()
+                        },
+                    )
+                )
+                continue
+            elif op == "close":
+                conn.send(("bye",))
+                break
+            else:  # pragma: no cover - protocol error
+                raise EmulationError(f"Unknown worker op {op!r}")
+            busy += time.process_time() - start
+    except EOFError:  # parent went away
+        pass
+    except Exception:
+        try:
+            conn.send(("error", traceback.format_exc()))
+        except (BrokenPipeError, OSError):  # pragma: no cover
+            pass
+    finally:
+        conn.close()
+
+
+# ---------------------------------------------------------------------------
+# Parent-side engine
+# ---------------------------------------------------------------------------
+
+
+class ShardedEmulator:
+    """N forked workers, each replaying one flow-hash shard.
+
+    Construct from a fully configured *template* emulator (entries
+    installed, options set): workers are forked immediately and inherit
+    an independent copy-on-write clone of its entire state, so every
+    shard starts from exactly the state a single-core run would. The
+    template must not process traffic afterwards; parent-side state
+    changes only reach workers through the broadcast methods
+    (:meth:`set_table_entries`, :meth:`invalidate_caches_covering`,
+    :meth:`flush_caches`), which :class:`repro.core.sharded.
+    ShardedDeployment` wires to control-plane events.
+
+    Alternatively pass ``factory`` (called as ``factory(shard_index)``
+    inside each worker) to build per-worker emulators from scratch.
+    """
+
+    def __init__(
+        self,
+        emulator: Optional[NicEmulator] = None,
+        n_workers: int = 2,
+        *,
+        factory: Optional[Callable[[int], NicEmulator]] = None,
+        batch: int = 256,
+        clock: Optional[SimClock] = None,
+    ):
+        if n_workers < 1:
+            raise ValueError("n_workers must be >= 1")
+        if batch < 1:
+            raise ValueError("batch must be >= 1")
+        if (emulator is None) == (factory is None):
+            raise ValueError(
+                "Pass exactly one of a template emulator or a factory"
+            )
+        if factory is None:
+            template = emulator
+            factory = lambda shard: template  # noqa: E731 - fork copy
+        self.n_workers = n_workers
+        self.batch = batch
+        self.clock = clock if clock is not None else (
+            emulator.clock if emulator is not None else None
+        )
+        #: Last broadcast update epoch; workers echo the epoch they have
+        #: applied so collection can assert the broadcast drained.
+        self.epoch = 0
+        self.counters = CounterBank()
+        self.explicit_counters: dict[str, int] = {}
+        self.cache_stats: dict[str, CacheStats] = {}
+        self.native_cache_stats: Optional[CacheStats] = None
+        self.worker_busy_s: list[float] = [0.0] * n_workers
+        #: Raw per-worker telemetry from the last collection (shard
+        #: index order) — per-shard profiling reads these.
+        self.worker_states: list[dict] = []
+        self._closed = False
+        try:
+            context = mp.get_context("fork")
+        except ValueError as exc:  # pragma: no cover - non-posix
+            raise EmulationError(
+                "ShardedEmulator requires the 'fork' start method"
+            ) from exc
+        self._conns = []
+        self._procs = []
+        for shard in range(n_workers):
+            parent_conn, child_conn = context.Pipe()
+            process = context.Process(
+                target=_worker_main,
+                args=(child_conn, factory, shard),
+                daemon=True,
+                name=f"repro-shard-{shard}",
+            )
+            process.start()
+            child_conn.close()
+            self._conns.append(parent_conn)
+            self._procs.append(process)
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def __enter__(self) -> "ShardedEmulator":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    def __del__(self):  # pragma: no cover - interpreter teardown
+        try:
+            self.close()
+        except Exception:
+            pass
+
+    def close(self) -> None:
+        """Shut every worker down (idempotent)."""
+        if self._closed:
+            return
+        self._closed = True
+        for conn in self._conns:
+            try:
+                conn.send(("close",))
+            except (BrokenPipeError, OSError):
+                pass
+        for conn in self._conns:
+            try:
+                if conn.poll(1.0):
+                    conn.recv()
+            except (EOFError, OSError):
+                pass
+            conn.close()
+        for process in self._procs:
+            process.join(timeout=2.0)
+            if process.is_alive():  # pragma: no cover - hung worker
+                process.terminate()
+                process.join(timeout=1.0)
+
+    def _check_open(self) -> None:
+        if self._closed:
+            raise EmulationError("ShardedEmulator is closed")
+
+    def _recv(self, conn):
+        try:
+            reply = conn.recv()
+        except EOFError as exc:
+            raise EmulationError(
+                "Shard worker died without replying"
+            ) from exc
+        if reply[0] == "error":
+            raise EmulationError(
+                f"Shard worker failed:\n{reply[1]}"
+            )
+        return reply
+
+    @staticmethod
+    def _send(conn, message) -> None:
+        """Send, tolerating a dead worker.
+
+        A worker that hit an error reports it and exits; the pipe then
+        breaks for subsequent sends. Swallow that here so the queued
+        error report (or EOF) surfaces with context at the next recv.
+        """
+        try:
+            conn.send(message)
+        except (BrokenPipeError, OSError):
+            pass
+
+    def _broadcast(self, message) -> None:
+        self._check_open()
+        for conn in self._conns:
+            self._send(conn, message)
+
+    # -- control-plane broadcast (epoch-versioned) -------------------------
+
+    def set_table_entries(
+        self, table: str, entries: Iterable[TableEntry]
+    ) -> int:
+        """Install a table's full entry list on every worker.
+
+        Returns the new broadcast epoch. The pipe is FIFO, so the
+        update lands before any batch dispatched after this call; the
+        worker's next ``fastpath`` access sees the bumped runtime-table
+        version and recompiles.
+        """
+        self.epoch += 1
+        self._broadcast(("entries", table, list(entries), self.epoch))
+        return self.epoch
+
+    def invalidate_caches_covering(self, table: str) -> int:
+        self.epoch += 1
+        self._broadcast(("invalidate", table, self.epoch))
+        return self.epoch
+
+    def flush_caches(self) -> int:
+        self.epoch += 1
+        self._broadcast(("flush", self.epoch))
+        return self.epoch
+
+    def apply_update(self, event: UpdateEvent, entries: list[TableEntry]) -> int:
+        """Apply one control-plane event: entries rebuild + invalidation."""
+        if event.op == "flush":
+            return self.flush_caches()
+        epoch = self.set_table_entries(event.table, entries)
+        self.invalidate_caches_covering(event.table)
+        return epoch
+
+    # -- telemetry ---------------------------------------------------------
+
+    def reset_telemetry(self) -> None:
+        self._broadcast(("reset",))
+
+    def _merge_states(self, states: list[dict]) -> None:
+        counters: Optional[CounterBank] = None
+        explicit: dict[str, int] = {}
+        cache_stats: dict[str, CacheStats] = {}
+        native: Optional[CacheStats] = None
+        for state in states:
+            bank = state["counters"]
+            if counters is None:
+                counters = CounterBank(bank.sample_stride)
+            counters.merge(bank)
+            for key, value in state["explicit"].items():
+                explicit[key] = explicit.get(key, 0) + value
+            for name, stats in state["cache_stats"].items():
+                merged = cache_stats.get(name)
+                if merged is None:
+                    merged = cache_stats[name] = CacheStats()
+                merged.merge(stats)
+            if state["native_stats"] is not None:
+                if native is None:
+                    native = CacheStats()
+                native.merge(state["native_stats"])
+        self.worker_states = states
+        self.counters = counters if counters is not None else CounterBank()
+        self.explicit_counters = explicit
+        self.cache_stats = cache_stats
+        self.native_cache_stats = native
+
+    def collect(self) -> None:
+        """Barrier: refresh merged counters/cache stats from all workers."""
+        self._broadcast(("collect",))
+        states = []
+        for shard, conn in enumerate(self._conns):
+            tag, state, epoch = self._recv(conn)
+            if epoch != self.epoch:
+                raise EmulationError(
+                    f"Shard {shard} applied epoch {epoch}, "
+                    f"expected {self.epoch}"
+                )
+            states.append(state)
+        self._merge_states(states)
+
+    def dump_caches(self) -> list[tuple[dict, Optional[dict], dict]]:
+        """Per-worker cache stores and table entries (test support)."""
+        self._broadcast(("dump",))
+        dumps = []
+        for conn in self._conns:
+            tag, stores, native, tables = self._recv(conn)
+            dumps.append((stores, native, tables))
+        return dumps
+
+    # -- replay ------------------------------------------------------------
+
+    def replay(
+        self,
+        packets: Iterable[Packet],
+        offered_pps: Optional[float] = None,
+        batch: Optional[int] = None,
+        packet_pool: Optional[PacketPool] = None,
+        stats: Optional[RunStats] = None,
+    ) -> RunStats:
+        """Shard, dispatch and replay ``packets``; returns merged stats.
+
+        Same contract as :meth:`NicEmulator.replay`. With
+        ``offered_pps`` the parent precomputes each packet's absolute
+        clock time and ships it with the batch, so worker-local clocks
+        observe exactly the per-packet times a single-core run would;
+        the parent clock is advanced by the stream duration at the end.
+        """
+        self._check_open()
+        if batch is None:
+            batch = self.batch
+        if batch < 1:
+            raise ValueError("batch must be >= 1")
+        n = self.n_workers
+        dt = 1.0 / offered_pps if offered_pps else 0.0
+        t0 = self.clock.now_s if (dt and self.clock is not None) else 0.0
+        conns = self._conns
+        for conn in conns:
+            self._send(conn, ("begin",))
+        buffers: list[list[Packet]] = [[] for _ in range(n)]
+        timestamps: Optional[list[list[float]]] = (
+            [[] for _ in range(n)] if dt else None
+        )
+        count = 0
+        for packet in packets:
+            shard = flow_shard(packet.flow_key(), n)
+            buffer = buffers[shard]
+            buffer.append(packet)
+            count += 1
+            if dt:
+                timestamps[shard].append(t0 + dt * count)
+            if len(buffer) >= batch:
+                self._flush(shard, buffers, timestamps, packet_pool)
+        for shard in range(n):
+            if buffers[shard]:
+                self._flush(shard, buffers, timestamps, packet_pool)
+        if dt and self.clock is not None:
+            self.clock.advance(dt * count)
+        merged = stats if stats is not None else RunStats()
+        for conn in conns:
+            self._send(conn, ("end",))
+        states = []
+        for shard, conn in enumerate(conns):
+            tag, worker_stats, state, busy, epoch = self._recv(conn)
+            if epoch != self.epoch:
+                raise EmulationError(
+                    f"Shard {shard} applied epoch {epoch}, "
+                    f"expected {self.epoch}"
+                )
+            merged.merge(worker_stats)
+            states.append(state)
+            self.worker_busy_s[shard] = busy
+        self._merge_states(states)
+        return merged
+
+    def _flush(
+        self,
+        shard: int,
+        buffers: list[list[Packet]],
+        timestamps: Optional[list[list[float]]],
+        packet_pool: Optional[PacketPool],
+    ) -> None:
+        buffer = buffers[shard]
+        payload = encode_batch(buffer)
+        ts = None
+        if timestamps is not None:
+            ts = timestamps[shard]
+            timestamps[shard] = []
+        self._send(self._conns[shard], ("batch", payload, ts))
+        if packet_pool is not None:
+            for packet in buffer:
+                packet_pool.release(packet)
+        buffers[shard] = []

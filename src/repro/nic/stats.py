@@ -1,4 +1,13 @@
-"""Latency/throughput aggregation for emulator runs."""
+"""Latency/throughput aggregation for emulator runs.
+
+``RunStats`` is *mergeable*: a run can be split across shards (the
+sharded replay engine partitions traffic by flow hash) and the per-shard
+stats recombined with :meth:`RunStats.merge` into exactly the aggregate a
+single-core run would have produced. To make that exact, order-sensitive
+accumulation is avoided: totals are computed with :func:`math.fsum` over
+the per-packet samples, which is correctly rounded and therefore
+independent of the order packets were recorded in.
+"""
 
 from __future__ import annotations
 
@@ -62,29 +71,37 @@ class RunStats:
     and the NIC's capacity is the bottleneck pool, capped at line rate.
     This is the natural model for the paper's architecture (Figure 1) and
     reduces to ``cores / mean latency`` for homogeneous programs.
+
+    Per-packet latency and busy samples are retained; totals are derived
+    with ``math.fsum`` (exactly rounded, hence permutation-invariant), so
+    :meth:`merge`-ing the stats of any partition of a packet stream
+    yields the same aggregates as recording the unsplit stream.
     """
 
     def __init__(self) -> None:
         self.packets = 0
         self.dropped = 0
         self.migrations = 0
-        self.total_latency_ns = 0.0
         self.total_bytes = 0
         self._latencies: list[float] = []
-        self._busy_ns: dict[Pipeline, float] = {}
+        self._busy_samples: dict[Pipeline, list[float]] = {}
+        # Memoized fsum results, invalidated by packet-count change.
+        self._total_cache: tuple[int, float] = (-1, 0.0)
+        self._busy_cache: tuple[int, dict[Pipeline, float]] = (-1, {})
 
     def record(self, result: PacketResult, size_bytes: int) -> None:
         self.packets += 1
-        self.total_latency_ns += result.latency_ns
         self.total_bytes += size_bytes
         self.migrations += result.migrations
         if result.dropped:
             self.dropped += 1
         self._latencies.append(result.latency_ns)
+        samples = self._busy_samples
         for pipeline, busy in result.busy_ns.items():
-            self._busy_ns[pipeline] = (
-                self._busy_ns.get(pipeline, 0.0) + busy
-            )
+            bucket = samples.get(pipeline)
+            if bucket is None:
+                bucket = samples[pipeline] = []
+            bucket.append(busy)
 
     def record_fast(
         self,
@@ -98,26 +115,73 @@ class RunStats:
         """Record one packet without materialising a PacketResult.
 
         Aggregation must stay arithmetically identical to
-        :meth:`record` — per-pool busy time is accumulated in the same
-        per-packet order, so interpreter and fast-path runs produce the
-        same statistics bit for bit.
+        :meth:`record` — the same per-packet samples land in the same
+        lists, so interpreter and fast-path runs produce the same
+        statistics bit for bit.
         """
         self.packets += 1
-        self.total_latency_ns += latency_ns
         self.total_bytes += size_bytes
         self.migrations += migrations
         if dropped:
             self.dropped += 1
         self._latencies.append(latency_ns)
-        busy = self._busy_ns
+        samples = self._busy_samples
         if asic_busy_ns is not None:
-            busy[Pipeline.ASIC] = (
-                busy.get(Pipeline.ASIC, 0.0) + asic_busy_ns
-            )
+            bucket = samples.get(Pipeline.ASIC)
+            if bucket is None:
+                bucket = samples[Pipeline.ASIC] = []
+            bucket.append(asic_busy_ns)
         if cpu_busy_ns is not None:
-            busy[Pipeline.CPU] = busy.get(Pipeline.CPU, 0.0) + cpu_busy_ns
+            bucket = samples.get(Pipeline.CPU)
+            if bucket is None:
+                bucket = samples[Pipeline.CPU] = []
+            bucket.append(cpu_busy_ns)
+
+    # -- merging -------------------------------------------------------------
+
+    def merge(self, other: "RunStats") -> "RunStats":
+        """Fold ``other`` into this stats object (associative).
+
+        Because every aggregate is either an integer sum or an
+        ``fsum``/order-insensitive reduction over per-packet samples,
+        merging the stats of any split of a packet stream reproduces
+        the unsplit stream's aggregates exactly.
+        """
+        self.packets += other.packets
+        self.dropped += other.dropped
+        self.migrations += other.migrations
+        self.total_bytes += other.total_bytes
+        self._latencies.extend(other._latencies)
+        samples = self._busy_samples
+        for pipeline, values in other._busy_samples.items():
+            bucket = samples.get(pipeline)
+            if bucket is None:
+                samples[pipeline] = list(values)
+            else:
+                bucket.extend(values)
+        return self
 
     # -- latency -------------------------------------------------------------
+
+    @property
+    def total_latency_ns(self) -> float:
+        cached_at, value = self._total_cache
+        if cached_at != self.packets:
+            value = math.fsum(self._latencies)
+            self._total_cache = (self.packets, value)
+        return value
+
+    @property
+    def _busy_ns(self) -> dict[Pipeline, float]:
+        """Per-pool busy totals (fsum over per-packet samples)."""
+        cached_at, totals = self._busy_cache
+        if cached_at != self.packets:
+            totals = {
+                pipeline: math.fsum(values)
+                for pipeline, values in self._busy_samples.items()
+            }
+            self._busy_cache = (self.packets, totals)
+        return totals
 
     @property
     def mean_latency_ns(self) -> float:

@@ -44,6 +44,15 @@ class FlowSpec:
         packet.fields.update(_field_template(self))
         return packet
 
+    def flow_key(self) -> tuple[int, int, int, int, int]:
+        """The five-tuple in canonical (``FIVE_TUPLE``) field order.
+
+        Matches ``Packet.flow_key()`` for this flow's packets, so shard
+        assignment can be computed from the spec without materialising
+        a packet.
+        """
+        return (self.src, self.dst, self.proto, self.sport, self.dport)
+
     def with_fields(self, **fields: int) -> "FlowSpec":
         merged = dict(self.extra)
         merged.update(fields)

@@ -19,6 +19,7 @@ from typing import Iterable, Iterator, Optional, Sequence
 import numpy as np
 
 from repro.nic.packet import DEFAULT_PACKET_BYTES, Packet, PacketPool
+from repro.nic.sharding import flow_shard, shard_seed
 from repro.traffic.flows import FlowSpec, synth_flows
 
 
@@ -88,6 +89,61 @@ class TrafficGenerator:
                 yield flows[index].fill(
                     pool.acquire(size_bytes), size_bytes
                 )
+
+    def flows_for_shard(
+        self,
+        flows: Sequence[FlowSpec],
+        shard: int,
+        n_shards: int,
+    ) -> list[FlowSpec]:
+        """The subset of ``flows`` a sharded data plane routes to ``shard``.
+
+        Uses the same deterministic flow-hash the dispatcher uses
+        (:func:`repro.nic.sharding.flow_shard` over the canonical
+        five-tuple), so a stream built from this subset replays entirely
+        on one worker.
+        """
+        return [
+            flow
+            for flow in flows
+            if flow_shard(flow.flow_key(), n_shards) == shard
+        ]
+
+    def shard_stream(
+        self,
+        flows: Sequence[FlowSpec],
+        n_packets: int,
+        shard: int,
+        n_shards: int,
+        locality: str = "uniform",
+        zipf_skew: float = 1.2,
+        size_bytes: int = DEFAULT_PACKET_BYTES,
+        pool: Optional[PacketPool] = None,
+    ) -> Iterator[Packet]:
+        """An independent per-shard stream of ``n_packets``.
+
+        Draws only from the flows assigned to ``shard`` and uses a
+        seed derived from ``(self.seed, shard)``, so every shard's
+        stream is deterministic and statistically independent of its
+        siblings — workers can generate their own load in-process with
+        no cross-shard coordination beyond the shared base seed.
+        """
+        if not 0 <= shard < n_shards:
+            raise ValueError(
+                f"shard {shard} out of range for {n_shards} shards"
+            )
+        local_flows = self.flows_for_shard(flows, shard, n_shards)
+        sub_generator = TrafficGenerator(
+            seed=shard_seed(self.seed, shard)
+        )
+        return sub_generator.stream(
+            local_flows,
+            n_packets,
+            locality=locality,
+            zipf_skew=zipf_skew,
+            size_bytes=size_bytes,
+            pool=pool,
+        )
 
     def mixed_stream(
         self,

@@ -124,6 +124,93 @@ class TestPlacement:
         )
 
 
+class TestReplay:
+    def _replay(self, capsys, *args):
+        code = main(["replay", *args])
+        return code, capsys.readouterr()
+
+    def test_single_job_summary(self, capsys):
+        code, captured = self._replay(
+            capsys,
+            "--app", "l2l3_acl",
+            "--packets", "500",
+            "--target", "emulated_nic",
+        )
+        assert code == 0
+        summary = json.loads(captured.out)
+        assert summary["packets"] == 500
+        assert summary["jobs"] == 1
+        assert summary["wall_pps"] > 0
+        assert "worker_busy_s" not in summary
+
+    def test_sharded_jobs_match_single(self, capsys):
+        _, single_out = self._replay(
+            capsys,
+            "--app", "l2l3_acl",
+            "--packets", "500",
+            "--target", "emulated_nic",
+        )
+        code, sharded_out = self._replay(
+            capsys,
+            "--app", "l2l3_acl",
+            "--packets", "500",
+            "--jobs", "2",
+            "--target", "emulated_nic",
+        )
+        assert code == 0
+        single = json.loads(single_out.out)
+        sharded = json.loads(sharded_out.out)
+        assert sharded["jobs"] == 2
+        for key in ("packets", "dropped", "mean_latency_ns"):
+            assert sharded[key] == single[key]
+        assert len(sharded["worker_busy_s"]) == 2
+        assert sharded["modeled_pps"] > 0
+
+    def test_offered_pps_accepted(self, capsys):
+        code, captured = self._replay(
+            capsys,
+            "--app", "acl_chain",
+            "--packets", "200",
+            "--pps", "1e6",
+            "--jobs", "2",
+            "--target", "emulated_nic",
+        )
+        assert code == 0
+        assert json.loads(captured.out)["packets"] == 200
+
+    def test_requires_app_or_program(self, capsys):
+        code, captured = self._replay(capsys, "--packets", "10")
+        assert code == 2
+        assert "exactly one of --app or --program" in captured.err
+
+    def test_rejects_app_and_program_together(self, capsys, tmp_path):
+        code, _captured = self._replay(
+            capsys,
+            "--app", "l2l3_acl",
+            "--program", str(tmp_path / "p.json"),
+        )
+        assert code == 2
+
+    def test_unknown_app(self, capsys):
+        code, captured = self._replay(capsys, "--app", "nope")
+        assert code == 2
+        assert "unknown app" in captured.err
+        assert "l2l3_acl" in captured.err
+
+    def test_program_json_input(self, capsys, tmp_path):
+        path = tmp_path / "prog.json"
+        path.write_text(dumps_program(linear_program("cliprog", 2)))
+        code, captured = self._replay(
+            capsys,
+            "--program", str(path),
+            "--packets", "100",
+            "--jobs", "2",
+            "--target", "emulated_nic",
+        )
+        assert code == 0
+        assert json.loads(captured.out)["packets"] == 100
+
+
 class TestProfileJson:
     def test_round_trip(self):
         program = linear_program("p", 3)

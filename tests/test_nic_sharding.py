@@ -1,0 +1,364 @@
+"""Differential tests: sharded multi-core replay vs. single-core.
+
+The sharded engine is only allowed to exist because the merge of its
+per-worker telemetry is bit-identical to a single-core replay of the
+unsplit stream: same run stats (fsum totals), same counter banks, same
+cache stats, and worker cache stores that partition the single-core
+store. These tests drive identical traffic through both, on every
+example app, at 2 and 4 workers, with and without mid-stream
+control-plane updates.
+"""
+
+import pytest
+
+from repro.apps import EXAMPLE_APPS
+from repro.core import Deployment, Pipeleon, ShardedDeployment
+from repro.errors import EmulationError
+from repro.nic.packet import Packet, make_packet
+from repro.nic.sharding import (
+    ShardedEmulator,
+    decode_batch,
+    encode_batch,
+    flow_shard,
+    shard_seed,
+)
+from repro.nic.stats import RunStats
+from repro.nic.targets import EMULATED_NIC
+from repro.traffic.flows import synth_flows
+from repro.traffic.generator import TrafficGenerator
+
+WORKER_COUNTS = [2, 4]
+
+
+def app_packets(seed: int, n: int = 300) -> list[Packet]:
+    generator = TrafficGenerator(seed)
+    flows = synth_flows(48) + synth_flows(16, dport=6666)
+    return list(generator.stream(flows, n, locality="zipf"))
+
+
+def stats_fingerprint(stats: RunStats) -> tuple:
+    return (
+        stats.packets,
+        stats.dropped,
+        stats.migrations,
+        stats.total_latency_ns,
+        stats.total_bytes,
+        sorted(stats._latencies),
+        {
+            pool: sorted(values)
+            for pool, values in stats._busy_samples.items()
+        },
+        stats._busy_ns,
+    )
+
+
+def make_twins(app: str, n_workers: int, optimize: bool = False):
+    """A single-core deployment and a sharded one, identically set up."""
+    build, install = EXAMPLE_APPS[app]
+    target = EMULATED_NIC
+    single_program = build()
+    plan = (
+        Pipeleon(target).optimize(single_program) if optimize else None
+    )
+    single = Deployment(single_program, target, plan=plan)
+    install(single.control_plane)
+    sharded_program = build()
+    plan = (
+        Pipeleon(target).optimize(sharded_program) if optimize else None
+    )
+    sharded = ShardedDeployment(
+        sharded_program, target, n_workers=n_workers, plan=plan
+    )
+    install(sharded.control_plane)
+    return single, sharded
+
+
+def assert_sharded_identical(
+    single: Deployment, sharded: ShardedDeployment
+):
+    emulator = single.emulator
+    merged = sharded.emulator
+    assert emulator.counters.snapshot() == merged.counters.snapshot()
+    assert dict(emulator.explicit_counters) == merged.explicit_counters
+    for name, cache in emulator.flow_caches.items():
+        stats = merged.cache_stats[name]
+        assert (cache.stats.hits, cache.stats.misses) == (
+            stats.hits,
+            stats.misses,
+        )
+        assert cache.stats.insertions == stats.insertions
+        assert cache.stats.invalidations == stats.invalidations
+    if emulator.native_cache is not None:
+        native = merged.native_cache_stats
+        assert native is not None
+        assert (
+            emulator.native_cache.stats.hits,
+            emulator.native_cache.stats.misses,
+        ) == (native.hits, native.misses)
+    # Worker cache stores must partition the single-core store: flows
+    # never cross shards, so the disjoint union reproduces it exactly.
+    dumps = sharded.emulator.dump_caches()
+    for name, cache in emulator.flow_caches.items():
+        union: dict = {}
+        for stores, _native, _tables in dumps:
+            store = stores[name]
+            assert not (set(union) & set(store))
+            union.update(store)
+        assert union == dict(cache._store)
+    # And every worker's runtime tables mirror the template's
+    # (structurally — entry ids are freshly assigned per replica).
+    def table_shape(entries):
+        return sorted(
+            (
+                entry.action_name,
+                repr(entry.match_values),
+                repr(entry.action_data),
+                entry.priority,
+            )
+            for entry in entries
+        )
+
+    template_tables = {
+        name: table_shape(runtime.entries())
+        for name, runtime in (
+            sharded.deployment.emulator.runtime_tables.items()
+        )
+    }
+    for _stores, _native, tables in dumps:
+        assert {
+            name: table_shape(entries)
+            for name, entries in tables.items()
+        } == template_tables
+
+
+def perturb_control_plane(deployment) -> None:
+    """App-agnostic mid-stream churn: delete + re-insert + flush."""
+    control_plane = deployment.control_plane
+    for table in control_plane.table_names():
+        entries = control_plane.entries(table)
+        if entries:
+            victim = entries[0]
+            control_plane.delete_entry(table, victim.entry_id)
+            control_plane.insert_entry(table, victim.clone())
+            break
+    control_plane.flush_caches()
+
+
+class TestShardedDifferential:
+    @pytest.mark.parametrize("app", sorted(EXAMPLE_APPS))
+    @pytest.mark.parametrize("n_workers", WORKER_COUNTS)
+    def test_replay_identical_with_midstream_updates(
+        self, app, n_workers
+    ):
+        single, sharded = make_twins(app, n_workers)
+        try:
+            first_single = single.replay(
+                app_packets(7), offered_pps=1e6
+            )
+            first_sharded = sharded.replay(
+                app_packets(7), offered_pps=1e6
+            )
+            assert stats_fingerprint(first_sharded) == (
+                stats_fingerprint(first_single)
+            )
+            # Mid-stream churn lands between batches on both sides.
+            perturb_control_plane(single)
+            perturb_control_plane(sharded)
+            second_single = single.replay(
+                app_packets(8), offered_pps=1e6, batch=33
+            )
+            second_sharded = sharded.replay(
+                app_packets(8), offered_pps=1e6, batch=33
+            )
+            assert stats_fingerprint(second_sharded) == (
+                stats_fingerprint(second_single)
+            )
+            assert_sharded_identical(single, sharded)
+        finally:
+            sharded.close()
+
+    @pytest.mark.parametrize("n_workers", WORKER_COUNTS)
+    def test_optimized_plan_replay_identical(self, n_workers):
+        single, sharded = make_twins(
+            "l2l3_acl", n_workers, optimize=True
+        )
+        # The optimized plan's flow cache keys on ``ipv4.dst`` alone.
+        # Exact equivalence requires each cache key to resolve within
+        # one shard, so every flow here has a distinct dst (flows that
+        # share a dst across shards would each warm their own copy --
+        # correct outputs, but more cold misses than one core).
+        flows = synth_flows(64)
+        packets = lambda: list(  # noqa: E731
+            TrafficGenerator(11).stream(flows, 300, locality="zipf")
+        )
+        try:
+            reference = single.replay(packets(), offered_pps=1e6)
+            replayed = sharded.replay(packets(), offered_pps=1e6)
+            assert stats_fingerprint(replayed) == stats_fingerprint(
+                reference
+            )
+            assert_sharded_identical(single, sharded)
+        finally:
+            sharded.close()
+
+    def test_unpaced_replay_identical(self):
+        single, sharded = make_twins("acl_chain", 2)
+        try:
+            reference = single.replay(app_packets(3))
+            replayed = sharded.replay(app_packets(3))
+            assert stats_fingerprint(replayed) == stats_fingerprint(
+                reference
+            )
+        finally:
+            sharded.close()
+
+
+class TestBroadcastEpochs:
+    def test_epoch_advances_and_workers_stay_synced(self):
+        _, sharded = make_twins("l2l3_acl", 2)
+        try:
+            engine = sharded.emulator
+            before = engine.epoch
+            perturb_control_plane(sharded)
+            # delete + insert each broadcast entries + invalidation;
+            # flush broadcasts once more.
+            assert engine.epoch > before
+            # collect() asserts every worker acked the latest epoch.
+            engine.collect()
+        finally:
+            sharded.close()
+
+    def test_worker_failure_surfaces_as_emulation_error(self):
+        _, sharded = make_twins("l2l3_acl", 2)
+        try:
+            engine = sharded.emulator
+            engine.set_table_entries("no_such_table", [])
+            with pytest.raises(EmulationError, match="worker failed"):
+                engine.collect()
+        finally:
+            sharded.close()
+
+    def test_closed_engine_rejects_replay(self):
+        _, sharded = make_twins("l2l3_acl", 2)
+        sharded.close()
+        sharded.close()  # idempotent
+        with pytest.raises(EmulationError, match="closed"):
+            sharded.emulator.replay([make_packet()])
+
+
+class TestFlowSharding:
+    def test_flow_shard_deterministic_and_in_range(self):
+        for flow in synth_flows(100):
+            key = flow.flow_key()
+            for n in (1, 2, 4, 7):
+                shard = flow_shard(key, n)
+                assert 0 <= shard < n
+                assert shard == flow_shard(key, n)
+        assert flow_shard(synth_flows(1)[0].flow_key(), 1) == 0
+
+    def test_flow_key_matches_packet(self):
+        for flow in synth_flows(10):
+            assert flow.flow_key() == flow.packet().flow_key()
+
+    def test_shard_seed_distinct(self):
+        seeds = {shard_seed(3, shard) for shard in range(16)}
+        assert len(seeds) == 16
+
+    def test_flows_for_shard_partitions(self):
+        flows = synth_flows(64)
+        generator = TrafficGenerator(seed=0)
+        seen: list = []
+        for shard in range(4):
+            subset = generator.flows_for_shard(flows, shard, 4)
+            for flow in subset:
+                assert flow_shard(flow.flow_key(), 4) == shard
+            seen.extend(subset)
+        assert sorted(map(repr, seen)) == sorted(map(repr, flows))
+
+    def test_shard_stream_stays_on_shard(self):
+        flows = synth_flows(64)
+        generator = TrafficGenerator(seed=5)
+        packets = list(generator.shard_stream(flows, 100, 1, 4))
+        assert len(packets) == 100
+        assert all(
+            flow_shard(p.flow_key(), 4) == 1 for p in packets
+        )
+        again = list(
+            TrafficGenerator(seed=5).shard_stream(flows, 100, 1, 4)
+        )
+        assert [p.fields for p in again] == [p.fields for p in packets]
+
+    def test_shard_stream_rejects_bad_shard(self):
+        with pytest.raises(ValueError, match="out of range"):
+            list(
+                TrafficGenerator().shard_stream(synth_flows(4), 10, 4, 4)
+            )
+
+
+class TestBatchCodec:
+    def test_uniform_batch_uses_numpy_block(self):
+        packets = [make_packet(sport=1000 + i) for i in range(8)]
+        payload = encode_batch(packets)
+        assert payload[0] == "np"
+        decoded = decode_batch(payload)
+        assert [p.fields for p in decoded] == [
+            p.fields for p in packets
+        ]
+        assert [p.size_bytes for p in decoded] == [
+            p.size_bytes for p in packets
+        ]
+        assert all(
+            not p.dropped and p.egress_port is None and not p.metadata
+            for p in decoded
+        )
+
+    def test_metadata_falls_back_to_python(self):
+        tagged = make_packet()
+        tagged.metadata["meta.next_tab_id"] = 3
+        payload = encode_batch([make_packet(), tagged])
+        assert payload[0] == "py"
+        decoded = decode_batch(payload)
+        assert decoded[1].metadata == {"meta.next_tab_id": 3}
+
+    def test_oversized_value_falls_back_to_python(self):
+        wide = make_packet()
+        wide.fields["ipv6.src"] = 1 << 100
+        payload = encode_batch([wide])
+        assert payload[0] == "py"
+        decoded = decode_batch(payload)
+        assert decoded[0].fields["ipv6.src"] == 1 << 100
+
+    def test_heterogeneous_headers_fall_back(self):
+        other = make_packet()
+        other.fields["vlan.id"] = 7
+        payload = encode_batch([make_packet(), other])
+        assert payload[0] == "py"
+        decoded = decode_batch(payload)
+        assert decoded[1].fields["vlan.id"] == 7
+
+    def test_dropped_and_egress_preserved(self):
+        packet = make_packet()
+        packet.dropped = True
+        packet.egress_port = 9
+        (decoded,) = decode_batch(encode_batch([packet]))
+        assert decoded.dropped and decoded.egress_port == 9
+
+    def test_empty_batch(self):
+        assert decode_batch(encode_batch([])) == []
+
+
+class TestShardedEmulatorStandalone:
+    def test_template_constructor_requires_exactly_one_source(self):
+        with pytest.raises(ValueError, match="exactly one"):
+            ShardedEmulator(None, 2)
+
+    def test_invalid_worker_and_batch_counts(self):
+        single, _sharded = None, None
+        build, _install = EXAMPLE_APPS["l2l3_acl"]
+        from repro.nic.emulator import NicEmulator
+
+        emulator = NicEmulator(build(), EMULATED_NIC)
+        with pytest.raises(ValueError, match="n_workers"):
+            ShardedEmulator(emulator, 0)
+        with pytest.raises(ValueError, match="batch"):
+            ShardedEmulator(emulator, 1, batch=0)

@@ -1,0 +1,285 @@
+"""Property tests: merge() is exact under any split of a stream.
+
+The sharded engine's correctness rests on one algebraic fact: for
+RunStats, CounterBank and CacheStats, recording a packet stream in one
+place and recording an arbitrary partition of it in k places then
+merging produce identical aggregates. Hypothesis drives random streams
+and random partitions at both; RuntimeProfile's support-weighted merge
+is checked against the pooled-counts profile it must reproduce.
+"""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.profiling import (
+    RuntimeProfile,
+    profile_from_counts,
+    profile_from_json,
+    profile_to_json,
+)
+from repro.ir import linear_program
+from repro.ir.tables import Pipeline
+from repro.nic.counters import CounterBank, action_counter
+from repro.nic.flow_cache import CacheStats
+from repro.nic.stats import RunStats
+
+# One recorded packet: latency, size, dropped, migrations, asic, cpu.
+packet_samples = st.tuples(
+    st.floats(0.0, 1e6, allow_nan=False, allow_infinity=False),
+    st.integers(64, 1500),
+    st.booleans(),
+    st.integers(0, 3),
+    st.one_of(
+        st.none(),
+        st.floats(0.0, 1e5, allow_nan=False, allow_infinity=False),
+    ),
+    st.one_of(
+        st.none(),
+        st.floats(0.0, 1e5, allow_nan=False, allow_infinity=False),
+    ),
+)
+
+streams = st.lists(packet_samples, max_size=60)
+
+
+def record_stream(stats: RunStats, stream) -> RunStats:
+    for latency, size, dropped, migrations, asic, cpu in stream:
+        stats.record_fast(latency, size, dropped, migrations, asic, cpu)
+    return stats
+
+
+def stats_fingerprint(stats: RunStats) -> tuple:
+    return (
+        stats.packets,
+        stats.dropped,
+        stats.migrations,
+        stats.total_bytes,
+        stats.total_latency_ns,
+        stats._busy_ns,
+        stats.mean_latency_ns,
+        sorted(stats._latencies),
+    )
+
+
+class TestRunStatsMerge:
+    @settings(max_examples=60)
+    @given(
+        stream=streams,
+        assignment=st.lists(st.integers(0, 3), max_size=60),
+    )
+    def test_any_split_merges_to_whole(self, stream, assignment):
+        whole = record_stream(RunStats(), stream)
+        shards = [RunStats() for _ in range(4)]
+        for index, sample in enumerate(stream):
+            shard = (
+                assignment[index] if index < len(assignment) else 0
+            )
+            record_stream(shards[shard], [sample])
+        merged = RunStats()
+        for shard in shards:
+            merged.merge(shard)
+        assert stats_fingerprint(merged) == stats_fingerprint(whole)
+
+    @settings(max_examples=30)
+    @given(stream=streams)
+    def test_merge_is_order_independent(self, stream):
+        half = len(stream) // 2
+        left = record_stream(RunStats(), stream[:half])
+        right = record_stream(RunStats(), stream[half:])
+        forward = RunStats().merge(left).merge(right)
+        backward = (
+            RunStats()
+            .merge(record_stream(RunStats(), stream[half:]))
+            .merge(record_stream(RunStats(), stream[:half]))
+        )
+        # fsum totals are exactly rounded, hence permutation-invariant.
+        assert forward.total_latency_ns == backward.total_latency_ns
+        assert forward._busy_ns == backward._busy_ns
+
+    def test_merge_after_read_invalidates_memo(self):
+        stats = record_stream(
+            RunStats(), [(100.0, 512, False, 0, 10.0, None)]
+        )
+        assert stats.total_latency_ns == 100.0  # populate memo
+        stats.merge(
+            record_stream(
+                RunStats(), [(50.0, 512, False, 0, None, 5.0)]
+            )
+        )
+        assert stats.total_latency_ns == 150.0
+        assert stats._busy_ns[Pipeline.ASIC] == 10.0
+        assert stats._busy_ns[Pipeline.CPU] == 5.0
+
+
+KEYS = [action_counter(f"t{i}", f"a{j}") for i in range(3) for j in range(2)]
+
+
+class TestCounterBankMerge:
+    @settings(max_examples=60)
+    @given(
+        bumps=st.lists(
+            st.tuples(
+                st.integers(0, len(KEYS) - 1), st.integers(64, 1500)
+            ),
+            max_size=80,
+        ),
+        assignment=st.lists(st.integers(0, 3), max_size=80),
+    )
+    def test_any_split_merges_to_whole(self, bumps, assignment):
+        whole = CounterBank()
+        shards = [CounterBank() for _ in range(4)]
+        for index, (key_index, size) in enumerate(bumps):
+            whole.begin_packet()
+            whole.bump(KEYS[key_index], size)
+            shard = shards[
+                assignment[index] if index < len(assignment) else 0
+            ]
+            shard.begin_packet()
+            shard.bump(KEYS[key_index], size)
+        merged = CounterBank()
+        for shard in shards:
+            merged.merge(shard)
+        assert merged.snapshot() == whole.snapshot()
+        assert merged._packet_index == whole._packet_index
+
+    def test_stride_mismatch_rejected(self):
+        with pytest.raises(ValueError, match="sample stride"):
+            CounterBank(1).merge(CounterBank(2))
+
+    def test_byte_counts_merge(self):
+        a, b = CounterBank(), CounterBank()
+        a.bump(KEYS[0], 100)
+        b.bump(KEYS[0], 200)
+        a.merge(b)
+        assert a._counters[KEYS[0]].bytes == 300
+
+
+class TestCacheStatsMerge:
+    @settings(max_examples=40)
+    @given(
+        parts=st.lists(
+            st.tuples(*[st.integers(0, 50)] * 6), max_size=6
+        )
+    )
+    def test_merge_sums_fields(self, parts):
+        merged = CacheStats()
+        for hits, misses, ins, rej, ev, inv in parts:
+            merged.merge(
+                CacheStats(hits, misses, ins, rej, ev, inv)
+            )
+        assert merged.hits == sum(p[0] for p in parts)
+        assert merged.misses == sum(p[1] for p in parts)
+        assert merged.insertions == sum(p[2] for p in parts)
+        assert merged.rejected_insertions == sum(p[3] for p in parts)
+        assert merged.evictions == sum(p[4] for p in parts)
+        assert merged.invalidations == sum(p[5] for p in parts)
+        assert merged.lookups == merged.hits + merged.misses
+
+
+PROGRAM = linear_program("mp", 3)
+
+count_maps = st.dictionaries(
+    st.sampled_from(
+        [
+            action_counter(f"mp_t{i}", f"mp_t{i}_a0")
+            for i in range(3)
+        ]
+        + [
+            action_counter(f"mp_t{i}", f"mp_t{i}_miss")
+            for i in range(3)
+        ]
+        + [("branch", "mp_c0", "true"), ("branch", "mp_c0", "false")]
+        + [("cache", "mp_cache", "hit"), ("cache", "mp_cache", "miss")]
+    ),
+    st.integers(0, 1000),
+    max_size=12,
+)
+
+
+class TestRuntimeProfileMerge:
+    @settings(max_examples=60)
+    @given(left=count_maps, right=count_maps)
+    def test_merge_equals_pooled_counts(self, left, right):
+        pooled = dict(left)
+        for key, value in right.items():
+            pooled[key] = pooled.get(key, 0) + value
+        merged = profile_from_counts(PROGRAM, left).merge(
+            profile_from_counts(PROGRAM, right)
+        )
+        expected = profile_from_counts(PROGRAM, pooled)
+        assert set(merged.action_probs) == set(expected.action_probs)
+        for table, probs in expected.action_probs.items():
+            for action, prob in probs.items():
+                assert merged.action_probs[table][
+                    action
+                ] == pytest.approx(prob, abs=1e-9)
+        for branch, prob in expected.branch_probs.items():
+            assert merged.branch_probs[branch] == pytest.approx(
+                prob, abs=1e-9
+            )
+        for cache, rate in expected.cache_hit_rates.items():
+            assert merged.cache_hit_rates[cache] == pytest.approx(
+                rate, abs=1e-9
+            )
+
+    def test_merge_is_associative(self):
+        counts = [
+            {action_counter("mp_t0", "mp_t0_a0"): 10},
+            {
+                action_counter("mp_t0", "mp_t0_a0"): 5,
+                action_counter("mp_t0", "mp_t0_miss"): 5,
+            },
+            {action_counter("mp_t0", "mp_t0_miss"): 20},
+        ]
+        profiles = lambda: [  # noqa: E731
+            profile_from_counts(PROGRAM, c) for c in counts
+        ]
+        a, b, c = profiles()
+        left_assoc = a.merge(b).merge(c)
+        a2, b2, c2 = profiles()
+        right_assoc = a2.merge(b2.merge(c2))
+        for table in left_assoc.action_probs:
+            for action, prob in left_assoc.action_probs[table].items():
+                assert right_assoc.action_probs[table][
+                    action
+                ] == pytest.approx(prob, abs=1e-12)
+
+    def test_global_facts_merge_by_max_and_loads_sum(self):
+        left = RuntimeProfile(
+            entry_counts={"t": 10},
+            update_rates={"t": 2.0},
+            table_m={"t": 3},
+            offered_pps=4e5,
+        )
+        right = RuntimeProfile(
+            entry_counts={"t": 12, "u": 1},
+            update_rates={"t": 1.0},
+            table_m={"t": 5},
+            offered_pps=6e5,
+        )
+        left.merge(right)
+        assert left.entry_counts == {"t": 12, "u": 1}
+        assert left.update_rates == {"t": 2.0}
+        assert left.table_m == {"t": 5}
+        assert left.offered_pps == pytest.approx(1e6)
+
+    def test_support_round_trips_through_json(self):
+        profile = profile_from_counts(
+            PROGRAM, {action_counter("mp_t0", "mp_t0_a0"): 7}
+        )
+        restored = profile_from_json(profile_to_json(profile))
+        assert restored.action_support == profile.action_support
+        assert restored.branch_support == profile.branch_support
+        assert restored.cache_support == profile.cache_support
+
+    def test_copy_preserves_support(self):
+        profile = profile_from_counts(
+            PROGRAM, {action_counter("mp_t0", "mp_t0_a0"): 7}
+        )
+        clone = profile.copy()
+        assert clone.action_support == profile.action_support
+        clone.action_support["mp_t0"] = 99.0
+        assert profile.action_support["mp_t0"] == 7.0
