@@ -17,6 +17,7 @@ import pytest
 from repro.apps import l2l3_acl
 from repro.core import Deployment
 from repro.nic.targets import BLUEFIELD2
+from repro.telemetry import Telemetry
 from repro.traffic.flows import synth_flows
 from repro.traffic.generator import TrafficGenerator
 
@@ -62,4 +63,47 @@ def test_fastpath_throughput_smoke():
     assert speedup >= 2.0, (
         f"fast path only {speedup:.2f}x the interpreter "
         f"({N_PACKETS / fast_s:,.0f} vs {N_PACKETS / interp_s:,.0f} pps)"
+    )
+
+
+def test_disabled_telemetry_overhead_smoke():
+    """Telemetry wired but off must cost within 3% of no telemetry.
+
+    A Telemetry hub without tracing leaves ``emulator.tracer`` None, so
+    the fast path's replay loop pays exactly the branch it already paid
+    — this pins the subsystem's headline overhead claim. Timings are
+    min-of-5, interleaved, to shrug off CI scheduler noise.
+    """
+
+    def build(telemetry):
+        deployment = Deployment(
+            l2l3_acl.build_program(), BLUEFIELD2, telemetry=telemetry
+        )
+        l2l3_acl.install_base_entries(deployment.control_plane)
+        return deployment
+
+    plain = build(None)
+    telemetered = build(Telemetry())  # metrics + events, tracing off
+    assert telemetered.tracer is None
+    for deployment in (plain, telemetered):
+        deployment.emulator.replay(_packets()[:200])  # warm + compile
+
+    best = {"plain": float("inf"), "telemetered": float("inf")}
+    for _ in range(5):
+        for name, deployment in (
+            ("plain", plain),
+            ("telemetered", telemetered),
+        ):
+            # Fresh same-seed stream each round: replay mutates packets.
+            packets = _packets()
+            start = time.perf_counter()
+            deployment.emulator.replay(iter(packets))
+            best[name] = min(
+                best[name], time.perf_counter() - start
+            )
+
+    ratio = best["telemetered"] / best["plain"]
+    assert ratio <= 1.03, (
+        f"disabled telemetry costs {100 * (ratio - 1):.1f}% "
+        f"({best['telemetered']:.4f}s vs {best['plain']:.4f}s)"
     )

@@ -13,7 +13,13 @@ Subcommands:
 * ``placement`` — hierarchical-memory placement (§6 extension).
 * ``replay``    — drive generated traffic through the emulator's
   compiled fast path (``--jobs N`` shards it across N worker
-  processes) and print a JSON throughput/latency summary.
+  processes) and print a JSON throughput/latency summary. Telemetry
+  surface: ``--trace`` (sampled packet tracing), ``--metrics-out``
+  (Prometheus text), ``--events-out`` (JSONL event log),
+  ``--profile-out`` (persist the merged runtime profile for
+  ``optimize --profile``).
+* ``report``    — run a traced replay and print the per-pipelet
+  measured-vs-predicted latency table (cost-model validation).
 
 Usage: ``python -m repro.cli <subcommand> ...``
 """
@@ -148,42 +154,101 @@ def cmd_placement(args: argparse.Namespace) -> int:
     return 0
 
 
-def cmd_replay(args: argparse.Namespace) -> int:
-    import time
+def _resolve_program(args: argparse.Namespace, command: str):
+    """Resolve ``--app``/``--program`` into (program, install, label).
 
+    Returns ``None`` (after printing the usage error) when the
+    arguments don't name exactly one program source.
+    """
     from repro.apps import EXAMPLE_APPS
-    from repro.core import Deployment
-    from repro.core.sharded import ShardedDeployment
-    from repro.traffic.flows import synth_flows
-    from repro.traffic.generator import TrafficGenerator
 
     if (args.app is None) == (args.program is None):
         print(
-            "replay: pass exactly one of --app or --program",
+            f"{command}: pass exactly one of --app or --program",
             file=sys.stderr,
         )
-        return 2
-    install = None
+        return None
     if args.app is not None:
         try:
             build, install = EXAMPLE_APPS[args.app]
         except KeyError:
             print(
-                f"replay: unknown app {args.app!r} "
+                f"{command}: unknown app {args.app!r} "
                 f"(choose from {', '.join(sorted(EXAMPLE_APPS))})",
                 file=sys.stderr,
             )
-            return 2
-        program = build()
+            return None
+        return build(), install, args.app
+    return _load_program(args.program), None, args.program
+
+
+def _build_telemetry(args: argparse.Namespace):
+    """The replay's Telemetry bundle, or None when every knob is off."""
+    from repro.telemetry import Telemetry
+
+    trace_interval = args.trace_interval if args.trace else 0
+    if not (
+        trace_interval or args.metrics_out or args.events_out
+    ):
+        return None
+    return Telemetry(
+        trace_interval=trace_interval, events_path=args.events_out
+    )
+
+
+def _export_metrics(
+    registry, deployment, stats, target, jobs: int, label: str
+) -> None:
+    """Fill the registry from a finished replay's merged state."""
+    from repro.telemetry import (
+        export_cache_stats,
+        export_counter_bank,
+        export_emulator,
+        export_run_stats,
+        export_tracer,
+    )
+
+    export_run_stats(registry, stats, target, app=label)
+    if jobs > 1:
+        sharded = deployment.emulator
+        export_counter_bank(registry, sharded.counters)
+        for name, cache_stats in sharded.cache_stats.items():
+            export_cache_stats(registry, name, cache_stats)
+        if sharded.native_cache_stats is not None:
+            export_cache_stats(
+                registry, "__native__", sharded.native_cache_stats
+            )
     else:
-        program = _load_program(args.program)
+        export_emulator(registry, deployment.emulator)
+    tracer = deployment.tracer
+    if tracer is not None:
+        export_tracer(registry, tracer)
+
+
+def cmd_replay(args: argparse.Namespace) -> int:
+    import time
+
+    from repro.core import Deployment, profile_to_json
+    from repro.core.sharded import ShardedDeployment
+    from repro.traffic.flows import synth_flows
+    from repro.traffic.generator import TrafficGenerator
+
+    resolved = _resolve_program(args, "replay")
+    if resolved is None:
+        return 2
+    program, install, label = resolved
     target = get_target(args.target)
+    telemetry = _build_telemetry(args)
     if args.jobs > 1:
         deployment = ShardedDeployment(
-            program, target, n_workers=args.jobs, batch=args.batch
+            program,
+            target,
+            n_workers=args.jobs,
+            batch=args.batch,
+            telemetry=telemetry,
         )
     else:
-        deployment = Deployment(program, target)
+        deployment = Deployment(program, target, telemetry=telemetry)
     try:
         if install is not None:
             install(deployment.control_plane)
@@ -198,7 +263,7 @@ def cmd_replay(args: argparse.Namespace) -> int:
         )
         wall_s = time.perf_counter() - start
         summary = {
-            "app": args.app or args.program,
+            "app": label,
             "target": args.target,
             "jobs": args.jobs,
             "packets": stats.packets,
@@ -217,10 +282,75 @@ def cmd_replay(args: argparse.Namespace) -> int:
             summary["modeled_pps"] = (
                 stats.packets / critical if critical > 0 else 0.0
             )
+        tracer = deployment.tracer
+        if tracer is not None:
+            summary["traced_packets"] = tracer.sampled
+        if args.profile_out:
+            profile = deployment.profile(
+                offered_pps=args.pps if args.pps else 1e6
+            )
+            with open(args.profile_out, "w") as handle:
+                json.dump(profile_to_json(profile), handle, indent=2)
+            summary["profile_out"] = args.profile_out
+        if telemetry is not None and args.metrics_out:
+            _export_metrics(
+                telemetry.registry, deployment, stats, target,
+                args.jobs, label,
+            )
+            with open(args.metrics_out, "w") as handle:
+                handle.write(telemetry.registry.to_prometheus())
+            summary["metrics_out"] = args.metrics_out
+        if telemetry is not None and args.events_out:
+            summary["events_out"] = args.events_out
+            summary["events_emitted"] = telemetry.events.emitted
         print(json.dumps(summary, indent=2))
     finally:
         if args.jobs > 1:
             deployment.close()
+        if telemetry is not None:
+            telemetry.close()
+    return 0
+
+
+def cmd_report(args: argparse.Namespace) -> int:
+    from repro.core import Deployment
+    from repro.telemetry import Telemetry
+    from repro.telemetry.report import (
+        format_report,
+        measured_vs_predicted,
+    )
+    from repro.traffic.flows import synth_flows
+    from repro.traffic.generator import TrafficGenerator
+
+    resolved = _resolve_program(args, "report")
+    if resolved is None:
+        return 2
+    program, install, label = resolved
+    target = get_target(args.target)
+    telemetry = Telemetry(trace_interval=args.trace_interval)
+    deployment = Deployment(program, target, telemetry=telemetry)
+    if install is not None:
+        install(deployment.control_plane)
+    generator = TrafficGenerator(seed=args.seed)
+    flows = synth_flows(args.flows)
+    packets = generator.stream(
+        flows, args.packets, locality=args.locality
+    )
+    deployment.replay(packets)
+    profile = deployment.profile()
+    model = CostModel.for_target(target)
+    report = measured_vs_predicted(
+        deployment.program, profile, model, deployment.tracer
+    )
+    print(f"measured vs predicted per-pipelet latency — {label}")
+    print(
+        f"(traced 1-in-{args.trace_interval} of "
+        f"{deployment.tracer.seen} packets)\n"
+    )
+    print(format_report(report))
+    if args.json_out:
+        with open(args.json_out, "w") as handle:
+            json.dump(report.to_json(), handle, indent=2)
     return 0
 
 
@@ -306,8 +436,71 @@ def build_parser() -> argparse.ArgumentParser:
     )
     replay.add_argument("--batch", type=int, default=256)
     replay.add_argument("--seed", type=int, default=0)
+    replay.add_argument(
+        "--trace",
+        action="store_true",
+        help="enable 1-in-N sampled packet tracing",
+    )
+    replay.add_argument(
+        "--trace-interval",
+        type=int,
+        default=64,
+        help="trace every Nth packet (with --trace)",
+    )
+    replay.add_argument(
+        "--metrics-out",
+        default=None,
+        help="write Prometheus text exposition to this path",
+    )
+    replay.add_argument(
+        "--events-out",
+        default=None,
+        help="write the JSONL event log to this path",
+    )
+    replay.add_argument(
+        "--profile-out",
+        default=None,
+        help="persist the merged runtime profile JSON "
+        "(feed back into `optimize --profile`)",
+    )
     _add_common(replay)
     replay.set_defaults(func=cmd_replay)
+
+    report = subparsers.add_parser(
+        "report",
+        help="traced replay + measured-vs-predicted latency table",
+    )
+    report.add_argument(
+        "--app",
+        default=None,
+        help="example app name (see repro.apps.EXAMPLE_APPS)",
+    )
+    report.add_argument(
+        "--program",
+        default=None,
+        help="program JSON path (alternative to --app)",
+    )
+    report.add_argument("--packets", type=int, default=20000)
+    report.add_argument("--flows", type=int, default=256)
+    report.add_argument(
+        "--locality",
+        default="uniform",
+        help="uniform | zipf | round_robin",
+    )
+    report.add_argument("--seed", type=int, default=0)
+    report.add_argument(
+        "--trace-interval",
+        type=int,
+        default=16,
+        help="trace every Nth packet",
+    )
+    report.add_argument(
+        "--json-out",
+        default=None,
+        help="also write the report as JSON to this path",
+    )
+    _add_common(report)
+    report.set_defaults(func=cmd_report)
     return parser
 
 

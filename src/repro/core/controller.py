@@ -44,6 +44,23 @@ def plan_signature(plan: OptimizationPlan) -> tuple:
     )
 
 
+def plan_ops(plan: Optional[OptimizationPlan]) -> set:
+    """The plan's active transforms as ``(pipelet, op, tables)`` keys.
+
+    Diffing two plans' op sets is how the event log names what a
+    redeploy actually did: a ``cache`` op present before but not after
+    is a dropped cache, a vanished ``merge`` op is a reversed merge.
+    """
+    if plan is None:
+        return set()
+    return {
+        (c.pipelet_id, s.op, s.tables)
+        for c in plan.candidates
+        for s in c.segments
+        if s.op != "none"
+    }
+
+
 @dataclass(frozen=True)
 class ControllerOptions:
     profile_period_s: float = 5.0
@@ -86,9 +103,11 @@ class PipeleonController:
         native_cache: Optional[bool] = None,
         baseline_plan: Optional[OptimizationPlan] = None,
         jobs: int = 1,
+        telemetry=None,
     ):
         if jobs < 1:
             raise ValueError("jobs must be >= 1")
+        self.telemetry = telemetry
         self.original = program
         self.target = target
         self.budget = budget or ResourceBudget()
@@ -115,12 +134,30 @@ class PipeleonController:
             offered_pps=self.options.offered_pps,
         )
 
+    def _emit(self, kind: str, **fields) -> None:
+        """Record a controller decision (no-op without telemetry)."""
+        telemetry = self.telemetry
+        if telemetry is None:
+            return
+        telemetry.events.emit(kind, **fields)
+        telemetry.registry.inc(
+            "pipeleon_controller_decisions_total",
+            help="Controller decisions by kind",
+            kind=kind,
+        )
+
     def maybe_reoptimize(self) -> bool:
         """Profile, re-search, redeploy if the best plan changed."""
         if not self.enabled:
             return False
         profile = self.collect_profile()
         self.last_profile = profile
+        self._emit(
+            "profile_collected",
+            offered_pps=profile.offered_pps,
+            caches_observed=len(profile.cache_hit_rates),
+            tables_profiled=len(profile.entry_counts),
+        )
         search = self.search
         if self.options.adapt_hit_rates and profile.cache_hit_rates:
             # A cache that is being invalidated constantly reports a low
@@ -161,7 +198,37 @@ class PipeleonController:
             ) + 1e-9
             if plan.total_gain_ns <= threshold:
                 changed = False
+                self._emit(
+                    "replan_rejected",
+                    margin=self.options.replan_margin,
+                    current_gain_ns=current_gain,
+                    candidate_gain_ns=plan.total_gain_ns,
+                    threshold_ns=threshold,
+                    plan=plan.describe(),
+                )
         if changed:
+            old_ops = plan_ops(self.current_plan)
+            new_ops = plan_ops(plan)
+            for pipelet_id, op, tables in sorted(old_ops - new_ops):
+                if op == "cache":
+                    self._emit(
+                        "cache_dropped",
+                        pipelet=pipelet_id,
+                        tables=list(tables),
+                    )
+                elif op == "merge":
+                    self._emit(
+                        "merge_reversed",
+                        pipelet=pipelet_id,
+                        tables=list(tables),
+                    )
+            self._emit(
+                "replan_accepted",
+                margin=self.options.replan_margin,
+                gain_ns=plan.total_gain_ns,
+                plan=plan.describe(),
+                signature=repr(plan_signature(plan)),
+            )
             self._redeploy(plan)
         else:
             self.deployment.reset_telemetry()
@@ -189,6 +256,7 @@ class PipeleonController:
             ),
             default_hit_rate=self.search.default_hit_rate,
             native_cache=self._native_cache,
+            telemetry=self.telemetry,
         )
         if self.jobs > 1:
             return ShardedDeployment(
@@ -210,6 +278,12 @@ class PipeleonController:
         )
         self.current_plan = plan
         self.reoptimizations += 1
+        self._emit(
+            "redeploy",
+            reoptimizations=self.reoptimizations,
+            jobs=self.jobs,
+            plan=plan.describe(),
+        )
 
     # -- traffic ------------------------------------------------------------------
 

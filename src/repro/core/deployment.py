@@ -57,10 +57,14 @@ class Deployment:
         default_hit_rate: float = 0.9,
         native_cache: Optional[bool] = None,
         previous: Optional["Deployment"] = None,
+        telemetry=None,
     ):
         self.original = original
         self.target = target
         self.plan = plan
+        self.telemetry = telemetry
+        if telemetry is None and previous is not None:
+            self.telemetry = telemetry = previous.telemetry
         if control_plane is not None:
             self.clock = control_plane.clock
             self.control_plane = control_plane
@@ -90,6 +94,10 @@ class Deployment:
             instrument=instrument,
             native_cache=native_cache,
         )
+        if telemetry is not None:
+            telemetry.bind_clock(self.clock)
+            telemetry.observe_control_plane(self.control_plane)
+            self.emulator.tracer = telemetry.tracer
         #: Entry operations actually applied to the data plane, per
         #: original-table update (measures merge update amplification).
         self.materialized_updates: dict[str, int] = {}
@@ -301,6 +309,11 @@ class Deployment:
 
     # -- telemetry -------------------------------------------------------------------------
 
+    @property
+    def tracer(self):
+        """The packet tracer watching this deployment (None if off)."""
+        return self.emulator.tracer
+
     def cache_hit_rates(self) -> dict[str, float]:
         rates: dict[str, float] = {}
         for name, cache in self.emulator.flow_caches.items():
@@ -339,6 +352,8 @@ class Deployment:
             cache.stats.reset_rates()
         if self.emulator.native_cache is not None:
             self.emulator.native_cache.stats.reset_rates()
+        if self.emulator.tracer is not None:
+            self.emulator.tracer.reset()
 
     # -- traffic ----------------------------------------------------------------------------
 

@@ -69,10 +69,14 @@ class ShardedDeployment:
         default_hit_rate: float = 0.9,
         native_cache: Optional[bool] = None,
         previous: Optional[object] = None,
+        telemetry=None,
     ):
         # ``previous`` is accepted for signature parity with Deployment
         # but ignored: sharded redeploys cold-start caches (see module
-        # docstring).
+        # docstring). Telemetry does carry across, like Deployment's.
+        if telemetry is None and previous is not None:
+            telemetry = getattr(previous, "telemetry", None)
+        self.telemetry = telemetry
         self.deployment = Deployment(
             original,
             target,
@@ -85,6 +89,7 @@ class ShardedDeployment:
             cache_insertion_limit_pps=cache_insertion_limit_pps,
             default_hit_rate=default_hit_rate,
             native_cache=native_cache,
+            telemetry=telemetry,
         )
         self.original = original
         self.target = target
@@ -179,6 +184,15 @@ class ShardedDeployment:
     @property
     def materialized_updates(self) -> dict[str, int]:
         return self.deployment.materialized_updates
+
+    @property
+    def tracer(self):
+        """Merged per-worker packet tracer (None until a collection).
+
+        Workers fork with an independent copy of the template's tracer;
+        replay/collect ships the per-shard tracers back and folds them.
+        """
+        return self.emulator.tracer
 
     def cache_hit_rates(self) -> dict[str, float]:
         """Merged hit rates (replay refreshes the merged view)."""

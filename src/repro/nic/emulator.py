@@ -33,6 +33,16 @@ from repro.nic.pipeline import BoundPrimitive, apply_primitive, bind_action
 from repro.nic.stats import PacketResult, RunStats
 from repro.nic.table_runtime import RuntimeTable
 from repro.nic.targets import TargetModel
+from repro.telemetry.tracing import NATIVE_CACHE_STEP, PARSER_STEP
+
+#: Span-kind names for the tracer, by table kind.
+_TRACE_KINDS = {
+    TableKind.PLAIN: "table",
+    TableKind.MERGED: "merged",
+    TableKind.NAVIGATION: "nav",
+    TableKind.MIGRATION: "migration",
+    TableKind.CACHE: "cache",
+}
 
 
 @dataclass
@@ -154,6 +164,10 @@ class NicEmulator:
                 self._native_relevant.add(str(source))
 
         self._fastpath = None
+        #: Optional sampled-span recorder (attach a PacketTracer to
+        #: trace; the disabled path costs one branch per packet here
+        #: and one per batch in the compiled fast path).
+        self.tracer = None
 
     # -- state management -------------------------------------------------------
 
@@ -210,34 +224,55 @@ class NicEmulator:
 
     # -- data path ----------------------------------------------------------------
 
-    def process(self, packet: Packet) -> PacketResult:
-        """Run one packet to completion; returns its cost breakdown."""
+    def process(self, packet: Packet, trace=None) -> PacketResult:
+        """Run one packet to completion; returns its cost breakdown.
+
+        ``trace`` is an already-begun :class:`~repro.telemetry.tracing.
+        PacketTrace` (the fast path samples before delegating here);
+        when None and a tracer is attached, the tracer's 1-in-N sampler
+        decides whether this packet gets one.
+        """
         busy: dict[Pipeline, float] = {}
         path: list[str] = []
         migrations = 0
         recordings: list[_CacheRecording] = []
         sampled = self.counters.begin_packet() if self.instrument else False
+        tracer = self.tracer
+        if trace is None and tracer is not None:
+            trace = tracer.try_begin(self.clock.now_s)
+        if trace is not None:
+            trace.enter(PARSER_STEP, "parser", 0.0)
 
         def charge(pipeline: Pipeline, ns: float) -> None:
             busy[pipeline] = busy.get(pipeline, 0.0) + ns
 
         current = self.program.root
         if current is None:
+            if trace is not None and tracer is not None:
+                tracer.finish(trace, 0.0, False, None)
             return PacketResult(0.0, False, None, 0, busy, ())
         entry_pipeline = self._pipeline_map[current]
 
         # Vendor-native whole-program flow cache (Agilio CX).
         if self.native_cache is not None:
             core = self.target.core(entry_pipeline)
+            if trace is not None:
+                trace.enter(
+                    NATIVE_CACHE_STEP, "cache", sum(busy.values())
+                )
             charge(entry_pipeline, core.lookup_ns)
             effect = self.native_cache.lookup(packet.flow_key())
             if effect is not None:
+                if trace is not None:
+                    trace.note("hit")
                 for op, args in effect:
                     charge(entry_pipeline, core.action_ns)
                     apply_primitive(
                         packet, op, args, self.explicit_counters
                     )
-                return self._finish(packet, busy, path, migrations)
+                return self._finish(packet, busy, path, migrations, trace)
+            if trace is not None:
+                trace.note("miss")
             recordings.append(
                 _CacheRecording(
                     "__native__", packet.flow_key(), {"*"}, hit_next=None
@@ -263,6 +298,14 @@ class NicEmulator:
             node = self.program.node(current)
             pipeline = self._pipeline_map[current]
             core = self.target.core(pipeline)
+            if trace is not None:
+                trace.enter(
+                    current,
+                    "branch"
+                    if isinstance(node, ConditionalNode)
+                    else _TRACE_KINDS.get(node.kind, "table"),
+                    sum(busy.values()),
+                )
             if (
                 previous_pipeline is not None
                 and pipeline is not previous_pipeline
@@ -275,6 +318,8 @@ class NicEmulator:
             if isinstance(node, ConditionalNode):
                 charge(pipeline, core.branch_ns)
                 taken = node.condition.evaluate(packet.get)
+                if trace is not None:
+                    trace.note("true" if taken else "false")
                 if sampled:
                     self.counters.bump(
                         branch_counter(node.name, taken),
@@ -285,16 +330,17 @@ class NicEmulator:
                 continue
 
             current = self._execute_table(
-                node, packet, pipeline, core, charge, sampled, recordings
+                node, packet, pipeline, core, charge, sampled, recordings,
+                trace,
             )
             if packet.dropped:
                 break
 
         self._finalize_recordings(packet, recordings, charge)
-        return self._finish(packet, busy, path, migrations)
+        return self._finish(packet, busy, path, migrations, trace)
 
     def _execute_table(self, node, packet, pipeline, core, charge,
-                       sampled, recordings):
+                       sampled, recordings, trace=None):
         """Dispatch on table kind; returns the next node name."""
         kind = node.kind
 
@@ -326,7 +372,8 @@ class NicEmulator:
             and node.cache_info.mode == "flow"
         ):
             return self._execute_flow_cache(
-                node, packet, pipeline, core, charge, sampled, recordings
+                node, packet, pipeline, core, charge, sampled, recordings,
+                trace,
             )
 
         if kind is TableKind.MERGED or (
@@ -335,7 +382,8 @@ class NicEmulator:
             and node.cache_info.mode == "merge"
         ):
             return self._execute_merged(
-                node, packet, pipeline, core, charge, sampled, recordings
+                node, packet, pipeline, core, charge, sampled, recordings,
+                trace,
             )
 
         # Plain table.
@@ -349,6 +397,8 @@ class NicEmulator:
             ),
         )
         result = runtime.lookup(packet)
+        if trace is not None:
+            trace.note(result.action.name)
         if sampled:
             self.counters.bump(
                 action_counter(node.name, result.action.name),
@@ -365,12 +415,14 @@ class NicEmulator:
         return node.next_map[result.action.name]
 
     def _execute_flow_cache(self, node, packet, pipeline, core, charge,
-                            sampled, recordings):
+                            sampled, recordings, trace=None):
         info = node.cache_info
         cache = self.flow_caches[node.name]
         charge(pipeline, core.lookup_ns)
         key = packet.key(node.match_fields)
         effect = cache.lookup(key)
+        if trace is not None:
+            trace.note("hit" if effect is not None else "miss")
         if sampled:
             self.counters.bump(
                 cache_counter(node.name, effect is not None),
@@ -398,7 +450,7 @@ class NicEmulator:
         return info.miss_next
 
     def _execute_merged(self, node, packet, pipeline, core, charge,
-                        sampled, recordings):
+                        sampled, recordings, trace=None):
         info = node.cache_info
         runtime = self.runtime_tables[node.name]
         charge(
@@ -410,6 +462,8 @@ class NicEmulator:
             ),
         )
         result = runtime.lookup(packet)
+        if trace is not None:
+            trace.note("hit" if result.hit else "miss")
         if sampled:
             self.counters.bump(
                 cache_counter(node.name, result.hit), packet.size_bytes
@@ -474,8 +528,10 @@ class NicEmulator:
             return cache.insert(recording.key, effect, self.clock.now_s)
         return False
 
-    def _finish(self, packet, busy, path, migrations) -> PacketResult:
-        return PacketResult(
+    def _finish(
+        self, packet, busy, path, migrations, trace=None
+    ) -> PacketResult:
+        result = PacketResult(
             latency_ns=sum(busy.values()),
             dropped=packet.dropped,
             egress_port=packet.egress_port,
@@ -483,6 +539,14 @@ class NicEmulator:
             busy_ns=busy,
             path=tuple(path),
         )
+        if trace is not None and self.tracer is not None:
+            self.tracer.finish(
+                trace,
+                result.latency_ns,
+                result.dropped,
+                result.egress_port,
+            )
+        return result
 
     # -- batch runs --------------------------------------------------------------------
 

@@ -163,6 +163,9 @@ class FastPathEngine:
         self._max_steps = emulator.max_steps
         self._program_name = emulator.program.name
         self._native_cache_obj = emulator.native_cache
+        # Sampled tracing: captured at compile time so the replay loops
+        # branch on a local, and a tracer attach/detach recompiles.
+        self._tracer = emulator.tracer
         self._fns: dict[str, StepFn] = {}
         self._by_id: dict[int, StepFn] = {}
         # Staleness fingerprints: runtime-table versions and cache object
@@ -184,6 +187,7 @@ class FastPathEngine:
             or em.counters is not self._counter_bank
             or em.native_cache is not self._native_cache_obj
             or em.max_steps != self._max_steps
+            or em.tracer is not self._tracer
         ):
             return True
         for name, runtime, version in self._table_versions:
@@ -741,6 +745,23 @@ class FastPathEngine:
         PacketResultPool`) to fill a recycled result instead of
         allocating one.
         """
+        tracer = self._tracer
+        if tracer is not None:
+            trace = tracer.try_begin(self._em.clock.now_s)
+            if trace is not None:
+                # Traced packets run through the interpreter, which is
+                # bit-identical to this engine (differential contract),
+                # so tracing can't perturb state or results.
+                result = self._em.process(packet, trace=trace)
+                if into is None:
+                    return result
+                into.latency_ns = result.latency_ns
+                into.dropped = result.dropped
+                into.egress_port = result.egress_port
+                into.migrations = result.migrations
+                into.busy_ns = result.busy_ns
+                into.path = result.path
+                return into
         if self._root_fn is None:
             self._begin_packet()
             if into is None:
@@ -795,6 +816,11 @@ class FastPathEngine:
         same per-packet clock the single-core engine would (cache
         insertion rate limiting is clock-driven).
         """
+        if self._tracer is not None:
+            # One branch per batch: the traced loop lives elsewhere so
+            # the untraced loops below stay exactly as fast as before.
+            self._replay_batch_traced(packets, stats, dt_s, timestamps)
+            return
         clock = self._em.clock
         record = stats.record_fast
         if timestamps is not None:
@@ -838,6 +864,64 @@ class FastPathEngine:
         for packet in packets:
             if dt_s:
                 clock.advance(dt_s)
+            ctx = run(packet)
+            busy = ctx.busy
+            used = ctx.used
+            asic = busy[0] if used[0] else None
+            cpu = busy[1] if used[1] else None
+            latency = 0.0
+            if asic is not None:
+                latency += asic
+            if cpu is not None:
+                latency += cpu
+            record(
+                latency,
+                packet.size_bytes,
+                packet.dropped,
+                ctx.migrations,
+                asic,
+                cpu,
+            )
+
+    def _replay_batch_traced(
+        self,
+        packets: Iterable[Packet],
+        stats: RunStats,
+        dt_s: float = 0.0,
+        timestamps: Optional[Iterable[float]] = None,
+    ) -> None:
+        """Batch loop with a tracer attached: sample before each packet.
+
+        Sampled packets run through the interpreter with the trace
+        pre-begun (bit-identical by the differential contract, and
+        ``RunStats.record`` lands the same samples ``record_fast``
+        would), so tracing never perturbs stats, counters or cache
+        state; every other packet takes the compiled path.
+        """
+        em = self._em
+        clock = em.clock
+        tracer = self._tracer
+        record = stats.record_fast
+        run = self._run
+        root_missing = self._root_fn is None
+        if timestamps is not None:
+            pairs = zip(packets, timestamps)
+        else:
+            pairs = ((packet, None) for packet in packets)
+        for packet, now_s in pairs:
+            if now_s is not None:
+                clock.now_s = now_s
+            elif dt_s:
+                clock.advance(dt_s)
+            trace = tracer.try_begin(clock.now_s)
+            if trace is not None:
+                result = em.process(packet, trace=trace)
+                stats.record(result, packet.size_bytes)
+                continue
+            if root_missing:
+                self._begin_packet()
+                record(0.0, packet.size_bytes, False, 0, None, None)
+                continue
             ctx = run(packet)
             busy = ctx.busy
             used = ctx.used

@@ -44,6 +44,7 @@ metadata, oversized values, or heterogeneous header sets.
 
 from __future__ import annotations
 
+import atexit
 import multiprocessing as mp
 import time
 import traceback
@@ -196,6 +197,7 @@ def _worker_state(emulator: NicEmulator) -> dict:
             if emulator.native_cache is not None
             else None
         ),
+        "tracer": emulator.tracer,
     }
 
 
@@ -260,6 +262,8 @@ def _worker_main(conn, factory, shard_index: int) -> None:
                     cache.stats.reset_rates()
                 if emulator.native_cache is not None:
                     emulator.native_cache.stats.reset_rates()
+                if emulator.tracer is not None:
+                    emulator.tracer.reset()
             elif op == "collect":
                 conn.send(("state", _worker_state(emulator), epoch))
                 continue
@@ -354,6 +358,9 @@ class ShardedEmulator:
         self.explicit_counters: dict[str, int] = {}
         self.cache_stats: dict[str, CacheStats] = {}
         self.native_cache_stats: Optional[CacheStats] = None
+        #: Merged per-worker packet tracer from the last collection
+        #: (None unless the worker emulators carry tracers).
+        self.tracer = None
         self.worker_busy_s: list[float] = [0.0] * n_workers
         #: Raw per-worker telemetry from the last collection (shard
         #: index order) — per-shard profiling reads these.
@@ -379,6 +386,10 @@ class ShardedEmulator:
             child_conn.close()
             self._conns.append(parent_conn)
             self._procs.append(process)
+        # Guaranteed teardown: if the owner never calls close() (e.g. a
+        # mid-replay exception unwinds past it), interpreter exit still
+        # reaps the forked workers instead of leaking them.
+        atexit.register(self.close)
 
     # -- lifecycle ---------------------------------------------------------
 
@@ -399,6 +410,10 @@ class ShardedEmulator:
         if self._closed:
             return
         self._closed = True
+        try:
+            atexit.unregister(self.close)
+        except Exception:  # pragma: no cover - interpreter teardown
+            pass
         for conn in self._conns:
             try:
                 conn.send(("close",))
@@ -421,12 +436,29 @@ class ShardedEmulator:
         if self._closed:
             raise EmulationError("ShardedEmulator is closed")
 
-    def _recv(self, conn):
+    def _recv(self, conn, shard: Optional[int] = None):
         try:
             reply = conn.recv()
-        except EOFError as exc:
+        # EOFError on a clean hangup; SIGKILL mid-write surfaces as
+        # ConnectionResetError (an OSError) instead.
+        except (EOFError, OSError) as exc:
+            if shard is None:
+                shard = (
+                    self._conns.index(conn)
+                    if conn in self._conns
+                    else None
+                )
+            detail = ""
+            if shard is not None:
+                process = self._procs[shard]
+                process.join(timeout=1.0)
+                detail = (
+                    f" {shard} ({process.name}, "
+                    f"exitcode {process.exitcode})"
+                )
             raise EmulationError(
-                "Shard worker died without replying"
+                f"Shard worker{detail} died without replying; "
+                "its shard's results are lost"
             ) from exc
         if reply[0] == "error":
             raise EmulationError(
@@ -496,7 +528,13 @@ class ShardedEmulator:
         explicit: dict[str, int] = {}
         cache_stats: dict[str, CacheStats] = {}
         native: Optional[CacheStats] = None
+        tracer = None
         for state in states:
+            worker_tracer = state.get("tracer")
+            if worker_tracer is not None:
+                if tracer is None:
+                    tracer = worker_tracer.spawn_empty()
+                tracer.merge(worker_tracer)
             bank = state["counters"]
             if counters is None:
                 counters = CounterBank(bank.sample_stride)
@@ -517,13 +555,14 @@ class ShardedEmulator:
         self.explicit_counters = explicit
         self.cache_stats = cache_stats
         self.native_cache_stats = native
+        self.tracer = tracer
 
     def collect(self) -> None:
         """Barrier: refresh merged counters/cache stats from all workers."""
         self._broadcast(("collect",))
         states = []
         for shard, conn in enumerate(self._conns):
-            tag, state, epoch = self._recv(conn)
+            tag, state, epoch = self._recv(conn, shard)
             if epoch != self.epoch:
                 raise EmulationError(
                     f"Shard {shard} applied epoch {epoch}, "
@@ -594,7 +633,7 @@ class ShardedEmulator:
             self._send(conn, ("end",))
         states = []
         for shard, conn in enumerate(conns):
-            tag, worker_stats, state, busy, epoch = self._recv(conn)
+            tag, worker_stats, state, busy, epoch = self._recv(conn, shard)
             if epoch != self.epoch:
                 raise EmulationError(
                     f"Shard {shard} applied epoch {epoch}, "

@@ -1,0 +1,117 @@
+"""Observability subsystem: metrics, decision events, packet tracing.
+
+One :class:`Telemetry` object bundles the three collectors plus the
+report layer:
+
+* :class:`~repro.telemetry.metrics.MetricsRegistry` — shard-mergeable
+  counters/gauges/histograms, exportable as Prometheus text or JSON;
+* :class:`~repro.telemetry.events.EventLog` — structured record of
+  control-plane mutations and controller decisions (JSONL ring +
+  optional file sink), stamped with the emulated clock;
+* :class:`~repro.telemetry.tracing.PacketTracer` — 1-in-N span recorder
+  for per-node latency attribution, off unless ``trace_interval > 0``;
+* :mod:`~repro.telemetry.report` — joins traced per-pipelet latencies
+  against the cost model's predictions.
+
+A deployment built with ``telemetry=`` attaches the tracer to its
+emulator, binds the event log to the deployment clock, and subscribes
+it to the control plane; the sharded deployment additionally merges
+per-worker tracers back into the parent on collection.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.nic.control_plane import SimClock
+from repro.telemetry.events import EventLog
+from repro.telemetry.export import (
+    export_cache_stats,
+    export_counter_bank,
+    export_emulator,
+    export_run_stats,
+    export_tracer,
+)
+from repro.telemetry.metrics import (
+    LATENCY_BUCKETS_NS,
+    Histogram,
+    MetricsRegistry,
+)
+
+# NOTE: repro.telemetry.report is deliberately NOT imported here — it
+# pulls in repro.core, whose package init imports the emulator, and the
+# emulator imports repro.telemetry.tracing. Import the report layer as
+# ``from repro.telemetry.report import ...`` at the point of use.
+from repro.telemetry.tracing import (
+    NATIVE_CACHE_STEP,
+    PARSER_STEP,
+    PacketTrace,
+    PacketTracer,
+    TraceStep,
+)
+
+__all__ = [
+    "EventLog",
+    "Histogram",
+    "LATENCY_BUCKETS_NS",
+    "MetricsRegistry",
+    "NATIVE_CACHE_STEP",
+    "PARSER_STEP",
+    "PacketTrace",
+    "PacketTracer",
+    "Telemetry",
+    "TraceStep",
+    "export_cache_stats",
+    "export_counter_bank",
+    "export_emulator",
+    "export_run_stats",
+    "export_tracer",
+]
+
+
+class Telemetry:
+    """The bundle a deployment wires through the stack.
+
+    ``trace_interval == 0`` (the default) leaves the tracer off — the
+    data path then pays only its existing ``tracer is None`` branch.
+    """
+
+    def __init__(
+        self,
+        trace_interval: int = 0,
+        event_capacity: int = 4096,
+        max_traces: int = 512,
+        events_path: Optional[str] = None,
+        clock: Optional[SimClock] = None,
+    ):
+        if trace_interval < 0:
+            raise ValueError("trace_interval must be >= 0")
+        self.registry = MetricsRegistry()
+        self.events = EventLog(
+            capacity=event_capacity, clock=clock, sink_path=events_path
+        )
+        self.tracer: Optional[PacketTracer] = (
+            PacketTracer(trace_interval, max_traces)
+            if trace_interval
+            else None
+        )
+
+    @property
+    def tracing(self) -> bool:
+        return self.tracer is not None
+
+    def bind_clock(self, clock: SimClock) -> None:
+        """Stamp events with the deployment's emulated clock."""
+        self.events.clock = clock
+
+    def observe_control_plane(self, control_plane) -> bool:
+        return self.events.observe_control_plane(control_plane)
+
+    def close(self) -> None:
+        self.events.close()
+
+    def __enter__(self) -> "Telemetry":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()

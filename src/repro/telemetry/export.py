@@ -1,0 +1,152 @@
+"""Bridges from existing runtime stats objects into the metrics registry.
+
+The emulator already aggregates everything worth knowing — ``RunStats``,
+``CounterBank``, per-cache ``CacheStats``, the tracer's node histograms —
+in its own mergeable containers. These helpers project those containers
+into a :class:`~repro.telemetry.metrics.MetricsRegistry` at export time,
+so the hot path never touches the registry and the Prometheus/JSON view
+is a pure read-side artifact.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.nic.flow_cache import CacheStats
+from repro.nic.stats import RunStats
+from repro.nic.targets import TargetModel
+from repro.telemetry.metrics import MetricsRegistry
+from repro.telemetry.tracing import PacketTracer
+
+
+def export_run_stats(
+    registry: MetricsRegistry,
+    stats: RunStats,
+    target: Optional[TargetModel] = None,
+    **labels: object,
+) -> None:
+    """Project a replay's RunStats into counters/gauges/histograms."""
+    registry.inc(
+        "pipeleon_packets_total",
+        stats.packets,
+        help="Packets processed by the emulator",
+        **labels,
+    )
+    registry.inc(
+        "pipeleon_packets_dropped_total",
+        stats.dropped,
+        help="Packets dropped by the program",
+        **labels,
+    )
+    registry.inc(
+        "pipeleon_migrations_total",
+        stats.migrations,
+        help="ASIC<->CPU pipeline migrations",
+        **labels,
+    )
+    registry.inc(
+        "pipeleon_bytes_total",
+        stats.total_bytes,
+        help="Bytes processed by the emulator",
+        **labels,
+    )
+    hist = registry.histogram(
+        "pipeleon_packet_latency_ns",
+        help="Per-packet end-to-end latency (ns)",
+        **labels,
+    )
+    for latency in stats._latencies:
+        hist.observe(latency)
+    registry.set_gauge(
+        "pipeleon_mean_latency_ns",
+        stats.mean_latency_ns,
+        help="Mean per-packet latency (ns)",
+        **labels,
+    )
+    if target is not None:
+        registry.set_gauge(
+            "pipeleon_throughput_gbps",
+            stats.throughput_gbps(target),
+            help="Modelled sustainable throughput (Gbps)",
+            **labels,
+        )
+
+
+def export_counter_bank(registry: MetricsRegistry, bank) -> None:
+    """Project the emulator's P4 counters (sampling-corrected)."""
+    for key, packets in bank.snapshot().items():
+        kind, name, detail = (
+            key if len(key) == 3 else (key[0], key[1], "")
+        )
+        registry.inc(
+            "pipeleon_p4_counter_packets_total",
+            packets,
+            help="P4 instrumentation counters (sampling-corrected)",
+            kind=kind,
+            node=name,
+            detail=detail,
+        )
+
+
+def export_cache_stats(
+    registry: MetricsRegistry, cache: str, stats: CacheStats
+) -> None:
+    """Project one flow cache's hit/miss/churn stats."""
+    for field, value in (
+        ("hits", stats.hits),
+        ("misses", stats.misses),
+        ("insertions", stats.insertions),
+        ("rejected_insertions", stats.rejected_insertions),
+        ("evictions", stats.evictions),
+        ("invalidations", stats.invalidations),
+    ):
+        registry.inc(
+            "pipeleon_cache_events_total",
+            value,
+            help="Flow-cache lifecycle events",
+            cache=cache,
+            event=field,
+        )
+    registry.set_gauge(
+        "pipeleon_cache_hit_rate",
+        stats.hit_rate,
+        help="Flow-cache hit rate over the run",
+        cache=cache,
+    )
+
+
+def export_tracer(registry: MetricsRegistry, tracer: PacketTracer) -> None:
+    """Project the tracer's sampling counters and node histograms."""
+    registry.inc(
+        "pipeleon_trace_packets_seen_total",
+        tracer.seen,
+        help="Packets considered by the trace sampler",
+    )
+    registry.inc(
+        "pipeleon_trace_packets_sampled_total",
+        tracer.sampled,
+        help="Packets actually traced (1-in-N)",
+    )
+    registry.set_gauge(
+        "pipeleon_trace_sample_interval",
+        tracer.sample_interval,
+        help="Trace sampling interval N",
+    )
+    for node, hist in tracer.node_ns.items():
+        registry.histogram(
+            "pipeleon_node_latency_ns",
+            help="Traced per-node latency (ns)",
+            buckets=hist.buckets,
+            node=node,
+        ).merge(hist)
+
+
+def export_emulator(registry: MetricsRegistry, emulator) -> None:
+    """Project an emulator's counters and cache stats."""
+    export_counter_bank(registry, emulator.counters)
+    for name, cache in emulator.flow_caches.items():
+        export_cache_stats(registry, name, cache.stats)
+    if emulator.native_cache is not None:
+        export_cache_stats(
+            registry, "__native__", emulator.native_cache.stats
+        )

@@ -1,0 +1,146 @@
+"""Report layer: join traced latencies against cost-model predictions.
+
+Closes the loop the paper leaves open: §3.1's cost model predicts
+per-pipelet latency, the tracer measures it on the same run, and this
+module lines the two up per pipelet. The measured figure for a pipelet
+is the traced time spent in its tables per packet *entering* the
+pipelet; the predicted figure is :func:`~repro.core.hotspots.
+pipelet_latency` (reach-weighted node costs conditional on entry), so
+both sides answer the same question and an error column is meaningful.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.core.costmodel import CostModel
+from repro.core.hotspots import pipelet_latency
+from repro.core.pipelets import partition
+from repro.core.profiling import RuntimeProfile
+from repro.ir.program import Program
+from repro.telemetry.tracing import PacketTracer
+
+
+@dataclass(frozen=True)
+class PipeletRow:
+    """Measured-vs-predicted latency for one pipelet."""
+
+    pipelet_id: str
+    tables: tuple[str, ...]
+    traced_packets: int  # traced packets that entered the pipelet
+    measured_ns: float  # traced ns in pipelet tables per entering packet
+    predicted_ns: float  # cost-model L(G') under the run's profile
+
+    @property
+    def error_pct(self) -> Optional[float]:
+        """Signed relative error; None when unmeasurable."""
+        if not self.traced_packets or self.predicted_ns <= 0:
+            return None
+        return (
+            (self.measured_ns - self.predicted_ns)
+            / self.predicted_ns
+            * 100.0
+        )
+
+    def to_json(self) -> dict:
+        return {
+            "pipelet_id": self.pipelet_id,
+            "tables": list(self.tables),
+            "traced_packets": self.traced_packets,
+            "measured_ns": self.measured_ns,
+            "predicted_ns": self.predicted_ns,
+            "error_pct": self.error_pct,
+        }
+
+
+@dataclass(frozen=True)
+class LatencyReport:
+    """Per-pipelet rows plus whole-program measured/predicted totals."""
+
+    rows: tuple[PipeletRow, ...]
+    traced_packets: int
+    measured_total_ns: float  # mean traced end-to-end latency
+    predicted_total_ns: float  # cost-model expected program latency
+
+    def to_json(self) -> dict:
+        return {
+            "rows": [row.to_json() for row in self.rows],
+            "traced_packets": self.traced_packets,
+            "measured_total_ns": self.measured_total_ns,
+            "predicted_total_ns": self.predicted_total_ns,
+        }
+
+
+def measured_vs_predicted(
+    program: Program,
+    profile: RuntimeProfile,
+    model: CostModel,
+    tracer: PacketTracer,
+) -> LatencyReport:
+    """Build the measured-vs-predicted table for a traced run.
+
+    ``program`` is the *deployed* program (the one the tracer watched);
+    pipelets are recomputed from it, so optimized layouts report their
+    actual runs, not the original program's.
+    """
+    rows = []
+    for pipelet in partition(program):
+        entered = tracer.node_visits(pipelet.entry)
+        total_ns = sum(
+            tracer.node_total_ns(name) for name in pipelet.table_names
+        )
+        rows.append(
+            PipeletRow(
+                pipelet_id=pipelet.pipelet_id,
+                tables=pipelet.table_names,
+                traced_packets=entered,
+                measured_ns=total_ns / entered if entered else 0.0,
+                predicted_ns=pipelet_latency(
+                    program, pipelet, profile, model
+                ),
+            )
+        )
+    traced = len(tracer.traces)
+    measured_total = (
+        sum(t.latency_ns for t in tracer.traces) / traced if traced else 0.0
+    )
+    return LatencyReport(
+        rows=tuple(rows),
+        traced_packets=tracer.sampled,
+        measured_total_ns=measured_total,
+        predicted_total_ns=model.expected_latency(program, profile),
+    )
+
+
+def format_report(report: LatencyReport) -> str:
+    """Human-readable measured-vs-predicted table."""
+    header = (
+        f"{'pipelet':<12} {'tables':<40} {'traced':>7} "
+        f"{'measured_ns':>12} {'predicted_ns':>13} {'error':>8}"
+    )
+    lines = [header, "-" * len(header)]
+    for row in report.rows:
+        tables = " -> ".join(row.tables)
+        if len(tables) > 40:
+            tables = tables[:37] + "..."
+        error = (
+            f"{row.error_pct:+.1f}%" if row.error_pct is not None else "n/a"
+        )
+        lines.append(
+            f"{row.pipelet_id:<12} {tables:<40} {row.traced_packets:>7} "
+            f"{row.measured_ns:>12.1f} {row.predicted_ns:>13.1f} "
+            f"{error:>8}"
+        )
+    lines.append("-" * len(header))
+    total_error = "n/a"
+    if report.predicted_total_ns > 0 and report.traced_packets:
+        total_error = (
+            f"{(report.measured_total_ns - report.predicted_total_ns) / report.predicted_total_ns * 100.0:+.1f}%"
+        )
+    lines.append(
+        f"{'program':<12} {'(end-to-end, traced mean)':<40} "
+        f"{report.traced_packets:>7} {report.measured_total_ns:>12.1f} "
+        f"{report.predicted_total_ns:>13.1f} {total_error:>8}"
+    )
+    return "\n".join(lines)

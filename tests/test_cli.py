@@ -211,6 +211,173 @@ class TestReplay:
         assert json.loads(captured.out)["packets"] == 100
 
 
+class TestReplayTelemetry:
+    def _replay(self, capsys, *args):
+        code = main(["replay", *args])
+        return code, capsys.readouterr()
+
+    def test_trace_metrics_and_events_outputs(self, capsys, tmp_path):
+        metrics = tmp_path / "m.prom"
+        events = tmp_path / "e.jsonl"
+        code, captured = self._replay(
+            capsys,
+            "--app", "l2l3_acl",
+            "--packets", "600",
+            "--target", "emulated_nic",
+            "--trace",
+            "--trace-interval", "32",
+            "--metrics-out", str(metrics),
+            "--events-out", str(events),
+        )
+        assert code == 0
+        summary = json.loads(captured.out)
+        assert summary["traced_packets"] == 600 // 32 + 1
+        assert summary["metrics_out"] == str(metrics)
+        assert summary["events_emitted"] > 0
+
+        # The metrics file is valid Prometheus text exposition.
+        text = metrics.read_text()
+        assert "# TYPE pipeleon_packets_total counter" in text
+        assert "pipeleon_packets_total" in text
+        assert 'le="+Inf"' in text
+        assert "pipeleon_node_latency_ns_bucket" in text
+        for line in text.strip().splitlines():
+            if line.startswith("#"):
+                assert line.split()[0] in ("#",) or True
+            else:
+                # every sample line is "<series> <number>"
+                float(line.rsplit(" ", 1)[1])
+
+        # The events file is parseable JSONL of control mutations.
+        from repro.telemetry import EventLog
+
+        parsed = EventLog.parse_jsonl(events.read_text())
+        assert parsed
+        assert all(e["kind"] == "control_update" for e in parsed)
+        assert all(e["op"] == "insert" for e in parsed)
+
+    def test_metrics_out_without_trace(self, capsys, tmp_path):
+        metrics = tmp_path / "m.prom"
+        code, captured = self._replay(
+            capsys,
+            "--app", "l2l3_acl",
+            "--packets", "200",
+            "--target", "emulated_nic",
+            "--metrics-out", str(metrics),
+        )
+        assert code == 0
+        summary = json.loads(captured.out)
+        assert "traced_packets" not in summary
+        text = metrics.read_text()
+        assert "pipeleon_packets_total" in text
+        assert "pipeleon_node_latency_ns" not in text  # no tracer
+
+    def test_sharded_trace_merges_worker_tracers(
+        self, capsys, tmp_path
+    ):
+        metrics = tmp_path / "m.prom"
+        code, captured = self._replay(
+            capsys,
+            "--app", "l2l3_acl",
+            "--packets", "400",
+            "--jobs", "2",
+            "--target", "emulated_nic",
+            "--trace",
+            "--trace-interval", "16",
+            "--metrics-out", str(metrics),
+        )
+        assert code == 0
+        summary = json.loads(captured.out)
+        assert summary["jobs"] == 2
+        assert summary["traced_packets"] >= 400 // 16
+        text = metrics.read_text()
+        assert "pipeleon_trace_packets_seen_total 400" in text
+        assert "pipeleon_node_latency_ns_bucket" in text
+
+    def test_profile_out_round_trips_into_optimize(
+        self, capsys, tmp_path, program_file
+    ):
+        profile_path = tmp_path / "profile.json"
+        code, captured = self._replay(
+            capsys,
+            "--app", "l2l3_acl",
+            "--packets", "500",
+            "--target", "emulated_nic",
+            "--profile-out", str(profile_path),
+        )
+        assert code == 0
+        assert json.loads(captured.out)["profile_out"] == str(
+            profile_path
+        )
+        from repro.core import profile_from_json
+
+        profile = profile_from_json(
+            json.loads(profile_path.read_text())
+        )
+        assert profile.action_probs  # a measured, non-empty profile
+        assert profile.entry_counts
+        # And it feeds straight back into the optimizer.
+        build, _install = __import__(
+            "repro.apps", fromlist=["EXAMPLE_APPS"]
+        ).EXAMPLE_APPS["l2l3_acl"]
+        prog_path = tmp_path / "l2l3.json"
+        prog_path.write_text(dumps_program(build()))
+        out = tmp_path / "optimized.json"
+        assert main(
+            [
+                "optimize",
+                str(prog_path),
+                "-o", str(out),
+                "--profile", str(profile_path),
+            ]
+        ) == 0
+        loads_program(out.read_text())
+
+
+class TestReport:
+    def test_report_prints_measured_vs_predicted_table(self, capsys):
+        code = main(
+            [
+                "report",
+                "--app", "l2l3_acl",
+                "--packets", "2000",
+                "--target", "emulated_nic",
+                "--trace-interval", "16",
+                "--locality", "zipf",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "measured_ns" in out and "predicted_ns" in out
+        assert "pl_0" in out
+        assert "program" in out
+        assert "traced 1-in-16" in out
+
+    def test_report_json_out(self, capsys, tmp_path):
+        path = tmp_path / "report.json"
+        code = main(
+            [
+                "report",
+                "--app", "l2l3_acl",
+                "--packets", "1000",
+                "--target", "emulated_nic",
+                "--json-out", str(path),
+            ]
+        )
+        assert code == 0
+        payload = json.loads(path.read_text())
+        assert payload["rows"]
+        assert payload["traced_packets"] > 0
+        assert payload["measured_total_ns"] > 0
+
+    def test_report_requires_app_or_program(self, capsys):
+        assert main(["report"]) == 2
+        assert (
+            "exactly one of --app or --program"
+            in capsys.readouterr().err
+        )
+
+
 class TestProfileJson:
     def test_round_trip(self):
         program = linear_program("p", 3)

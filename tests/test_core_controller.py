@@ -3,26 +3,35 @@
 import pytest
 
 from repro.core import PipeleonController, ResourceBudget
-from repro.core.controller import ControllerOptions, plan_signature
+from repro.core.controller import (
+    ControllerOptions,
+    plan_ops,
+    plan_signature,
+)
 from repro.core.plan import Candidate, OptimizationPlan, Segment
 from repro.core.search import SearchOptions
 from repro.ir import exact_entry, linear_program
 from repro.ir.tables import MatchType
 from repro.nic.packet import make_packet
 from repro.nic.targets import BLUEFIELD2
+from repro.telemetry import Telemetry
 from repro.traffic import Scenario
 
 
-def make_plan(gain=1.0):
+def make_plan(gain=1.0, segments=None):
     return OptimizationPlan(
         candidates=[
             Candidate(
                 pipelet_id="pl_0",
                 run=("a", "b"),
                 order=("b", "a"),
-                segments=(
-                    Segment("none", ("b",)),
-                    Segment("none", ("a",)),
+                segments=tuple(
+                    segments
+                    if segments is not None
+                    else (
+                        Segment("none", ("b",)),
+                        Segment("none", ("a",)),
+                    )
                 ),
                 gain_ns=gain,
                 memory_bytes=0.0,
@@ -137,3 +146,195 @@ class TestController:
         )
         controller.run_scenario(scenario, packets_per_tick=5)
         assert len(calls) == 3
+
+
+class TestPlanOps:
+    def test_none_segments_and_empty_plan_produce_no_ops(self):
+        assert plan_ops(None) == set()
+        assert plan_ops(make_plan()) == set()
+
+    def test_active_ops_are_keyed_by_pipelet_op_tables(self):
+        plan = make_plan(
+            segments=(
+                Segment("cache", ("a", "b")),
+                Segment("merge", ("c",)),
+            )
+        )
+        assert plan_ops(plan) == {
+            ("pl_0", "cache", ("a", "b")),
+            ("pl_0", "merge", ("c",)),
+        }
+
+
+def make_hysteresis_controller(telemetry=None, margin=0.1):
+    program = linear_program("p", 6, MatchType.TERNARY)
+    return PipeleonController(
+        program,
+        BLUEFIELD2,
+        budget=ResourceBudget(memory_bytes=1e6, update_pps=1e5),
+        search=SearchOptions(k=1.0),
+        options=ControllerOptions(
+            profile_period_s=1.0, replan_margin=margin
+        ),
+        telemetry=telemetry,
+    )
+
+
+class TestReplanHysteresis:
+    """Decision-logic tests with the search pinned (§5.3 hysteresis)."""
+
+    def pin_search(
+        self, monkeypatch, controller, candidate, deployed_gain
+    ):
+        """Pin optimize() and the deployed plan's re-evaluated gain."""
+        monkeypatch.setattr(
+            "repro.core.controller.optimize",
+            lambda *args, **kwargs: candidate,
+        )
+        monkeypatch.setattr(
+            "repro.core.controller.evaluate_plan_gain",
+            lambda *args, **kwargs: deployed_gain,
+        )
+        # The plan structures are synthetic (tables "a"/"b" are not in
+        # the program), so redeployment is stubbed out: these tests pin
+        # the accept/reject decision, not plan materialisation.
+        applied = []
+        monkeypatch.setattr(
+            controller, "_redeploy", lambda plan: applied.append(plan)
+        )
+        return applied
+
+    def test_within_margin_keeps_deployed_plan(self, monkeypatch):
+        telemetry = Telemetry()
+        controller = make_hysteresis_controller(telemetry, margin=0.1)
+        controller.current_plan = make_plan(
+            gain=100.0, segments=(Segment("cache", ("a", "b")),)
+        )
+        # Structurally different, 5% better: below the 10% margin.
+        candidate = make_plan(gain=105.0)
+        applied = self.pin_search(
+            monkeypatch, controller, candidate, deployed_gain=100.0
+        )
+        controller.run([make_packet() for _ in range(20)])
+        assert not controller.maybe_reoptimize()
+        assert not applied
+        rejected = telemetry.events.last("replan_rejected")
+        assert rejected is not None
+        assert rejected["margin"] == 0.1
+        assert rejected["current_gain_ns"] == 100.0
+        assert rejected["candidate_gain_ns"] == 105.0
+        assert rejected["threshold_ns"] == pytest.approx(110.0)
+        assert telemetry.events.last("replan_accepted") is None
+
+    def test_beyond_margin_redeploys(self, monkeypatch):
+        telemetry = Telemetry()
+        controller = make_hysteresis_controller(telemetry, margin=0.1)
+        controller.current_plan = make_plan(gain=100.0)
+        candidate = make_plan(
+            gain=150.0, segments=(Segment("cache", ("a",)),)
+        )
+        applied = self.pin_search(
+            monkeypatch, controller, candidate, deployed_gain=100.0
+        )
+        controller.run([make_packet() for _ in range(20)])
+        assert controller.maybe_reoptimize()
+        assert applied == [candidate]
+        accepted = telemetry.events.last("replan_accepted")
+        assert accepted is not None
+        assert accepted["gain_ns"] == 150.0
+        assert telemetry.events.last("replan_rejected") is None
+
+    def test_zero_margin_accepts_any_improvement(self, monkeypatch):
+        controller = make_hysteresis_controller(margin=0.0)
+        controller.current_plan = make_plan(gain=100.0)
+        candidate = make_plan(
+            gain=100.5, segments=(Segment("cache", ("a",)),)
+        )
+        applied = self.pin_search(
+            monkeypatch, controller, candidate, deployed_gain=100.0
+        )
+        controller.run([make_packet() for _ in range(20)])
+        assert controller.maybe_reoptimize()
+        assert applied == [candidate]
+
+    def test_identical_signature_never_redeploys(self, monkeypatch):
+        # Same structure, wildly better gain estimate: no-op, and no
+        # accept/reject event (hysteresis only arbitrates real changes).
+        telemetry = Telemetry()
+        controller = make_hysteresis_controller(telemetry)
+        controller.current_plan = make_plan(gain=1.0)
+        applied = self.pin_search(
+            monkeypatch,
+            controller,
+            make_plan(gain=1000.0),
+            deployed_gain=1.0,
+        )
+        controller.run([make_packet() for _ in range(20)])
+        assert not controller.maybe_reoptimize()
+        assert not applied
+        assert telemetry.events.last("replan_accepted") is None
+        assert telemetry.events.last("replan_rejected") is None
+
+    def test_dropped_cache_and_reversed_merge_are_logged(
+        self, monkeypatch
+    ):
+        telemetry = Telemetry()
+        controller = make_hysteresis_controller(telemetry)
+        controller.current_plan = make_plan(
+            gain=10.0,
+            segments=(
+                Segment("cache", ("a", "b")),
+                Segment("merge", ("c", "d")),
+            ),
+        )
+        candidate = make_plan(
+            gain=100.0, segments=(Segment("cache", ("b",)),)
+        )
+        self.pin_search(
+            monkeypatch, controller, candidate, deployed_gain=10.0
+        )
+        controller.run([make_packet() for _ in range(20)])
+        assert controller.maybe_reoptimize()
+        dropped = telemetry.events.last("cache_dropped")
+        assert dropped["pipelet"] == "pl_0"
+        assert dropped["tables"] == ["a", "b"]
+        reversed_ = telemetry.events.last("merge_reversed")
+        assert reversed_["pipelet"] == "pl_0"
+        assert reversed_["tables"] == ["c", "d"]
+
+
+class TestControllerTelemetry:
+    def test_decisions_land_in_event_log_and_registry(self):
+        telemetry = Telemetry()
+        controller = make_hysteresis_controller(telemetry)
+        controller.run([make_packet() for _ in range(20)])
+        assert controller.maybe_reoptimize()
+        kinds = {e["kind"] for e in telemetry.events.events()}
+        assert "profile_collected" in kinds
+        assert "replan_accepted" in kinds
+        assert "redeploy" in kinds
+        profiled = telemetry.events.last("profile_collected")
+        assert profiled["offered_pps"] > 0
+        accepted = telemetry.events.last("replan_accepted")
+        assert "signature" in accepted and "plan" in accepted
+        assert telemetry.registry.value(
+            "pipeleon_controller_decisions_total",
+            kind="replan_accepted",
+        ) == 1.0
+        # Stable second round: profile collected again, no new accept.
+        controller.run([make_packet() for _ in range(20)])
+        assert not controller.maybe_reoptimize()
+        assert telemetry.registry.value(
+            "pipeleon_controller_decisions_total",
+            kind="profile_collected",
+        ) == 2.0
+        assert telemetry.registry.value(
+            "pipeleon_controller_decisions_total",
+            kind="replan_accepted",
+        ) == 1.0
+
+    def test_controller_without_telemetry_is_silent_noop(self):
+        controller = make_hysteresis_controller(telemetry=None)
+        controller.run([make_packet() for _ in range(20)])
+        assert controller.maybe_reoptimize()
+        assert controller.telemetry is None

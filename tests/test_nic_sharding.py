@@ -245,6 +245,66 @@ class TestBroadcastEpochs:
         with pytest.raises(EmulationError, match="closed"):
             sharded.emulator.replay([make_packet()])
 
+    def test_killed_worker_surfaces_shard_and_exitcode(self):
+        # Regression: a worker dying mid-conversation used to hang the
+        # parent or raise a bare EOFError; it must surface as a clear
+        # EmulationError naming the shard, and close() must still reap
+        # the surviving workers.
+        _, sharded = make_twins("l2l3_acl", 2)
+        try:
+            engine = sharded.emulator
+            victim = engine._procs[0]
+            victim.kill()
+            victim.join(timeout=10.0)
+            with pytest.raises(
+                EmulationError, match="died without replying"
+            ) as excinfo:
+                engine.collect()
+            message = str(excinfo.value)
+            assert "0" in message  # shard index
+            assert "repro-shard-0" in message
+            assert "exitcode" in message
+        finally:
+            sharded.close()
+        # Post-mortem close is clean and idempotent.
+        sharded.close()
+        assert all(not p.is_alive() for p in sharded.emulator._procs)
+
+    def test_context_manager_tears_down_workers(self):
+        build, install = EXAMPLE_APPS["l2l3_acl"]
+        with ShardedDeployment(
+            build(), EMULATED_NIC, n_workers=2
+        ) as sharded:
+            install(sharded.control_plane)
+            sharded.replay(app_packets(21, 50))
+            procs = list(sharded.emulator._procs)
+            assert all(p.is_alive() for p in procs)
+        assert all(not p.is_alive() for p in procs)
+        with pytest.raises(EmulationError, match="closed"):
+            sharded.replay([make_packet()])
+
+    def test_atexit_hook_registered_then_released(self, monkeypatch):
+        # Leak guard: the engine registers its close() with atexit at
+        # spawn (so a mid-replay crash can't orphan forked workers) and
+        # unregisters it on explicit close.
+        import repro.nic.sharding as sharding_mod
+
+        registered: list = []
+        monkeypatch.setattr(
+            sharding_mod.atexit, "register", registered.append
+        )
+        monkeypatch.setattr(
+            sharding_mod.atexit,
+            "unregister",
+            lambda fn: registered.remove(fn),
+        )
+        _, sharded = make_twins("l2l3_acl", 2)
+        try:
+            assert registered == [sharded.emulator.close]
+        finally:
+            sharded.close()
+        assert registered == []
+
 
 class TestFlowSharding:
     def test_flow_shard_deterministic_and_in_range(self):
