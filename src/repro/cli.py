@@ -238,6 +238,46 @@ def cmd_replay(args: argparse.Namespace) -> int:
         return 2
     program, install, label = resolved
     target = get_target(args.target)
+
+    fault_plan = None
+    supervisor = None
+    inject = getattr(args, "inject_fault", None)
+    if inject:
+        from repro.nic.faults import FaultPlan
+
+        if args.jobs <= 1:
+            print(
+                "error: --inject-fault requires --jobs > 1 "
+                "(faults target shard workers)",
+                file=sys.stderr,
+            )
+            return 2
+        fault_seed = (
+            args.fault_seed
+            if args.fault_seed is not None
+            else args.seed
+        )
+        try:
+            fault_plan = FaultPlan.from_args(inject, seed=fault_seed)
+        except ValueError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+        max_shard = fault_plan.max_shard()
+        if max_shard is not None and max_shard >= args.jobs:
+            print(
+                f"error: fault targets shard {max_shard} but only "
+                f"{args.jobs} workers exist (--jobs)",
+                file=sys.stderr,
+            )
+            return 2
+    if args.jobs > 1:
+        from repro.nic.sharding import SupervisorOptions
+
+        supervisor = SupervisorOptions(
+            recovery=args.recovery,
+            recv_timeout_s=args.recv_timeout,
+        )
+
     telemetry = _build_telemetry(args)
     if args.jobs > 1:
         deployment = ShardedDeployment(
@@ -246,6 +286,8 @@ def cmd_replay(args: argparse.Namespace) -> int:
             n_workers=args.jobs,
             batch=args.batch,
             telemetry=telemetry,
+            supervisor=supervisor,
+            fault_plan=fault_plan,
         )
     else:
         deployment = Deployment(program, target, telemetry=telemetry)
@@ -282,6 +324,14 @@ def cmd_replay(args: argparse.Namespace) -> int:
             summary["modeled_pps"] = (
                 stats.packets / critical if critical > 0 else 0.0
             )
+            emulator = deployment.emulator
+            respawns = emulator.total_respawns
+            if respawns:
+                summary["respawns"] = respawns
+            degraded = emulator.degraded_shards
+            if degraded:
+                summary["degraded_shards"] = degraded
+                summary["lost_packets"] = stats.lost_packets
         tracer = deployment.tracer
         if tracer is not None:
             summary["traced_packets"] = tracer.sampled
@@ -462,6 +512,37 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="persist the merged runtime profile JSON "
         "(feed back into `optimize --profile`)",
+    )
+    replay.add_argument(
+        "--inject-fault",
+        action="append",
+        default=None,
+        metavar="SPEC",
+        help="scripted worker fault, e.g. kill:shard=0,batch=3 "
+        "(kinds: kill|hang|delay|drop_reply; repeatable; "
+        "requires --jobs > 1)",
+    )
+    replay.add_argument(
+        "--fault-seed",
+        type=int,
+        default=None,
+        help="seed for auto-placed fault triggers "
+        "(default: --seed)",
+    )
+    replay.add_argument(
+        "--recovery",
+        choices=("fail", "respawn", "degraded"),
+        default="fail",
+        help="worker-failure policy: fail (raise), respawn "
+        "(rebuild the shard and replay its journal), degraded "
+        "(survivors absorb the lost shard's flows)",
+    )
+    replay.add_argument(
+        "--recv-timeout",
+        type=float,
+        default=60.0,
+        help="seconds before an unresponsive worker is declared "
+        "hung",
     )
     _add_common(replay)
     replay.set_defaults(func=cmd_replay)

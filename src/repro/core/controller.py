@@ -104,10 +104,18 @@ class PipeleonController:
         baseline_plan: Optional[OptimizationPlan] = None,
         jobs: int = 1,
         telemetry=None,
+        supervisor=None,
+        fault_plan=None,
     ):
         if jobs < 1:
             raise ValueError("jobs must be >= 1")
         self.telemetry = telemetry
+        #: Worker supervision policy + scripted faults, forwarded to
+        #: every ShardedDeployment this controller builds (jobs > 1).
+        #: Faults arm only the first fleet: a redeploy forks fresh
+        #: workers, and a spec models one failure event.
+        self.supervisor = supervisor
+        self._fault_plan = fault_plan
         self.original = program
         self.target = target
         self.budget = budget or ResourceBudget()
@@ -193,7 +201,12 @@ class PipeleonController:
                 self.model,
                 search,
             )
-            threshold = current_gain * (
+            # Floor at zero gain: a deployed plan re-evaluating
+            # *negative* under the fresh profile must not lower the
+            # bar (multiplying a negative gain by (1 + margin) would
+            # invert the margin and make regressions sticky) — any
+            # positive-gain candidate should displace it.
+            threshold = max(current_gain, 0.0) * (
                 1.0 + self.options.replan_margin
             ) + 1e-9
             if plan.total_gain_ns <= threshold:
@@ -259,10 +272,14 @@ class PipeleonController:
             telemetry=self.telemetry,
         )
         if self.jobs > 1:
+            fault_plan = self._fault_plan
+            self._fault_plan = None  # one-shot: see __init__
             return ShardedDeployment(
                 self.original,
                 self.target,
                 n_workers=self.jobs,
+                supervisor=self.supervisor,
+                fault_plan=fault_plan,
                 **kwargs,
             )
         return Deployment(

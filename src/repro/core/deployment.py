@@ -176,6 +176,32 @@ class Deployment:
                 copies.setdefault(str(source), []).append(table.name)
         return copies
 
+    @staticmethod
+    def _merge_covers(node: TableNode) -> tuple[str, ...]:
+        """Original tables a merged/naive-merged node derives from."""
+        if node.cache_info is not None:
+            return tuple(node.cache_info.covers)
+        return tuple(
+            str(c) for c in node.annotations.get("naive_merge_of", ())
+        )
+
+    def affected_runtime_tables(self, table: str) -> list[str]:
+        """Runtime tables whose entries derive from original ``table``:
+        the direct mirror (when the optimized program kept the table),
+        its copies, and every merged node covering it — exactly the
+        set an update to ``table`` re-materialises. Replicated data
+        planes (the sharded engine) broadcast these tables'
+        post-materialisation entry lists after each update.
+        """
+        names = []
+        if table in self.emulator.runtime_tables:
+            names.append(table)
+        names.extend(self._copies.get(table, []))
+        for node in self._merged_nodes:
+            if table in self._merge_covers(node):
+                names.append(node.name)
+        return names
+
     # -- entry materialisation ------------------------------------------------------
 
     def materialize_all(self) -> None:
@@ -254,15 +280,7 @@ class Deployment:
             self._mirror(copy, event)
         # Merged tables covering it: re-materialise (amplification).
         for node in self._merged_nodes:
-            covers = (
-                node.cache_info.covers
-                if node.cache_info is not None
-                else tuple(
-                    str(c)
-                    for c in node.annotations.get("naive_merge_of", ())
-                )
-            )
-            if table in covers:
+            if table in self._merge_covers(node):
                 if snapshot is None:
                     snapshot = self.control_plane.snapshot()
                 if node.kind is TableKind.MERGED:

@@ -134,14 +134,20 @@ class RuntimeProfile:
                 continue
             weight_self = self.action_support.get(table, 1.0)
             total = weight_self + weight_other
-            self.action_probs[table] = {
-                action: (
-                    mine.get(action, 0.0) * weight_self
-                    + theirs.get(action, 0.0) * weight_other
-                )
-                / total
-                for action in set(mine) | set(theirs)
-            }
+            if total > 0:
+                self.action_probs[table] = {
+                    action: (
+                        mine.get(action, 0.0) * weight_self
+                        + theirs.get(action, 0.0) * weight_other
+                    )
+                    / total
+                    for action in set(mine) | set(theirs)
+                }
+            else:
+                # Both sides zero-support: keep the key union at 0.0.
+                self.action_probs[table] = {
+                    action: 0.0 for action in set(mine) | set(theirs)
+                }
             self.action_support[table] = total
         for branch, prob_other in other.branch_probs.items():
             weight_other = other.branch_support.get(branch, 1.0)
@@ -151,10 +157,11 @@ class RuntimeProfile:
                 continue
             weight_self = self.branch_support.get(branch, 1.0)
             total = weight_self + weight_other
-            self.branch_probs[branch] = (
-                self.branch_probs[branch] * weight_self
-                + prob_other * weight_other
-            ) / total
+            if total > 0:
+                self.branch_probs[branch] = (
+                    self.branch_probs[branch] * weight_self
+                    + prob_other * weight_other
+                ) / total
             self.branch_support[branch] = total
         for cache, rate_other in other.cache_hit_rates.items():
             weight_other = other.cache_support.get(cache, 1.0)
@@ -164,10 +171,11 @@ class RuntimeProfile:
                 continue
             weight_self = self.cache_support.get(cache, 1.0)
             total = weight_self + weight_other
-            self.cache_hit_rates[cache] = (
-                self.cache_hit_rates[cache] * weight_self
-                + rate_other * weight_other
-            ) / total
+            if total > 0:
+                self.cache_hit_rates[cache] = (
+                    self.cache_hit_rates[cache] * weight_self
+                    + rate_other * weight_other
+                ) / total
             self.cache_support[cache] = total
         for table, count in other.entry_counts.items():
             self.entry_counts[table] = max(
@@ -310,6 +318,10 @@ def profile_from_counts(
             bucket = per_branch.setdefault(f"__cache__{cache}", {})
             bucket[leg] = bucket.get(leg, 0.0) + count
 
+    # Zero-total records (keys present, all counts 0 — e.g. a snapshot
+    # taken before traffic) are kept with support 0.0 rather than
+    # skipped: merge() then weights them out while still retaining
+    # their keys, so merging profiles equals profiling pooled counts.
     for table_name, action_counts in per_table.items():
         if table_name not in program.nodes:
             continue
@@ -318,23 +330,25 @@ def profile_from_counts(
             profile.action_probs[table_name] = {
                 a: c / total for a, c in action_counts.items()
             }
-            profile.action_support[table_name] = total
+        else:
+            profile.action_probs[table_name] = {
+                a: 0.0 for a in action_counts
+            }
+        profile.action_support[table_name] = total
     for cond_name, legs in per_branch.items():
         if cond_name.startswith("__cache__"):
             cache = cond_name[len("__cache__"):]
             total = legs.get("hit", 0.0) + legs.get("miss", 0.0)
-            if total > 0:
-                profile.cache_hit_rates[cache] = (
-                    legs.get("hit", 0.0) / total
-                )
-                profile.cache_support[cache] = total
+            profile.cache_hit_rates[cache] = (
+                legs.get("hit", 0.0) / total if total > 0 else 0.0
+            )
+            profile.cache_support[cache] = total
             continue
         total = legs.get("true", 0.0) + legs.get("false", 0.0)
-        if total > 0:
-            profile.branch_probs[cond_name] = (
-                legs.get("true", 0.0) / total
-            )
-            profile.branch_support[cond_name] = total
+        profile.branch_probs[cond_name] = (
+            legs.get("true", 0.0) / total if total > 0 else 0.0
+        )
+        profile.branch_support[cond_name] = total
     return profile
 
 

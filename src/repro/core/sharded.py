@@ -44,8 +44,9 @@ from repro.core.profiling import (
 from repro.ir.entries import TableEntry
 from repro.ir.program import Program
 from repro.nic.control_plane import ControlPlane, SimClock, UpdateEvent
+from repro.nic.faults import FaultPlan
 from repro.nic.packet import Packet
-from repro.nic.sharding import ShardedEmulator
+from repro.nic.sharding import ShardedEmulator, SupervisorOptions
 from repro.nic.stats import RunStats
 from repro.nic.targets import TargetModel
 
@@ -70,6 +71,8 @@ class ShardedDeployment:
         native_cache: Optional[bool] = None,
         previous: Optional[object] = None,
         telemetry=None,
+        supervisor: Optional[SupervisorOptions] = None,
+        fault_plan: Optional[FaultPlan] = None,
     ):
         # ``previous`` is accepted for signature parity with Deployment
         # but ignored: sharded redeploys cold-start caches (see module
@@ -105,6 +108,9 @@ class ShardedDeployment:
             n_workers,
             batch=batch,
             clock=self.clock,
+            options=supervisor,
+            telemetry=telemetry,
+            fault_plan=fault_plan,
         )
         self.control_plane.add_listener(self._on_update)
         self._closed = False
@@ -127,26 +133,6 @@ class ShardedDeployment:
 
     # -- update broadcast --------------------------------------------------
 
-    def _affected_runtime_tables(self, table: str) -> list[str]:
-        """Runtime tables the inner deployment rewrites for ``table``."""
-        inner = self.deployment
-        names = []
-        if table in inner.emulator.runtime_tables:
-            names.append(table)
-        names.extend(inner._copies.get(table, []))
-        for node in inner._merged_nodes:
-            covers = (
-                node.cache_info.covers
-                if node.cache_info is not None
-                else tuple(
-                    str(c)
-                    for c in node.annotations.get("naive_merge_of", ())
-                )
-            )
-            if table in covers:
-                names.append(node.name)
-        return names
-
     def _on_update(self, event: UpdateEvent) -> None:
         # Runs after Deployment._on_update: the template's runtime
         # tables already reflect the event, so broadcast their state.
@@ -154,7 +140,7 @@ class ShardedDeployment:
             self.emulator.flush_caches()
             return
         runtime_tables = self.deployment.emulator.runtime_tables
-        for name in self._affected_runtime_tables(event.table):
+        for name in self.deployment.affected_runtime_tables(event.table):
             runtime = runtime_tables[name]
             self.emulator.set_table_entries(
                 name, [entry.clone() for entry in runtime.entries()]
@@ -184,6 +170,21 @@ class ShardedDeployment:
     @property
     def materialized_updates(self) -> dict[str, int]:
         return self.deployment.materialized_updates
+
+    @property
+    def worker_respawns(self) -> list[int]:
+        """Per-shard respawn counts (recovery="respawn")."""
+        return list(self.emulator.respawns)
+
+    @property
+    def degraded_shards(self) -> list[int]:
+        """Shards lost to degraded-mode recovery (empty when healthy)."""
+        return self.emulator.degraded_shards
+
+    @property
+    def lost_packets(self) -> int:
+        """Cumulative packets lost with degraded shards."""
+        return self.emulator.lost_packets
 
     @property
     def tracer(self):

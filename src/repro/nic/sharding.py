@@ -40,12 +40,47 @@ Packet batches cross the process boundary as numpy record blocks (one
 ``int64`` value matrix plus field-name header per batch) rather than
 pickled ``Packet`` objects; a pure-python fallback covers packets with
 metadata, oversized values, or heterogeneous header sets.
+
+Fault tolerance (see DESIGN.md §12): every pipe interaction runs under
+a supervisor governed by :class:`SupervisorOptions`. Sends are
+writability-checked with bounded retry/backoff; receives poll on a
+heartbeat with a hard deadline, classifying a silent worker as *slow*
+(reported, still waited for), *hung* (alive past the deadline) or
+*dead* (process gone / pipe broken). What happens next is the
+``recovery`` policy:
+
+``fail`` (default)
+    Raise :class:`EmulationError` with the shard, classification and
+    elapsed time — the pre-fault-tolerance behaviour, minus the
+    indefinite hangs.
+``respawn``
+    Terminate the failed worker, fork a fresh one, and replay the
+    shard's message *journal* (every state-bearing message since the
+    worker's birth). Workers are deterministic functions of their
+    message history, so the rebuilt shard converges to the exact
+    pre-failure state and the merged run stats stay bit-identical to a
+    fault-free run — the property ``tests/test_faults.py`` pins.
+``degraded``
+    Mark the shard dead, redistribute its *future* flows across the
+    survivors (deterministically, by flow hash over the survivor
+    list), and account the packets whose results died with the worker
+    in ``RunStats.lost_packets``.
+
+Deterministic failures are injected for tests and CI through
+:mod:`repro.nic.faults` (``fault_plan=``, CLI ``--inject-fault``).
+
+Known limitation: ``select``-based writability reports *any* free pipe
+buffer space, so a single message larger than the free space (a huge
+entry broadcast) can still block mid-write; all other protocol
+messages are small. Batches are bounded by the batch size.
 """
 
 from __future__ import annotations
 
 import atexit
+import dataclasses
 import multiprocessing as mp
+import select
 import time
 import traceback
 from typing import Callable, Iterable, Optional, Sequence
@@ -57,17 +92,37 @@ from repro.ir.entries import TableEntry
 from repro.nic.control_plane import SimClock, UpdateEvent
 from repro.nic.counters import CounterBank
 from repro.nic.emulator import NicEmulator
+from repro.nic.faults import FaultInjector, FaultPlan, FaultSpec
 from repro.nic.flow_cache import CacheStats
 from repro.nic.packet import Packet, PacketPool
 from repro.nic.stats import RunStats
 
 __all__ = [
+    "ShardJournal",
     "ShardedEmulator",
+    "SupervisorOptions",
     "decode_batch",
     "encode_batch",
     "flow_shard",
     "shard_seed",
 ]
+
+_RECOVERY_MODES = ("fail", "respawn", "degraded")
+
+_METRIC_HELP = {
+    "pipeleon_worker_faults_total": (
+        "Worker failures by supervisor classification (slow/hung/dead)"
+    ),
+    "pipeleon_worker_respawns_total": (
+        "Workers respawned after a failure (recovery=respawn)"
+    ),
+    "pipeleon_packets_lost_total": (
+        "Packets whose results died with a degraded shard"
+    ),
+    "pipeleon_broadcast_retries_total": (
+        "Pipe send retries after a transient worker stall"
+    ),
+}
 
 
 # ---------------------------------------------------------------------------
@@ -179,6 +234,129 @@ def decode_batch(payload, pool: Optional[PacketPool] = None) -> list[Packet]:
 
 
 # ---------------------------------------------------------------------------
+# Supervision policy
+# ---------------------------------------------------------------------------
+
+
+@dataclasses.dataclass(frozen=True)
+class SupervisorOptions:
+    """Timeouts, retry budget and recovery policy for worker supervision.
+
+    ``recv_timeout_s`` is the hard reply deadline: a worker silent for
+    longer is classified *hung* (if alive) or *dead* (if exited).
+    ``slow_after_s`` only reports: a reply later than this emits a
+    ``worker_slow`` event but is still waited for. ``send_timeout_s``
+    bounds each writability wait; a send is retried ``send_retries``
+    times with exponential backoff from ``backoff_base_s`` before the
+    worker is classified. ``recovery`` picks the escalation policy
+    (see the module docstring); ``max_respawns`` bounds respawns *per
+    shard* so a crash-looping worker cannot retry forever, and
+    ``journal_limit`` bounds the retained batch messages per shard
+    journal (past it, recovery is best-effort rather than exact).
+    """
+
+    recv_timeout_s: float = 60.0
+    slow_after_s: float = 5.0
+    heartbeat_interval_s: float = 0.05
+    send_timeout_s: float = 5.0
+    send_retries: int = 3
+    backoff_base_s: float = 0.05
+    close_timeout_s: float = 1.0
+    recovery: str = "fail"
+    max_respawns: int = 3
+    journal_limit: int = 4096
+
+    def __post_init__(self):
+        if self.recovery not in _RECOVERY_MODES:
+            raise ValueError(
+                f"Unknown recovery mode {self.recovery!r}; "
+                f"expected one of {', '.join(_RECOVERY_MODES)}"
+            )
+        for name in (
+            "recv_timeout_s",
+            "heartbeat_interval_s",
+            "send_timeout_s",
+            "close_timeout_s",
+        ):
+            if getattr(self, name) <= 0:
+                raise ValueError(f"{name} must be > 0")
+        if self.slow_after_s < 0:
+            raise ValueError("slow_after_s must be >= 0")
+        if self.backoff_base_s < 0:
+            raise ValueError("backoff_base_s must be >= 0")
+        if self.send_retries < 0:
+            raise ValueError("send_retries must be >= 0")
+        if self.max_respawns < 0:
+            raise ValueError("max_respawns must be >= 0")
+        if self.journal_limit < 1:
+            raise ValueError("journal_limit must be >= 1")
+
+
+class _WorkerGone(Exception):
+    """Internal: a recv classified the worker as dead or hung."""
+
+    def __init__(self, kind: str, elapsed_s: float):
+        super().__init__(kind)
+        self.kind = kind
+        self.elapsed_s = elapsed_s
+
+
+class ShardJournal:
+    """Replayable log of one shard's state-bearing messages.
+
+    Records every message that mutates worker state (``begin``,
+    ``batch``, ``entries``, ``invalidate``, ``flush``, ``reset``) since
+    the worker's birth. A worker is a deterministic function of its
+    message history, so replaying the journal into a freshly forked
+    worker rebuilds the exact pre-failure emulator state — tables,
+    epoch, caches, counters and in-progress replay stats. Reply-bearing
+    ops (``end``/``collect``/``dump``) are never journaled; after a
+    recovery the supervisor simply re-issues them.
+
+    Batch messages dominate memory, so only they are bounded: past
+    ``limit`` retained batches the oldest is evicted and the journal
+    marked ``truncated`` — recovery then rebuilds table and epoch state
+    exactly but cumulative telemetry only approximately (the dropped
+    packets' counter/cache contributions cannot be replayed).
+    """
+
+    __slots__ = (
+        "limit",
+        "entries",
+        "batches",
+        "truncated",
+        "dropped_batches",
+        "dropped_packets",
+    )
+
+    def __init__(self, limit: int):
+        self.limit = limit
+        #: ``(message, n_packets)`` pairs in send order.
+        self.entries: list[tuple] = []
+        self.batches = 0
+        self.truncated = False
+        self.dropped_batches = 0
+        self.dropped_packets = 0
+
+    def append(self, message: tuple, n_packets: int = 0) -> None:
+        self.entries.append((message, n_packets))
+        if message[0] == "batch":
+            self.batches += 1
+            if self.batches > self.limit:
+                self._evict_oldest_batch()
+
+    def _evict_oldest_batch(self) -> None:
+        for index, (message, count) in enumerate(self.entries):
+            if message[0] == "batch":
+                del self.entries[index]
+                self.batches -= 1
+                self.truncated = True
+                self.dropped_batches += 1
+                self.dropped_packets += count
+                return
+
+
+# ---------------------------------------------------------------------------
 # Worker process
 # ---------------------------------------------------------------------------
 
@@ -201,7 +379,45 @@ def _worker_state(emulator: NicEmulator) -> dict:
     }
 
 
-def _worker_main(conn, factory, shard_index: int) -> None:
+def _restore_birth_state(emulator: NicEmulator, birth_tables) -> None:
+    """Reset a respawned worker's emulator to its shard's birth state.
+
+    Factory-built emulators are born pristine, but template-flavour
+    workers fork a *live* template whose runtime tables may have been
+    re-materialised since construction; restore the construction-time
+    entry snapshot first. Then zero all telemetry **in place** — the
+    fast path's compiled closures and staleness fingerprint bind the
+    counter bank and cache objects by identity, so they must be
+    cleared, never replaced. The parent finishes the rebirth by
+    replaying the shard's journal.
+    """
+    if birth_tables is not None:
+        for name, entries in birth_tables.items():
+            emulator.set_table_entries(
+                name, [entry.clone() for entry in entries]
+            )
+    emulator.counters.reset()
+    emulator.explicit_counters.clear()
+    caches = list(emulator.flow_caches.values())
+    if emulator.native_cache is not None:
+        caches.append(emulator.native_cache)
+    for cache in caches:
+        cache._store.clear()
+        stats = cache.stats
+        for field in dataclasses.fields(stats):
+            setattr(stats, field.name, 0)
+    if emulator.tracer is not None:
+        emulator.tracer.reset()
+
+
+def _worker_main(
+    conn,
+    factory,
+    shard_index: int,
+    fault_specs: Sequence[FaultSpec] = (),
+    rebirth: bool = False,
+    birth_tables=None,
+) -> None:
     """Command loop for one shard worker.
 
     Messages arrive strictly in the order the parent sent them; control
@@ -210,19 +426,33 @@ def _worker_main(conn, factory, shard_index: int) -> None:
     (``time.process_time``: decode + replay + reply pickling, but not
     time blocked on the pipe), which the throughput benchmark uses as
     the critical-path denominator.
+
+    ``fault_specs`` arms a :class:`FaultInjector` for deterministic
+    failure testing; respawned workers (``rebirth=True``) are armed
+    with nothing — a spec models one failure event, not a crash loop.
     """
     try:
         emulator: NicEmulator = factory(shard_index)
+        if rebirth:
+            _restore_birth_state(emulator, birth_tables)
+        injector = FaultInjector(fault_specs) if fault_specs else None
         pool = PacketPool()
         stats: Optional[RunStats] = None
         busy = 0.0
         epoch = 0
+
+        def reply(payload) -> None:
+            if injector is None or injector.should_reply():
+                conn.send(payload)
+
         while True:
             message = conn.recv()
             op = message[0]
             start = time.process_time()
             if op == "batch":
                 packets = decode_batch(message[1], pool)
+                if injector is not None:
+                    injector.before_batch(len(packets))
                 if stats is None:
                     stats = RunStats()
                 engine = emulator.fastpath  # recompiles if stale
@@ -236,7 +466,7 @@ def _worker_main(conn, factory, shard_index: int) -> None:
                 busy = 0.0
             elif op == "end":
                 busy += time.process_time() - start
-                conn.send(
+                reply(
                     (
                         "done",
                         stats if stats is not None else RunStats(),
@@ -265,10 +495,10 @@ def _worker_main(conn, factory, shard_index: int) -> None:
                 if emulator.tracer is not None:
                     emulator.tracer.reset()
             elif op == "collect":
-                conn.send(("state", _worker_state(emulator), epoch))
+                reply(("state", _worker_state(emulator), epoch))
                 continue
             elif op == "dump":
-                conn.send(
+                reply(
                     (
                         "caches",
                         {
@@ -288,7 +518,7 @@ def _worker_main(conn, factory, shard_index: int) -> None:
                 )
                 continue
             elif op == "close":
-                conn.send(("bye",))
+                reply(("bye",))
                 break
             else:  # pragma: no cover - protocol error
                 raise EmulationError(f"Unknown worker op {op!r}")
@@ -324,6 +554,12 @@ class ShardedEmulator:
 
     Alternatively pass ``factory`` (called as ``factory(shard_index)``
     inside each worker) to build per-worker emulators from scratch.
+
+    ``options`` configures the worker supervisor (timeouts, retry
+    budget, recovery policy — see :class:`SupervisorOptions`);
+    ``telemetry`` receives supervision events and fault counters;
+    ``fault_plan`` arms deterministic scripted failures in the workers
+    (:mod:`repro.nic.faults`).
     """
 
     def __init__(
@@ -334,6 +570,9 @@ class ShardedEmulator:
         factory: Optional[Callable[[int], NicEmulator]] = None,
         batch: int = 256,
         clock: Optional[SimClock] = None,
+        options: Optional[SupervisorOptions] = None,
+        telemetry=None,
+        fault_plan: Optional[FaultPlan] = None,
     ):
         if n_workers < 1:
             raise ValueError("n_workers must be >= 1")
@@ -343,9 +582,31 @@ class ShardedEmulator:
             raise ValueError(
                 "Pass exactly one of a template emulator or a factory"
             )
+        self.options = (
+            options if options is not None else SupervisorOptions()
+        )
+        self.telemetry = telemetry
+        if fault_plan is not None and fault_plan.max_shard() >= n_workers:
+            raise ValueError(
+                f"Fault plan targets shard {fault_plan.max_shard()} "
+                f"but only {n_workers} workers exist"
+            )
+        self._fault_plan = fault_plan
+        self._birth_tables: Optional[dict[str, list[TableEntry]]] = None
         if factory is None:
             template = emulator
             factory = lambda shard: template  # noqa: E731 - fork copy
+            if self.options.recovery == "respawn":
+                # Rebirth snapshot: a respawned worker re-forks the
+                # *live* template, whose tables may have changed since
+                # construction; it restores this construction-time
+                # snapshot before the journal replay (see
+                # _restore_birth_state).
+                self._birth_tables = {
+                    name: [entry.clone() for entry in runtime.entries()]
+                    for name, runtime in emulator.runtime_tables.items()
+                }
+        self._factory = factory
         self.n_workers = n_workers
         self.batch = batch
         self.clock = clock if clock is not None else (
@@ -365,6 +626,19 @@ class ShardedEmulator:
         #: Raw per-worker telemetry from the last collection (shard
         #: index order) — per-shard profiling reads these.
         self.worker_states: list[dict] = []
+        #: Per-shard respawn counts (recovery="respawn").
+        self.respawns: list[int] = [0] * n_workers
+        #: Cumulative packets whose results died with a degraded shard.
+        self.lost_packets = 0
+        self._journaling = self.options.recovery == "respawn"
+        self._journals = [
+            ShardJournal(self.options.journal_limit)
+            for _ in range(n_workers)
+        ]
+        self._dead = [False] * n_workers
+        self._dispatched_since_begin = [0] * n_workers
+        self._lost_this_replay = 0
+        self._in_replay = False
         self._closed = False
         try:
             context = mp.get_context("fork")
@@ -372,24 +646,39 @@ class ShardedEmulator:
             raise EmulationError(
                 "ShardedEmulator requires the 'fork' start method"
             ) from exc
+        self._context = context
         self._conns = []
         self._procs = []
         for shard in range(n_workers):
-            parent_conn, child_conn = context.Pipe()
-            process = context.Process(
-                target=_worker_main,
-                args=(child_conn, factory, shard),
-                daemon=True,
-                name=f"repro-shard-{shard}",
-            )
-            process.start()
-            child_conn.close()
-            self._conns.append(parent_conn)
+            conn, process = self._spawn(shard)
+            self._conns.append(conn)
             self._procs.append(process)
         # Guaranteed teardown: if the owner never calls close() (e.g. a
         # mid-replay exception unwinds past it), interpreter exit still
         # reaps the forked workers instead of leaking them.
         atexit.register(self.close)
+
+    def _spawn(self, shard: int, rebirth: bool = False):
+        fault_specs: tuple[FaultSpec, ...] = ()
+        if not rebirth and self._fault_plan is not None:
+            fault_specs = self._fault_plan.for_shard(shard)
+        parent_conn, child_conn = self._context.Pipe()
+        process = self._context.Process(
+            target=_worker_main,
+            args=(
+                child_conn,
+                self._factory,
+                shard,
+                fault_specs,
+                rebirth,
+                self._birth_tables if rebirth else None,
+            ),
+            daemon=True,
+            name=f"repro-shard-{shard}",
+        )
+        process.start()
+        child_conn.close()
+        return parent_conn, process
 
     # -- lifecycle ---------------------------------------------------------
 
@@ -406,7 +695,14 @@ class ShardedEmulator:
             pass
 
     def close(self) -> None:
-        """Shut every worker down (idempotent)."""
+        """Shut every worker down (idempotent, bounded).
+
+        Shutdown must never block on a sick worker: the close
+        handshake is writability-guarded and deadline-polled, and any
+        worker that does not exit in time is terminated (then killed).
+        Wall time is bounded by a few ``close_timeout_s`` per worker
+        even when every pipe buffer is full and every worker is hung.
+        """
         if self._closed:
             return
         self._closed = True
@@ -414,75 +710,432 @@ class ShardedEmulator:
             atexit.unregister(self.close)
         except Exception:  # pragma: no cover - interpreter teardown
             pass
-        for conn in self._conns:
+        timeout = self.options.close_timeout_s
+        handshook = []
+        for shard, conn in enumerate(self._conns):
+            if self._dead[shard]:
+                continue
             try:
-                conn.send(("close",))
+                if self._wait_writable(conn, timeout):
+                    conn.send(("close",))
+                    handshook.append(shard)
             except (BrokenPipeError, OSError):
                 pass
-        for conn in self._conns:
+        for shard in handshook:
+            conn = self._conns[shard]
             try:
-                if conn.poll(1.0):
+                if conn.poll(timeout):
                     conn.recv()
             except (EOFError, OSError):
                 pass
-            conn.close()
+        for conn in self._conns:
+            try:
+                conn.close()
+            except OSError:  # pragma: no cover - already closed
+                pass
         for process in self._procs:
             process.join(timeout=2.0)
-            if process.is_alive():  # pragma: no cover - hung worker
+            if process.is_alive():  # hung or wedged worker
                 process.terminate()
                 process.join(timeout=1.0)
+                if process.is_alive():  # pragma: no cover - kill-proof
+                    process.kill()
+                    process.join(timeout=1.0)
 
     def _check_open(self) -> None:
         if self._closed:
             raise EmulationError("ShardedEmulator is closed")
 
-    def _recv(self, conn, shard: Optional[int] = None):
-        try:
-            reply = conn.recv()
-        # EOFError on a clean hangup; SIGKILL mid-write surfaces as
-        # ConnectionResetError (an OSError) instead.
-        except (EOFError, OSError) as exc:
-            if shard is None:
-                shard = (
-                    self._conns.index(conn)
-                    if conn in self._conns
-                    else None
-                )
-            detail = ""
-            if shard is not None:
-                process = self._procs[shard]
-                process.join(timeout=1.0)
-                detail = (
-                    f" {shard} ({process.name}, "
-                    f"exitcode {process.exitcode})"
-                )
-            raise EmulationError(
-                f"Shard worker{detail} died without replying; "
-                "its shard's results are lost"
-            ) from exc
-        if reply[0] == "error":
-            raise EmulationError(
-                f"Shard worker failed:\n{reply[1]}"
+    # -- supervision primitives --------------------------------------------
+
+    def _emit(self, kind: str, **fields) -> None:
+        if self.telemetry is not None:
+            self.telemetry.events.emit(kind, **fields)
+
+    def _count(self, name: str, value: float = 1.0, **labels) -> None:
+        if self.telemetry is not None:
+            self.telemetry.registry.inc(
+                name, value, help=_METRIC_HELP.get(name, ""), **labels
             )
-        return reply
 
     @staticmethod
-    def _send(conn, message) -> None:
-        """Send, tolerating a dead worker.
-
-        A worker that hit an error reports it and exits; the pipe then
-        breaks for subsequent sends. Swallow that here so the queued
-        error report (or EOF) surfaces with context at the next recv.
-        """
+    def _wait_writable(conn, timeout_s: float) -> bool:
+        """True when the pipe can accept a send without blocking."""
         try:
-            conn.send(message)
-        except (BrokenPipeError, OSError):
+            _, writable, _ = select.select([], [conn], [], timeout_s)
+        except (OSError, ValueError):
+            # Closed/invalid handle: let send raise the real error.
+            return True
+        return bool(writable)
+
+    def _survivors(self) -> list[int]:
+        return [s for s in range(self.n_workers) if not self._dead[s]]
+
+    def _guarded_send(
+        self,
+        shard: int,
+        message: tuple,
+        *,
+        context: str,
+        n_packets: int = 0,
+        journal: bool = True,
+    ) -> bool:
+        """Deliver ``message`` to a shard under send supervision.
+
+        The send is writability-checked first and retried with
+        exponential backoff (a transient stall — the worker busy with
+        a long batch while its pipe fills — therefore doesn't abort a
+        broadcast). Returns True once the message has reached the
+        shard's worker: possibly a *fresh* worker, via journal replay
+        for journaled messages or a direct resend for non-journaled
+        ones. Returns False if the shard is (or just became) degraded;
+        raises in ``fail`` mode.
+        """
+        if self._dead[shard]:
+            return False
+        if journal and self._journaling:
+            self._journals[shard].append(message, n_packets)
+        opts = self.options
+        while True:
+            conn = self._conns[shard]
+            process = self._procs[shard]
+            start = time.monotonic()
+            kind = None
+            for attempt in range(opts.send_retries + 1):
+                if attempt:
+                    self._count(
+                        "pipeleon_broadcast_retries_total", shard=shard
+                    )
+                    time.sleep(
+                        opts.backoff_base_s * (2 ** (attempt - 1))
+                    )
+                if not self._wait_writable(conn, opts.send_timeout_s):
+                    kind = "hung"
+                    continue
+                try:
+                    conn.send(message)
+                    return True
+                except (BrokenPipeError, OSError):
+                    kind = "dead"
+                    break
+            if kind == "hung" and not process.is_alive():
+                kind = "dead"
+            if not self._handle_failure(
+                shard,
+                kind or "hung",
+                context=context,
+                elapsed_s=time.monotonic() - start,
+            ):
+                return False
+            if journal and self._journaling:
+                # The journal replay already delivered this message to
+                # the respawned worker.
+                return True
+            # Non-journaled message: send it to the fresh worker.
+
+    def _recv_supervised(self, shard: int, *, context: str):
+        """One reply under deadline supervision.
+
+        Polls on a heartbeat so a dead process is noticed immediately
+        rather than at ``recv_timeout_s``. A reply later than
+        ``slow_after_s`` emits a one-shot ``worker_slow`` event but is
+        still waited for; past ``recv_timeout_s`` the worker is
+        classified (hung if alive, dead otherwise) and a
+        :class:`_WorkerGone` is raised for the caller's recovery
+        policy. A worker ``error`` reply is a deterministic program
+        error — respawning would just replay it — so it raises
+        :class:`EmulationError` regardless of recovery mode.
+        """
+        opts = self.options
+        conn = self._conns[shard]
+        process = self._procs[shard]
+        start = time.monotonic()
+        slow_reported = False
+        while True:
+            try:
+                ready = conn.poll(opts.heartbeat_interval_s)
+            except (EOFError, OSError):
+                ready = False
+                process.join(timeout=1.0)
+                raise _WorkerGone("dead", time.monotonic() - start)
+            if ready:
+                try:
+                    message = conn.recv()
+                # EOFError on a clean hangup; SIGKILL mid-write
+                # surfaces as ConnectionResetError (an OSError).
+                except (EOFError, OSError):
+                    process.join(timeout=1.0)
+                    raise _WorkerGone("dead", time.monotonic() - start)
+                if message[0] == "error":
+                    self._reap(shard)
+                    raise EmulationError(
+                        f"Shard worker failed:\n{message[1]}"
+                    )
+                if slow_reported:
+                    self._emit(
+                        "worker_recovered",
+                        shard=shard,
+                        state="slow",
+                        context=context,
+                        elapsed_s=round(time.monotonic() - start, 3),
+                    )
+                return message
+            elapsed = time.monotonic() - start
+            if not process.is_alive():
+                # A final reply can race the death; drain it first.
+                try:
+                    if conn.poll(0):
+                        continue
+                except (EOFError, OSError):
+                    pass
+                process.join(timeout=1.0)
+                raise _WorkerGone("dead", elapsed)
+            if not slow_reported and elapsed >= opts.slow_after_s:
+                slow_reported = True
+                self._emit(
+                    "worker_slow",
+                    shard=shard,
+                    context=context,
+                    elapsed_s=round(elapsed, 3),
+                )
+                self._count(
+                    "pipeleon_worker_faults_total",
+                    kind="slow",
+                    shard=shard,
+                )
+            if elapsed >= opts.recv_timeout_s:
+                raise _WorkerGone("hung", elapsed)
+
+    def _handle_failure(
+        self, shard: int, kind: str, *, context: str, elapsed_s: float
+    ) -> bool:
+        """Recover a dead/hung worker per the recovery policy.
+
+        Returns True when the shard is healthy again (respawned) and
+        False when it was degraded; raises in ``fail`` mode, on an
+        exhausted respawn budget, and for deterministic worker program
+        errors (drained here from the broken pipe's buffer so the
+        original traceback surfaces instead of a generic death).
+        """
+        opts = self.options
+        conn = self._conns[shard]
+        process = self._procs[shard]
+        try:
+            if conn.poll(0):
+                message = conn.recv()
+                if message and message[0] == "error":
+                    self._reap(shard)
+                    raise EmulationError(
+                        f"Shard worker failed:\n{message[1]}"
+                    )
+        except (EOFError, OSError):
+            pass
+        self._emit(
+            f"worker_{kind}",
+            shard=shard,
+            context=context,
+            elapsed_s=round(elapsed_s, 3),
+            exitcode=process.exitcode,
+            recovery=opts.recovery,
+        )
+        self._count(
+            "pipeleon_worker_faults_total", kind=kind, shard=shard
+        )
+        if opts.recovery == "respawn":
+            if self.respawns[shard] >= opts.max_respawns:
+                self._reap(shard)
+                raise EmulationError(
+                    f"Shard worker {shard} ({process.name}) {kind} "
+                    f"during {context}; respawn budget exhausted "
+                    f"({opts.max_respawns} respawns)"
+                )
+            self._respawn(shard)
+            return True
+        if opts.recovery == "degraded":
+            self._degrade(shard, kind=kind, context=context)
+            return False
+        self._reap(shard)
+        if kind == "hung":
+            raise EmulationError(
+                f"Shard worker {shard} ({process.name}) unresponsive "
+                f"during {context}: no reply within {elapsed_s:.2f}s "
+                f"(recv_timeout_s={opts.recv_timeout_s}); worker "
+                "terminated. Use SupervisorOptions(recovery='respawn') "
+                "to escalate hung workers with terminate-then-respawn."
+            )
+        raise EmulationError(
+            f"Shard worker {shard} ({process.name}, "
+            f"exitcode {process.exitcode}) died without replying "
+            f"during {context}; its shard's results are lost"
+        )
+
+    def _reap(self, shard: int) -> None:
+        """Terminate-and-join one worker, closing its pipe (idempotent)."""
+        process = self._procs[shard]
+        if process.is_alive():
+            process.terminate()
+            process.join(timeout=1.0)
+            if process.is_alive():  # pragma: no cover - SIGTERM ignored
+                process.kill()
+                process.join(timeout=1.0)
+        else:
+            process.join(timeout=1.0)
+        try:
+            self._conns[shard].close()
+        except OSError:  # pragma: no cover - already closed
             pass
 
-    def _broadcast(self, message) -> None:
+    def _respawn(self, shard: int) -> None:
+        """Terminate-then-respawn: rebuild the shard from its journal."""
+        journal = self._journals[shard]
+        self._reap(shard)
+        self.respawns[shard] += 1
+        conn, process = self._spawn(shard, rebirth=True)
+        self._conns[shard] = conn
+        self._procs[shard] = process
+        self._count("pipeleon_worker_respawns_total", shard=shard)
+        self._emit(
+            "worker_respawned",
+            shard=shard,
+            respawns=self.respawns[shard],
+            journal_messages=len(journal.entries),
+            journal_batches=journal.batches,
+            truncated=journal.truncated,
+        )
+        if journal.truncated:
+            self._emit(
+                "journal_truncated",
+                shard=shard,
+                dropped_batches=journal.dropped_batches,
+                dropped_packets=journal.dropped_packets,
+            )
+        self._replay_journal(shard)
+        self._emit(
+            "worker_recovered",
+            shard=shard,
+            state="respawned",
+            epoch=self.epoch,
+        )
+
+    def _replay_journal(self, shard: int) -> None:
+        """Feed a freshly respawned worker its shard's message history.
+
+        Sends are deadline-guarded but not recovery-looped: a worker
+        that cannot even absorb its own journal is not recoverable.
+        """
+        conn = self._conns[shard]
+        timeout = self.options.send_timeout_s
+        for message, _count in self._journals[shard].entries:
+            delivered = False
+            if self._wait_writable(conn, timeout):
+                try:
+                    conn.send(message)
+                    delivered = True
+                except (BrokenPipeError, OSError):
+                    pass
+            if not delivered:
+                self._reap(shard)
+                raise EmulationError(
+                    f"Shard worker {shard} respawn failed: journal "
+                    "replay stalled or the fresh worker died"
+                )
+
+    def _degrade(self, shard: int, *, kind: str, context: str) -> None:
+        """Mark a shard dead; future flows reroute to the survivors."""
+        self._reap(shard)
+        self._dead[shard] = True
+        survivors = self._survivors()
+        if not survivors:
+            raise EmulationError(
+                f"All {self.n_workers} shard workers have failed; "
+                "no survivors to degrade onto"
+            )
+        lost = (
+            self._dispatched_since_begin[shard] if self._in_replay else 0
+        )
+        self._dispatched_since_begin[shard] = 0
+        self._lost_this_replay += lost
+        self.lost_packets += lost
+        if lost:
+            self._count(
+                "pipeleon_packets_lost_total", value=lost, shard=shard
+            )
+        self._emit(
+            "shard_degraded",
+            shard=shard,
+            failure=kind,
+            context=context,
+            lost_packets=lost,
+            survivors=len(survivors),
+        )
+
+    def _transact(self, shard: int, message: tuple, *, context: str):
+        """A reply-bearing exchange (end/collect/dump) with recovery.
+
+        Reply-bearing ops are deliberately not journaled — after a
+        respawn rebuilds state from the journal, this loop simply
+        re-issues the request. Returns None when the shard is (or
+        becomes) degraded.
+        """
+        while not self._dead[shard]:
+            if not self._guarded_send(
+                shard, message, context=context, journal=False
+            ):
+                return None
+            try:
+                return self._recv_supervised(shard, context=context)
+            except _WorkerGone as gone:
+                if not self._handle_failure(
+                    shard,
+                    gone.kind,
+                    context=context,
+                    elapsed_s=gone.elapsed_s,
+                ):
+                    return None
+        return None
+
+    def _gather(self, message: tuple, *, context: str) -> list:
+        """Broadcast a reply-bearing op, then collect every reply.
+
+        Two-phase (send to all live shards, then drain) so workers
+        produce their replies in parallel; each shard's recv still
+        runs under supervision with per-shard recovery. The returned
+        list has one slot per shard; degraded shards hold None.
+        """
+        sent = [False] * self.n_workers
+        for shard in range(self.n_workers):
+            if not self._dead[shard]:
+                sent[shard] = self._guarded_send(
+                    shard, message, context=context, journal=False
+                )
+        replies: list = [None] * self.n_workers
+        for shard in range(self.n_workers):
+            if self._dead[shard] or not sent[shard]:
+                continue
+            try:
+                replies[shard] = self._recv_supervised(
+                    shard, context=context
+                )
+            except _WorkerGone as gone:
+                if self._handle_failure(
+                    shard,
+                    gone.kind,
+                    context=context,
+                    elapsed_s=gone.elapsed_s,
+                ):
+                    replies[shard] = self._transact(
+                        shard, message, context=context
+                    )
+        return replies
+
+    def _broadcast(
+        self, message: tuple, *, context: str, journal: bool = True
+    ) -> None:
         self._check_open()
-        for conn in self._conns:
-            self._send(conn, message)
+        for shard in range(self.n_workers):
+            self._guarded_send(
+                shard, message, context=context, journal=journal
+            )
 
     # -- control-plane broadcast (epoch-versioned) -------------------------
 
@@ -497,17 +1150,25 @@ class ShardedEmulator:
         version and recompiles.
         """
         self.epoch += 1
-        self._broadcast(("entries", table, list(entries), self.epoch))
+        self._broadcast(
+            ("entries", table, list(entries), self.epoch),
+            context=f"entries broadcast ({table})",
+        )
         return self.epoch
 
     def invalidate_caches_covering(self, table: str) -> int:
         self.epoch += 1
-        self._broadcast(("invalidate", table, self.epoch))
+        self._broadcast(
+            ("invalidate", table, self.epoch),
+            context=f"invalidate broadcast ({table})",
+        )
         return self.epoch
 
     def flush_caches(self) -> int:
         self.epoch += 1
-        self._broadcast(("flush", self.epoch))
+        self._broadcast(
+            ("flush", self.epoch), context="flush broadcast"
+        )
         return self.epoch
 
     def apply_update(self, event: UpdateEvent, entries: list[TableEntry]) -> int:
@@ -520,8 +1181,17 @@ class ShardedEmulator:
 
     # -- telemetry ---------------------------------------------------------
 
+    @property
+    def degraded_shards(self) -> list[int]:
+        """Shards lost to degraded-mode recovery (empty when healthy)."""
+        return [s for s in range(self.n_workers) if self._dead[s]]
+
+    @property
+    def total_respawns(self) -> int:
+        return sum(self.respawns)
+
     def reset_telemetry(self) -> None:
-        self._broadcast(("reset",))
+        self._broadcast(("reset",), context="telemetry reset")
 
     def _merge_states(self, states: list[dict]) -> None:
         counters: Optional[CounterBank] = None
@@ -559,10 +1229,14 @@ class ShardedEmulator:
 
     def collect(self) -> None:
         """Barrier: refresh merged counters/cache stats from all workers."""
-        self._broadcast(("collect",))
+        self._check_open()
         states = []
-        for shard, conn in enumerate(self._conns):
-            tag, state, epoch = self._recv(conn, shard)
+        for shard, reply in enumerate(
+            self._gather(("collect",), context="collect")
+        ):
+            if reply is None:
+                continue
+            tag, state, epoch = reply
             if epoch != self.epoch:
                 raise EmulationError(
                     f"Shard {shard} applied epoch {epoch}, "
@@ -573,10 +1247,12 @@ class ShardedEmulator:
 
     def dump_caches(self) -> list[tuple[dict, Optional[dict], dict]]:
         """Per-worker cache stores and table entries (test support)."""
-        self._broadcast(("dump",))
+        self._check_open()
         dumps = []
-        for conn in self._conns:
-            tag, stores, native, tables = self._recv(conn)
+        for reply in self._gather(("dump",), context="dump"):
+            if reply is None:
+                continue
+            tag, stores, native, tables = reply
             dumps.append((stores, native, tables))
         return dumps
 
@@ -597,6 +1273,10 @@ class ShardedEmulator:
         clock time and ships it with the batch, so worker-local clocks
         observe exactly the per-packet times a single-core run would;
         the parent clock is advanced by the stream duration at the end.
+
+        Under ``recovery="degraded"`` the merged stats cover only the
+        packets a surviving worker replayed; the remainder is counted
+        in ``RunStats.lost_packets``.
         """
         self._check_open()
         if batch is None:
@@ -606,42 +1286,57 @@ class ShardedEmulator:
         n = self.n_workers
         dt = 1.0 / offered_pps if offered_pps else 0.0
         t0 = self.clock.now_s if (dt and self.clock is not None) else 0.0
-        conns = self._conns
-        for conn in conns:
-            self._send(conn, ("begin",))
-        buffers: list[list[Packet]] = [[] for _ in range(n)]
-        timestamps: Optional[list[list[float]]] = (
-            [[] for _ in range(n)] if dt else None
-        )
-        count = 0
-        for packet in packets:
-            shard = flow_shard(packet.flow_key(), n)
-            buffer = buffers[shard]
-            buffer.append(packet)
-            count += 1
-            if dt:
-                timestamps[shard].append(t0 + dt * count)
-            if len(buffer) >= batch:
-                self._flush(shard, buffers, timestamps, packet_pool)
+        self._lost_this_replay = 0
         for shard in range(n):
-            if buffers[shard]:
-                self._flush(shard, buffers, timestamps, packet_pool)
-        if dt and self.clock is not None:
-            self.clock.advance(dt * count)
-        merged = stats if stats is not None else RunStats()
-        for conn in conns:
-            self._send(conn, ("end",))
-        states = []
-        for shard, conn in enumerate(conns):
-            tag, worker_stats, state, busy, epoch = self._recv(conn, shard)
-            if epoch != self.epoch:
-                raise EmulationError(
-                    f"Shard {shard} applied epoch {epoch}, "
-                    f"expected {self.epoch}"
-                )
-            merged.merge(worker_stats)
-            states.append(state)
-            self.worker_busy_s[shard] = busy
+            self._dispatched_since_begin[shard] = 0
+        self._broadcast(("begin",), context="replay begin")
+        self._in_replay = True
+        try:
+            buffers: list[list[Packet]] = [[] for _ in range(n)]
+            timestamps: Optional[list[list[float]]] = (
+                [[] for _ in range(n)] if dt else None
+            )
+            count = 0
+            for packet in packets:
+                shard = flow_shard(packet.flow_key(), n)
+                buffer = buffers[shard]
+                buffer.append(packet)
+                count += 1
+                if dt:
+                    timestamps[shard].append(t0 + dt * count)
+                if len(buffer) >= batch:
+                    self._flush(shard, buffers, timestamps, packet_pool)
+            # Final drain. A degraded-mode flush redistributes its
+            # buffer onto survivors — possibly one already drained this
+            # sweep — so sweep until every buffer is empty.
+            while any(buffers):
+                for shard in range(n):
+                    if buffers[shard]:
+                        self._flush(
+                            shard, buffers, timestamps, packet_pool
+                        )
+            if dt and self.clock is not None:
+                self.clock.advance(dt * count)
+            merged = stats if stats is not None else RunStats()
+            states = []
+            for shard, reply in enumerate(
+                self._gather(("end",), context="replay end")
+            ):
+                if reply is None:
+                    self.worker_busy_s[shard] = 0.0
+                    continue
+                tag, worker_stats, state, busy, epoch = reply
+                if epoch != self.epoch:
+                    raise EmulationError(
+                        f"Shard {shard} applied epoch {epoch}, "
+                        f"expected {self.epoch}"
+                    )
+                merged.merge(worker_stats)
+                states.append(state)
+                self.worker_busy_s[shard] = busy
+        finally:
+            self._in_replay = False
+        merged.lost_packets += self._lost_this_replay
         self._merge_states(states)
         return merged
 
@@ -653,13 +1348,32 @@ class ShardedEmulator:
         packet_pool: Optional[PacketPool],
     ) -> None:
         buffer = buffers[shard]
-        payload = encode_batch(buffer)
+        buffers[shard] = []
         ts = None
         if timestamps is not None:
             ts = timestamps[shard]
             timestamps[shard] = []
-        self._send(self._conns[shard], ("batch", payload, ts))
-        if packet_pool is not None:
-            for packet in buffer:
-                packet_pool.release(packet)
-        buffers[shard] = []
+        if not self._dead[shard]:
+            payload = encode_batch(buffer)
+            delivered = self._guarded_send(
+                shard,
+                ("batch", payload, ts),
+                context="batch dispatch",
+                n_packets=len(buffer),
+            )
+            if delivered:
+                self._dispatched_since_begin[shard] += len(buffer)
+                if packet_pool is not None:
+                    for packet in buffer:
+                        packet_pool.release(packet)
+                return
+            # The shard degraded during this send: the batch was never
+            # delivered, so fall through and reroute it.
+        survivors = self._survivors()
+        for index, packet in enumerate(buffer):
+            target = survivors[
+                hash(packet.flow_key()) % len(survivors)
+            ]
+            buffers[target].append(packet)
+            if ts is not None:
+                timestamps[target].append(ts[index])

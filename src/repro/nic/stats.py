@@ -83,6 +83,10 @@ class RunStats:
         self.dropped = 0
         self.migrations = 0
         self.total_bytes = 0
+        #: Packets whose results died with a degraded shard worker
+        #: (sharded replay under ``recovery="degraded"`` only); always
+        #: 0 for single-core and fault-free runs.
+        self.lost_packets = 0
         self._latencies: list[float] = []
         self._busy_samples: dict[Pipeline, list[float]] = {}
         # Memoized fsum results, invalidated by packet-count change.
@@ -151,6 +155,8 @@ class RunStats:
         self.dropped += other.dropped
         self.migrations += other.migrations
         self.total_bytes += other.total_bytes
+        # getattr: stats pickled by an older worker may predate the field.
+        self.lost_packets += getattr(other, "lost_packets", 0)
         self._latencies.extend(other._latencies)
         samples = self._busy_samples
         for pipeline, values in other._busy_samples.items():
@@ -251,6 +257,8 @@ class RunStats:
             "drop_rate": self.drop_rate,
             "migrations": float(self.migrations),
         }
+        if self.lost_packets:
+            data["lost_packets"] = float(self.lost_packets)
         if target is not None:
             data["throughput_gbps"] = self.throughput_gbps(target)
         return data

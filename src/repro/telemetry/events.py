@@ -28,10 +28,15 @@ class EventLog:
         capacity: int = 4096,
         clock: Optional[SimClock] = None,
         sink_path: Optional[str] = None,
+        source: Optional[str] = None,
     ):
         if capacity < 1:
             raise ValueError("capacity must be >= 1")
         self.clock = clock
+        #: Optional origin stamp (e.g. ``"shard-3"``) written into every
+        #: emitted event; disambiguates events that collide on
+        #: ``(ts_s, seq)`` when logs from several emitters are merged.
+        self.source = source
         #: Total events ever emitted (the ring may have rotated).
         self.emitted = 0
         self._events: deque[dict] = deque(maxlen=capacity)
@@ -67,6 +72,8 @@ class EventLog:
             "ts_s": self.clock.now_s if self.clock is not None else 0.0,
             "kind": kind,
         }
+        if self.source is not None:
+            event["source"] = self.source
         event.update(fields)
         self.emitted += 1
         self._events.append(event)
@@ -132,9 +139,33 @@ class EventLog:
         ]
 
     def merge(self, other: Iterable[dict]) -> "EventLog":
-        """Fold foreign events in, keeping the ring ordered by time."""
+        """Fold foreign events in, keeping the ring ordered by time.
+
+        Idempotent: an event already present — same ``(ts_s, seq,
+        source)`` identity — is skipped, so merging the same shard's
+        log after every ``collect()`` doesn't duplicate its history.
+        Newly absorbed events advance :attr:`emitted`, keeping the
+        total-emitted counter an honest count of distinct events.
+        """
+
+        def identity(event: dict):
+            return (
+                event.get("ts_s", 0.0),
+                event.get("seq", 0),
+                event.get("source"),
+            )
+
+        seen = {identity(event) for event in self._events}
+        fresh = []
+        for event in other:
+            key = identity(event)
+            if key in seen:
+                continue
+            seen.add(key)
+            fresh.append(event)
+        self.emitted += len(fresh)
         merged = sorted(
-            list(self._events) + list(other),
+            list(self._events) + fresh,
             key=lambda e: (e.get("ts_s", 0.0), e.get("seq", 0)),
         )
         self._events.clear()

@@ -211,6 +211,77 @@ class TestReplay:
         assert json.loads(captured.out)["packets"] == 100
 
 
+class TestReplayFaultInjection:
+    def _replay(self, capsys, *args):
+        code = main(["replay", *args])
+        return code, capsys.readouterr()
+
+    def test_kill_with_respawn_recovers_all_packets(self, capsys):
+        code, captured = self._replay(
+            capsys,
+            "--app", "l2l3_acl",
+            "--packets", "600",
+            "--jobs", "2",
+            "--batch", "32",
+            "--inject-fault", "kill:shard=0,batch=2",
+            "--recovery", "respawn",
+            "--recv-timeout", "10",
+            "--target", "emulated_nic",
+        )
+        assert code == 0
+        summary = json.loads(captured.out)
+        assert summary["packets"] == 600
+        assert summary["respawns"] >= 1
+        assert "degraded_shards" not in summary
+
+    def test_degraded_reports_lost_packets(self, capsys):
+        code, captured = self._replay(
+            capsys,
+            "--app", "l2l3_acl",
+            "--packets", "600",
+            "--jobs", "2",
+            "--batch", "32",
+            "--inject-fault", "kill:shard=1,batch=1",
+            "--recovery", "degraded",
+            "--recv-timeout", "10",
+            "--target", "emulated_nic",
+        )
+        assert code == 0
+        summary = json.loads(captured.out)
+        assert summary["degraded_shards"] == [1]
+        assert summary["lost_packets"] > 0
+        assert summary["packets"] == 600 - summary["lost_packets"]
+
+    def test_fault_requires_jobs(self, capsys):
+        code, captured = self._replay(
+            capsys,
+            "--app", "l2l3_acl",
+            "--inject-fault", "kill:shard=0",
+        )
+        assert code == 2
+        assert "--jobs" in captured.err
+
+    def test_fault_shard_must_exist(self, capsys):
+        code, captured = self._replay(
+            capsys,
+            "--app", "l2l3_acl",
+            "--jobs", "2",
+            "--inject-fault", "kill:shard=5",
+        )
+        assert code == 2
+        assert "shard 5" in captured.err
+
+    def test_malformed_fault_spec(self, capsys):
+        code, captured = self._replay(
+            capsys,
+            "--app", "l2l3_acl",
+            "--jobs", "2",
+            "--inject-fault", "explode:shard=0",
+        )
+        assert code == 2
+        assert "Unknown fault kind" in captured.err
+
+
 class TestReplayTelemetry:
     def _replay(self, capsys, *args):
         code = main(["replay", *args])

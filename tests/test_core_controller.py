@@ -244,6 +244,55 @@ class TestReplanHysteresis:
         assert accepted["gain_ns"] == 150.0
         assert telemetry.events.last("replan_rejected") is None
 
+    def test_negative_deployed_gain_does_not_invert_margin(
+        self, monkeypatch
+    ):
+        # Regression: the hysteresis threshold used to be
+        # current_gain * (1 + margin) even when the deployed plan
+        # re-evaluated *negative* under the fresh profile — which
+        # LOWERS the bar below the deployed gain (margin inverted) yet
+        # still rejected modest positive candidates relative to zero.
+        # A regressing deployed plan must not be sticky: any
+        # positive-gain candidate displaces it.
+        telemetry = Telemetry()
+        controller = make_hysteresis_controller(telemetry, margin=0.1)
+        controller.current_plan = make_plan(
+            gain=100.0, segments=(Segment("cache", ("a", "b")),)
+        )
+        candidate = make_plan(gain=5.0)
+        applied = self.pin_search(
+            monkeypatch, controller, candidate, deployed_gain=-50.0
+        )
+        controller.run([make_packet() for _ in range(20)])
+        assert controller.maybe_reoptimize()
+        assert applied == [candidate]
+        accepted = telemetry.events.last("replan_accepted")
+        assert accepted is not None and accepted["gain_ns"] == 5.0
+
+    def test_negative_gains_on_both_sides_keeps_deployed(
+        self, monkeypatch
+    ):
+        # The floor is at zero: a candidate that is itself negative
+        # still loses to the (floored) threshold, so churn between two
+        # bad plans is suppressed and the rejection event records the
+        # floored threshold.
+        telemetry = Telemetry()
+        controller = make_hysteresis_controller(telemetry, margin=0.1)
+        controller.current_plan = make_plan(
+            gain=100.0, segments=(Segment("cache", ("a", "b")),)
+        )
+        candidate = make_plan(gain=-5.0)
+        applied = self.pin_search(
+            monkeypatch, controller, candidate, deployed_gain=-50.0
+        )
+        controller.run([make_packet() for _ in range(20)])
+        assert not controller.maybe_reoptimize()
+        assert not applied
+        rejected = telemetry.events.last("replan_rejected")
+        assert rejected is not None
+        assert rejected["current_gain_ns"] == -50.0
+        assert rejected["threshold_ns"] == pytest.approx(0.0, abs=1e-6)
+
     def test_zero_margin_accepts_any_improvement(self, monkeypatch):
         controller = make_hysteresis_controller(margin=0.0)
         controller.current_plan = make_plan(gain=100.0)

@@ -1,0 +1,592 @@
+"""Fault injection and supervised recovery for the sharded runtime.
+
+The contract under test (DESIGN.md §12): scripted worker failures —
+kill, hang, delay, drop_reply — injected at deterministic points in the
+packet stream are detected by the supervisor within its configured
+timeouts, classified correctly, and recovered per policy:
+
+* ``respawn`` rebuilds the shard from its journal and the merged run
+  stats stay **bit-identical** to a fault-free twin;
+* ``degraded`` reroutes the lost shard's future flows to survivors and
+  accounts the lost packets;
+* ``fail`` raises a diagnosable :class:`EmulationError` in bounded time
+  (no indefinite hangs, including during ``close()``).
+"""
+
+import time
+
+import pytest
+
+from repro.apps import EXAMPLE_APPS
+from repro.core import Deployment, ShardedDeployment
+from repro.errors import EmulationError
+from repro.nic.faults import (
+    AUTO_BATCH_SPAN,
+    FaultInjector,
+    FaultPlan,
+    FaultSpec,
+    parse_fault,
+)
+from repro.nic.sharding import (
+    ShardedEmulator,
+    ShardJournal,
+    SupervisorOptions,
+)
+from repro.nic.targets import EMULATED_NIC
+from repro.telemetry import Telemetry
+from tests.test_nic_sharding import (
+    app_packets,
+    assert_sharded_identical,
+    perturb_control_plane,
+    stats_fingerprint,
+)
+
+#: Tight supervision for tests: failures classify in ~a second, not a
+#: minute, and close() never dawdles.
+def fast_options(**overrides) -> SupervisorOptions:
+    base = dict(
+        recv_timeout_s=5.0,
+        slow_after_s=0.2,
+        heartbeat_interval_s=0.01,
+        send_timeout_s=1.0,
+        send_retries=2,
+        backoff_base_s=0.01,
+        close_timeout_s=0.5,
+    )
+    base.update(overrides)
+    return SupervisorOptions(**base)
+
+
+def make_sharded(
+    app: str,
+    n_workers: int,
+    *,
+    options: SupervisorOptions,
+    fault_plan=None,
+    telemetry=None,
+) -> ShardedDeployment:
+    build, install = EXAMPLE_APPS[app]
+    sharded = ShardedDeployment(
+        build(),
+        EMULATED_NIC,
+        n_workers=n_workers,
+        supervisor=options,
+        fault_plan=fault_plan,
+        telemetry=telemetry,
+    )
+    install(sharded.control_plane)
+    return sharded
+
+
+def make_single(app: str) -> Deployment:
+    build, install = EXAMPLE_APPS[app]
+    single = Deployment(build(), EMULATED_NIC)
+    install(single.control_plane)
+    return single
+
+
+def event_kinds(telemetry: Telemetry, prefix: str = "") -> list[str]:
+    return [
+        e["kind"]
+        for e in telemetry.events.events()
+        if e["kind"].startswith(prefix)
+    ]
+
+
+class TestParseFault:
+    def test_full_spec_round_trips(self):
+        spec = parse_fault("kill:shard=1,batch=3")
+        assert spec == FaultSpec("kill", shard=1, at_batch=3)
+        assert parse_fault(spec.describe()) == spec
+
+    def test_packet_position(self):
+        spec = parse_fault("hang:shard=0,packet=500")
+        assert spec.at_packet == 500 and spec.at_batch is None
+
+    def test_delay_seconds(self):
+        spec = parse_fault("delay:shard=2,batch=1,seconds=0.5")
+        assert spec.delay_s == 0.5
+        assert parse_fault("delay:delay=0.25").delay_s == 0.25
+
+    def test_bare_kind_defers_to_auto_placement(self):
+        spec = parse_fault("kill")
+        assert spec.at_batch is None and spec.at_packet is None
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError, match="Unknown fault kind"):
+            parse_fault("explode:shard=0")
+
+    def test_malformed_parameter_rejected(self):
+        with pytest.raises(ValueError, match="key=value"):
+            parse_fault("kill:shard")
+
+    def test_unknown_parameter_rejected(self):
+        with pytest.raises(ValueError, match="Unknown fault parameter"):
+            parse_fault("kill:core=0")
+
+    def test_spec_validation(self):
+        with pytest.raises(ValueError, match="not both"):
+            FaultSpec("kill", at_batch=1, at_packet=1)
+        with pytest.raises(ValueError, match="shard"):
+            FaultSpec("kill", shard=-1)
+        with pytest.raises(ValueError, match="at_batch"):
+            FaultSpec("kill", at_batch=-1)
+
+
+class TestFaultPlan:
+    def test_auto_placement_is_deterministic(self):
+        specs = (FaultSpec("kill", shard=1), FaultSpec("hang"))
+        first = FaultPlan(specs, seed=7)
+        second = FaultPlan(specs, seed=7)
+        assert first.specs == second.specs
+        for spec in first.specs:
+            assert 0 <= spec.at_batch < AUTO_BATCH_SPAN
+
+    def test_explicit_positions_pass_through(self):
+        spec = FaultSpec("kill", shard=0, at_batch=5)
+        assert FaultPlan((spec,), seed=9).specs == (spec,)
+
+    def test_from_args_and_shard_filters(self):
+        plan = FaultPlan.from_args(
+            ["kill:shard=0,batch=1", "hang:shard=2,batch=0"], seed=3
+        )
+        assert len(plan) == 2 and bool(plan)
+        assert plan.max_shard() == 2
+        assert [s.kind for s in plan.for_shard(2)] == ["hang"]
+        assert plan.for_shard(1) == ()
+        assert not FaultPlan()
+
+    def test_plan_shard_out_of_range_rejected_by_emulator(self):
+        build, install = EXAMPLE_APPS["l2l3_acl"]
+        plan = FaultPlan((FaultSpec("kill", shard=5, at_batch=0),))
+        with pytest.raises(ValueError, match="shard 5"):
+            ShardedDeployment(
+                build(), EMULATED_NIC, n_workers=2, fault_plan=plan
+            )
+
+
+class TestFaultInjector:
+    def test_batch_trigger_fires_once_at_position(self):
+        injector = FaultInjector(
+            [FaultSpec("drop_reply", at_batch=2)]
+        )
+        injector.before_batch(10)
+        injector.before_batch(10)
+        assert injector.should_reply()  # not fired yet
+        injector.before_batch(10)  # batch index 2: fires
+        assert not injector.should_reply()  # suppressed exactly once
+        assert injector.should_reply()
+        injector.before_batch(10)  # one-shot: no re-fire
+        assert injector.should_reply()
+
+    def test_packet_trigger(self):
+        injector = FaultInjector(
+            [FaultSpec("drop_reply", at_packet=25)]
+        )
+        injector.before_batch(20)  # packets 0..19
+        assert injector.should_reply()
+        injector.before_batch(20)  # crosses packet 25
+        assert not injector.should_reply()
+
+
+class TestRespawnRecovery:
+    """recovery='respawn': rebuilt shards converge to the exact
+    pre-failure state, so merged stats are bit-identical to a
+    fault-free run."""
+
+    def run_pair(self, fault_plan, telemetry=None, **option_overrides):
+        options = fast_options(
+            recovery="respawn", **option_overrides
+        )
+        single = make_single("l2l3_acl")
+        sharded = make_sharded(
+            "l2l3_acl",
+            2,
+            options=options,
+            fault_plan=fault_plan,
+            telemetry=telemetry,
+        )
+        try:
+            reference = single.replay(
+                app_packets(7, 600), offered_pps=1e6, batch=32
+            )
+            replayed = sharded.replay(
+                app_packets(7, 600), offered_pps=1e6, batch=32
+            )
+            return single, sharded, reference, replayed
+        except BaseException:
+            sharded.close()
+            raise
+
+    def test_kill_respawn_bit_identical(self):
+        telemetry = Telemetry()
+        plan = FaultPlan(
+            (FaultSpec("kill", shard=0, at_batch=3),)
+        )
+        single, sharded, reference, replayed = self.run_pair(
+            plan, telemetry
+        )
+        try:
+            assert stats_fingerprint(replayed) == stats_fingerprint(
+                reference
+            )
+            assert_sharded_identical(single, sharded)
+            assert sharded.worker_respawns == [1, 0]
+            assert sharded.emulator.total_respawns == 1
+            kinds = event_kinds(telemetry)
+            assert "worker_dead" in kinds
+            assert "worker_respawned" in kinds
+            assert "worker_recovered" in kinds
+            assert telemetry.registry.value(
+                "pipeleon_worker_respawns_total", shard=0
+            ) == 1
+            assert telemetry.registry.value(
+                "pipeleon_worker_faults_total", kind="dead", shard=0
+            ) == 1
+        finally:
+            sharded.close()
+
+    def test_kill_after_control_updates_converges_epoch(self):
+        # The journal retains every control broadcast, so a respawned
+        # worker converges to the pre-failure epoch too — collect()
+        # asserts every worker acked the latest epoch.
+        single = make_single("l2l3_acl")
+        sharded = make_sharded(
+            "l2l3_acl",
+            2,
+            options=fast_options(recovery="respawn"),
+            fault_plan=FaultPlan(
+                (FaultSpec("kill", shard=1, at_batch=2),)
+            ),
+        )
+        try:
+            perturb_control_plane(single)
+            perturb_control_plane(sharded)
+            reference = single.replay(
+                app_packets(9, 600), offered_pps=1e6, batch=32
+            )
+            replayed = sharded.replay(
+                app_packets(9, 600), offered_pps=1e6, batch=32
+            )
+            assert stats_fingerprint(replayed) == stats_fingerprint(
+                reference
+            )
+            assert sharded.emulator.epoch > 0
+            sharded.emulator.collect()  # asserts epoch ack
+            assert_sharded_identical(single, sharded)
+        finally:
+            sharded.close()
+
+    def test_hang_escalates_to_respawn_identical(self):
+        telemetry = Telemetry()
+        plan = FaultPlan((FaultSpec("hang", shard=0, at_batch=2),))
+        start = time.monotonic()
+        single, sharded, reference, replayed = self.run_pair(
+            plan, telemetry, recv_timeout_s=1.0
+        )
+        try:
+            assert stats_fingerprint(replayed) == stats_fingerprint(
+                reference
+            )
+            assert sharded.worker_respawns == [1, 0]
+            assert "worker_hung" in event_kinds(telemetry)
+            # Detection is deadline-bounded, not indefinite.
+            assert time.monotonic() - start < 30.0
+        finally:
+            sharded.close()
+
+    def test_drop_reply_starves_recv_then_respawns(self):
+        telemetry = Telemetry()
+        plan = FaultPlan(
+            (FaultSpec("drop_reply", shard=1, at_batch=0),)
+        )
+        single, sharded, reference, replayed = self.run_pair(
+            plan, telemetry, recv_timeout_s=1.0
+        )
+        try:
+            assert stats_fingerprint(replayed) == stats_fingerprint(
+                reference
+            )
+            assert sharded.worker_respawns == [0, 1]
+            assert "worker_hung" in event_kinds(telemetry)
+        finally:
+            sharded.close()
+
+    def test_delay_reports_slow_without_escalating(self):
+        telemetry = Telemetry()
+        plan = FaultPlan(
+            (
+                FaultSpec(
+                    "delay", shard=0, at_batch=1, delay_s=0.6
+                ),
+            )
+        )
+        single, sharded, reference, replayed = self.run_pair(
+            plan, telemetry
+        )
+        try:
+            assert stats_fingerprint(replayed) == stats_fingerprint(
+                reference
+            )
+            assert sharded.worker_respawns == [0, 0]
+            kinds = event_kinds(telemetry)
+            assert "worker_slow" in kinds
+            assert "worker_respawned" not in kinds
+            recovered = telemetry.events.last("worker_recovered")
+            assert recovered is not None
+            assert recovered["state"] == "slow"
+        finally:
+            sharded.close()
+
+    def test_respawn_budget_exhaustion_raises(self):
+        sharded = make_sharded(
+            "l2l3_acl",
+            2,
+            options=fast_options(
+                recovery="respawn", max_respawns=0
+            ),
+            fault_plan=FaultPlan(
+                (FaultSpec("kill", shard=0, at_batch=0),)
+            ),
+        )
+        try:
+            with pytest.raises(
+                EmulationError, match="respawn budget exhausted"
+            ):
+                sharded.replay(
+                    app_packets(7, 600), offered_pps=1e6, batch=32
+                )
+        finally:
+            sharded.close()
+
+    def test_journal_truncation_is_reported(self):
+        telemetry = Telemetry()
+        sharded = make_sharded(
+            "l2l3_acl",
+            2,
+            options=fast_options(
+                recovery="respawn", journal_limit=2
+            ),
+            fault_plan=FaultPlan(
+                (FaultSpec("kill", shard=0, at_batch=5),)
+            ),
+            telemetry=telemetry,
+        )
+        try:
+            stats = sharded.replay(
+                app_packets(7, 600), offered_pps=1e6, batch=32
+            )
+            # Recovery completed, but past the journal horizon it is
+            # best-effort: the evicted batches' stats died with the
+            # worker.
+            assert sharded.worker_respawns == [1, 0]
+            truncated = telemetry.events.last("journal_truncated")
+            assert truncated is not None
+            assert truncated["dropped_packets"] > 0
+            assert stats.packets == 600 - truncated["dropped_packets"]
+        finally:
+            sharded.close()
+
+
+class TestFailFast:
+    """recovery='fail' (the default): clear errors in bounded time."""
+
+    def test_hang_detected_within_timeout(self):
+        sharded = make_sharded(
+            "l2l3_acl",
+            2,
+            options=fast_options(recv_timeout_s=0.8),
+            fault_plan=FaultPlan(
+                (FaultSpec("hang", shard=0, at_batch=0),)
+            ),
+        )
+        start = time.monotonic()
+        try:
+            with pytest.raises(
+                EmulationError, match="unresponsive"
+            ) as excinfo:
+                sharded.replay(
+                    app_packets(7, 600), offered_pps=1e6, batch=32
+                )
+            message = str(excinfo.value)
+            assert "repro-shard-0" in message
+            assert "recovery='respawn'" in message
+        finally:
+            close_start = time.monotonic()
+            sharded.close()
+            # Regression: close() used to block forever on a hung
+            # worker's full pipe; it must stay bounded.
+            assert time.monotonic() - close_start < 15.0
+        assert time.monotonic() - start < 30.0
+        assert all(
+            not p.is_alive() for p in sharded.emulator._procs
+        )
+
+    def test_kill_names_shard_and_exitcode(self):
+        sharded = make_sharded(
+            "l2l3_acl",
+            2,
+            options=fast_options(),
+            fault_plan=FaultPlan(
+                (FaultSpec("kill", shard=1, at_batch=0),)
+            ),
+        )
+        try:
+            with pytest.raises(
+                EmulationError, match="died without replying"
+            ) as excinfo:
+                sharded.replay(
+                    app_packets(7, 600), offered_pps=1e6, batch=32
+                )
+            assert "repro-shard-1" in str(excinfo.value)
+        finally:
+            sharded.close()
+
+    def test_broadcast_retry_exhaustion(self, monkeypatch):
+        # A pipe that never becomes writable exhausts the bounded
+        # retry/backoff budget and classifies the worker, instead of
+        # blocking the broadcast forever.
+        telemetry = Telemetry()
+        sharded = make_sharded(
+            "l2l3_acl",
+            2,
+            options=fast_options(
+                send_timeout_s=0.05, send_retries=2
+            ),
+            telemetry=telemetry,
+        )
+        try:
+            monkeypatch.setattr(
+                ShardedEmulator,
+                "_wait_writable",
+                staticmethod(lambda conn, timeout_s: False),
+            )
+            with pytest.raises(EmulationError, match="unresponsive"):
+                sharded.emulator.flush_caches()
+            assert telemetry.registry.value(
+                "pipeleon_broadcast_retries_total", shard=0
+            ) == 2
+        finally:
+            monkeypatch.undo()
+            sharded.close()
+
+
+class TestDegradedRecovery:
+    def test_survivors_absorb_lost_shards_flows(self):
+        telemetry = Telemetry()
+        total = 600
+        sharded = make_sharded(
+            "l2l3_acl",
+            3,
+            options=fast_options(recovery="degraded"),
+            fault_plan=FaultPlan(
+                (FaultSpec("kill", shard=1, at_batch=1),)
+            ),
+            telemetry=telemetry,
+        )
+        try:
+            stats = sharded.replay(
+                app_packets(7, total), offered_pps=1e6, batch=32
+            )
+            # Every packet is either replayed by a survivor or
+            # accounted as lost with the dead shard — none vanish.
+            assert stats.lost_packets > 0
+            assert stats.packets == total - stats.lost_packets
+            assert sharded.degraded_shards == [1]
+            assert sharded.lost_packets == stats.lost_packets
+            degraded = telemetry.events.last("shard_degraded")
+            assert degraded is not None
+            assert degraded["shard"] == 1
+            assert degraded["survivors"] == 2
+            assert telemetry.registry.value(
+                "pipeleon_packets_lost_total", shard=1
+            ) == stats.lost_packets
+            assert "lost_packets" in stats.summary()
+            # The fleet keeps working: a subsequent replay routes the
+            # dead shard's flows to survivors from the start and loses
+            # nothing further.
+            second = sharded.replay(
+                app_packets(8, 400), offered_pps=1e6, batch=32
+            )
+            assert second.packets == 400
+            assert second.lost_packets == 0
+            assert sharded.lost_packets == stats.lost_packets
+        finally:
+            sharded.close()
+
+    def test_all_shards_lost_raises(self):
+        sharded = make_sharded(
+            "l2l3_acl",
+            2,
+            options=fast_options(recovery="degraded"),
+            fault_plan=FaultPlan(
+                (
+                    FaultSpec("kill", shard=0, at_batch=0),
+                    FaultSpec("kill", shard=1, at_batch=0),
+                )
+            ),
+        )
+        try:
+            with pytest.raises(EmulationError, match="no survivors"):
+                sharded.replay(
+                    app_packets(7, 600), offered_pps=1e6, batch=32
+                )
+        finally:
+            sharded.close()
+
+
+class TestDeterminism:
+    def run_once(self, seed: int):
+        telemetry = Telemetry()
+        plan = FaultPlan(
+            (FaultSpec("kill", shard=0), FaultSpec("hang", shard=1)),
+            seed=seed,
+        )
+        sharded = make_sharded(
+            "l2l3_acl",
+            2,
+            options=fast_options(
+                recovery="respawn", recv_timeout_s=1.0
+            ),
+            fault_plan=plan,
+            telemetry=telemetry,
+        )
+        try:
+            stats = sharded.replay(
+                app_packets(7, 600), offered_pps=1e6, batch=32
+            )
+            return (
+                stats_fingerprint(stats),
+                [spec.at_batch for spec in plan.specs],
+                event_kinds(telemetry, prefix="worker_"),
+            )
+        finally:
+            sharded.close()
+
+    def test_same_seed_same_failures_same_stats(self):
+        first = self.run_once(seed=3)
+        second = self.run_once(seed=3)
+        assert first == second
+
+
+class TestShardJournal:
+    def test_bounds_batches_only(self):
+        journal = ShardJournal(limit=2)
+        journal.append(("begin", 0.0, 1e6))
+        for index in range(4):
+            journal.append(("batch", ("py", []), None), n_packets=10)
+        journal.append(("flush",))
+        assert journal.batches == 2
+        assert journal.truncated
+        assert journal.dropped_batches == 2
+        assert journal.dropped_packets == 20
+        # Control messages are never evicted.
+        kinds = [message[0] for message, _ in journal.entries]
+        assert kinds[0] == "begin" and kinds[-1] == "flush"
+
+    def test_under_limit_keeps_everything(self):
+        journal = ShardJournal(limit=8)
+        for _ in range(3):
+            journal.append(("batch", ("py", []), None), n_packets=5)
+        assert not journal.truncated
+        assert journal.batches == 3

@@ -99,6 +99,25 @@ class TestRunStatsMerge:
         assert forward.total_latency_ns == backward.total_latency_ns
         assert forward._busy_ns == backward._busy_ns
 
+    def test_lost_packets_accumulate_across_merges(self):
+        # Degraded-mode accounting: lost_packets is an integer sum like
+        # every other aggregate, and tolerates older worker pickles
+        # that predate the field.
+        left, right = RunStats(), RunStats()
+        left.lost_packets = 32
+        right.lost_packets = 7
+        merged = RunStats().merge(left).merge(right)
+        assert merged.lost_packets == 39
+        legacy = RunStats()
+        del legacy.lost_packets
+        assert merged.merge(legacy).lost_packets == 39
+
+    def test_lost_packets_in_summary_only_when_nonzero(self):
+        stats = RunStats()
+        assert "lost_packets" not in stats.summary()
+        stats.lost_packets = 5
+        assert stats.summary()["lost_packets"] == 5.0
+
     def test_merge_after_read_invalidates_memo(self):
         stats = record_stream(
             RunStats(), [(100.0, 512, False, 0, 10.0, None)]
@@ -224,6 +243,21 @@ class TestRuntimeProfileMerge:
             assert merged.cache_hit_rates[cache] == pytest.approx(
                 rate, abs=1e-9
             )
+
+    def test_zero_count_side_keeps_key_union(self):
+        # Regression (hypothesis-found): a shard that saw zero packets
+        # for a table used to vanish from the merged action_probs key
+        # set — merging profiles then disagreed with profiling pooled
+        # counts. Zero-support sides must keep their keys at weight 0.
+        key = action_counter("mp_t0", "mp_t0_miss")
+        empty = profile_from_counts(PROGRAM, {key: 0})
+        busy = profile_from_counts(
+            PROGRAM, {action_counter("mp_t0", "mp_t0_a0"): 10}
+        )
+        for merged in (empty.merge(busy), busy.merge(empty)):
+            probs = merged.action_probs["mp_t0"]
+            assert probs["mp_t0_miss"] == 0.0
+            assert probs["mp_t0_a0"] == pytest.approx(1.0)
 
     def test_merge_is_associative(self):
         counts = [

@@ -268,6 +268,44 @@ class TestEventLog:
             ::-1
         ]
 
+    def test_merge_is_idempotent(self):
+        # Regression: merging the same shard's log after every
+        # collect() used to duplicate its entire history on each merge
+        # (and never advanced `emitted`). An event already present —
+        # same (ts_s, seq, source) — must be skipped.
+        mine = EventLog()
+        mine.emit("local")
+        foreign = [
+            {"seq": 0, "ts_s": 1.0, "kind": "remote", "source": "s0"},
+            {"seq": 1, "ts_s": 2.0, "kind": "remote", "source": "s0"},
+        ]
+        mine.merge(foreign)
+        assert len(mine) == 3
+        assert mine.emitted == 3
+        mine.merge(foreign)  # repeat merge: no duplicates
+        mine.merge(list(foreign))
+        assert len(mine) == 3
+        assert mine.emitted == 3
+        # A genuinely new event from the same source still lands.
+        mine.merge(
+            [{"seq": 2, "ts_s": 3.0, "kind": "remote", "source": "s0"}]
+        )
+        assert len(mine) == 4 and mine.emitted == 4
+
+    def test_merge_distinguishes_sources(self):
+        # Two emitters can collide on (ts_s, seq); the source stamp
+        # keeps their events distinct.
+        mine = EventLog()
+        mine.merge([{"seq": 0, "ts_s": 0.0, "kind": "a", "source": "s0"}])
+        mine.merge([{"seq": 0, "ts_s": 0.0, "kind": "b", "source": "s1"}])
+        assert sorted(e["kind"] for e in mine.events()) == ["a", "b"]
+
+    def test_source_stamped_into_emitted_events(self):
+        log = EventLog(source="shard-3")
+        event = log.emit("boot")
+        assert event["source"] == "shard-3"
+        assert EventLog().emit("boot").get("source") is None
+
     def test_observe_control_plane_records_mutations(self):
         program = linear_program("ev", 2)
         control_plane = ControlPlane(program, SimClock())
