@@ -1,21 +1,36 @@
 """Sharded replay throughput: single-core fast path vs N workers.
 
 Replays the same stream through a single-core ``Deployment`` and a
-``ShardedDeployment`` at 2 and 4 workers on ``l2l3_acl`` and writes the
-comparison to ``BENCH_sharded.json`` at the repo root (medians over
-``REPEATS`` runs, plus host metadata).
+``ShardedDeployment`` at 2 and 4 workers on ``l2l3_acl``, over **both
+transports** (``shm`` zero-copy rings and the legacy ``pipe``), and
+writes the comparison to ``BENCH_sharded.json`` at the repo root
+(medians over ``REPEATS`` runs, plus host metadata including the CPU
+affinity mask size).
 
-Two throughput figures are reported per worker count:
+Two throughput figures are reported per (transport, worker count):
 
-- ``wall_pps`` — honest wall-clock packets/s in this container. On a
-  single-CPU host the workers time-share one core, so wall-clock shows
-  the IPC overhead, not the parallel speedup.
+- ``wall_pps`` — honest wall-clock packets/s in this container. This is
+  where the transport shows up: the pipe pickles every batch through a
+  syscall, the shm rings hand the worker in-place numpy columns.
 - ``modeled_pps`` — critical-path throughput ``n_packets /
   max(worker_busy_s)`` where ``worker_busy_s`` is each worker's own
   ``time.process_time()`` over its shard. This is the throughput of the
   same fleet on a host with one core per worker (RSS-style dispatch is
   free on a real NIC), and is what the >=2.5x acceptance bar measures
   against the single-core fast path's CPU time.
+
+``modeled_vs_wall_gap`` (modeled / wall) is reported for every
+configuration: it is the fraction of the modeled speedup the host
+actually delivers, i.e. the serialization + scheduling tax this PR
+exists to shrink.
+
+Gating: the modeled bars always apply. The **wall-clock** bar
+(>= ``WALL_SPEEDUP_FLOOR``x over single-core at 4 workers, shm) only
+applies when the process may run on >= 4 CPUs — on smaller hosts the
+workers time-share cores and wall-clock measures the scheduler, not
+the transport — and the skip is loud: a ``"gated": false`` marker (with
+the reason) lands in ``BENCH_sharded.json`` and on stderr instead of a
+silently misleading number.
 
 Two measurement details keep the numbers stable on a noisy shared
 host. First, each worker's CPU time is taken from a run where only
@@ -30,12 +45,14 @@ speedup is the median of per-repeat ratios, which cancels background
 load drift between measurement windows.
 
 Differential tests (``tests/test_nic_sharding.py``) prove the sharded
-engine changes nothing observable.
+engine changes nothing observable; ``tests/test_shm_transport.py``
+proves the same over the shm rings specifically.
 """
 
 from __future__ import annotations
 
 import json
+import sys
 import time
 from pathlib import Path
 
@@ -51,9 +68,14 @@ from repro.traffic.generator import TrafficGenerator
 BENCH_JSON = Path(__file__).parent.parent / "BENCH_sharded.json"
 
 N_PACKETS = 20000
-REPEATS = 7
+REPEATS = 5
 WORKER_COUNTS = (2, 4)
 N_FLOWS = 1024
+TRANSPORTS = ("pipe", "shm")
+#: Wall-clock acceptance bar at 4 workers with shm, on capable hosts.
+WALL_SPEEDUP_FLOOR = 1.5
+#: CPUs the process must be allowed to run on before wall gating.
+WALL_GATE_MIN_CPUS = 4
 
 
 def _packets(n: int = N_PACKETS):
@@ -75,9 +97,12 @@ def _make_single() -> Deployment:
     return deployment
 
 
-def _make_sharded(n_workers: int) -> ShardedDeployment:
+def _make_sharded(n_workers: int, transport: str) -> ShardedDeployment:
     deployment = ShardedDeployment(
-        l2l3_acl.build_program(), BLUEFIELD2, n_workers=n_workers
+        l2l3_acl.build_program(),
+        BLUEFIELD2,
+        n_workers=n_workers,
+        transport=transport,
     )
     l2l3_acl.install_base_entries(deployment.control_plane)
     deployment.replay(_packets(500))  # warm every worker's fast path
@@ -105,85 +130,182 @@ def _isolated_max_busy(fleet: ShardedDeployment, n_workers: int) -> float:
 
 
 def test_bench_sharded_throughput():
+    host = host_metadata()
     single = _make_single()
-    fleets = {n: _make_sharded(n) for n in WORKER_COUNTS}
+    configs = [
+        (transport, n)
+        for transport in TRANSPORTS
+        for n in WORKER_COUNTS
+    ]
     samples = {
         "single_cpu_s": [],
         "single_wall_s": [],
-        **{n: {"busy_s": [], "wall_s": [], "ratio": []} for n in fleets},
+        **{
+            key: {
+                "busy_s": [],
+                "wall_s": [],
+                "ratio": [],
+                "wall_ratio": [],
+            }
+            for key in configs
+        },
     }
-    try:
-        for _ in range(REPEATS):
-            packets = _packets()
-            wall0 = time.perf_counter()
-            cpu0 = time.process_time()
-            single.replay(packets)
-            single_cpu_s = time.process_time() - cpu0
-            samples["single_cpu_s"].append(single_cpu_s)
-            samples["single_wall_s"].append(time.perf_counter() - wall0)
-            for n, fleet in fleets.items():
+    transport_stats = {}
+    # One fleet alive at a time: a fleet's idle workers still wake to
+    # poll, and on a time-shared host a dozen idle pollers perturb the
+    # very worker being measured. Each repeat still measures the
+    # single-core engine back to back with the fleet, so the per-repeat
+    # ratio cancels background drift.
+    for key in configs:
+        transport, n = key
+        fleet = _make_sharded(n, transport)
+        try:
+            for _ in range(REPEATS):
+                packets = _packets()
+                wall0 = time.perf_counter()
+                cpu0 = time.process_time()
+                single.replay(packets)
+                single_cpu_s = time.process_time() - cpu0
+                single_wall_s = time.perf_counter() - wall0
+                samples["single_cpu_s"].append(single_cpu_s)
+                samples["single_wall_s"].append(single_wall_s)
                 packets = _packets()
                 wall0 = time.perf_counter()
                 fleet.replay(packets)
                 wall_s = time.perf_counter() - wall0
                 busy_s = _isolated_max_busy(fleet, n)
-                samples[n]["busy_s"].append(busy_s)
-                samples[n]["wall_s"].append(wall_s)
-                samples[n]["ratio"].append(single_cpu_s / busy_s)
-    finally:
-        for fleet in fleets.values():
+                sample = samples[key]
+                sample["busy_s"].append(busy_s)
+                sample["wall_s"].append(wall_s)
+                sample["ratio"].append(single_cpu_s / busy_s)
+                sample["wall_ratio"].append(single_wall_s / wall_s)
+            transport_stats[key] = fleet.transport_stats()["totals"]
+        finally:
             fleet.close()
 
     single_result = {
         "cpu_pps": round(N_PACKETS / median(samples["single_cpu_s"])),
         "wall_pps": round(N_PACKETS / median(samples["single_wall_s"])),
     }
-    sharded_results = {}
-    for n in WORKER_COUNTS:
-        sample = samples[n]
-        sharded_results[str(n)] = {
-            "modeled_pps": round(N_PACKETS / median(sample["busy_s"])),
-            "wall_pps": round(N_PACKETS / median(sample["wall_s"])),
+    sharded_results: dict[str, dict] = {t: {} for t in TRANSPORTS}
+    for (transport, n), sample in (
+        (key, samples[key]) for key in configs
+    ):
+        modeled_pps = N_PACKETS / median(sample["busy_s"])
+        wall_pps = N_PACKETS / median(sample["wall_s"])
+        totals = transport_stats[(transport, n)]
+        sharded_results[transport][str(n)] = {
+            "modeled_pps": round(modeled_pps),
+            "wall_pps": round(wall_pps),
             "max_worker_busy_s": round(median(sample["busy_s"]), 4),
             "speedup_modeled": round(median(sample["ratio"]), 2),
+            "speedup_wall": round(median(sample["wall_ratio"]), 2),
+            # Fraction of the modeled speedup the host delivers in
+            # wall-clock terms: the serialization + scheduling tax.
+            "modeled_vs_wall_gap": round(modeled_pps / wall_pps, 2),
+            "ring_stalls": totals["stalls"],
+            "pipe_fallbacks": (
+                totals["fallback_encoding"]
+                + totals["fallback_capacity"]
+            ),
         }
+
+    wall_gated = host["affinity"] >= WALL_GATE_MIN_CPUS
+    wall_gate = {
+        "gated": wall_gated,
+        "floor": WALL_SPEEDUP_FLOOR,
+        "min_cpus": WALL_GATE_MIN_CPUS,
+        "affinity": host["affinity"],
+    }
+    if not wall_gated:
+        wall_gate["reason"] = (
+            f"host affinity {host['affinity']} < "
+            f"{WALL_GATE_MIN_CPUS} CPUs: workers time-share cores, "
+            "wall-clock measures the scheduler, not the transport"
+        )
     payload = {
-        "host": host_metadata(),
+        "host": host,
         "app": "l2l3_acl",
         "n_packets": N_PACKETS,
         "n_flows": N_FLOWS,
         "repeats": REPEATS,
+        "wall_gate": wall_gate,
         "single_core": single_result,
         "sharded": sharded_results,
     }
     BENCH_JSON.write_text(json.dumps(payload, indent=2) + "\n")
+
     rows = [
         (
             "1 (single)",
+            "-",
             single_result["cpu_pps"],
             single_result["wall_pps"],
+            1.0,
             1.0,
         )
     ]
     rows += [
         (
             f"{n} workers",
-            sharded_results[str(n)]["modeled_pps"],
-            sharded_results[str(n)]["wall_pps"],
-            sharded_results[str(n)]["speedup_modeled"],
+            transport,
+            sharded_results[transport][str(n)]["modeled_pps"],
+            sharded_results[transport][str(n)]["wall_pps"],
+            sharded_results[transport][str(n)]["speedup_modeled"],
+            sharded_results[transport][str(n)]["speedup_wall"],
         )
+        for transport in TRANSPORTS
         for n in WORKER_COUNTS
     ]
     emit(
         "BENCH_sharded",
         fmt_table(
-            ["config", "modeled_pps", "wall_pps", "speedup"], rows
+            [
+                "config",
+                "transport",
+                "modeled_pps",
+                "wall_pps",
+                "speedup",
+                "wall_speedup",
+            ],
+            rows,
         ),
     )
+
+    # Every configuration must report its modeled-vs-wall gap: the gap
+    # is the number this benchmark exists to track, for both transports.
+    for transport in TRANSPORTS:
+        for n in WORKER_COUNTS:
+            assert (
+                sharded_results[transport][str(n)]["modeled_vs_wall_gap"]
+                > 0
+            )
+
     # Acceptance bar: 4 workers beat the single-core fast path >=2.5x
-    # on the modeled critical path.
-    assert sharded_results["4"]["speedup_modeled"] >= 2.5
-    assert sharded_results["2"]["speedup_modeled"] > 1.0
+    # on the modeled critical path (transport-independent — the model
+    # excludes the transport by construction).
+    for transport in TRANSPORTS:
+        assert sharded_results[transport]["4"]["speedup_modeled"] >= 2.5
+        assert sharded_results[transport]["2"]["speedup_modeled"] > 1.0
+
+    # Wall-clock bar: shm at 4 workers must beat single-core wall time
+    # by WALL_SPEEDUP_FLOOR on hosts with enough CPUs. Loud skip
+    # otherwise — the JSON carries "gated": false with the reason.
+    if wall_gated:
+        assert (
+            sharded_results["shm"]["4"]["speedup_wall"]
+            >= WALL_SPEEDUP_FLOOR
+        ), (
+            "shm transport wall-clock speedup "
+            f"{sharded_results['shm']['4']['speedup_wall']} below "
+            f"{WALL_SPEEDUP_FLOOR}x at 4 workers"
+        )
+    else:
+        print(
+            "BENCH_sharded: wall-clock gate SKIPPED — "
+            + wall_gate["reason"],
+            file=sys.stderr,
+        )
 
 
 if __name__ == "__main__":

@@ -56,8 +56,16 @@ def host_metadata() -> dict:
     import os
     import platform
 
+    affinity = (
+        len(os.sched_getaffinity(0))
+        if hasattr(os, "sched_getaffinity")
+        else os.cpu_count()
+    )
     return {
         "cpu_count": os.cpu_count(),
+        # CPUs this process may actually run on (cgroup/taskset aware);
+        # wall-clock speedup gating keys off this, not cpu_count.
+        "affinity": affinity,
         "python": platform.python_version(),
         "platform": platform.platform(),
     }

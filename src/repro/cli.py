@@ -288,6 +288,7 @@ def cmd_replay(args: argparse.Namespace) -> int:
             telemetry=telemetry,
             supervisor=supervisor,
             fault_plan=fault_plan,
+            transport=args.transport,
         )
     else:
         deployment = Deployment(program, target, telemetry=telemetry)
@@ -316,6 +317,13 @@ def cmd_replay(args: argparse.Namespace) -> int:
             "throughput_gbps": stats.throughput_gbps(target),
         }
         if args.jobs > 1:
+            summary["transport"] = deployment.transport
+            transport_totals = deployment.transport_stats()["totals"]
+            summary["ring_stalls"] = transport_totals["stalls"]
+            summary["pipe_fallbacks"] = (
+                transport_totals["fallback_encoding"]
+                + transport_totals["fallback_capacity"]
+            )
             busy = deployment.emulator.worker_busy_s
             summary["worker_busy_s"] = busy
             critical = max(busy) if busy else 0.0
@@ -471,6 +479,14 @@ def build_parser() -> argparse.ArgumentParser:
         type=int,
         default=1,
         help="worker processes; 1 = in-process fast path",
+    )
+    replay.add_argument(
+        "--transport",
+        choices=("shm", "pipe"),
+        default="shm",
+        help="sharded data-plane transport: shm (zero-copy "
+        "shared-memory rings, default) or pipe (pickled batches "
+        "through the command pipe)",
     )
     replay.add_argument("--flows", type=int, default=256)
     replay.add_argument(

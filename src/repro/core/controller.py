@@ -106,6 +106,7 @@ class PipeleonController:
         telemetry=None,
         supervisor=None,
         fault_plan=None,
+        transport: str = "shm",
     ):
         if jobs < 1:
             raise ValueError("jobs must be >= 1")
@@ -116,6 +117,8 @@ class PipeleonController:
         #: workers, and a spec models one failure event.
         self.supervisor = supervisor
         self._fault_plan = fault_plan
+        #: Data-plane transport for sharded deployments ("shm"|"pipe").
+        self.transport = transport
         self.original = program
         self.target = target
         self.budget = budget or ResourceBudget()
@@ -280,6 +283,7 @@ class PipeleonController:
                 n_workers=self.jobs,
                 supervisor=self.supervisor,
                 fault_plan=fault_plan,
+                transport=self.transport,
                 **kwargs,
             )
         return Deployment(

@@ -73,6 +73,8 @@ class ShardedDeployment:
         telemetry=None,
         supervisor: Optional[SupervisorOptions] = None,
         fault_plan: Optional[FaultPlan] = None,
+        transport: str = "shm",
+        ring_slots: Optional[int] = None,
     ):
         # ``previous`` is accepted for signature parity with Deployment
         # but ignored: sharded redeploys cold-start caches (see module
@@ -111,7 +113,10 @@ class ShardedDeployment:
             options=supervisor,
             telemetry=telemetry,
             fault_plan=fault_plan,
+            transport=transport,
+            ring_slots=ring_slots,
         )
+        self.transport = self.emulator.transport
         self.control_plane.add_listener(self._on_update)
         self._closed = False
 
@@ -185,6 +190,10 @@ class ShardedDeployment:
     def lost_packets(self) -> int:
         """Cumulative packets lost with degraded shards."""
         return self.emulator.lost_packets
+
+    def transport_stats(self) -> dict:
+        """Ring/pipe dispatch counters (see ShardedEmulator)."""
+        return self.emulator.transport_stats()
 
     @property
     def tracer(self):

@@ -36,10 +36,27 @@ applied update epoch ``e`` before it replays any batch dispatched after
 applying a broadcast bumps the runtime table's version, and the next
 batch's ``emulator.fastpath`` access recompiles automatically.
 
-Packet batches cross the process boundary as numpy record blocks (one
-``int64`` value matrix plus field-name header per batch) rather than
-pickled ``Packet`` objects; a pure-python fallback covers packets with
-metadata, oversized values, or heterogeneous header sets.
+Transports (``transport="shm"|"pipe"``): by default packet batches
+cross the process boundary through per-shard shared-memory ring
+buffers (:mod:`repro.nic.shm_transport`) as struct-of-arrays records —
+no per-packet Python objects and no pickling on the hot path — with a
+matching result ring carrying per-packet outcome columns back to the
+parent. The pipe remains the control plane (broadcasts, supervision,
+journal replay) and the fallback data path for batches the SoA codec
+cannot express (metadata, oversized values, heterogeneous header
+sets) or that exceed the ring's slot geometry; fallbacks are counted
+per shard and reason. ``transport="pipe"`` restores the PR 2
+behaviour: numpy record blocks pickled through the command pipe.
+
+Splitting data from control traffic forfeits the single pipe's FIFO
+total order, so it is re-established with symmetric watermarks: every
+ring record carries the count of pipe messages sent before it, and
+every pipe message carries the ring's produced count at send time. A
+worker replays a ring batch only after processing that many pipe
+messages, and drains the ring to a pipe message's watermark before
+applying it — so a control update still lands before any batch
+dispatched after it, and ``end`` still follows every batch, exactly
+as on the single pipe.
 
 Fault tolerance (see DESIGN.md §12): every pipe interaction runs under
 a supervisor governed by :class:`SupervisorOptions`. Sends are
@@ -95,6 +112,14 @@ from repro.nic.emulator import NicEmulator
 from repro.nic.faults import FaultInjector, FaultPlan, FaultSpec
 from repro.nic.flow_cache import CacheStats
 from repro.nic.packet import Packet, PacketPool
+from repro.nic.shm_transport import (
+    DEFAULT_RING_SLOTS,
+    ShardChannel,
+    decode_names,
+    read_batch_record,
+    soa_encode,
+    write_result_record,
+)
 from repro.nic.stats import RunStats
 
 __all__ = [
@@ -122,7 +147,49 @@ _METRIC_HELP = {
     "pipeleon_broadcast_retries_total": (
         "Pipe send retries after a transient worker stall"
     ),
+    "pipeleon_ring_occupancy": (
+        "Data-ring occupancy fraction observed at each batch push"
+    ),
+    "pipeleon_ring_stalls_total": (
+        "Batch dispatches that stalled on a full data ring"
+    ),
+    "pipeleon_pipe_fallback_total": (
+        "Batches sent over the pickled pipe instead of the ring"
+    ),
 }
+
+_TRANSPORTS = ("pipe", "shm")
+
+#: Fraction buckets for the ring-occupancy histogram (eighths of the
+#: ring, matching the default slot count so each bucket is one slot).
+_OCCUPANCY_BUCKETS = tuple(i / 8 for i in range(1, 9))
+
+#: Worker-side poll cadence while idle between pipe messages (shm
+#: transport interleaves ring draining with pipe polling).
+_IDLE_POLL_S = 0.002
+#: Parent-side poll cadence while stalled on a full data ring.
+_STALL_POLL_S = 0.0005
+#: Worker bound on pushing an outcome record into a full result ring;
+#: the parent drains continuously, so expiry means it is gone or
+#: wedged — outcomes are observability, drop rather than deadlock.
+_RESULT_PUSH_TIMEOUT_S = 10.0
+#: Worker bound on waiting for a ring record the watermark protocol
+#: guarantees was published (expiry indicates transport corruption).
+_RING_SYNC_TIMEOUT_S = 5.0
+
+
+def _new_ring_stats() -> dict:
+    """Zeroed per-shard transport counters (plain, JSON-friendly)."""
+    return {
+        "pushed_batches": 0,
+        "pushed_packets": 0,
+        "stalls": 0,
+        "fallback_encoding": 0,
+        "fallback_capacity": 0,
+        "result_batches": 0,
+        "result_packets": 0,
+        "max_occupancy": 0.0,
+    }
 
 
 # ---------------------------------------------------------------------------
@@ -417,15 +484,23 @@ def _worker_main(
     fault_specs: Sequence[FaultSpec] = (),
     rebirth: bool = False,
     birth_tables=None,
+    channel: Optional[ShardChannel] = None,
 ) -> None:
     """Command loop for one shard worker.
 
-    Messages arrive strictly in the order the parent sent them; control
-    broadcasts therefore always take effect before any batch dispatched
-    after them. ``busy`` accounts the worker's own CPU time
-    (``time.process_time``: decode + replay + reply pickling, but not
-    time blocked on the pipe), which the throughput benchmark uses as
-    the critical-path denominator.
+    With the pipe transport every message (control and data) arrives
+    on ``conn`` strictly in send order. With the shm transport
+    (``channel`` given) data batches arrive on the channel's ring and
+    only control traffic uses the pipe, so FIFO order is re-established
+    by watermarks: a ring batch replays only once this worker has
+    processed the pipe messages counted in its ``pipe_watermark``, and
+    the ring is drained to a pipe message's ring watermark before that
+    message is applied (see the module docstring).
+
+    ``busy`` accounts the worker's own CPU time (``time.process_time``:
+    decode + replay + reply pickling, but not time blocked on the pipe
+    or ring), which the throughput benchmark uses as the critical-path
+    denominator.
 
     ``fault_specs`` arms a :class:`FaultInjector` for deterministic
     failure testing; respawned workers (``rebirth=True``) are armed
@@ -440,30 +515,118 @@ def _worker_main(
         stats: Optional[RunStats] = None
         busy = 0.0
         epoch = 0
+        pipe_seen = 0  # pipe messages fully processed
+        batch_ordinal = 0  # batches replayed since begin (both paths)
+        names_memo: dict[bytes, tuple[str, ...]] = {}
 
         def reply(payload) -> None:
             if injector is None or injector.should_reply():
                 conn.send(payload)
 
+        def push_outcomes(packets: list[Packet], n_before: int) -> None:
+            deadline = time.monotonic() + _RESULT_PUSH_TIMEOUT_S
+            while not write_result_record(
+                channel.results,
+                batch_ordinal,
+                stats._latencies[n_before:],
+                (p.egress_port for p in packets),
+                (p.dropped for p in packets),
+                len(packets),
+            ):
+                if time.monotonic() >= deadline:
+                    return
+                time.sleep(0.001)
+
+        def replay_packets(packets: list[Packet], timestamps) -> None:
+            nonlocal stats, batch_ordinal
+            if injector is not None:
+                injector.before_batch(len(packets))
+            if stats is None:
+                stats = RunStats()
+            n_before = len(stats._latencies)
+            engine = emulator.fastpath  # recompiles if stale
+            engine.replay_batch(packets, stats, timestamps=timestamps)
+            if channel is not None:
+                push_outcomes(packets, n_before)
+            batch_ordinal += 1
+            for packet in packets:
+                pool.release(packet)
+
+        def replay_ring_head(record) -> None:
+            _wm, blob, values, sizes, ts = read_batch_record(record)
+            names = names_memo.get(blob)
+            if names is None:
+                names = names_memo[blob] = decode_names(blob)
+            packets: list[Packet] = []
+            for row, size in zip(values.T.tolist(), sizes.tolist()):
+                packet = pool.acquire(size)
+                packet.fields = dict(zip(names, row))
+                packets.append(packet)
+            timestamps = ts.tolist() if ts is not None else None
+            # Advance before replaying: the rows were copied out, the
+            # slot can be refilled while this batch replays, and the
+            # consumer cursor doubles as the supervisor's (and the
+            # dispatcher's backpressure) progress signal.
+            channel.data.advance()
+            replay_packets(packets, timestamps)
+
+        def drain_ready() -> bool:
+            """Replay every ring batch whose pipe watermark is met."""
+            nonlocal busy
+            did = False
+            while True:
+                record = channel.data.peek()
+                if record is None or record.meta[2] > pipe_seen:
+                    return did
+                start = time.process_time()
+                replay_ring_head(record)
+                busy += time.process_time() - start
+                did = True
+
+        def drain_to(ring_watermark: int) -> None:
+            """Replay ring batches published before a pipe message."""
+            nonlocal busy
+            deadline = time.monotonic() + _RING_SYNC_TIMEOUT_S
+            while channel.data.consumed < ring_watermark:
+                record = channel.data.peek()
+                if record is None:
+                    # Publish happens-before the pipe send, so the
+                    # record must be visible; a persistent miss is a
+                    # transport protocol violation, not a slow parent.
+                    if time.monotonic() >= deadline:
+                        raise EmulationError(
+                            f"shard {shard_index}: ring consumed "
+                            f"{channel.data.consumed} but the pipe "
+                            f"watermark promises {ring_watermark} "
+                            "published records"
+                        )
+                    time.sleep(0.0002)
+                    continue
+                start = time.process_time()
+                replay_ring_head(record)
+                busy += time.process_time() - start
+
         while True:
+            if channel is not None:
+                drained = drain_ready()
+                try:
+                    if not conn.poll(0.0 if drained else _IDLE_POLL_S):
+                        continue
+                except (EOFError, OSError):
+                    break  # parent went away
             message = conn.recv()
             op = message[0]
+            if channel is not None:
+                drain_to(message[-1])
+            pipe_seen += 1
             start = time.process_time()
             if op == "batch":
                 packets = decode_batch(message[1], pool)
-                if injector is not None:
-                    injector.before_batch(len(packets))
-                if stats is None:
-                    stats = RunStats()
-                engine = emulator.fastpath  # recompiles if stale
-                engine.replay_batch(
-                    packets, stats, timestamps=message[2]
-                )
-                for packet in packets:
-                    pool.release(packet)
+                replay_packets(packets, message[2])
             elif op == "begin":
                 stats = RunStats()
                 busy = 0.0
+                batch_ordinal = 0
             elif op == "end":
                 busy += time.process_time() - start
                 reply(
@@ -531,6 +694,10 @@ def _worker_main(
         except (BrokenPipeError, OSError):  # pragma: no cover
             pass
     finally:
+        if channel is not None:
+            # Forked consumer: drop the mapping only; the parent owns
+            # the segments and unlinks them.
+            channel.close(unlink=False)
         conn.close()
 
 
@@ -573,11 +740,24 @@ class ShardedEmulator:
         options: Optional[SupervisorOptions] = None,
         telemetry=None,
         fault_plan: Optional[FaultPlan] = None,
+        transport: str = "shm",
+        ring_slots: Optional[int] = None,
     ):
         if n_workers < 1:
             raise ValueError("n_workers must be >= 1")
         if batch < 1:
             raise ValueError("batch must be >= 1")
+        if transport not in _TRANSPORTS:
+            raise ValueError(
+                f"Unknown transport {transport!r}; expected one of "
+                f"{', '.join(_TRANSPORTS)}"
+            )
+        if ring_slots is not None and ring_slots < 1:
+            raise ValueError("ring_slots must be >= 1")
+        self.transport = transport
+        self._ring_slots = (
+            ring_slots if ring_slots is not None else DEFAULT_RING_SLOTS
+        )
         if (emulator is None) == (factory is None):
             raise ValueError(
                 "Pass exactly one of a template emulator or a factory"
@@ -637,6 +817,16 @@ class ShardedEmulator:
         ]
         self._dead = [False] * n_workers
         self._dispatched_since_begin = [0] * n_workers
+        #: Pipe messages successfully sent per shard: the watermark
+        #: stamped into every ring record (see module docstring).
+        self._pipe_sent = [0] * n_workers
+        #: Per-shard transport counters (see :func:`_new_ring_stats`);
+        #: aggregated by :meth:`transport_stats`.
+        self.ring_stats = [_new_ring_stats() for _ in range(n_workers)]
+        #: Optional callable ``(shard, batch_ordinal, latencies,
+        #: egress, dropped)`` receiving per-packet outcome columns as
+        #: the result rings drain (shm transport only).
+        self.outcome_sink = None
         self._lost_this_replay = 0
         self._in_replay = False
         self._closed = False
@@ -649,10 +839,12 @@ class ShardedEmulator:
         self._context = context
         self._conns = []
         self._procs = []
+        self._channels: list[Optional[ShardChannel]] = []
         for shard in range(n_workers):
-            conn, process = self._spawn(shard)
+            conn, process, channel = self._spawn(shard)
             self._conns.append(conn)
             self._procs.append(process)
+            self._channels.append(channel)
         # Guaranteed teardown: if the owner never calls close() (e.g. a
         # mid-replay exception unwinds past it), interpreter exit still
         # reaps the forked workers instead of leaking them.
@@ -662,6 +854,11 @@ class ShardedEmulator:
         fault_specs: tuple[FaultSpec, ...] = ()
         if not rebirth and self._fault_plan is not None:
             fault_specs = self._fault_plan.for_shard(shard)
+        channel = None
+        if self.transport == "shm":
+            # Created before the fork so the worker inherits the very
+            # same mapping — no attach handshake, no name exchange.
+            channel = ShardChannel(self.batch, slots=self._ring_slots)
         parent_conn, child_conn = self._context.Pipe()
         process = self._context.Process(
             target=_worker_main,
@@ -672,13 +869,14 @@ class ShardedEmulator:
                 fault_specs,
                 rebirth,
                 self._birth_tables if rebirth else None,
+                channel,
             ),
             daemon=True,
             name=f"repro-shard-{shard}",
         )
         process.start()
         child_conn.close()
-        return parent_conn, process
+        return parent_conn, process, channel
 
     # -- lifecycle ---------------------------------------------------------
 
@@ -711,13 +909,19 @@ class ShardedEmulator:
         except Exception:  # pragma: no cover - interpreter teardown
             pass
         timeout = self.options.close_timeout_s
+        try:
+            # Free any worker spinning on a full result ring so the
+            # close handshake can reach it.
+            self._drain_all_results()
+        except Exception:  # pragma: no cover - teardown best effort
+            pass
         handshook = []
         for shard, conn in enumerate(self._conns):
             if self._dead[shard]:
                 continue
             try:
                 if self._wait_writable(conn, timeout):
-                    conn.send(("close",))
+                    conn.send(("close", self._ring_watermark(shard)))
                     handshook.append(shard)
             except (BrokenPipeError, OSError):
                 pass
@@ -741,6 +945,10 @@ class ShardedEmulator:
                 if process.is_alive():  # pragma: no cover - kill-proof
                     process.kill()
                     process.join(timeout=1.0)
+        for shard, channel in enumerate(self._channels):
+            if channel is not None:
+                self._channels[shard] = None
+                channel.close(unlink=True)
 
     def _check_open(self) -> None:
         if self._closed:
@@ -770,6 +978,85 @@ class ShardedEmulator:
 
     def _survivors(self) -> list[int]:
         return [s for s in range(self.n_workers) if not self._dead[s]]
+
+    # -- transport primitives ----------------------------------------------
+
+    def _ring_watermark(self, shard: int) -> int:
+        """Ring records published to this shard (stamped on pipe sends)."""
+        channel = self._channels[shard]
+        return channel.data.produced if channel is not None else 0
+
+    def _progress_token(self, shard: int):
+        """Worker-side cursors; any advance proves the worker is alive.
+
+        A worker draining a full ring (or streaming outcome records)
+        can be pipe-silent for arbitrarily long, so the hung deadline
+        measures silence since the *last observed progress* — consumer
+        cursor or result production advance — not since the request.
+        With the pipe transport there are no rings: the token is
+        constant and the deadline degenerates to the plain reply
+        deadline.
+        """
+        channel = self._channels[shard]
+        if channel is None:
+            return None
+        return (channel.data.consumed, channel.results.produced)
+
+    def _drain_results(self, shard: int) -> bool:
+        """Consume the shard's ready outcome records; True if any."""
+        channel = self._channels[shard]
+        if channel is None:
+            return False
+        sink = None
+        if self.outcome_sink is not None:
+            outcome_sink = self.outcome_sink
+
+            def sink(ordinal, latencies, egress, dropped):
+                outcome_sink(shard, ordinal, latencies, egress, dropped)
+
+        batches, packets = channel.drain_results(sink)
+        if batches:
+            stats = self.ring_stats[shard]
+            stats["result_batches"] += batches
+            stats["result_packets"] += packets
+        return batches > 0
+
+    def _drain_all_results(self) -> None:
+        for shard in range(self.n_workers):
+            self._drain_results(shard)
+
+    def _observe_occupancy(self, shard: int, occupancy: float) -> None:
+        if self.telemetry is not None:
+            self.telemetry.registry.observe(
+                "pipeleon_ring_occupancy",
+                occupancy,
+                help=_METRIC_HELP["pipeleon_ring_occupancy"],
+                buckets=_OCCUPANCY_BUCKETS,
+                shard=shard,
+            )
+
+    def _count_fallback(self, shard: int, reason: str) -> None:
+        self.ring_stats[shard][f"fallback_{reason}"] += 1
+        self._count(
+            "pipeleon_pipe_fallback_total", shard=shard, reason=reason
+        )
+
+    def transport_stats(self) -> dict:
+        """Transport-level dispatch counters, merged and per shard."""
+        per_shard = [dict(stats) for stats in self.ring_stats]
+        totals = _new_ring_stats()
+        for stats in per_shard:
+            for key, value in stats.items():
+                if key == "max_occupancy":
+                    totals[key] = max(totals[key], value)
+                else:
+                    totals[key] += value
+        return {
+            "transport": self.transport,
+            "ring_slots": self._ring_slots,
+            "totals": totals,
+            "per_shard": per_shard,
+        }
 
     def _guarded_send(
         self,
@@ -813,7 +1100,14 @@ class ShardedEmulator:
                     kind = "hung"
                     continue
                 try:
-                    conn.send(message)
+                    # Every pipe message carries the shard's ring
+                    # watermark as its final element; the journal keeps
+                    # the canonical unstamped form (replay re-stamps
+                    # against the fresh ring).
+                    conn.send(
+                        message + (self._ring_watermark(shard),)
+                    )
+                    self._pipe_sent[shard] += 1
                     return True
                 except (BrokenPipeError, OSError):
                     kind = "dead"
@@ -839,19 +1133,32 @@ class ShardedEmulator:
         Polls on a heartbeat so a dead process is noticed immediately
         rather than at ``recv_timeout_s``. A reply later than
         ``slow_after_s`` emits a one-shot ``worker_slow`` event but is
-        still waited for; past ``recv_timeout_s`` the worker is
-        classified (hung if alive, dead otherwise) and a
-        :class:`_WorkerGone` is raised for the caller's recovery
-        policy. A worker ``error`` reply is a deterministic program
-        error — respawning would just replay it — so it raises
-        :class:`EmulationError` regardless of recovery mode.
+        still waited for; a worker *silent and progress-free* past
+        ``recv_timeout_s`` is classified (hung if alive, dead
+        otherwise) and a :class:`_WorkerGone` is raised for the
+        caller's recovery policy. Progress is the shm transport's
+        worker-side cursor token (:meth:`_progress_token`): a worker
+        still draining a full ring keeps resetting its deadline
+        instead of being misclassified as hung. A worker ``error``
+        reply is a deterministic program error — respawning would just
+        replay it — so it raises :class:`EmulationError` regardless of
+        recovery mode.
         """
         opts = self.options
         conn = self._conns[shard]
         process = self._procs[shard]
         start = time.monotonic()
+        last_progress = start
+        progress = self._progress_token(shard)
         slow_reported = False
         while True:
+            # Keep the result ring drained so the worker can never
+            # block on outcomes while we wait for its reply.
+            self._drain_results(shard)
+            token = self._progress_token(shard)
+            if token != progress:
+                progress = token
+                last_progress = time.monotonic()
             try:
                 ready = conn.poll(opts.heartbeat_interval_s)
             except (EOFError, OSError):
@@ -903,7 +1210,7 @@ class ShardedEmulator:
                     kind="slow",
                     shard=shard,
                 )
-            if elapsed >= opts.recv_timeout_s:
+            if time.monotonic() - last_progress >= opts.recv_timeout_s:
                 raise _WorkerGone("hung", elapsed)
 
     def _handle_failure(
@@ -989,10 +1296,19 @@ class ShardedEmulator:
         """Terminate-then-respawn: rebuild the shard from its journal."""
         journal = self._journals[shard]
         self._reap(shard)
+        old_channel = self._channels[shard]
+        self._channels[shard] = None
+        if old_channel is not None:
+            # In-flight ring records died with the worker; the journal
+            # holds every batch, so discard the old segments and start
+            # the fresh worker on fresh (zeroed) rings.
+            old_channel.close(unlink=True)
         self.respawns[shard] += 1
-        conn, process = self._spawn(shard, rebirth=True)
+        conn, process, channel = self._spawn(shard, rebirth=True)
         self._conns[shard] = conn
         self._procs[shard] = process
+        self._channels[shard] = channel
+        self._pipe_sent[shard] = 0
         self._count("pipeleon_worker_respawns_total", shard=shard)
         self._emit(
             "worker_respawned",
@@ -1025,11 +1341,17 @@ class ShardedEmulator:
         """
         conn = self._conns[shard]
         timeout = self.options.send_timeout_s
-        for message, _count in self._journals[shard].entries:
+        for message, _n in self._journals[shard].entries:
             delivered = False
             if self._wait_writable(conn, timeout):
                 try:
-                    conn.send(message)
+                    # Journal replay is the cold path: every message —
+                    # batches included — travels the pipe, stamped
+                    # against the fresh (empty) ring.
+                    conn.send(
+                        message + (self._ring_watermark(shard),)
+                    )
+                    self._pipe_sent[shard] += 1
                     delivered = True
                 except (BrokenPipeError, OSError):
                     pass
@@ -1043,6 +1365,10 @@ class ShardedEmulator:
     def _degrade(self, shard: int, *, kind: str, context: str) -> None:
         """Mark a shard dead; future flows reroute to the survivors."""
         self._reap(shard)
+        channel = self._channels[shard]
+        self._channels[shard] = None
+        if channel is not None:
+            channel.close(unlink=True)
         self._dead[shard] = True
         survivors = self._survivors()
         if not survivors:
@@ -1334,6 +1660,9 @@ class ShardedEmulator:
                 merged.merge(worker_stats)
                 states.append(state)
                 self.worker_busy_s[shard] = busy
+            # Workers publish every outcome record before replying to
+            # ``end``; one final drain leaves the result rings empty.
+            self._drain_all_results()
         finally:
             self._in_replay = False
         merged.lost_packets += self._lost_this_replay
@@ -1354,13 +1683,7 @@ class ShardedEmulator:
             ts = timestamps[shard]
             timestamps[shard] = []
         if not self._dead[shard]:
-            payload = encode_batch(buffer)
-            delivered = self._guarded_send(
-                shard,
-                ("batch", payload, ts),
-                context="batch dispatch",
-                n_packets=len(buffer),
-            )
+            delivered = self._dispatch_batch(shard, buffer, ts)
             if delivered:
                 self._dispatched_since_begin[shard] += len(buffer)
                 if packet_pool is not None:
@@ -1377,3 +1700,157 @@ class ShardedEmulator:
             buffers[target].append(packet)
             if ts is not None:
                 timestamps[target].append(ts[index])
+
+    def _dispatch_batch(
+        self,
+        shard: int,
+        buffer: list[Packet],
+        ts: Optional[list[float]],
+    ) -> bool:
+        """Deliver one batch over the shard's transport.
+
+        shm path: SoA-encode and push into the shard's data ring,
+        journaling the equivalent pipe message first so respawn replay
+        works unchanged. Falls back to the pipe — counted, per
+        reason — when the batch is not SoA-encodable (metadata, mixed
+        header sets, out-of-range values; ``reason="encoding"``) or
+        exceeds the slot geometry (``reason="capacity"``). Returns
+        False only when the shard degraded mid-dispatch.
+        """
+        channel = self._channels[shard]
+        if channel is not None:
+            encoded = soa_encode(buffer)
+            if encoded is None:
+                self._count_fallback(shard, "encoding")
+            else:
+                names, rows, sizes = encoded
+                blob = channel.names_blob(names)
+                if not channel.batch_fits(
+                    rows.shape[0], rows.shape[1], len(blob)
+                ):
+                    self._count_fallback(shard, "capacity")
+                else:
+                    if self._journaling:
+                        self._journals[shard].append(
+                            ("batch", ("np", names, rows, sizes), ts),
+                            len(buffer),
+                        )
+                    return self._push_batch_supervised(
+                        shard,
+                        names,
+                        rows,
+                        sizes,
+                        ts,
+                        n_packets=len(buffer),
+                    )
+        payload = encode_batch(buffer)
+        return self._guarded_send(
+            shard,
+            ("batch", payload, ts),
+            context="batch dispatch",
+            n_packets=len(buffer),
+        )
+
+    def _push_batch_supervised(
+        self,
+        shard: int,
+        names: tuple[str, ...],
+        rows: np.ndarray,
+        sizes: np.ndarray,
+        ts: Optional[list[float]],
+        *,
+        n_packets: int,
+    ) -> bool:
+        """Push one SoA batch into the shard's data ring (backpressure).
+
+        A full ring stalls the dispatcher (counted once per batch) in
+        a poll loop under the same supervision contract as a pipe
+        recv, with the hung deadline measured from the *consumer
+        cursor's* last advance — a worker steadily draining a full
+        ring is healthy however long the stall lasts. Death and
+        deadline escalate through :meth:`_handle_failure`; after a
+        respawn the journal replay has already delivered this batch.
+        Returns False only when the shard degraded.
+        """
+        opts = self.options
+        stalled = False
+        slow_reported = False
+        while True:
+            channel = self._channels[shard]
+            process = self._procs[shard]
+            start = time.monotonic()
+            last_progress = start
+            consumed = channel.data.consumed
+            kind = None
+            while True:
+                if channel.try_push_batch(
+                    names, rows, sizes, ts, self._pipe_sent[shard]
+                ):
+                    stats = self.ring_stats[shard]
+                    stats["pushed_batches"] += 1
+                    stats["pushed_packets"] += n_packets
+                    occupancy = channel.data.occupancy()
+                    if occupancy > stats["max_occupancy"]:
+                        stats["max_occupancy"] = occupancy
+                    self._observe_occupancy(shard, occupancy)
+                    if slow_reported:
+                        self._emit(
+                            "worker_recovered",
+                            shard=shard,
+                            state="slow",
+                            context="batch dispatch",
+                            elapsed_s=round(
+                                time.monotonic() - start, 3
+                            ),
+                        )
+                    return True
+                if not stalled:
+                    stalled = True
+                    self.ring_stats[shard]["stalls"] += 1
+                    self._count(
+                        "pipeleon_ring_stalls_total", shard=shard
+                    )
+                self._drain_results(shard)
+                now = time.monotonic()
+                cursor = channel.data.consumed
+                if cursor != consumed:
+                    consumed = cursor
+                    last_progress = now
+                if not process.is_alive():
+                    kind = "dead"
+                    break
+                if not slow_reported and (
+                    now - start >= opts.slow_after_s
+                ):
+                    # The same contract as a slow reply: report a
+                    # stall past slow_after_s, keep waiting.
+                    slow_reported = True
+                    self._emit(
+                        "worker_slow",
+                        shard=shard,
+                        context="batch dispatch",
+                        elapsed_s=round(now - start, 3),
+                    )
+                    self._count(
+                        "pipeleon_worker_faults_total",
+                        kind="slow",
+                        shard=shard,
+                    )
+                if now - last_progress >= opts.recv_timeout_s:
+                    kind = "hung"
+                    break
+                time.sleep(_STALL_POLL_S)
+            if not self._handle_failure(
+                shard,
+                kind,
+                context="batch dispatch",
+                elapsed_s=time.monotonic() - start,
+            ):
+                return False  # degraded: the caller reroutes the batch
+            if self._journaling:
+                # The journal replay already delivered this batch to
+                # the respawned worker.
+                return True
+            # Defensive: a respawn without journaling (not a
+            # configuration that exists today) re-pushes on the fresh
+            # ring.

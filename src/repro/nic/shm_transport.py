@@ -1,0 +1,695 @@
+"""Zero-copy shared-memory transport for the sharded replay engine.
+
+The pipe transport (PR 2) pickles every packet batch into a worker's
+command pipe and unpickles it on the other side: at the packet rates the
+sharded engine targets, those copies and syscalls *are* the workload —
+``BENCH_sharded.json``'s wall-clock throughput fell below single-core
+while its modeled speedup said 2.79x. This module removes the
+serialization tax: per-shard **single-producer/single-consumer ring
+buffers** in ``multiprocessing.shared_memory``, carrying
+struct-of-arrays packet batches that the parent writes in place and the
+worker reads in place. No per-packet Python objects and no pickle bytes
+cross the process boundary on the hot path; pipes remain for the
+control plane (broadcasts, supervision, journal replay — see
+:mod:`repro.nic.sharding`).
+
+Ring layout (one shared-memory segment per ring)::
+
+    [ control block: 128 B ]  word 0: produced count, word 8: consumed
+    [ slot 0: slot_bytes    ]  record headers are 64 B (8 int64 words)
+    [ slot 1: slot_bytes    ]
+    ...
+
+Records live at ``slot = index % slots``; the ring holds at most
+``slots`` uncommitted-to-consumed records, so producer and consumer
+never touch the same slot concurrently. A record is *published* by the
+producer's single aligned ``produced`` store after its payload and
+header are fully written; the consumer additionally validates two
+stamps — the record's own index (word 0) and a commit word
+(``index ^ COMMIT_MAGIC``, written last) — so a torn or stale slot is
+detected (:class:`TornRecordError`) instead of silently decoded.
+
+Batch records are struct-of-arrays: one contiguous ``int64`` row per
+packet *field* (a ``(n_fields, n_packets)`` field-major matrix — each
+field a contiguous numpy slice, exactly the substrate a columnar
+execution tier consumes), plus ``int32`` sizes and optional ``float64``
+timestamps. Field names travel as one small utf-8 blob per batch (not
+per packet) and are memoized by the consumer. Result records flow the
+other way on a second ring: per-packet latency/egress/dropped columns
+so the parent can observe outcomes and progress without a single
+pickled reply.
+
+Cleanup: every segment created here is registered in a process-local
+table and unlinked both on :meth:`ShmRing.close` and from an ``atexit``
+hook, so an interrupted run (Ctrl-C mid-replay, a CI job killed between
+steps) does not leak ``/dev/shm`` segments. Forked workers inherit the
+mapping but never unlink — the hook is a no-op outside the creating
+process.
+"""
+
+from __future__ import annotations
+
+import atexit
+import os
+from multiprocessing import shared_memory
+from typing import Callable, Iterable, Optional, Sequence
+
+import numpy as np
+
+from repro.errors import EmulationError
+from repro.nic.packet import Packet
+
+__all__ = [
+    "BATCH_RECORD",
+    "RESULT_RECORD",
+    "ShardChannel",
+    "ShmRing",
+    "TornRecordError",
+    "batch_record_bytes",
+    "data_slot_bytes",
+    "result_slot_bytes",
+    "soa_encode",
+]
+
+#: Record kinds (header word 1).
+BATCH_RECORD = 1
+RESULT_RECORD = 2
+
+#: XOR'd into a record's index to form its commit stamp (header word 7).
+#: Any value with high bits set works; it only needs to make a stale or
+#: half-written header fail the ``commit == index ^ MAGIC`` check.
+COMMIT_MAGIC = 0x5A5AC3C3A5A53C3C
+
+#: Ring control block size (producer and consumer words a cache line
+#: apart) and per-record header size.
+CTRL_BYTES = 128
+RECORD_HEADER_BYTES = 64
+
+#: Default ring depth: batches in flight per shard before the producer
+#: stalls. Deep enough to keep a worker fed across scheduling jitter,
+#: shallow enough that backpressure reaches the dispatcher quickly.
+DEFAULT_RING_SLOTS = 8
+
+#: Sizing assumptions for :func:`data_slot_bytes`. A batch whose
+#: geometry exceeds the slot falls back to the pipe (counted, loud) —
+#: the ring never rejects traffic, it just stops being the fast path.
+DEFAULT_MAX_FIELDS = 32
+NAMES_BUDGET_BYTES = 512
+
+
+class TornRecordError(EmulationError):
+    """A ring record failed its integrity stamps (torn or stale write)."""
+
+
+def _align8(n: int) -> int:
+    return (n + 7) & ~7
+
+
+# ---------------------------------------------------------------------------
+# Geometry
+# ---------------------------------------------------------------------------
+
+
+def batch_record_bytes(
+    n_packets: int,
+    n_fields: int,
+    names_len: int,
+    timestamps: bool,
+) -> int:
+    """Payload bytes one SoA batch record needs (excluding the header)."""
+    total = _align8(names_len)
+    total += 8 * n_fields * n_packets  # field-major int64 value matrix
+    total += _align8(4 * n_packets)  # int32 sizes
+    if timestamps:
+        total += 8 * n_packets  # float64 absolute clock times
+    return total
+
+
+def data_slot_bytes(
+    batch: int,
+    max_fields: int = DEFAULT_MAX_FIELDS,
+    names_budget: int = NAMES_BUDGET_BYTES,
+) -> int:
+    """Slot size fitting a ``batch``-packet SoA record with headroom."""
+    payload = batch_record_bytes(batch, max_fields, names_budget, True)
+    return RECORD_HEADER_BYTES + _align8(payload)
+
+
+def result_slot_bytes(batch: int) -> int:
+    """Slot size for one batch's per-packet outcome columns."""
+    payload = 8 * batch + _align8(4 * batch) + _align8(batch)
+    return RECORD_HEADER_BYTES + _align8(payload)
+
+
+# ---------------------------------------------------------------------------
+# Segment cleanup registry
+# ---------------------------------------------------------------------------
+
+#: Segments created by this process, unlinked on close or at exit.
+_CREATED: dict[str, shared_memory.SharedMemory] = {}
+_CREATOR_PID = os.getpid()
+_ATEXIT_ARMED = False
+
+
+def _cleanup_segments() -> None:
+    """Unlink every segment this process created and never closed.
+
+    Forked children inherit this hook (and the ``_CREATED`` table) but
+    must not unlink segments the parent still uses, hence the pid guard.
+    """
+    if os.getpid() != _CREATOR_PID:
+        return
+    for segment in list(_CREATED.values()):
+        try:
+            segment.close()
+        except Exception:
+            pass
+        try:
+            segment.unlink()
+        except FileNotFoundError:
+            pass
+        except Exception:
+            pass
+    _CREATED.clear()
+
+
+def _register_segment(segment: shared_memory.SharedMemory) -> None:
+    global _ATEXIT_ARMED
+    if not _ATEXIT_ARMED:
+        atexit.register(_cleanup_segments)
+        _ATEXIT_ARMED = True
+    _CREATED[segment.name] = segment
+
+
+# ---------------------------------------------------------------------------
+# The ring
+# ---------------------------------------------------------------------------
+
+
+class RecordView:
+    """A zero-copy view of the ring's head record (valid until advance)."""
+
+    __slots__ = ("index", "kind", "meta", "payload")
+
+    def __init__(
+        self,
+        index: int,
+        kind: int,
+        meta: tuple[int, int, int, int, int],
+        payload: memoryview,
+    ):
+        self.index = index
+        self.kind = kind
+        #: Five int64 header words (meaning depends on ``kind``).
+        self.meta = meta
+        self.payload = payload
+
+
+class ShmRing:
+    """Fixed-slot SPSC record ring over one shared-memory segment.
+
+    Exactly one producer process and one consumer process; with the
+    ``fork`` start method both sides use the very same mapping, so a
+    push is a header write plus in-place payload stores — no copies, no
+    syscalls, no pickling. ``try_push`` returns ``False`` when all
+    ``slots`` are occupied (backpressure is the caller's policy);
+    ``peek``/``advance`` consume without copying the payload.
+    """
+
+    def __init__(
+        self,
+        slots: int,
+        slot_bytes: int,
+        *,
+        _segment: Optional[shared_memory.SharedMemory] = None,
+    ):
+        if slots < 1:
+            raise ValueError("slots must be >= 1")
+        if slot_bytes < RECORD_HEADER_BYTES + 8 or slot_bytes % 8:
+            raise ValueError(
+                "slot_bytes must be a multiple of 8 and leave payload "
+                f"room past the {RECORD_HEADER_BYTES}-byte header"
+            )
+        self.slots = slots
+        self.slot_bytes = slot_bytes
+        size = CTRL_BYTES + slots * slot_bytes
+        if _segment is None:
+            _segment = shared_memory.SharedMemory(create=True, size=size)
+            _register_segment(_segment)
+            # Fresh segments are zero-filled by the kernel; produced ==
+            # consumed == 0 and no slot can pass the commit check.
+        self._segment = _segment
+        self.name = _segment.name
+        self._closed = False
+        buf = _segment.buf
+        self._ctrl = np.ndarray((16,), dtype=np.int64, buffer=buf)
+        self._data = buf
+
+    # -- cursors -----------------------------------------------------------
+
+    @property
+    def produced(self) -> int:
+        return int(self._ctrl[0])
+
+    @property
+    def consumed(self) -> int:
+        return int(self._ctrl[8])
+
+    def __len__(self) -> int:
+        return max(0, self.produced - self.consumed)
+
+    @property
+    def free_slots(self) -> int:
+        return self.slots - len(self)
+
+    def occupancy(self) -> float:
+        """Occupied fraction in [0, 1] (sampled; racy by one record)."""
+        return min(1.0, len(self) / self.slots)
+
+    @property
+    def payload_capacity(self) -> int:
+        return self.slot_bytes - RECORD_HEADER_BYTES
+
+    def _slot(self, index: int) -> memoryview:
+        start = CTRL_BYTES + (index % self.slots) * self.slot_bytes
+        return self._data[start : start + self.slot_bytes]
+
+    # -- producer ----------------------------------------------------------
+
+    def try_push(
+        self,
+        kind: int,
+        meta: Sequence[int],
+        payload_bytes: int,
+        writer: Callable[[memoryview], None],
+    ) -> bool:
+        """Publish one record; ``False`` when the ring is full.
+
+        ``writer`` receives the slot's payload view and must fill the
+        first ``payload_bytes`` of it. The record becomes visible to
+        the consumer only after the commit stamp and the ``produced``
+        store, both of which happen after ``writer`` returns — a
+        consumer can never observe a half-written payload through the
+        cursor protocol, and the stamps catch corruption that bypasses
+        it.
+        """
+        if self._closed:
+            raise EmulationError(f"ring {self.name} is closed")
+        if payload_bytes > self.payload_capacity:
+            raise ValueError(
+                f"record payload {payload_bytes} B exceeds slot "
+                f"capacity {self.payload_capacity} B"
+            )
+        meta5 = tuple(meta)
+        if len(meta5) != 5:
+            raise ValueError("meta must carry exactly 5 int64 words")
+        index = self.produced
+        if index - self.consumed >= self.slots:
+            return False
+        slot = self._slot(index)
+        header = np.ndarray(
+            (8,), dtype=np.int64, buffer=slot[:RECORD_HEADER_BYTES]
+        )
+        writer(slot[RECORD_HEADER_BYTES:])
+        header[0] = index
+        header[1] = kind
+        header[2:7] = meta5
+        header[7] = index ^ COMMIT_MAGIC
+        # The publish: a single aligned 8-byte store.
+        self._ctrl[0] = index + 1
+        return True
+
+    # -- consumer ----------------------------------------------------------
+
+    def peek(self) -> Optional[RecordView]:
+        """The head record without consuming it; ``None`` when empty."""
+        if self._closed:
+            raise EmulationError(f"ring {self.name} is closed")
+        index = self.consumed
+        if index >= self.produced:
+            return None
+        slot = self._slot(index)
+        header = np.ndarray(
+            (8,), dtype=np.int64, buffer=slot[:RECORD_HEADER_BYTES]
+        )
+        if int(header[0]) != index or int(header[7]) != (
+            index ^ COMMIT_MAGIC
+        ):
+            raise TornRecordError(
+                f"ring {self.name}: record {index} failed integrity "
+                f"stamps (saw index {int(header[0])}, commit "
+                f"{int(header[7]) ^ COMMIT_MAGIC}); torn write or "
+                "stale slot"
+            )
+        return RecordView(
+            index,
+            int(header[1]),
+            tuple(int(w) for w in header[2:7]),
+            slot[RECORD_HEADER_BYTES:],
+        )
+
+    def advance(self) -> None:
+        """Consume the head record (its views become reusable space)."""
+        self._ctrl[8] = self.consumed + 1
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def close(self, unlink: bool = False) -> None:
+        """Release the mapping; ``unlink`` destroys the segment.
+
+        Unlink is idempotent and only meaningful in the creating
+        process (forked consumers just drop their mapping).
+        """
+        if self._closed:
+            return
+        self._closed = True
+        # Drop numpy views before closing the mmap or SharedMemory
+        # raises BufferError("cannot close exported pointers exist").
+        self._ctrl = None
+        self._data = None
+        _CREATED.pop(self.name, None)
+        try:
+            self._segment.close()
+        except BufferError:  # pragma: no cover - view still referenced
+            pass
+        if unlink:
+            try:
+                self._segment.unlink()
+            except FileNotFoundError:
+                pass
+
+
+# ---------------------------------------------------------------------------
+# SoA batch codec
+# ---------------------------------------------------------------------------
+
+_INT64_MIN = -(2**63)
+_INT64_MAX = 2**63 - 1
+
+
+def soa_encode(packets: Sequence[Packet]):
+    """Struct-of-arrays encode: ``(names, rows, sizes)`` or ``None``.
+
+    Encodable batches are uniform (one header set, no metadata, not
+    dropped, no egress) with int64-range values — the same regime as
+    :func:`repro.nic.sharding.encode_batch`'s numpy fast path.
+    ``rows`` is the packet-major ``(n_packets, n_fields)`` matrix; the
+    ring writer transposes it into the field-major slot layout with one
+    C-level copy. Returns ``None`` when the batch needs the pipe
+    fallback.
+    """
+    if not packets:
+        return None
+    first = packets[0]
+    names = tuple(first.fields)
+    if first.metadata or first.dropped:
+        return None
+    for packet in packets:
+        if (
+            packet.metadata
+            or packet.dropped
+            or packet.egress_port is not None
+            or tuple(packet.fields) != names
+        ):
+            return None
+    try:
+        rows = np.array(
+            [list(p.fields.values()) for p in packets], dtype=np.int64
+        )
+    except (OverflowError, ValueError):
+        return None
+    sizes = np.array([p.size_bytes for p in packets], dtype=np.int32)
+    return names, rows, sizes
+
+
+def _names_blob(names: tuple[str, ...]) -> bytes:
+    return "\x00".join(names).encode("utf-8")
+
+
+def write_batch_record(
+    ring: ShmRing,
+    names_blob: bytes,
+    rows: np.ndarray,
+    sizes: np.ndarray,
+    timestamps: Optional[Sequence[float]],
+    pipe_watermark: int,
+) -> bool:
+    """Push one SoA batch; ``False`` when the ring is full.
+
+    Raises ``ValueError`` when the record cannot fit a slot at all —
+    callers check :func:`batch_record_bytes` against
+    ``ring.payload_capacity`` first and fall back to the pipe.
+    """
+    n_packets, n_fields = rows.shape
+    ts = (
+        np.asarray(timestamps, dtype=np.float64)
+        if timestamps is not None
+        else None
+    )
+    payload_bytes = batch_record_bytes(
+        n_packets, n_fields, len(names_blob), ts is not None
+    )
+
+    def writer(payload: memoryview) -> None:
+        offset = 0
+        payload[: len(names_blob)] = names_blob
+        offset += _align8(len(names_blob))
+        values = np.ndarray(
+            (n_fields, n_packets),
+            dtype=np.int64,
+            buffer=payload[offset : offset + 8 * n_fields * n_packets],
+        )
+        # One C-level transpose copy: each field lands as a contiguous
+        # int64 row the consumer (or a columnar engine) slices in place.
+        values[:] = rows.T
+        offset += 8 * n_fields * n_packets
+        size_view = np.ndarray(
+            (n_packets,),
+            dtype=np.int32,
+            buffer=payload[offset : offset + 4 * n_packets],
+        )
+        size_view[:] = sizes
+        offset += _align8(4 * n_packets)
+        if ts is not None:
+            ts_view = np.ndarray(
+                (n_packets,),
+                dtype=np.float64,
+                buffer=payload[offset : offset + 8 * n_packets],
+            )
+            ts_view[:] = ts
+
+    meta = (
+        n_packets,
+        n_fields,
+        pipe_watermark,
+        1 if ts is not None else 0,
+        len(names_blob),
+    )
+    return ring.try_push(BATCH_RECORD, meta, payload_bytes, writer)
+
+
+def read_batch_record(record: RecordView):
+    """In-place views of a batch record's columns.
+
+    Returns ``(pipe_watermark, names_blob, values, sizes, timestamps)``
+    where ``values`` is the field-major ``(n_fields, n_packets)`` int64
+    matrix — every row a contiguous slice of the ring — and
+    ``timestamps`` is ``None`` when the batch was unpaced. Views stay
+    valid until ``ring.advance()``.
+    """
+    n_packets, n_fields, pipe_watermark, has_ts, names_len = record.meta
+    payload = record.payload
+    offset = 0
+    names_blob = bytes(payload[:names_len])
+    offset += _align8(names_len)
+    values = np.ndarray(
+        (n_fields, n_packets),
+        dtype=np.int64,
+        buffer=payload[offset : offset + 8 * n_fields * n_packets],
+    )
+    offset += 8 * n_fields * n_packets
+    sizes = np.ndarray(
+        (n_packets,),
+        dtype=np.int32,
+        buffer=payload[offset : offset + 4 * n_packets],
+    )
+    offset += _align8(4 * n_packets)
+    timestamps = None
+    if has_ts:
+        timestamps = np.ndarray(
+            (n_packets,),
+            dtype=np.float64,
+            buffer=payload[offset : offset + 8 * n_packets],
+        )
+    return pipe_watermark, names_blob, values, sizes, timestamps
+
+
+# ---------------------------------------------------------------------------
+# Result records (worker -> parent outcome columns)
+# ---------------------------------------------------------------------------
+
+
+def write_result_record(
+    ring: ShmRing,
+    batch_index: int,
+    latencies_ns: Iterable[float],
+    egress_ports: Iterable[int],
+    dropped: Iterable[bool],
+    n_packets: int,
+) -> bool:
+    """Push one batch's per-packet outcomes; ``False`` when full."""
+    lat = np.fromiter(latencies_ns, dtype=np.float64, count=n_packets)
+    egress = np.fromiter(
+        (-1 if p is None else p for p in egress_ports),
+        dtype=np.int32,
+        count=n_packets,
+    )
+    drop = np.fromiter(dropped, dtype=np.uint8, count=n_packets)
+    payload_bytes = (
+        8 * n_packets + _align8(4 * n_packets) + _align8(n_packets)
+    )
+
+    def writer(payload: memoryview) -> None:
+        offset = 0
+        lat_view = np.ndarray(
+            (n_packets,),
+            dtype=np.float64,
+            buffer=payload[offset : offset + 8 * n_packets],
+        )
+        lat_view[:] = lat
+        offset += 8 * n_packets
+        egress_view = np.ndarray(
+            (n_packets,),
+            dtype=np.int32,
+            buffer=payload[offset : offset + 4 * n_packets],
+        )
+        egress_view[:] = egress
+        offset += _align8(4 * n_packets)
+        drop_view = np.ndarray(
+            (n_packets,),
+            dtype=np.uint8,
+            buffer=payload[offset : offset + n_packets],
+        )
+        drop_view[:] = drop
+
+    meta = (n_packets, batch_index, 0, 0, int(drop.sum()))
+    return ring.try_push(RESULT_RECORD, meta, payload_bytes, writer)
+
+
+def read_result_record(record: RecordView):
+    """``(batch_index, latencies, egress, dropped, n_dropped)`` views."""
+    n_packets, batch_index, _r0, _r1, n_dropped = record.meta
+    payload = record.payload
+    offset = 0
+    lat = np.ndarray(
+        (n_packets,),
+        dtype=np.float64,
+        buffer=payload[offset : offset + 8 * n_packets],
+    )
+    offset += 8 * n_packets
+    egress = np.ndarray(
+        (n_packets,),
+        dtype=np.int32,
+        buffer=payload[offset : offset + 4 * n_packets],
+    )
+    offset += _align8(4 * n_packets)
+    drop = np.ndarray(
+        (n_packets,),
+        dtype=np.uint8,
+        buffer=payload[offset : offset + n_packets],
+    )
+    return batch_index, lat, egress, drop, n_dropped
+
+
+# ---------------------------------------------------------------------------
+# Per-shard channel
+# ---------------------------------------------------------------------------
+
+
+class ShardChannel:
+    """One shard's data ring (parent -> worker) plus result ring back.
+
+    Created by the parent *before* the worker forks, so both processes
+    map the same segments with no attach handshake. The result ring is
+    deeper than the data ring: the worker acknowledges every batch (one
+    result record each, including pipe-fallback batches) and must not
+    stall just because the parent is between drain opportunities.
+    """
+
+    def __init__(
+        self,
+        batch: int,
+        slots: int = DEFAULT_RING_SLOTS,
+        max_fields: int = DEFAULT_MAX_FIELDS,
+    ):
+        if batch < 1:
+            raise ValueError("batch must be >= 1")
+        self.batch = batch
+        self.max_fields = max_fields
+        self.data = ShmRing(slots, data_slot_bytes(batch, max_fields))
+        self.results = ShmRing(2 * slots, result_slot_bytes(batch))
+        self._names_cache: dict[tuple[str, ...], bytes] = {}
+
+    # -- parent side -------------------------------------------------------
+
+    def batch_fits(
+        self, n_packets: int, n_fields: int, names_len: int
+    ) -> bool:
+        return (
+            batch_record_bytes(n_packets, n_fields, names_len, True)
+            <= self.data.payload_capacity
+        )
+
+    def names_blob(self, names: tuple[str, ...]) -> bytes:
+        blob = self._names_cache.get(names)
+        if blob is None:
+            blob = self._names_cache[names] = _names_blob(names)
+        return blob
+
+    def try_push_batch(
+        self,
+        names: tuple[str, ...],
+        rows: np.ndarray,
+        sizes: np.ndarray,
+        timestamps: Optional[Sequence[float]],
+        pipe_watermark: int,
+    ) -> bool:
+        return write_batch_record(
+            self.data,
+            self.names_blob(names),
+            rows,
+            sizes,
+            timestamps,
+            pipe_watermark,
+        )
+
+    def drain_results(self, sink=None) -> tuple[int, int]:
+        """Consume ready result records; ``(batches, packets)`` counts.
+
+        ``sink(batch_index, latencies, egress, dropped)`` — when given —
+        receives *copies* of the outcome columns (the views die with
+        ``advance``).
+        """
+        batches = 0
+        packets = 0
+        while True:
+            record = self.results.peek()
+            if record is None:
+                return batches, packets
+            index, lat, egress, drop, _nd = read_result_record(record)
+            if sink is not None:
+                sink(index, lat.copy(), egress.copy(), drop.copy())
+            batches += 1
+            packets += record.meta[0]
+            self.results.advance()
+
+    def close(self, unlink: bool = True) -> None:
+        self.data.close(unlink=unlink)
+        self.results.close(unlink=unlink)
+
+
+def decode_names(blob: bytes) -> tuple[str, ...]:
+    """Field-name tuple from a batch record's name blob."""
+    if not blob:
+        return ()
+    return tuple(blob.decode("utf-8").split("\x00"))

@@ -64,6 +64,7 @@ def make_sharded(
     options: SupervisorOptions,
     fault_plan=None,
     telemetry=None,
+    transport: str = "shm",
 ) -> ShardedDeployment:
     build, install = EXAMPLE_APPS[app]
     sharded = ShardedDeployment(
@@ -73,6 +74,7 @@ def make_sharded(
         supervisor=options,
         fault_plan=fault_plan,
         telemetry=telemetry,
+        transport=transport,
     )
     install(sharded.control_plane)
     return sharded
@@ -194,7 +196,13 @@ class TestRespawnRecovery:
     pre-failure state, so merged stats are bit-identical to a
     fault-free run."""
 
-    def run_pair(self, fault_plan, telemetry=None, **option_overrides):
+    def run_pair(
+        self,
+        fault_plan,
+        telemetry=None,
+        transport="shm",
+        **option_overrides,
+    ):
         options = fast_options(
             recovery="respawn", **option_overrides
         )
@@ -205,6 +213,7 @@ class TestRespawnRecovery:
             options=options,
             fault_plan=fault_plan,
             telemetry=telemetry,
+            transport=transport,
         )
         try:
             reference = single.replay(
@@ -218,13 +227,14 @@ class TestRespawnRecovery:
             sharded.close()
             raise
 
-    def test_kill_respawn_bit_identical(self):
+    @pytest.mark.parametrize("transport", ["shm", "pipe"])
+    def test_kill_respawn_bit_identical(self, transport):
         telemetry = Telemetry()
         plan = FaultPlan(
             (FaultSpec("kill", shard=0, at_batch=3),)
         )
         single, sharded, reference, replayed = self.run_pair(
-            plan, telemetry
+            plan, telemetry, transport=transport
         )
         try:
             assert stats_fingerprint(replayed) == stats_fingerprint(
@@ -472,7 +482,8 @@ class TestFailFast:
 
 
 class TestDegradedRecovery:
-    def test_survivors_absorb_lost_shards_flows(self):
+    @pytest.mark.parametrize("transport", ["shm", "pipe"])
+    def test_survivors_absorb_lost_shards_flows(self, transport):
         telemetry = Telemetry()
         total = 600
         sharded = make_sharded(
@@ -483,6 +494,7 @@ class TestDegradedRecovery:
                 (FaultSpec("kill", shard=1, at_batch=1),)
             ),
             telemetry=telemetry,
+            transport=transport,
         )
         try:
             stats = sharded.replay(

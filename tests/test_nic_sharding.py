@@ -52,7 +52,12 @@ def stats_fingerprint(stats: RunStats) -> tuple:
     )
 
 
-def make_twins(app: str, n_workers: int, optimize: bool = False):
+def make_twins(
+    app: str,
+    n_workers: int,
+    optimize: bool = False,
+    transport: str = "shm",
+):
     """A single-core deployment and a sharded one, identically set up."""
     build, install = EXAMPLE_APPS[app]
     target = EMULATED_NIC
@@ -67,7 +72,11 @@ def make_twins(app: str, n_workers: int, optimize: bool = False):
         Pipeleon(target).optimize(sharded_program) if optimize else None
     )
     sharded = ShardedDeployment(
-        sharded_program, target, n_workers=n_workers, plan=plan
+        sharded_program,
+        target,
+        n_workers=n_workers,
+        plan=plan,
+        transport=transport,
     )
     install(sharded.control_plane)
     return single, sharded
@@ -209,6 +218,24 @@ class TestShardedDifferential:
             assert stats_fingerprint(replayed) == stats_fingerprint(
                 reference
             )
+        finally:
+            sharded.close()
+
+    def test_pipe_transport_replay_identical(self):
+        """The legacy pipe transport stays a faithful fallback."""
+        single, sharded = make_twins("l2l3_acl", 2, transport="pipe")
+        try:
+            reference = single.replay(app_packets(5), offered_pps=1e6)
+            replayed = sharded.replay(app_packets(5), offered_pps=1e6)
+            assert stats_fingerprint(replayed) == stats_fingerprint(
+                reference
+            )
+            assert_sharded_identical(single, sharded)
+            stats = sharded.emulator.transport_stats()
+            assert stats["transport"] == "pipe"
+            # Pipe mode never touches the rings.
+            assert stats["totals"]["pushed_batches"] == 0
+            assert stats["totals"]["result_batches"] == 0
         finally:
             sharded.close()
 
@@ -422,3 +449,13 @@ class TestShardedEmulatorStandalone:
             ShardedEmulator(emulator, 0)
         with pytest.raises(ValueError, match="batch"):
             ShardedEmulator(emulator, 1, batch=0)
+
+    def test_invalid_transport_and_ring_slots(self):
+        build, _install = EXAMPLE_APPS["l2l3_acl"]
+        from repro.nic.emulator import NicEmulator
+
+        emulator = NicEmulator(build(), EMULATED_NIC)
+        with pytest.raises(ValueError, match="transport"):
+            ShardedEmulator(emulator, 1, transport="carrier-pigeon")
+        with pytest.raises(ValueError, match="ring_slots"):
+            ShardedEmulator(emulator, 1, ring_slots=0)

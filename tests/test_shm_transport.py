@@ -1,0 +1,626 @@
+"""The zero-copy shared-memory transport (DESIGN.md §13).
+
+Three layers of proof:
+
+* **Ring mechanics** — hypothesis drives random push/peek/advance
+  schedules against a plain deque model: wraparound, full/empty
+  boundaries and variable payload sizes all behave identically, and a
+  corrupted slot surfaces as :class:`TornRecordError`, never as a
+  silently decoded batch.
+* **Codec** — the SoA batch encoding round-trips bit-exactly (values,
+  sizes, timestamps, field names) and refuses exactly the batches the
+  pipe fallback exists for.
+* **Transport semantics** — a sharded replay over shm is bit-identical
+  to single-core, sends **zero** pickled batch messages over the pipe
+  (the acceptance criterion: ``pickle.dumps`` is monkeypatched to raise
+  mid-replay), streams per-packet outcome columns to ``outcome_sink``,
+  cleans up every ``/dev/shm`` segment, and — the supervision bugfix —
+  a worker slowly draining a full ring resets the hung deadline via its
+  consumer cursor while the identical scenario over the pipe transport
+  is (correctly) classified hung.
+"""
+
+import pickle
+from collections import deque
+from pathlib import Path
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.apps import EXAMPLE_APPS
+from repro.core import ShardedDeployment
+from repro.errors import EmulationError
+from repro.nic import shm_transport
+from repro.nic.faults import FaultPlan, FaultSpec
+from repro.nic.packet import Packet, make_packet
+from repro.nic.sharding import ShardedEmulator, SupervisorOptions
+from repro.nic.targets import EMULATED_NIC
+from repro.nic.shm_transport import (
+    BATCH_RECORD,
+    COMMIT_MAGIC,
+    DEFAULT_RING_SLOTS,
+    RECORD_HEADER_BYTES,
+    ShardChannel,
+    ShmRing,
+    TornRecordError,
+    batch_record_bytes,
+    data_slot_bytes,
+    decode_names,
+    read_batch_record,
+    read_result_record,
+    result_slot_bytes,
+    soa_encode,
+    write_batch_record,
+    write_result_record,
+)
+from repro.telemetry import Telemetry
+from tests.test_faults import make_sharded, make_single
+from tests.test_nic_sharding import (
+    app_packets,
+    make_twins,
+    stats_fingerprint,
+)
+
+SLOTS = 4
+PAYLOAD_CAP = 64
+
+
+def small_ring() -> ShmRing:
+    return ShmRing(SLOTS, RECORD_HEADER_BYTES + PAYLOAD_CAP)
+
+
+# ---------------------------------------------------------------------------
+# Ring mechanics
+# ---------------------------------------------------------------------------
+
+
+class TestRingModel:
+    """Random schedules against a deque model of an SPSC ring."""
+
+    @settings(max_examples=40, deadline=None)
+    @given(
+        ops=st.lists(
+            st.one_of(
+                st.tuples(
+                    st.just("push"),
+                    st.integers(0, PAYLOAD_CAP),
+                    st.integers(0, 255),
+                ),
+                st.just(("pop",)),
+            ),
+            min_size=1,
+            max_size=120,
+        )
+    )
+    def test_ring_matches_deque_model(self, ops):
+        ring = small_ring()
+        try:
+            model: deque = deque()
+            pushed = 0
+            for op in ops:
+                if op[0] == "push":
+                    _, length, fill = op
+                    payload = bytes([fill]) * length
+
+                    def writer(view, payload=payload, length=length):
+                        view[:length] = payload
+
+                    ok = ring.try_push(
+                        BATCH_RECORD,
+                        (length, fill, pushed, 0, 0),
+                        length,
+                        writer,
+                    )
+                    # Full/empty boundary: accepted iff a slot is free.
+                    assert ok == (len(model) < SLOTS)
+                    if ok:
+                        model.append((pushed, length, fill))
+                        pushed += 1
+                else:
+                    record = ring.peek()
+                    if not model:
+                        assert record is None
+                        continue
+                    index, length, fill = model.popleft()
+                    assert record.index == index
+                    assert record.kind == BATCH_RECORD
+                    assert record.meta == (length, fill, index, 0, 0)
+                    assert (
+                        bytes(record.payload[:length])
+                        == bytes([fill]) * length
+                    )
+                    del record  # drop payload view before close()
+                    ring.advance()
+            assert len(ring) == len(model)
+            assert ring.free_slots == SLOTS - len(model)
+            assert ring.occupancy() == len(model) / SLOTS
+        finally:
+            ring.close(unlink=True)
+
+    def test_long_wraparound_preserves_every_record(self):
+        ring = small_ring()
+        try:
+            for index in range(50 * SLOTS):
+                fill = index % 251
+
+                def writer(view, fill=fill):
+                    view[:8] = bytes([fill]) * 8
+
+                assert ring.try_push(
+                    BATCH_RECORD, (fill, 0, 0, 0, 0), 8, writer
+                )
+                record = ring.peek()
+                assert record.index == index
+                assert bytes(record.payload[:8]) == bytes([fill]) * 8
+                del record
+                ring.advance()
+            assert ring.peek() is None
+            assert ring.produced == ring.consumed == 50 * SLOTS
+        finally:
+            ring.close(unlink=True)
+
+    @pytest.mark.parametrize("word", [0, 7])
+    def test_corrupted_header_raises_torn_record(self, word):
+        ring = small_ring()
+        try:
+            assert ring.try_push(
+                BATCH_RECORD, (1, 2, 3, 4, 5), 8, lambda view: None
+            )
+            header = np.ndarray(
+                (8,),
+                dtype=np.int64,
+                buffer=ring._slot(0)[:RECORD_HEADER_BYTES],
+            )
+            header[word] = header[word] ^ 0x1  # single bit flip
+            with pytest.raises(TornRecordError, match="integrity"):
+                ring.peek()
+            # Repair: peek must succeed again (detection, not poison).
+            header[0] = 0
+            header[7] = 0 ^ COMMIT_MAGIC
+            assert ring.peek() is not None
+            del header
+        finally:
+            ring.close(unlink=True)
+
+    def test_push_validates_payload_and_meta(self):
+        ring = small_ring()
+        try:
+            with pytest.raises(ValueError, match="exceeds slot"):
+                ring.try_push(
+                    BATCH_RECORD,
+                    (0,) * 5,
+                    PAYLOAD_CAP + 1,
+                    lambda view: None,
+                )
+            with pytest.raises(ValueError, match="5 int64"):
+                ring.try_push(
+                    BATCH_RECORD, (1, 2, 3), 8, lambda view: None
+                )
+        finally:
+            ring.close(unlink=True)
+
+    def test_closed_ring_rejects_all_operations(self):
+        ring = small_ring()
+        ring.close(unlink=True)
+        ring.close(unlink=True)  # idempotent
+        with pytest.raises(EmulationError, match="closed"):
+            ring.try_push(BATCH_RECORD, (0,) * 5, 8, lambda view: None)
+        with pytest.raises(EmulationError, match="closed"):
+            ring.peek()
+
+    def test_geometry_validation(self):
+        with pytest.raises(ValueError, match="slots"):
+            ShmRing(0, RECORD_HEADER_BYTES + 8)
+        with pytest.raises(ValueError, match="slot_bytes"):
+            ShmRing(2, RECORD_HEADER_BYTES)  # no payload room
+        with pytest.raises(ValueError, match="slot_bytes"):
+            ShmRing(2, RECORD_HEADER_BYTES + 9)  # unaligned
+
+
+# ---------------------------------------------------------------------------
+# SoA codec
+# ---------------------------------------------------------------------------
+
+
+def uniform_packets(n: int = 7) -> list:
+    return [
+        make_packet(sport=1000 + i, dport=80 + (i % 3)) for i in range(n)
+    ]
+
+
+class TestSoaCodec:
+    def test_round_trip_through_ring(self):
+        packets = uniform_packets()
+        encoded = soa_encode(packets)
+        assert encoded is not None
+        names, rows, sizes = encoded
+        channel = ShardChannel(batch=len(packets))
+        try:
+            timestamps = [0.5 * i for i in range(len(packets))]
+            assert channel.try_push_batch(
+                names, rows, sizes, timestamps, pipe_watermark=3
+            )
+            record = channel.data.peek()
+            watermark, blob, values, out_sizes, ts = read_batch_record(
+                record
+            )
+            assert watermark == 3
+            assert decode_names(blob) == names
+            # Field-major: every field one contiguous int64 row.
+            assert values.shape == (len(names), len(packets))
+            assert values.flags["C_CONTIGUOUS"]
+            np.testing.assert_array_equal(values, rows.T)
+            np.testing.assert_array_equal(out_sizes, sizes)
+            np.testing.assert_allclose(ts, timestamps)
+            for field, row in zip(names, values):
+                assert row.tolist() == [
+                    p.fields[field] for p in packets
+                ]
+            del record, values, out_sizes, ts
+            channel.data.advance()
+        finally:
+            channel.close()
+
+    def test_round_trip_without_timestamps(self):
+        packets = uniform_packets(3)
+        names, rows, sizes = soa_encode(packets)
+        channel = ShardChannel(batch=4)
+        try:
+            assert channel.try_push_batch(
+                names, rows, sizes, None, pipe_watermark=0
+            )
+            record = channel.data.peek()
+            _wm, _blob, values, _sizes, ts = read_batch_record(record)
+            assert ts is None
+            np.testing.assert_array_equal(values, rows.T)
+            del record, values, _sizes
+            channel.data.advance()
+        finally:
+            channel.close()
+
+    def test_non_encodable_batches_return_none(self):
+        assert soa_encode([]) is None
+        tagged = make_packet()
+        tagged.metadata["meta.mark"] = 1
+        assert soa_encode([tagged]) is None
+        dropped = make_packet()
+        dropped.dropped = True
+        assert soa_encode([dropped]) is None
+        routed = make_packet()
+        routed.egress_port = 2
+        assert soa_encode([make_packet(), routed]) is None
+        hetero = [make_packet(), Packet(fields={"weird": 1})]
+        assert soa_encode(hetero) is None
+        huge = make_packet()
+        huge.fields["ipv4.dst"] = 2**70
+        assert soa_encode([make_packet(), huge]) is None
+
+    def test_names_blob_memoized_and_decoded(self):
+        channel = ShardChannel(batch=2)
+        try:
+            names = ("a.b", "c.d")
+            assert channel.names_blob(names) is channel.names_blob(
+                names
+            )
+            assert decode_names(channel.names_blob(names)) == names
+            assert decode_names(b"") == ()
+        finally:
+            channel.close()
+
+    def test_batch_fits_matches_geometry(self):
+        channel = ShardChannel(batch=32)
+        try:
+            assert channel.batch_fits(32, 5, 64)
+            # Far past the sizing assumptions: cannot fit.
+            assert not channel.batch_fits(32, 2 * channel.max_fields, 64)
+            assert batch_record_bytes(1, 1, 0, False) == 16
+            assert data_slot_bytes(32) % 8 == 0
+            assert result_slot_bytes(32) % 8 == 0
+        finally:
+            channel.close()
+
+    def test_result_record_round_trip(self):
+        ring = ShmRing(2, result_slot_bytes(4))
+        try:
+            assert write_result_record(
+                ring,
+                batch_index=9,
+                latencies_ns=[10.0, 20.0, 30.0],
+                egress_ports=[1, None, 3],
+                dropped=[False, True, False],
+                n_packets=3,
+            )
+            index, lat, egress, drop, n_dropped = read_result_record(
+                ring.peek()
+            )
+            assert index == 9 and n_dropped == 1
+            assert lat.tolist() == [10.0, 20.0, 30.0]
+            assert egress.tolist() == [1, -1, 3]  # None encodes as -1
+            assert drop.tolist() == [0, 1, 0]
+            del lat, egress, drop
+            ring.advance()
+        finally:
+            ring.close(unlink=True)
+
+
+# ---------------------------------------------------------------------------
+# Segment lifecycle
+# ---------------------------------------------------------------------------
+
+
+class TestSegmentCleanup:
+    def test_channel_close_unlinks_segments(self):
+        channel = ShardChannel(batch=8)
+        names = [channel.data.name, channel.results.name]
+        for name in names:
+            assert name in shm_transport._CREATED
+        channel.close()
+        shm_dir = Path("/dev/shm")
+        for name in names:
+            assert name not in shm_transport._CREATED
+            if shm_dir.is_dir():
+                assert not (shm_dir / name).exists()
+
+    def test_fleet_close_leaves_no_segments(self):
+        _single, sharded = make_twins("l2l3_acl", 2)
+        engine = sharded.emulator
+        names = [
+            ring.name
+            for channel in engine._channels
+            for ring in (channel.data, channel.results)
+        ]
+        sharded.replay(app_packets(2, 100), offered_pps=1e6)
+        sharded.close()
+        shm_dir = Path("/dev/shm")
+        for name in names:
+            assert name not in shm_transport._CREATED
+            if shm_dir.is_dir():
+                assert not (shm_dir / name).exists()
+
+
+# ---------------------------------------------------------------------------
+# Transport semantics over a real fleet
+# ---------------------------------------------------------------------------
+
+
+class TestShmReplaySemantics:
+    def test_no_pickled_batches_on_shm_path(self, monkeypatch):
+        """Acceptance: a shm replay pickles no packet data, ever.
+
+        ``pickle.dumps`` is poisoned for the whole replay, and every
+        pipe send is spied on: only control ops may cross the pipe and
+        every batch must travel the ring.
+        """
+        single, sharded = make_twins("l2l3_acl", 2)
+        try:
+            reference = single.replay(app_packets(9), offered_pps=1e6)
+            sent_ops = []
+            real_send = ShardedEmulator._guarded_send
+
+            def spying_send(self, shard, message, **kwargs):
+                sent_ops.append(message[0])
+                return real_send(self, shard, message, **kwargs)
+
+            monkeypatch.setattr(
+                ShardedEmulator, "_guarded_send", spying_send
+            )
+
+            def poisoned_dumps(*args, **kwargs):
+                raise AssertionError(
+                    "pickle.dumps called on the shm hot path"
+                )
+
+            monkeypatch.setattr(pickle, "dumps", poisoned_dumps)
+            replayed = sharded.replay(app_packets(9), offered_pps=1e6)
+            assert stats_fingerprint(replayed) == stats_fingerprint(
+                reference
+            )
+            assert "batch" not in sent_ops
+            totals = sharded.emulator.transport_stats()["totals"]
+            assert totals["pushed_batches"] > 0
+            assert totals["pushed_packets"] == 300
+            assert totals["fallback_encoding"] == 0
+            assert totals["fallback_capacity"] == 0
+            # Every ring batch was acknowledged with a result record.
+            assert (
+                totals["result_batches"] == totals["pushed_batches"]
+            )
+            assert totals["result_packets"] == 300
+        finally:
+            sharded.close()
+
+    def test_outcome_sink_streams_per_packet_columns(self):
+        single, sharded = make_twins("l2l3_acl", 2)
+        try:
+            outcomes = []
+            sharded.emulator.outcome_sink = (
+                lambda shard, ordinal, lat, egress, drop: outcomes.append(
+                    (shard, ordinal, lat, egress, drop)
+                )
+            )
+            packets = app_packets(13)
+            reference = single.replay(app_packets(13), offered_pps=1e6)
+            replayed = sharded.replay(packets, offered_pps=1e6)
+            assert stats_fingerprint(replayed) == stats_fingerprint(
+                reference
+            )
+            total = sum(len(lat) for _, _, lat, _, _ in outcomes)
+            assert total == 300
+            # The outcome columns are the run's exact latencies and
+            # drop count, streamed out-of-band.
+            all_latencies = sorted(
+                value
+                for _, _, lat, _, _ in outcomes
+                for value in lat.tolist()
+            )
+            assert all_latencies == sorted(replayed._latencies)
+            assert (
+                sum(int(drop.sum()) for _, _, _, _, drop in outcomes)
+                == replayed.dropped
+            )
+            # Per shard, batch ordinals arrive contiguously from 0.
+            for shard in (0, 1):
+                ordinals = [o for s, o, _, _, _ in outcomes if s == shard]
+                assert ordinals == sorted(set(ordinals))
+                if ordinals:
+                    assert ordinals[0] == 0
+        finally:
+            sharded.close()
+
+    def test_non_encodable_batches_fall_back_to_pipe(self):
+        """Mixed-header traffic rides the pipe — counted, not dropped."""
+        telemetry = Telemetry()
+        sharded = make_sharded(
+            "l2l3_acl",
+            2,
+            options=SupervisorOptions(recv_timeout_s=10.0),
+            telemetry=telemetry,
+        )
+        try:
+            packets = app_packets(4, 120)
+            for packet in packets[::3]:
+                packet.metadata["meta.mark"] = 1  # defeats soa_encode
+            stats = sharded.replay(packets, offered_pps=1e6, batch=16)
+            assert stats.packets == 120
+            totals = sharded.emulator.transport_stats()["totals"]
+            assert totals["fallback_encoding"] > 0
+            assert totals["pushed_batches"] == 0
+            registry = telemetry.registry
+            fallbacks = sum(
+                registry.value(
+                    "pipeleon_pipe_fallback_total",
+                    shard=shard,
+                    reason="encoding",
+                )
+                for shard in (0, 1)
+            )
+            assert fallbacks == totals["fallback_encoding"]
+        finally:
+            sharded.close()
+
+    def test_tiny_ring_backpressure_counts_stalls_and_occupancy(self):
+        telemetry = Telemetry()
+        single = make_single("l2l3_acl")
+        build, install = EXAMPLE_APPS["l2l3_acl"]
+        sharded = ShardedDeployment(
+            build(),
+            EMULATED_NIC,
+            n_workers=2,
+            ring_slots=1,
+            telemetry=telemetry,
+        )
+        install(sharded.control_plane)
+        try:
+            reference = single.replay(app_packets(6), offered_pps=1e6)
+            replayed = sharded.replay(
+                app_packets(6), offered_pps=1e6, batch=16
+            )
+            # Backpressure never corrupts: identical under a 1-slot ring.
+            assert stats_fingerprint(replayed) == stats_fingerprint(
+                reference
+            )
+            stats = sharded.transport_stats()
+            assert stats["ring_slots"] == 1
+            totals = stats["totals"]
+            # The dispatcher outruns a 1-slot ring immediately.
+            assert totals["stalls"] > 0
+            assert totals["max_occupancy"] == 1.0
+            registry = telemetry.registry
+            stall_metric = sum(
+                registry.value(
+                    "pipeleon_ring_stalls_total", shard=shard
+                )
+                for shard in (0, 1)
+            )
+            assert stall_metric == totals["stalls"]
+            occupancy = sum(
+                registry.histogram(
+                    "pipeleon_ring_occupancy", shard=shard
+                ).count
+                for shard in (0, 1)
+            )
+            assert occupancy == totals["pushed_batches"]
+        finally:
+            sharded.close()
+
+    def test_default_ring_slots_exported(self):
+        _single, sharded = make_twins("l2l3_acl", 2)
+        try:
+            stats = sharded.emulator.transport_stats()
+            assert stats["transport"] == "shm"
+            assert stats["ring_slots"] == DEFAULT_RING_SLOTS
+        finally:
+            sharded.close()
+
+
+# ---------------------------------------------------------------------------
+# Ring-progress-aware supervision (the satellite bugfix)
+# ---------------------------------------------------------------------------
+
+
+def slow_drain_fleet(transport: str):
+    """A fleet whose shard 0 sleeps 0.4s on two consecutive batches.
+
+    With ``recv_timeout_s=0.6`` the worker is pipe-silent for ~0.8s
+    around the end-of-replay gather. Over shm its consumer cursor still
+    advances between the two delays, so progress-aware supervision
+    keeps waiting; over the pipe there is no progress signal and the
+    supervisor (correctly) classifies it hung.
+    """
+    plan = FaultPlan(
+        (
+            FaultSpec("delay", shard=0, at_batch=5, delay_s=0.4),
+            FaultSpec("delay", shard=0, at_batch=6, delay_s=0.4),
+        )
+    )
+    options = SupervisorOptions(
+        recv_timeout_s=0.6,
+        slow_after_s=30.0,  # keep slow-reporting out of this picture
+        heartbeat_interval_s=0.01,
+        send_timeout_s=1.0,
+        send_retries=2,
+        backoff_base_s=0.01,
+        close_timeout_s=0.5,
+        recovery="fail",
+    )
+    return make_sharded(
+        "l2l3_acl",
+        2,
+        options=options,
+        fault_plan=plan,
+        transport=transport,
+    )
+
+
+class TestRingProgressSupervision:
+    def test_shm_worker_draining_ring_is_not_hung(self):
+        single = make_single("l2l3_acl")
+        sharded = slow_drain_fleet("shm")
+        try:
+            packets = app_packets(7, 600)
+            reference = single.replay(
+                app_packets(7, 600), offered_pps=1e6
+            )
+            replayed = sharded.replay(
+                packets, offered_pps=1e6, batch=32
+            )
+            assert stats_fingerprint(replayed) == stats_fingerprint(
+                reference
+            )
+        finally:
+            sharded.close()
+
+    def test_pipe_transport_still_classifies_silence_as_hung(self):
+        """Differential pin: without ring cursors the same scenario
+        exceeds the reply deadline — proving the shm success above is
+        the progress signal, not a loosened timeout."""
+        sharded = slow_drain_fleet("pipe")
+        try:
+            with pytest.raises(EmulationError, match="unresponsive"):
+                sharded.replay(
+                    app_packets(7, 600), offered_pps=1e6, batch=32
+                )
+        finally:
+            sharded.close()
