@@ -202,6 +202,7 @@ def _export_metrics(
     """Fill the registry from a finished replay's merged state."""
     from repro.telemetry import (
         export_cache_stats,
+        export_columnar,
         export_counter_bank,
         export_emulator,
         export_run_stats,
@@ -218,6 +219,11 @@ def _export_metrics(
             export_cache_stats(
                 registry, "__native__", sharded.native_cache_stats
             )
+        export_columnar(
+            registry,
+            sharded.columnar_demotions,
+            sharded.columnar_packets,
+        )
     else:
         export_emulator(registry, deployment.emulator)
     tracer = deployment.tracer
@@ -289,9 +295,12 @@ def cmd_replay(args: argparse.Namespace) -> int:
             supervisor=supervisor,
             fault_plan=fault_plan,
             transport=args.transport,
+            engine=args.engine,
         )
     else:
-        deployment = Deployment(program, target, telemetry=telemetry)
+        deployment = Deployment(
+            program, target, telemetry=telemetry, engine=args.engine
+        )
     try:
         if install is not None:
             install(deployment.control_plane)
@@ -309,6 +318,7 @@ def cmd_replay(args: argparse.Namespace) -> int:
             "app": label,
             "target": args.target,
             "jobs": args.jobs,
+            "engine": args.engine,
             "packets": stats.packets,
             "dropped": stats.dropped,
             "mean_latency_ns": stats.mean_latency_ns,
@@ -316,6 +326,18 @@ def cmd_replay(args: argparse.Namespace) -> int:
             "wall_pps": stats.packets / wall_s if wall_s > 0 else 0.0,
             "throughput_gbps": stats.throughput_gbps(target),
         }
+        if args.engine in ("auto", "columnar"):
+            demotions = (
+                deployment.columnar_demotions
+                if args.jobs > 1
+                else deployment.emulator.columnar_demotions
+            )
+            summary["columnar_demotions"] = dict(demotions)
+            summary["columnar_packets"] = (
+                deployment.columnar_packets
+                if args.jobs > 1
+                else deployment.emulator.columnar_packets
+            )
         if args.jobs > 1:
             summary["transport"] = deployment.transport
             transport_totals = deployment.transport_stats()["totals"]
@@ -374,6 +396,8 @@ def cmd_report(args: argparse.Namespace) -> int:
     from repro.core import Deployment
     from repro.telemetry import Telemetry
     from repro.telemetry.report import (
+        columnar_kernel_report,
+        format_kernel_report,
         format_report,
         measured_vs_predicted,
     )
@@ -406,9 +430,28 @@ def cmd_report(args: argparse.Namespace) -> int:
         f"{deployment.tracer.seen} packets)\n"
     )
     print(format_report(report))
+    # Second angle on the same question: replay the identical traffic
+    # through the columnar batch kernels (untraced twin — a tracer
+    # forces whole-batch demotion) and line per-node kernel wall time
+    # up against the cost model's per-node charges.
+    resolved = _resolve_program(args, "report")
+    program2, install2, _ = resolved
+    twin = Deployment(program2, target, engine="columnar")
+    if install2 is not None:
+        install2(twin.control_plane)
+    twin.replay(
+        TrafficGenerator(seed=args.seed).stream(
+            flows, args.packets, locality=args.locality
+        )
+    )
+    kernels = columnar_kernel_report(twin.emulator)
+    print("\ncolumnar kernel time vs cost-model share (untraced twin)\n")
+    print(format_kernel_report(kernels))
     if args.json_out:
+        payload = report.to_json()
+        payload["columnar_kernels"] = kernels.to_json()
         with open(args.json_out, "w") as handle:
-            json.dump(report.to_json(), handle, indent=2)
+            json.dump(payload, handle, indent=2)
     return 0
 
 
@@ -501,6 +544,15 @@ def build_parser() -> argparse.ArgumentParser:
         help="offered load driving the emulated clock",
     )
     replay.add_argument("--batch", type=int, default=256)
+    replay.add_argument(
+        "--engine",
+        choices=("auto", "columnar", "fastpath", "interp"),
+        default="auto",
+        help="execution tier: auto (columnar batch kernels with "
+        "closure-tier demotion, default), columnar, fastpath "
+        "(compiled per-packet closures) or interp (reference "
+        "interpreter); all tiers are stats-identical",
+    )
     replay.add_argument("--seed", type=int, default=0)
     replay.add_argument(
         "--trace",

@@ -107,6 +107,7 @@ class PipeleonController:
         supervisor=None,
         fault_plan=None,
         transport: str = "shm",
+        engine: str = "auto",
     ):
         if jobs < 1:
             raise ValueError("jobs must be >= 1")
@@ -119,6 +120,9 @@ class PipeleonController:
         self._fault_plan = fault_plan
         #: Data-plane transport for sharded deployments ("shm"|"pipe").
         self.transport = transport
+        #: Execution tier every deployment this controller builds
+        #: replays through ("auto"|"columnar"|"fastpath"|"interp").
+        self.engine = engine
         self.original = program
         self.target = target
         self.budget = budget or ResourceBudget()
@@ -273,6 +277,7 @@ class PipeleonController:
             default_hit_rate=self.search.default_hit_rate,
             native_cache=self._native_cache,
             telemetry=self.telemetry,
+            engine=self.engine,
         )
         if self.jobs > 1:
             fault_plan = self._fault_plan

@@ -58,10 +58,15 @@ class Deployment:
         native_cache: Optional[bool] = None,
         previous: Optional["Deployment"] = None,
         telemetry=None,
+        engine: str = "auto",
     ):
         self.original = original
         self.target = target
         self.plan = plan
+        #: Default execution tier for :meth:`replay` ("auto",
+        #: "columnar", "fastpath" or "interp"); all tiers are
+        #: bit-identical on stats, counters and cache state.
+        self.engine = engine
         self.telemetry = telemetry
         if telemetry is None and previous is not None:
             self.telemetry = telemetry = previous.telemetry
@@ -388,13 +393,19 @@ class Deployment:
         offered_pps: Optional[float] = None,
         batch: int = 256,
         packet_pool=None,
+        engine: Optional[str] = None,
     ) -> RunStats:
-        """Batch replay through the emulator's compiled fast path."""
+        """Batch replay through a compiled execution tier.
+
+        ``engine`` overrides the deployment default (``"auto"`` runs
+        the columnar batch kernels with closure-tier demotion).
+        """
         return self.emulator.replay(
             packets,
             offered_pps=offered_pps,
             batch=batch,
             packet_pool=packet_pool,
+            engine=engine if engine is not None else self.engine,
         )
 
     def throughput_gbps(self, stats: RunStats) -> float:

@@ -75,6 +75,7 @@ class ShardedDeployment:
         fault_plan: Optional[FaultPlan] = None,
         transport: str = "shm",
         ring_slots: Optional[int] = None,
+        engine: str = "auto",
     ):
         # ``previous`` is accepted for signature parity with Deployment
         # but ignored: sharded redeploys cold-start caches (see module
@@ -115,8 +116,10 @@ class ShardedDeployment:
             fault_plan=fault_plan,
             transport=transport,
             ring_slots=ring_slots,
+            engine=engine,
         )
         self.transport = self.emulator.transport
+        self.engine = self.emulator.engine
         self.control_plane.add_listener(self._on_update)
         self._closed = False
 
@@ -194,6 +197,16 @@ class ShardedDeployment:
     def transport_stats(self) -> dict:
         """Ring/pipe dispatch counters (see ShardedEmulator)."""
         return self.emulator.transport_stats()
+
+    @property
+    def columnar_demotions(self) -> dict[str, int]:
+        """Merged per-reason columnar demotion counts (last collection)."""
+        return self.emulator.columnar_demotions
+
+    @property
+    def columnar_packets(self) -> int:
+        """Packets the workers' columnar kernels fully retired."""
+        return self.emulator.columnar_packets
 
     @property
     def tracer(self):

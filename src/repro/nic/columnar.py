@@ -1,0 +1,1164 @@
+"""Columnar (batch-kernel) execution tier for the NIC emulator.
+
+The compiled fast path (:mod:`repro.nic.fastpath`) removed per-node
+interpretation overhead but still drives **one closure chain per
+packet**. This module adds the next tier: the program DAG is compiled to
+per-node *batch kernels* that process an entire struct-of-arrays batch
+at once with numpy — partition the batch by flow key (``np.unique`` on
+key columns), resolve each partition's table hit once, apply action
+effects and cost charging as vectorized column operations under index
+masks, and route surviving index sets to successor nodes.
+
+Bit-identity with the interpreter is the contract, exactly as for the
+closure tier. The trick that makes vectorized float accumulation safe is
+that per-packet busy time is a *sum of scalar charges in node-visit
+order*, every DAG path visits nodes in topological order, and the walk
+executes nodes in topological order too — so each packet's float64
+column element receives the identical IEEE-754 add sequence the
+sequential engines perform.
+
+Packets the kernels cannot express are *demoted* to the closure fast
+path one at a time, preserving global packet order:
+
+* ``cache-record`` — a flow-cache (or native-cache) miss: the miss path
+  records covered effects and inserts into the cache, which is
+  inherently sequential (the insert can change the very next packet's
+  lookup).
+* ``migrated`` — a navigation jump backwards in topological order
+  (cyclic component execution).
+* ``unsupported`` — values outside int64, unknown navigation ids,
+  unknown/unbindable primitives: the closure replays them (and raises
+  exactly where the interpreter would).
+* ``traced`` — a tracer is attached; the whole batch takes the closure
+  path, which owns trace sampling.
+* ``input`` — a ``Packet``-list batch that is not SoA-uniform (mixed
+  header sets, preset metadata/drop/egress, non-int64 values).
+* ``cascade`` — after :data:`MAX_WALKS_PER_BATCH` demotions in one
+  batch the remaining tail is replayed sequentially (bounds worst-case
+  re-walk cost on cold caches).
+
+The *pure walk / commit prefix / demote one* loop: a walk touches no
+shared state (cache probes use :meth:`FlowCache.peek`, counters and
+stats become pending events); the miss-free prefix up to the first
+flagged packet is then committed in bulk, the flagged packet is demoted
+through ``FastPathEngine.replay_one`` (with the sim clock set to the
+exact value the sequential engine would see), and the remainder is
+re-walked — the demoted packet's cache insert may legitimately change
+later packets' hits.
+
+Compiled state reuses the fast path's staleness fingerprint (table
+versions + cache/counter/tracer identities), so any control-plane
+mutation transparently recompiles. Demotion totals accumulate on the
+owning :class:`NicEmulator` (``columnar_demotions``/``columnar_packets``)
+so they survive recompiles and can be merged across shard workers into
+``pipeleon_columnar_demotions_total{reason}``.
+"""
+
+from __future__ import annotations
+
+from itertools import accumulate, repeat
+from time import perf_counter
+from typing import Iterable, Optional
+
+import numpy as np
+
+from repro.errors import EmulationError, IrError
+from repro.ir.conditionals import _OPS, ConditionalNode
+from repro.ir.tables import Pipeline, TableKind
+from repro.nic.counters import (
+    action_counter,
+    branch_counter,
+    cache_counter,
+)
+from repro.nic.packet import FIVE_TUPLE, NEXT_TAB_ID, Packet
+from repro.nic.pipeline import bind_action
+from repro.nic.stats import PacketResult, RunStats
+
+_ASIC = Pipeline.ASIC
+_CPU = Pipeline.CPU
+
+_I64_MIN = -(2**63)
+_I64_MAX = 2**63 - 1
+
+#: Demotions per batch before the rest of the batch goes sequential.
+MAX_WALKS_PER_BATCH = 8
+
+# Flag codes (first flag wins; 0 = clean).
+_F_CACHE = 1
+_F_UNSUPPORTED = 2
+_F_MIGRATED = 3
+_FLAG_REASONS = {
+    _F_CACHE: "cache-record",
+    _F_UNSUPPORTED: "unsupported",
+    _F_MIGRATED: "migrated",
+}
+
+
+class _Unsupported(Exception):
+    """Compile-time marker: this effect can't run as a column kernel."""
+
+
+class BatchOutcome:
+    """Per-packet results of one batch, in original packet order.
+
+    ``egress`` uses the shm result-ring convention: ``-1`` means "no
+    egress port set". Sharded workers push these columns straight into
+    the result ring without materialising per-packet objects.
+    """
+
+    __slots__ = ("latencies", "egress", "dropped", "n", "demoted")
+
+    def __init__(self, n: int):
+        self.n = n
+        self.latencies = np.zeros(n, dtype=np.float64)
+        self.egress = np.full(n, -1, dtype=np.int64)
+        self.dropped = np.zeros(n, dtype=bool)
+        self.demoted = 0
+
+
+class ColumnBatch:
+    """A struct-of-arrays packet batch.
+
+    ``values`` is field-major ``(n_fields, n_packets)`` int64 — exactly
+    the layout :func:`repro.nic.shm_transport.read_batch_record` returns,
+    so shm batches wrap with zero copies. The base columns are never
+    mutated (walks copy-on-write), which keeps the shm ring slot pristine
+    and lets :meth:`make_packet` materialise a demoted packet from the
+    original data at any time.
+    """
+
+    __slots__ = ("names", "values", "sizes", "timestamps", "n", "packets")
+
+    def __init__(self, names, values, sizes, timestamps=None, packets=None):
+        self.names = tuple(names)
+        self.values = values
+        self.sizes = sizes
+        self.timestamps = timestamps
+        self.n = int(values.shape[1]) if values.ndim == 2 else len(sizes)
+        self.packets = packets
+
+    @classmethod
+    def from_matrix(cls, names, values, sizes, timestamps=None):
+        """Wrap shm SoA views in place (no copies; views stay read-only)."""
+        return cls(names, values, sizes, timestamps=timestamps)
+
+    @classmethod
+    def from_packets(cls, packets: list) -> Optional["ColumnBatch"]:
+        """Columnise a packet list; None if it is not SoA-uniform.
+
+        Mirrors :func:`repro.nic.shm_transport.soa_encode`: every packet
+        must carry the same header-field set, no metadata, no preset
+        drop/egress, and int64-representable values. Batches that fail
+        are replayed wholesale through the closure tier (reason
+        ``input``).
+        """
+        if not packets:
+            return None
+        first = packets[0].fields.keys()
+        for packet in packets:
+            if (
+                packet.metadata
+                or packet.dropped
+                or packet.egress_port is not None
+                or packet.fields.keys() != first
+            ):
+                return None
+        names = tuple(first)
+        try:
+            values = np.array(
+                [[p.fields[name] for p in packets] for name in names],
+                dtype=np.int64,
+            )
+        except OverflowError:
+            return None
+        if values.ndim != 2:  # empty field set -> (n_fields, n) anyway
+            values = values.reshape(len(names), len(packets))
+        sizes = np.fromiter(
+            (p.size_bytes for p in packets),
+            dtype=np.int64,
+            count=len(packets),
+        )
+        return cls(names, values, sizes, packets=packets)
+
+    def make_packet(self, i: int) -> Packet:
+        """The ``i``-th packet as a ``Packet`` (demotion path only)."""
+        if self.packets is not None:
+            return self.packets[i]
+        return Packet(
+            fields=dict(zip(self.names, self.values[:, i].tolist())),
+            size_bytes=int(self.sizes[i]),
+        )
+
+
+class _Walk:
+    """Pure per-walk state: column CoW overlays plus charge arrays.
+
+    Columns live in ``cols`` as ``[values, present, owned]`` triples;
+    ``present`` is ``None`` for all-present base columns or a bool array;
+    ``owned`` is False while ``values`` still aliases the batch's
+    read-only base data. Nothing in a walk touches shared engine state —
+    counters, cache hits and explicit counts accumulate as event lists
+    that the commit phase filters to the retired prefix.
+    """
+
+    __slots__ = (
+        "n",
+        "cols",
+        "busy0",
+        "busy1",
+        "used0",
+        "used1",
+        "prev",
+        "migr",
+        "dropped",
+        "egress",
+        "has_eg",
+        "sampled",
+        "flags",
+        "pending",
+        "counter_events",
+        "cache_events",
+        "explicit_events",
+    )
+
+    def __init__(self, batch: ColumnBatch, sampled: np.ndarray):
+        n = batch.n
+        self.n = n
+        values = batch.values
+        self.cols = {
+            name: [values[j], None, False]
+            for j, name in enumerate(batch.names)
+        }
+        self.busy0 = np.zeros(n, dtype=np.float64)
+        self.busy1 = np.zeros(n, dtype=np.float64)
+        self.used0 = np.zeros(n, dtype=bool)
+        self.used1 = np.zeros(n, dtype=bool)
+        self.prev = np.full(n, -1, dtype=np.int8)
+        self.migr = np.zeros(n, dtype=np.int64)
+        self.dropped = np.zeros(n, dtype=bool)
+        self.egress = np.zeros(n, dtype=np.int64)
+        self.has_eg = np.zeros(n, dtype=bool)
+        self.sampled = sampled
+        self.flags = np.zeros(n, dtype=np.int8)
+        self.pending: dict[str, list] = {}
+        #: (counter_key, sampled idx array) in visit order.
+        self.counter_events: list = []
+        #: (cache_obj, key, idx array) in visit order.
+        self.cache_events: list = []
+        #: (explicit counter name, idx array) in visit order.
+        self.explicit_events: list = []
+
+    def writable(self, name: str):
+        """The column triple for ``name``, made safe to mutate."""
+        col = self.cols.get(name)
+        if col is None:
+            col = self.cols[name] = [
+                np.zeros(self.n, dtype=np.int64),
+                np.zeros(self.n, dtype=bool),
+                True,
+            ]
+            return col
+        if not col[2]:
+            col[0] = col[0].copy()
+            if col[1] is not None:
+                col[1] = col[1].copy()
+            col[2] = True
+        return col
+
+    def read(self, name: str):
+        """``(values, present)`` or ``(None, None)`` if column absent."""
+        col = self.cols.get(name)
+        if col is None:
+            return None, None
+        return col[0], col[1]
+
+    def flag(self, idx: np.ndarray, code: int) -> None:
+        """First-flag-wins demotion marking."""
+        if idx.size:
+            fresh = idx[self.flags[idx] == 0]
+            self.flags[fresh] = code
+
+    def route(self, name: Optional[str], idx: np.ndarray) -> None:
+        """Queue surviving (unflagged) packets for a successor node."""
+        if name is None or idx.size == 0:
+            return
+        idx = idx[self.flags[idx] == 0]
+        if idx.size:
+            self.pending.setdefault(name, []).append(idx)
+
+    def key_matrix(self, idx: np.ndarray, names) -> np.ndarray:
+        """Key columns for ``idx``: absent fields read as 0 (Packet.key)."""
+        out = np.empty((idx.size, len(names)), dtype=np.int64)
+        for j, name in enumerate(names):
+            vals, present = self.read(name)
+            if vals is None:
+                out[:, j] = 0
+            else:
+                column = vals[idx]
+                if present is not None:
+                    column = np.where(present[idx], column, 0)
+                out[:, j] = column
+        return out
+
+
+def _group_rows(keymat: np.ndarray):
+    """Partition row indices of ``keymat`` by unique key row.
+
+    Yields ``(key_tuple, positions)`` where ``positions`` indexes rows
+    of ``keymat`` (argsort/searchsorted-style boundaries rather than one
+    ``np.unique`` scan per group).
+    """
+    n, width = keymat.shape
+    if n == 0:
+        return
+    if n == 1:
+        yield tuple(int(v) for v in keymat[0]), np.zeros(1, dtype=np.int64)
+        return
+    if width == 1:
+        order = np.argsort(keymat[:, 0], kind="stable")
+        ordered = keymat[order]
+        change = ordered[1:, 0] != ordered[:-1, 0]
+    else:
+        order = np.lexsort(keymat.T[::-1])
+        ordered = keymat[order]
+        change = np.any(ordered[1:] != ordered[:-1], axis=1)
+    bounds = np.flatnonzero(change) + 1
+    starts = np.concatenate(([0], bounds))
+    ends = np.concatenate((bounds, [n]))
+    for s, e in zip(starts, ends):
+        yield tuple(int(v) for v in ordered[s]), order[s:e]
+
+
+class ColumnarEngine:
+    """The program compiled to per-node batch kernels.
+
+    Owned by one :class:`NicEmulator` via the ``columnar`` property,
+    which rebuilds it whenever :meth:`stale` reports that the installed
+    state diverged — the same recompile discipline as the closure tier.
+    """
+
+    def __init__(self, emulator):
+        self._em = emulator
+        self._instrument = emulator.instrument
+        self._counter_bank = emulator.counters
+        self._max_steps = emulator.max_steps
+        self._native_cache_obj = emulator.native_cache
+        self._tracer = emulator.tracer
+        self._table_versions = [
+            (name, runtime, runtime.version)
+            for name, runtime in emulator.runtime_tables.items()
+        ]
+        self._cache_objs = list(emulator.flow_caches.items())
+        self._result = PacketResult(0.0, False, None)
+        #: Why the whole program can't run columnar (None = it can).
+        self.unsupported: Optional[str] = None
+        #: Cumulative per-node kernel wall time / packet counts, for the
+        #: ``pipeleon report`` join against cost-model predictions.
+        self.node_time_s: dict[str, float] = {}
+        self.node_packets: dict[str, int] = {}
+        #: Modeled per-packet ns charged by each node's primary cost.
+        self.node_model_ns: dict[str, float] = {}
+        self._kernels: dict = {}
+        self._topo: list[str] = []
+        self._topo_pos: dict[str, int] = {}
+        self._effect_memo: dict = {}
+        self._root = emulator.program.root
+        try:
+            self._topo = list(emulator.program.topological_order())
+        except IrError:
+            self.unsupported = "unsupported"  # cyclic program
+        if len(emulator.program.nodes) > emulator.max_steps:
+            self.unsupported = "unsupported"
+        self._native_kernel = None
+        if self.unsupported is None:
+            self._topo_pos = {
+                name: i for i, name in enumerate(self._topo)
+            }
+            for name in self._topo:
+                self._kernels[name] = self._compile_node(
+                    emulator.program.nodes[name]
+                )
+            self._native_kernel = self._compile_native()
+
+    # -- staleness (mirrors FastPathEngine.stale) --------------------------
+
+    def stale(self) -> bool:
+        em = self._em
+        if (
+            em.instrument != self._instrument
+            or em.counters is not self._counter_bank
+            or em.native_cache is not self._native_cache_obj
+            or em.max_steps != self._max_steps
+            or em.tracer is not self._tracer
+        ):
+            return True
+        for name, runtime, version in self._table_versions:
+            current = em.runtime_tables.get(name)
+            if current is not runtime or current.version != version:
+                return True
+        for name, cache in self._cache_objs:
+            if em.flow_caches.get(name) is not cache:
+                return True
+        return False
+
+    # -- primitive compilation ---------------------------------------------
+
+    def _compile_primitive(self, op: str, args):
+        """One bound primitive -> vectorized applier(walk, idx) | None.
+
+        Raises :class:`_Unsupported` for anything a column kernel can't
+        express; the owning group is then flagged and demoted, and the
+        closure tier reproduces the interpreter's behaviour (including
+        its error, for genuinely invalid primitives).
+        """
+        if op == "set_field" or op == "set_meta":
+            try:
+                name, value = str(args[0]), int(args[1])
+            except (TypeError, ValueError, IndexError):
+                raise _Unsupported(op)
+            if op == "set_meta" and not name.startswith("meta."):
+                name = f"meta.{name}"
+            if not (_I64_MIN <= value <= _I64_MAX):
+                raise _Unsupported(op)
+
+            def apply_set(walk: _Walk, idx: np.ndarray) -> None:
+                col = walk.writable(name)
+                col[0][idx] = value
+                if col[1] is not None:
+                    col[1][idx] = True
+
+            return apply_set
+        if op == "add_to_field":
+            try:
+                name, delta = str(args[0]), int(args[1])
+            except (TypeError, ValueError, IndexError):
+                raise _Unsupported(op)
+            if not (_I64_MIN <= delta <= _I64_MAX):
+                raise _Unsupported(op)
+            hi = _I64_MAX - delta if delta >= 0 else None
+            lo = _I64_MIN - delta if delta < 0 else None
+
+            def apply_add(walk: _Walk, idx: np.ndarray) -> None:
+                col = walk.writable(name)
+                vals, present = col[0], col[1]
+                current = vals[idx]
+                if present is not None:
+                    current = np.where(present[idx], current, 0)
+                if hi is not None:
+                    walk.flag(idx[current > hi], _F_UNSUPPORTED)
+                else:
+                    walk.flag(idx[current < lo], _F_UNSUPPORTED)
+                vals[idx] = current + delta
+                if present is not None:
+                    present[idx] = True
+
+            return apply_add
+        if op == "copy_field":
+            try:
+                dst, src = str(args[0]), str(args[1])
+            except (TypeError, ValueError, IndexError):
+                raise _Unsupported(op)
+
+            def apply_copy(walk: _Walk, idx: np.ndarray) -> None:
+                vals, present = walk.read(src)
+                if vals is None:
+                    value = np.zeros(idx.size, dtype=np.int64)
+                else:
+                    value = vals[idx]
+                    if present is not None:
+                        value = np.where(present[idx], value, 0)
+                col = walk.writable(dst)
+                col[0][idx] = value
+                if col[1] is not None:
+                    col[1][idx] = True
+
+            return apply_copy
+        if op == "forward":
+            try:
+                port = int(args[0])
+            except (TypeError, ValueError, IndexError):
+                raise _Unsupported(op)
+            if not (_I64_MIN <= port <= _I64_MAX):
+                raise _Unsupported(op)
+
+            def apply_forward(walk: _Walk, idx: np.ndarray) -> None:
+                walk.egress[idx] = port
+                walk.has_eg[idx] = True
+
+            return apply_forward
+        if op == "drop":
+
+            def apply_drop(walk: _Walk, idx: np.ndarray) -> None:
+                walk.dropped[idx] = True
+
+            return apply_drop
+        if op == "no_op":
+            return None
+        if op == "count":
+            try:
+                counter_name = str(args[0])
+            except (TypeError, IndexError):
+                raise _Unsupported(op)
+
+            def apply_count(walk: _Walk, idx: np.ndarray) -> None:
+                walk.explicit_events.append((counter_name, idx))
+
+            return apply_count
+        raise _Unsupported(op)
+
+    def _compile_effect(self, bound):
+        """Bound primitives -> (appliers tuple, unsupported?)."""
+        key = tuple(bound)
+        cached = self._effect_memo.get(key)
+        if cached is None:
+            try:
+                cached = (
+                    tuple(
+                        self._compile_primitive(op, args)
+                        for op, args in bound
+                    ),
+                    False,
+                )
+            except _Unsupported:
+                cached = ((), True)
+            self._effect_memo[key] = cached
+        return cached
+
+    # -- shared kernel pieces ----------------------------------------------
+
+    def _node_consts(self, node):
+        em = self._em
+        pipeline = em._pipeline_map[node.name]
+        pool = 0 if pipeline is _ASIC else 1
+        return pool, em.target.core(pipeline), em.target.migration_ns
+
+    @staticmethod
+    def _prologue(walk, idx, pool, migration_ns, cost_ns):
+        """Migration check + node cost, in the interpreter's order."""
+        busy = walk.busy0 if pool == 0 else walk.busy1
+        prev = walk.prev
+        moved = idx[(prev[idx] != -1) & (prev[idx] != pool)]
+        if moved.size:
+            busy[moved] += migration_ns
+            walk.migr[moved] += 1
+        prev[idx] = pool
+        busy[idx] += cost_ns
+        (walk.used0 if pool == 0 else walk.used1)[idx] = True
+        return busy
+
+    @staticmethod
+    def _apply_effect(walk, busy, idx, appliers, action_ns):
+        """Charge + apply one compiled effect; all primitives run (the
+        sequential engines apply every primitive even after a drop)."""
+        for applier in appliers:
+            busy[idx] += action_ns
+            if applier is not None:
+                applier(walk, idx)
+        live = idx[~walk.dropped[idx]]
+        return live
+
+    # -- node kernels ------------------------------------------------------
+
+    def _compile_node(self, node):
+        if isinstance(node, ConditionalNode):
+            return self._compile_conditional(node)
+        kind = node.kind
+        if kind is TableKind.NAVIGATION:
+            return self._compile_navigation(node)
+        if kind is TableKind.MIGRATION:
+            return self._compile_migration(node)
+        if (
+            kind is TableKind.CACHE
+            and node.cache_info
+            and node.cache_info.mode == "flow"
+        ):
+            return self._compile_flow_cache(node)
+        if kind is TableKind.MERGED or (
+            kind is TableKind.CACHE
+            and node.cache_info
+            and node.cache_info.mode == "merge"
+        ):
+            return self._compile_match(node, merged=True)
+        return self._compile_match(node, merged=False)
+
+    def _compile_conditional(self, node):
+        pool, core, migration_ns = self._node_consts(node)
+        branch_ns = core.branch_ns
+        counter_ns = core.counter_update_ns
+        condition = node.condition
+        field_name = condition.field
+        is_valid = condition.op == "valid"
+        op_fn = _OPS.get(condition.op)
+        value = condition.value
+        static_bad = not is_valid and not (
+            isinstance(value, int) and _I64_MIN <= value <= _I64_MAX
+        )
+        true_key = branch_counter(node.name, True)
+        false_key = branch_counter(node.name, False)
+        true_next = node.true_next
+        false_next = node.false_next
+        self.node_model_ns[node.name] = branch_ns
+
+        def kernel(walk: _Walk, idx: np.ndarray) -> None:
+            busy = self._prologue(walk, idx, pool, migration_ns, branch_ns)
+            if static_bad:
+                walk.flag(idx, _F_UNSUPPORTED)
+                return
+            vals, present = walk.read(field_name)
+            if vals is None:
+                taken = np.zeros(idx.size, dtype=bool)
+            else:
+                column = vals[idx]
+                if is_valid:
+                    taken = (
+                        np.ones(idx.size, dtype=bool)
+                        if present is None
+                        else present[idx].copy()
+                    )
+                else:
+                    taken = op_fn(column, value)
+                    if present is not None:
+                        taken &= present[idx]
+            sampled_mask = walk.sampled[idx]
+            sampled_idx = idx[sampled_mask]
+            if sampled_idx.size:
+                taken_s = taken[sampled_mask]
+                true_idx = sampled_idx[taken_s]
+                false_idx = sampled_idx[~taken_s]
+                if true_idx.size:
+                    walk.counter_events.append((true_key, true_idx))
+                if false_idx.size:
+                    walk.counter_events.append((false_key, false_idx))
+                busy[sampled_idx] += counter_ns
+            walk.route(true_next, idx[taken])
+            walk.route(false_next, idx[~taken])
+
+        return kernel
+
+    def _compile_navigation(self, node):
+        pool, core, migration_ns = self._node_consts(node)
+        lookup_ns = core.lookup_ns
+        default_next = node.next_map[node.default_action]
+        id_nodes = self._em._id_nodes
+        topo_pos = self._topo_pos
+        my_pos = topo_pos[node.name]
+        self.node_model_ns[node.name] = lookup_ns
+
+        def kernel(walk: _Walk, idx: np.ndarray) -> None:
+            self._prologue(walk, idx, pool, migration_ns, lookup_ns)
+            vals, present = walk.read(NEXT_TAB_ID)
+            if vals is None:
+                walk.route(default_next, idx)
+                return
+            present_mask = (
+                np.ones(idx.size, dtype=bool)
+                if present is None
+                else present[idx]
+            )
+            walk.route(default_next, idx[~present_mask])
+            jump_idx = idx[present_mask]
+            if jump_idx.size == 0:
+                return
+            ids = vals[jump_idx].copy()
+            col = walk.writable(NEXT_TAB_ID)
+            if col[1] is None:
+                col[1] = np.ones(walk.n, dtype=bool)
+            col[1][jump_idx] = False  # metadata.pop(NEXT_TAB_ID)
+            for (node_id,), positions in _group_rows(
+                ids.reshape(-1, 1)
+            ):
+                group = jump_idx[positions]
+                target = id_nodes.get(node_id)
+                if target is None:
+                    walk.flag(group, _F_UNSUPPORTED)
+                elif topo_pos.get(target, -1) <= my_pos:
+                    walk.flag(group, _F_MIGRATED)
+                else:
+                    walk.route(target, group)
+
+        return kernel
+
+    def _compile_migration(self, node):
+        pool, core, migration_ns = self._node_consts(node)
+        action_ns = core.action_ns
+        resume = node.annotations.get("resume")
+        resume_id = (
+            self._em.node_ids[resume] if resume is not None else None
+        )
+        default_next = node.next_map[node.default_action]
+        self.node_model_ns[node.name] = action_ns
+
+        def kernel(walk: _Walk, idx: np.ndarray) -> None:
+            self._prologue(walk, idx, pool, migration_ns, action_ns)
+            if resume_id is not None:
+                col = walk.writable(NEXT_TAB_ID)
+                col[0][idx] = resume_id
+                if col[1] is not None:
+                    col[1][idx] = True
+            walk.route(default_next, idx)
+
+        return kernel
+
+    def _compile_flow_cache(self, node):
+        name = node.name
+        info = node.cache_info
+        pool, core, migration_ns = self._node_consts(node)
+        lookup_ns = core.lookup_ns
+        action_ns = core.action_ns
+        counter_ns = core.counter_update_ns
+        match_fields = node.match_fields
+        cache = self._em.flow_caches[name]
+        hit_key = cache_counter(name, True)
+        hit_next = info.hit_next
+        compile_effect = self._compile_effect
+        apply_effect = self._apply_effect
+        self.node_model_ns[name] = lookup_ns
+
+        def kernel(walk: _Walk, idx: np.ndarray) -> None:
+            busy = self._prologue(walk, idx, pool, migration_ns, lookup_ns)
+            keymat = walk.key_matrix(idx, match_fields)
+            for key, positions in _group_rows(keymat):
+                group = idx[positions]
+                effect = cache.peek(key)
+                if effect is None:
+                    walk.flag(group, _F_CACHE)
+                    continue
+                appliers, bad = compile_effect(effect)
+                if bad:
+                    walk.flag(group, _F_UNSUPPORTED)
+                    continue
+                sampled_idx = group[walk.sampled[group]]
+                if sampled_idx.size:
+                    walk.counter_events.append((hit_key, sampled_idx))
+                    busy[sampled_idx] += counter_ns
+                walk.cache_events.append((cache, key, group))
+                live = apply_effect(walk, busy, group, appliers, action_ns)
+                walk.route(hit_next, live)
+
+        return kernel
+
+    def _compile_match(self, node, merged: bool):
+        """Plain and merged tables share the partition-lookup shape."""
+        name = node.name
+        pool, core, migration_ns = self._node_consts(node)
+        runtime = self._em.runtime_tables[name]
+        match_ns = core.match_cost_ns(
+            node.worst_match_type,
+            runtime.memory_accesses,
+            node.memory_tier,
+        )
+        action_ns = core.action_ns
+        counter_ns = core.counter_update_ns
+        match_fields = node.match_fields
+        lookup = runtime.engine.lookup
+        actions = node.actions
+        compile_effect = self._compile_effect
+        apply_effect = self._apply_effect
+        self.node_model_ns[name] = match_ns
+        info = node.cache_info if merged else None
+        if merged:
+            hit_key = cache_counter(name, True)
+            miss_key = cache_counter(name, False)
+            hit_next = info.hit_next if info else None
+            miss_next = info.miss_next if info else None
+            default_plan = None
+        else:
+            default_action = actions[node.default_action]
+            try:
+                bound = bind_action(default_action, ())
+                appliers, bad = compile_effect(bound)
+            except EmulationError:
+                appliers, bad = (), True
+            default_plan = (
+                appliers,
+                bad,
+                action_counter(name, default_action.name),
+                node.next_map[default_action.name],
+            )
+        plans: dict[int, tuple] = {}
+
+        def entry_plan(entry):
+            plan = plans.get(entry.entry_id)
+            if plan is None:
+                try:
+                    action = actions[entry.action_name]
+                    bound = bind_action(action, entry.action_data)
+                    appliers, bad = compile_effect(bound)
+                except (EmulationError, KeyError):
+                    action = None
+                    appliers, bad = (), True
+                if merged:
+                    plan = (appliers, bad, hit_key, hit_next)
+                else:
+                    plan = (
+                        appliers,
+                        bad,
+                        action_counter(
+                            name, action.name if action else "?"
+                        ),
+                        node.next_map.get(action.name)
+                        if action
+                        else None,
+                    )
+                plans[entry.entry_id] = plan
+            return plan
+
+        def kernel(walk: _Walk, idx: np.ndarray) -> None:
+            busy = self._prologue(walk, idx, pool, migration_ns, match_ns)
+            keymat = walk.key_matrix(idx, match_fields)
+            for key, positions in _group_rows(keymat):
+                group = idx[positions]
+                entry = lookup(key)
+                if entry is None:
+                    if merged:
+                        sampled_idx = group[walk.sampled[group]]
+                        if sampled_idx.size:
+                            walk.counter_events.append(
+                                (miss_key, sampled_idx)
+                            )
+                            busy[sampled_idx] += counter_ns
+                        walk.route(miss_next, group)
+                        continue
+                    plan = default_plan
+                else:
+                    plan = entry_plan(entry)
+                appliers, bad, counter_key, next_name = plan
+                if bad:
+                    walk.flag(group, _F_UNSUPPORTED)
+                    continue
+                sampled_idx = group[walk.sampled[group]]
+                if sampled_idx.size:
+                    walk.counter_events.append((counter_key, sampled_idx))
+                    busy[sampled_idx] += counter_ns
+                live = apply_effect(walk, busy, group, appliers, action_ns)
+                walk.route(next_name, live)
+
+        return kernel
+
+    def _compile_native(self):
+        """Whole-program native-cache pre-step (Agilio CX model)."""
+        em = self._em
+        if em.native_cache is None or em.program.root is None:
+            return None
+        entry_pipeline = em._pipeline_map[em.program.root]
+        pool = 0 if entry_pipeline is _ASIC else 1
+        core = em.target.core(entry_pipeline)
+        lookup_ns = core.lookup_ns
+        action_ns = core.action_ns
+        native = em.native_cache
+        compile_effect = self._compile_effect
+        apply_effect = self._apply_effect
+
+        def kernel(walk: _Walk, idx: np.ndarray) -> None:
+            busy = walk.busy0 if pool == 0 else walk.busy1
+            busy[idx] += lookup_ns
+            (walk.used0 if pool == 0 else walk.used1)[idx] = True
+            keymat = walk.key_matrix(idx, FIVE_TUPLE)
+            for key, positions in _group_rows(keymat):
+                group = idx[positions]
+                effect = native.peek(key)
+                if effect is None:
+                    walk.flag(group, _F_CACHE)
+                    continue
+                appliers, bad = compile_effect(effect)
+                if bad:
+                    walk.flag(group, _F_UNSUPPORTED)
+                    continue
+                walk.cache_events.append((native, key, group))
+                apply_effect(walk, busy, group, appliers, action_ns)
+                # Hits terminate; misses were flagged for demotion.
+
+        return kernel
+
+    # -- walk / commit / demote --------------------------------------------
+
+    def _walk(self, batch: ColumnBatch, seg: int) -> _Walk:
+        """One pure pass over ``batch[seg:]``; mutates no shared state."""
+        n = batch.n
+        bank = self._counter_bank
+        sampled = np.zeros(n, dtype=bool)
+        if self._instrument:
+            stride = bank.sample_stride
+            if stride == 1:
+                sampled[seg:] = True
+            else:
+                sampled[seg:] = (
+                    (bank._packet_index + np.arange(n - seg)) % stride
+                ) == 0
+        walk = _Walk(batch, sampled)
+        idx0 = np.arange(seg, n, dtype=np.int64)
+        node_time = self.node_time_s
+        node_packets = self.node_packets
+        native = self._native_kernel
+        if native is not None:
+            started = perf_counter()
+            native(walk, idx0)
+            node_time["__native__"] = node_time.get(
+                "__native__", 0.0
+            ) + (perf_counter() - started)
+            node_packets["__native__"] = (
+                node_packets.get("__native__", 0) + int(idx0.size)
+            )
+        else:
+            walk.pending[self._root] = [idx0]
+        kernels = self._kernels
+        pending = walk.pending
+        for name in self._topo:
+            parts = pending.pop(name, None)
+            if not parts:
+                continue
+            idx = parts[0] if len(parts) == 1 else np.concatenate(parts)
+            started = perf_counter()
+            kernels[name](walk, idx)
+            node_time[name] = node_time.get(name, 0.0) + (
+                perf_counter() - started
+            )
+            node_packets[name] = node_packets.get(name, 0) + int(idx.size)
+        return walk
+
+    def _commit(self, walk, batch, seg, cut, stats, outcome) -> None:
+        """Retire the miss-free prefix ``[seg, cut)`` into shared state.
+
+        Every pending event is filtered to indices below ``cut``;
+        integer counter sums, list-extend stats appends and
+        last-occurrence-ordered LRU touches reproduce exactly what
+        sequential per-packet processing of the prefix would have done.
+        """
+        em = self._em
+        sizes = batch.sizes
+        if self._instrument:
+            bank = self._counter_bank
+            for key, idx in walk.counter_events:
+                sub = idx[idx < cut]
+                if sub.size:
+                    bank.bump_block(
+                        key, int(sub.size), int(sizes[sub].sum())
+                    )
+            bank.advance(cut - seg)
+        explicit = em.explicit_counters
+        for name, idx in walk.explicit_events:
+            count = int((idx < cut).sum())
+            if count:
+                explicit[name] = explicit.get(name, 0) + count
+        per_cache: dict[int, tuple] = {}
+        for cache, key, idx in walk.cache_events:
+            sub = idx[idx < cut]
+            if sub.size:
+                _, keys = per_cache.setdefault(id(cache), (cache, {}))
+                last, count = keys.get(key, (-1, 0))
+                keys[key] = (
+                    max(last, int(sub.max())),
+                    count + int(sub.size),
+                )
+        for cache, keys in per_cache.values():
+            for key, (_, count) in sorted(
+                keys.items(), key=lambda item: item[1][0]
+            ):
+                cache.touch(key, count)
+        span = slice(seg, cut)
+        used0 = walk.used0[span]
+        used1 = walk.used1[span]
+        busy0 = walk.busy0[span]
+        busy1 = walk.busy1[span]
+        latencies = np.where(used0, busy0, 0.0) + np.where(
+            used1, busy1, 0.0
+        )
+        dropped = walk.dropped[span]
+        stats.record_block(
+            latencies.tolist(),
+            int(sizes[span].sum()),
+            int(dropped.sum()),
+            int(walk.migr[span].sum()),
+            busy0[used0].tolist(),
+            busy1[used1].tolist(),
+        )
+        outcome.latencies[span] = latencies
+        outcome.dropped[span] = dropped
+        outcome.egress[span] = np.where(
+            walk.has_eg[span], walk.egress[span], -1
+        )
+
+    def _demote_one(
+        self, fastpath, batch, i, stats, outcome, clock_value, reason
+    ) -> None:
+        """Replay packet ``i`` through the closure tier, in order."""
+        em = self._em
+        if clock_value is not None:
+            em.clock.now_s = clock_value
+        packet = batch.make_packet(i)
+        result = fastpath.replay_one(packet, into=self._result)
+        stats.record_fast(
+            result.latency_ns,
+            packet.size_bytes,
+            result.dropped,
+            result.migrations,
+            result.busy_ns.get(_ASIC),
+            result.busy_ns.get(_CPU),
+        )
+        outcome.latencies[i] = result.latency_ns
+        outcome.egress[i] = (
+            -1 if result.egress_port is None else result.egress_port
+        )
+        outcome.dropped[i] = result.dropped
+        outcome.demoted += 1
+        demotions = em.columnar_demotions
+        demotions[reason] = demotions.get(reason, 0) + 1
+
+    def _fallback(
+        self, batch, packets, n, stats, dt_s, ts, outcome, reason
+    ) -> None:
+        """Whole-batch demotion (traced / cyclic / non-SoA input)."""
+        em = self._em
+        fastpath = em.fastpath
+        clock = em.clock
+        for i in range(n):
+            if ts is not None:
+                clock.now_s = float(ts[i])
+            elif dt_s:
+                clock.advance(dt_s)
+            packet = (
+                packets[i] if packets is not None else batch.make_packet(i)
+            )
+            result = fastpath.replay_one(packet, into=self._result)
+            stats.record_fast(
+                result.latency_ns,
+                packet.size_bytes,
+                result.dropped,
+                result.migrations,
+                result.busy_ns.get(_ASIC),
+                result.busy_ns.get(_CPU),
+            )
+            outcome.latencies[i] = result.latency_ns
+            outcome.egress[i] = (
+                -1 if result.egress_port is None else result.egress_port
+            )
+            outcome.dropped[i] = result.dropped
+        outcome.demoted = n
+        demotions = em.columnar_demotions
+        demotions[reason] = demotions.get(reason, 0) + n
+
+    # -- batch replay ------------------------------------------------------
+
+    def replay_batch(
+        self,
+        packets,
+        stats: RunStats,
+        dt_s: float = 0.0,
+        timestamps=None,
+    ) -> BatchOutcome:
+        """Replay one batch; bit-identical to the sequential engines.
+
+        ``packets`` is a :class:`ColumnBatch` (shm SoA path) or an
+        iterable of :class:`Packet`. Always returns a
+        :class:`BatchOutcome` with per-packet latency/egress/dropped in
+        original order, even when part or all of the batch was demoted.
+        """
+        em = self._em
+        clock = em.clock
+        if isinstance(packets, ColumnBatch):
+            batch = packets
+            packet_list = batch.packets
+        else:
+            packet_list = (
+                packets if isinstance(packets, list) else list(packets)
+            )
+            if not packet_list:
+                return BatchOutcome(0)
+            batch = ColumnBatch.from_packets(packet_list)
+        n = batch.n if batch is not None else len(packet_list)
+        outcome = BatchOutcome(n)
+        ts = timestamps if timestamps is not None else (
+            batch.timestamps if batch is not None else None
+        )
+        if ts is not None and not isinstance(ts, np.ndarray):
+            ts = np.asarray(ts, dtype=np.float64)
+        if self._tracer is not None:
+            self._fallback(
+                batch, packet_list, n, stats, dt_s, ts, outcome, "traced"
+            )
+            return outcome
+        if self.unsupported is not None:
+            self._fallback(
+                batch,
+                packet_list,
+                n,
+                stats,
+                dt_s,
+                ts,
+                outcome,
+                self.unsupported,
+            )
+            return outcome
+        if batch is None:
+            self._fallback(
+                None, packet_list, n, stats, dt_s, ts, outcome, "input"
+            )
+            return outcome
+        if self._root is None:
+            # No program root: the sequential engines still step the
+            # clock and the counter stride per packet.
+            if self._instrument:
+                self._counter_bank.advance(n)
+            stats.record_block([0.0] * n, int(batch.sizes.sum()), 0, 0)
+            em.columnar_packets += n
+            if ts is not None and n:
+                clock.now_s = float(ts[-1])
+            elif dt_s:
+                for _ in range(n):
+                    clock.advance(dt_s)
+            return outcome
+        clock_values = None
+        if ts is None and dt_s:
+            # Exact per-packet clock values under repeated advance()
+            # (itertools.accumulate is bit-identical to the sequential
+            # adds; np.cumsum is not guaranteed to be).
+            clock_values = list(
+                accumulate(repeat(dt_s, n), initial=clock.now_s)
+            )
+        fastpath = em.fastpath
+        seg = 0
+        demotions = 0
+        while seg < n:
+            if demotions >= MAX_WALKS_PER_BATCH:
+                for i in range(seg, n):
+                    self._demote_one(
+                        fastpath,
+                        batch,
+                        i,
+                        stats,
+                        outcome,
+                        float(ts[i])
+                        if ts is not None
+                        else (
+                            clock_values[i + 1] if clock_values else None
+                        ),
+                        "cascade",
+                    )
+                seg = n
+                break
+            walk = self._walk(batch, seg)
+            flagged = np.flatnonzero(walk.flags[seg:])
+            cut = seg + int(flagged[0]) if flagged.size else n
+            if cut > seg:
+                self._commit(walk, batch, seg, cut, stats, outcome)
+                em.columnar_packets += cut - seg
+            if cut == n:
+                break
+            self._demote_one(
+                fastpath,
+                batch,
+                cut,
+                stats,
+                outcome,
+                float(ts[cut])
+                if ts is not None
+                else (clock_values[cut + 1] if clock_values else None),
+                _FLAG_REASONS[int(walk.flags[cut])],
+            )
+            demotions += 1
+            seg = cut + 1
+        if ts is not None and n:
+            clock.now_s = float(ts[-1])
+        elif clock_values is not None:
+            clock.now_s = clock_values[-1]
+        return outcome

@@ -66,6 +66,24 @@ class CounterBank:
             counter = self._counters[key] = Counter()
         counter.bump(size_bytes)
 
+    def bump_block(
+        self, key: CounterKey, packets: int, total_bytes: int
+    ) -> None:
+        """Fold a batch of ``packets`` sampled hits into one counter.
+
+        Counter totals are plain integer sums, so committing a block at
+        once is exactly equivalent to ``packets`` individual bumps.
+        """
+        counter = self._counters.get(key)
+        if counter is None:
+            counter = self._counters[key] = Counter()
+        counter.packets += packets
+        counter.bytes += total_bytes
+
+    def advance(self, n_packets: int) -> None:
+        """Advance the sampling stride by ``n_packets`` at once."""
+        self._packet_index += n_packets
+
     # -- merging ----------------------------------------------------------------
 
     def merge(self, other: "CounterBank") -> "CounterBank":

@@ -164,6 +164,13 @@ class NicEmulator:
                 self._native_relevant.add(str(source))
 
         self._fastpath = None
+        self._columnar = None
+        #: Cumulative columnar-tier demotion counts by reason, and the
+        #: number of packets the batch kernels retired themselves. Owned
+        #: here (not by the engine) so recompiles don't reset them and
+        #: shard workers can ship them home for merging.
+        self.columnar_demotions: dict[str, int] = {}
+        self.columnar_packets = 0
         #: Optional sampled-span recorder (attach a PacketTracer to
         #: trace; the disabled path costs one branch per packet here
         #: and one per batch in the compiled fast path).
@@ -583,9 +590,66 @@ class NicEmulator:
             engine = self._fastpath = FastPathEngine(self)
         return engine
 
+    @property
+    def columnar(self):
+        """The columnar batch-kernel engine for the installed state.
+
+        Same lifecycle as :attr:`fastpath`: compiled lazily, recompiled
+        whenever the staleness fingerprint moves. Batches it cannot
+        express demote (per packet, counted in
+        :attr:`columnar_demotions`) to the closure tier, so replay
+        through it is bit-identical to :meth:`process` regardless.
+        """
+        from repro.nic.columnar import ColumnarEngine
+
+        engine = self._columnar
+        if engine is None or engine.stale():
+            engine = self._columnar = ColumnarEngine(self)
+        return engine
+
     def replay_one(self, packet: Packet, into=None) -> PacketResult:
         """Fast-path equivalent of :meth:`process` for one packet."""
         return self.fastpath.replay_one(packet, into=into)
+
+    def replay_batch(
+        self,
+        packets,
+        stats: RunStats,
+        dt_s: float = 0.0,
+        timestamps=None,
+        engine: str = "auto",
+    ):
+        """Replay one batch through the selected execution tier.
+
+        ``engine`` picks the tier: ``"columnar"``/``"auto"`` run the
+        batch kernels (returning a ``BatchOutcome`` with per-packet
+        latency/egress/dropped columns), ``"fastpath"`` the closure
+        chains, ``"interp"`` the reference interpreter; the latter two
+        return None. All tiers are bit-identical on stats, counters,
+        caches and per-packet results.
+        """
+        if engine == "auto" or engine == "columnar":
+            return self.columnar.replay_batch(
+                packets, stats, dt_s, timestamps
+            )
+        if engine == "fastpath":
+            self.fastpath.replay_batch(packets, stats, dt_s, timestamps)
+            return None
+        if engine == "interp":
+            clock = self.clock
+            if timestamps is not None:
+                for packet, now_s in zip(packets, timestamps):
+                    clock.now_s = now_s
+                    result = self.process(packet)
+                    stats.record(result, packet.size_bytes)
+                return None
+            for packet in packets:
+                if dt_s:
+                    clock.advance(dt_s)
+                result = self.process(packet)
+                stats.record(result, packet.size_bytes)
+            return None
+        raise ValueError(f"Unknown engine {engine!r}")
 
     def replay(
         self,
@@ -594,12 +658,15 @@ class NicEmulator:
         batch: int = 256,
         packet_pool=None,
         stats: Optional[RunStats] = None,
+        engine: str = "auto",
     ) -> RunStats:
-        """Batch replay through the compiled fast path.
+        """Batch replay through a compiled execution tier.
 
         Equivalent to :meth:`run` (same stats, counters and cache
-        state), but packets are driven through the compiled engine in
+        state), but packets are driven through the selected engine in
         ``batch``-sized chunks with no per-packet result allocation.
+        ``engine`` is ``"auto"`` (columnar batch kernels with closure
+        demotion), ``"columnar"``, ``"fastpath"`` or ``"interp"``.
         Pass a :class:`~repro.nic.packet.PacketPool` as ``packet_pool``
         to recycle consumed packets back to the generator's free list.
         """
@@ -607,7 +674,6 @@ class NicEmulator:
             raise ValueError("batch must be >= 1")
         if stats is None:
             stats = RunStats()
-        engine = self.fastpath
         dt = 1.0 / offered_pps if offered_pps else 0.0
         iterator = iter(packets)
         buffer: list[Packet] = []
@@ -616,7 +682,7 @@ class NicEmulator:
             buffer.extend(islice(iterator, batch))
             if not buffer:
                 return stats
-            engine.replay_batch(buffer, stats, dt)
+            self.replay_batch(buffer, stats, dt, engine=engine)
             if packet_pool is not None:
                 for packet in buffer:
                     packet_pool.release(packet)

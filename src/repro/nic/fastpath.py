@@ -30,7 +30,12 @@ The engine is a *replica*, not a replacement: the interpreter remains
 the reference semantics, and the fast path must be bit-identical on
 counter banks, execution paths, per-pool busy time, flow-cache contents
 and statistics (differential tests in ``tests/test_nic_fastpath.py``
-and ``tests/test_fastpath_property.py`` enforce this). Compiled state
+and ``tests/test_fastpath_property.py`` enforce this). It is also the
+middle tier of the emulator's execution stack: the columnar engine
+(:mod:`repro.nic.columnar`) runs whole batches per DAG node and demotes
+the packets its kernels can't express to :meth:`FastPathEngine.
+replay_one`, so this module's per-packet semantics anchor both faster
+tiers. Compiled state
 freezes table entries and probe counts, so the engine records the
 version of every runtime table at compile time; :attr:`NicEmulator.
 fastpath` recompiles automatically when any version moved (entry

@@ -108,6 +108,20 @@ class FlowCache:
         self.stats.hits += 1
         return effect
 
+    def peek(self, key: Hashable) -> Optional[Effect]:
+        """Read-only probe: no stats update, no LRU promotion.
+
+        The columnar tier resolves a whole batch segment speculatively
+        and only commits hit accounting (via :meth:`touch`) for the
+        prefix it actually retires, so its probes must not mutate.
+        """
+        return self._store.get(key)
+
+    def touch(self, key: Hashable, hits: int = 1) -> None:
+        """Commit ``hits`` lookups that hit ``key`` (LRU + stats)."""
+        self._store.move_to_end(key)
+        self.stats.hits += hits
+
     def insert(self, key: Hashable, effect: Effect, now_s: float) -> bool:
         """Install a recording; False if the rate limiter rejected it."""
         if self._limiter is not None and not self._limiter.allow(now_s):

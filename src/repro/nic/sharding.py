@@ -106,6 +106,7 @@ import numpy as np
 
 from repro.errors import EmulationError
 from repro.ir.entries import TableEntry
+from repro.nic.columnar import ColumnBatch
 from repro.nic.control_plane import SimClock, UpdateEvent
 from repro.nic.counters import CounterBank
 from repro.nic.emulator import NicEmulator
@@ -159,6 +160,9 @@ _METRIC_HELP = {
 }
 
 _TRANSPORTS = ("pipe", "shm")
+
+#: Worker execution tiers (see :meth:`NicEmulator.replay_batch`).
+_ENGINES = ("auto", "columnar", "fastpath", "interp")
 
 #: Fraction buckets for the ring-occupancy histogram (eighths of the
 #: ring, matching the default slot count so each bucket is one slot).
@@ -443,6 +447,8 @@ def _worker_state(emulator: NicEmulator) -> dict:
             else None
         ),
         "tracer": emulator.tracer,
+        "demotions": dict(emulator.columnar_demotions),
+        "columnar_packets": emulator.columnar_packets,
     }
 
 
@@ -485,6 +491,7 @@ def _worker_main(
     rebirth: bool = False,
     birth_tables=None,
     channel: Optional[ShardChannel] = None,
+    engine: str = "auto",
 ) -> None:
     """Command loop for one shard worker.
 
@@ -523,32 +530,47 @@ def _worker_main(
             if injector is None or injector.should_reply():
                 conn.send(payload)
 
-        def push_outcomes(packets: list[Packet], n_before: int) -> None:
+        use_columnar = engine in ("auto", "columnar")
+
+        def push_outcomes(latencies, egress, dropped, n: int) -> None:
             deadline = time.monotonic() + _RESULT_PUSH_TIMEOUT_S
             while not write_result_record(
-                channel.results,
-                batch_ordinal,
-                stats._latencies[n_before:],
-                (p.egress_port for p in packets),
-                (p.dropped for p in packets),
-                len(packets),
+                channel.results, batch_ordinal, latencies, egress, dropped, n
             ):
                 if time.monotonic() >= deadline:
                     return
                 time.sleep(0.001)
 
-        def replay_packets(packets: list[Packet], timestamps) -> None:
+        def replay_any(batch, n: int, timestamps) -> None:
+            """Replay one batch (Packet list or ColumnBatch) via the tier."""
             nonlocal stats, batch_ordinal
             if injector is not None:
-                injector.before_batch(len(packets))
+                injector.before_batch(n)
             if stats is None:
                 stats = RunStats()
             n_before = len(stats._latencies)
-            engine = emulator.fastpath  # recompiles if stale
-            engine.replay_batch(packets, stats, timestamps=timestamps)
+            outcome = emulator.replay_batch(
+                batch, stats, timestamps=timestamps, engine=engine
+            )
             if channel is not None:
-                push_outcomes(packets, n_before)
+                if outcome is not None:
+                    push_outcomes(
+                        outcome.latencies,
+                        outcome.egress,
+                        outcome.dropped,
+                        outcome.n,
+                    )
+                else:
+                    push_outcomes(
+                        stats._latencies[n_before:],
+                        (p.egress_port for p in batch),
+                        (p.dropped for p in batch),
+                        n,
+                    )
             batch_ordinal += 1
+
+        def replay_packets(packets: list[Packet], timestamps) -> None:
+            replay_any(packets, len(packets), timestamps)
             for packet in packets:
                 pool.release(packet)
 
@@ -557,6 +579,20 @@ def _worker_main(
             names = names_memo.get(blob)
             if names is None:
                 names = names_memo[blob] = decode_names(blob)
+            if use_columnar:
+                # Consume the SoA views in place: no row -> Packet
+                # materialisation and no copy — the batch kernels read
+                # the ring slot directly and copy-on-write any column
+                # they modify, so the slot stays pristine (demoted
+                # packets re-materialise from it). The cursor therefore
+                # advances only *after* replay; it still moves once per
+                # batch, which keeps supervision and the dispatcher's
+                # backpressure live (the parent drains result records
+                # while stalled on a full data ring).
+                batch = ColumnBatch.from_matrix(names, values, sizes, ts)
+                replay_any(batch, batch.n, None)
+                channel.data.advance()
+                return
             packets: list[Packet] = []
             for row, size in zip(values.T.tolist(), sizes.tolist()):
                 packet = pool.acquire(size)
@@ -742,6 +778,7 @@ class ShardedEmulator:
         fault_plan: Optional[FaultPlan] = None,
         transport: str = "shm",
         ring_slots: Optional[int] = None,
+        engine: str = "auto",
     ):
         if n_workers < 1:
             raise ValueError("n_workers must be >= 1")
@@ -752,6 +789,15 @@ class ShardedEmulator:
                 f"Unknown transport {transport!r}; expected one of "
                 f"{', '.join(_TRANSPORTS)}"
             )
+        if engine not in _ENGINES:
+            raise ValueError(
+                f"Unknown engine {engine!r}; expected one of "
+                f"{', '.join(_ENGINES)}"
+            )
+        #: Execution tier every worker replays through. ``auto`` and
+        #: ``columnar`` consume shm SoA batches in place (no row ->
+        #: Packet materialisation); the tiers are stats-identical.
+        self.engine = engine
         if ring_slots is not None and ring_slots < 1:
             raise ValueError("ring_slots must be >= 1")
         self.transport = transport
@@ -799,6 +845,11 @@ class ShardedEmulator:
         self.explicit_counters: dict[str, int] = {}
         self.cache_stats: dict[str, CacheStats] = {}
         self.native_cache_stats: Optional[CacheStats] = None
+        #: Merged per-reason columnar demotion counts from the last
+        #: collection (``pipeleon_columnar_demotions_total`` labels).
+        self.columnar_demotions: dict[str, int] = {}
+        #: Packets the workers' columnar kernels fully retired.
+        self.columnar_packets = 0
         #: Merged per-worker packet tracer from the last collection
         #: (None unless the worker emulators carry tracers).
         self.tracer = None
@@ -870,6 +921,7 @@ class ShardedEmulator:
                 rebirth,
                 self._birth_tables if rebirth else None,
                 channel,
+                self.engine,
             ),
             daemon=True,
             name=f"repro-shard-{shard}",
@@ -1525,7 +1577,14 @@ class ShardedEmulator:
         cache_stats: dict[str, CacheStats] = {}
         native: Optional[CacheStats] = None
         tracer = None
+        demotions: dict[str, int] = {}
+        columnar_packets = 0
         for state in states:
+            # .get: states pickled by an older worker may predate the
+            # columnar tier.
+            for reason, count in state.get("demotions", {}).items():
+                demotions[reason] = demotions.get(reason, 0) + count
+            columnar_packets += state.get("columnar_packets", 0)
             worker_tracer = state.get("tracer")
             if worker_tracer is not None:
                 if tracer is None:
@@ -1552,6 +1611,11 @@ class ShardedEmulator:
         self.cache_stats = cache_stats
         self.native_cache_stats = native
         self.tracer = tracer
+        # Cumulative totals, like the counter banks: the metrics
+        # registry picks them up at export time (telemetry.export.
+        # export_columnar), never from this merge.
+        self.columnar_demotions = demotions
+        self.columnar_packets = columnar_packets
 
     def collect(self) -> None:
         """Barrier: refresh merged counters/cache stats from all workers."""

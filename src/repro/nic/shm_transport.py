@@ -31,9 +31,11 @@ detected (:class:`TornRecordError`) instead of silently decoded.
 
 Batch records are struct-of-arrays: one contiguous ``int64`` row per
 packet *field* (a ``(n_fields, n_packets)`` field-major matrix — each
-field a contiguous numpy slice, exactly the substrate a columnar
-execution tier consumes), plus ``int32`` sizes and optional ``float64``
-timestamps. Field names travel as one small utf-8 blob per batch (not
+field a contiguous numpy slice, exactly the substrate the columnar
+execution tier consumes: :class:`repro.nic.columnar.ColumnBatch.
+from_matrix` wraps these views in place, and workers running the
+columnar engine replay them with no row -> ``Packet`` materialisation
+at all), plus ``int32`` sizes and optional ``float64`` timestamps. Field names travel as one small utf-8 blob per batch (not
 per packet) and are memoized by the consumer. Result records flow the
 other way on a second ring: per-packet latency/egress/dropped columns
 so the parent can observe outcomes and progress without a single

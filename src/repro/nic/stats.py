@@ -141,6 +141,39 @@ class RunStats:
                 bucket = samples[Pipeline.CPU] = []
             bucket.append(cpu_busy_ns)
 
+    def record_block(
+        self,
+        latencies,
+        total_bytes: int,
+        dropped: int,
+        migrations: int,
+        asic_busy=None,
+        cpu_busy=None,
+    ) -> None:
+        """Record a contiguous block of packets at once.
+
+        ``latencies`` and the busy sequences must carry the same
+        per-packet values, in the same order, that a sequence of
+        :meth:`record_fast` calls would have appended — the lists are
+        simply extended, so the resulting stats are bit-identical.
+        """
+        self.packets += len(latencies)
+        self.total_bytes += total_bytes
+        self.migrations += migrations
+        self.dropped += dropped
+        self._latencies.extend(latencies)
+        samples = self._busy_samples
+        if asic_busy is not None and len(asic_busy):
+            bucket = samples.get(Pipeline.ASIC)
+            if bucket is None:
+                bucket = samples[Pipeline.ASIC] = []
+            bucket.extend(asic_busy)
+        if cpu_busy is not None and len(cpu_busy):
+            bucket = samples.get(Pipeline.CPU)
+            if bucket is None:
+                bucket = samples[Pipeline.CPU] = []
+            bucket.extend(cpu_busy)
+
     # -- merging -------------------------------------------------------------
 
     def merge(self, other: "RunStats") -> "RunStats":

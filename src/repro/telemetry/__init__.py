@@ -27,6 +27,7 @@ from repro.nic.control_plane import SimClock
 from repro.telemetry.events import EventLog
 from repro.telemetry.export import (
     export_cache_stats,
+    export_columnar,
     export_counter_bank,
     export_emulator,
     export_run_stats,
@@ -62,6 +63,7 @@ __all__ = [
     "Telemetry",
     "TraceStep",
     "export_cache_stats",
+    "export_columnar",
     "export_counter_bank",
     "export_emulator",
     "export_run_stats",

@@ -141,6 +141,36 @@ def export_tracer(registry: MetricsRegistry, tracer: PacketTracer) -> None:
         ).merge(hist)
 
 
+def export_columnar(
+    registry: MetricsRegistry,
+    demotions: dict[str, int],
+    columnar_packets: int = 0,
+    **labels: object,
+) -> None:
+    """Project the columnar tier's demotion/retirement accounting.
+
+    Called at export time with the cumulative counts the emulator (or
+    the sharded merge) owns — the hot path never touches the registry.
+    """
+    for reason, count in sorted(demotions.items()):
+        registry.inc(
+            "pipeleon_columnar_demotions_total",
+            count,
+            help=(
+                "Packets the columnar tier demoted to the closure "
+                "fast path, by reason"
+            ),
+            reason=reason,
+            **labels,
+        )
+    registry.inc(
+        "pipeleon_columnar_packets_total",
+        columnar_packets,
+        help="Packets fully retired by the columnar batch kernels",
+        **labels,
+    )
+
+
 def export_emulator(registry: MetricsRegistry, emulator) -> None:
     """Project an emulator's counters and cache stats."""
     export_counter_bank(registry, emulator.counters)
@@ -150,3 +180,8 @@ def export_emulator(registry: MetricsRegistry, emulator) -> None:
         export_cache_stats(
             registry, "__native__", emulator.native_cache.stats
         )
+    export_columnar(
+        registry,
+        emulator.columnar_demotions,
+        emulator.columnar_packets,
+    )

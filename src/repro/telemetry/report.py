@@ -113,6 +113,125 @@ def measured_vs_predicted(
     )
 
 
+@dataclass(frozen=True)
+class KernelRow:
+    """One DAG node's columnar kernel time vs its modeled cost.
+
+    Wall time is host-CPU seconds spent in the node's batch kernel;
+    the model figure is the emulated device nanoseconds the cost model
+    charges per packet at that node. The units differ, so the
+    meaningful comparison is the *share* columns: if the cost model is
+    faithful, the nodes it says dominate device latency should also
+    dominate kernel wall time.
+    """
+
+    node: str
+    packets: int
+    wall_us_per_kpkt: float  # measured kernel host-us per 1k packets
+    model_ns_per_pkt: float  # cost-model primary charge per packet
+    wall_share: float  # fraction of total kernel wall time
+    model_share: float  # fraction of total modeled packet-ns
+
+    def to_json(self) -> dict:
+        return {
+            "node": self.node,
+            "packets": self.packets,
+            "wall_us_per_kpkt": self.wall_us_per_kpkt,
+            "model_ns_per_pkt": self.model_ns_per_pkt,
+            "wall_share": self.wall_share,
+            "model_share": self.model_share,
+        }
+
+
+@dataclass(frozen=True)
+class KernelReport:
+    """Per-node columnar kernel timings joined with model predictions."""
+
+    rows: tuple[KernelRow, ...]
+    columnar_packets: int
+    demotions: dict[str, int]
+
+    def to_json(self) -> dict:
+        return {
+            "rows": [row.to_json() for row in self.rows],
+            "columnar_packets": self.columnar_packets,
+            "demotions": dict(self.demotions),
+        }
+
+
+def columnar_kernel_report(emulator) -> KernelReport:
+    """Join a columnar engine's kernel timings with cost predictions.
+
+    ``emulator`` is a :class:`~repro.nic.emulator.NicEmulator` whose
+    columnar tier has replayed traffic (``engine="columnar"``); the
+    engine accumulates per-node wall time and packet counts as a side
+    effect of every walk.
+    """
+    engine = emulator.columnar
+    wall_total = sum(engine.node_time_s.values())
+    model_weight = {
+        node: engine.node_model_ns.get(node, 0.0)
+        * engine.node_packets.get(node, 0)
+        for node in engine.node_time_s
+    }
+    model_total = sum(model_weight.values())
+    rows = []
+    for node, wall_s in sorted(
+        engine.node_time_s.items(), key=lambda kv: -kv[1]
+    ):
+        packets = engine.node_packets.get(node, 0)
+        rows.append(
+            KernelRow(
+                node=node,
+                packets=packets,
+                wall_us_per_kpkt=(
+                    wall_s * 1e6 / (packets / 1000.0) if packets else 0.0
+                ),
+                model_ns_per_pkt=engine.node_model_ns.get(node, 0.0),
+                wall_share=wall_s / wall_total if wall_total else 0.0,
+                model_share=(
+                    model_weight[node] / model_total if model_total else 0.0
+                ),
+            )
+        )
+    return KernelReport(
+        rows=tuple(rows),
+        columnar_packets=emulator.columnar_packets,
+        demotions=dict(emulator.columnar_demotions),
+    )
+
+
+def format_kernel_report(report: KernelReport) -> str:
+    """Human-readable columnar kernel-vs-model table."""
+    header = (
+        f"{'node':<28} {'packets':>9} {'us/kpkt':>9} "
+        f"{'model_ns':>9} {'wall%':>7} {'model%':>7}"
+    )
+    lines = [header, "-" * len(header)]
+    for row in report.rows:
+        name = row.node if len(row.node) <= 28 else row.node[:25] + "..."
+        lines.append(
+            f"{name:<28} {row.packets:>9} {row.wall_us_per_kpkt:>9.2f} "
+            f"{row.model_ns_per_pkt:>9.1f} {row.wall_share * 100:>6.1f}% "
+            f"{row.model_share * 100:>6.1f}%"
+        )
+    lines.append("-" * len(header))
+    demoted = sum(report.demotions.values())
+    reasons = (
+        ", ".join(
+            f"{reason}={count}"
+            for reason, count in sorted(report.demotions.items())
+        )
+        if report.demotions
+        else "none"
+    )
+    lines.append(
+        f"columnar packets: {report.columnar_packets}  "
+        f"demoted: {demoted} ({reasons})"
+    )
+    return "\n".join(lines)
+
+
 def format_report(report: LatencyReport) -> str:
     """Human-readable measured-vs-predicted table."""
     header = (

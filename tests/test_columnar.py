@@ -1,0 +1,404 @@
+"""Differential tests: columnar batch kernels vs. the interpreter.
+
+The columnar tier exists under the same license as the closure fast
+path: it must be bit-identical to ``NicEmulator.process`` on RunStats,
+counter banks, flow-cache contents and per-packet results — and on top
+of that it must account for every packet it could *not* express as a
+batch kernel (the per-reason demotion counters). These tests replay
+identical traffic through twin deployments and compare everything
+observable, including under mid-stream control-plane updates, over
+random synthesized programs, and across the sharded shm transport.
+"""
+
+import random
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.core import Deployment, Pipeleon
+from repro.core.sharded import ShardedDeployment
+from repro.ir import exact_entry
+from repro.ir.entries import ExactValue, TableEntry
+from repro.nic.columnar import ColumnBatch
+from repro.nic.packet import Packet, PacketPool, make_packet
+from repro.nic.stats import RunStats
+from repro.nic.targets import AGILIO_CX, BLUEFIELD2, EMULATED_NIC
+from repro.synthesis import ProgramSynthesizer, SynthesisConfig
+
+from .test_nic_fastpath import (
+    APPS,
+    TARGETS,
+    app_packets,
+    assert_emulators_identical,
+    make_twin_deployments,
+    stats_fingerprint,
+)
+
+#: Every legal demotion reason (keep in sync with repro.nic.columnar).
+DEMOTION_REASONS = {
+    "cache-record",
+    "migrated",
+    "unsupported",
+    "traced",
+    "input",
+    "cascade",
+}
+
+
+def assert_demotions_accounted(emulator, total_packets: int) -> None:
+    """Columnar retirements + demotions must cover every packet."""
+    demoted = sum(emulator.columnar_demotions.values())
+    assert set(emulator.columnar_demotions) <= DEMOTION_REASONS
+    assert emulator.columnar_packets + demoted == total_packets
+
+
+class TestColumnarDifferential:
+    @pytest.mark.parametrize("app", sorted(APPS))
+    @pytest.mark.parametrize("target", TARGETS, ids=lambda t: t.name)
+    def test_apps_bit_identical(self, app, target):
+        interp, col = make_twin_deployments(app, target)
+        reference = interp.run(app_packets(11), offered_pps=1e6)
+        replayed = col.replay(
+            app_packets(11), offered_pps=1e6, batch=37, engine="columnar"
+        )
+        assert stats_fingerprint(replayed) == stats_fingerprint(reference)
+        assert_emulators_identical(interp.emulator, col.emulator)
+        assert_demotions_accounted(col.emulator, reference.packets)
+
+    @pytest.mark.parametrize("app", sorted(APPS))
+    @pytest.mark.parametrize("target", TARGETS, ids=lambda t: t.name)
+    def test_optimized_apps_bit_identical(self, app, target):
+        interp, col = make_twin_deployments(app, target, optimize=True)
+        reference = interp.run(app_packets(12), offered_pps=1e6)
+        replayed = col.replay(
+            app_packets(12), offered_pps=1e6, batch=37, engine="columnar"
+        )
+        assert stats_fingerprint(replayed) == stats_fingerprint(reference)
+        assert_emulators_identical(interp.emulator, col.emulator)
+        assert_demotions_accounted(col.emulator, reference.packets)
+
+    def test_batch_outcome_matches_per_packet_results(self):
+        interp, col = make_twin_deployments("l2l3_acl", BLUEFIELD2)
+        stats = RunStats()
+        outcome = col.emulator.replay_batch(
+            app_packets(3, n=120), stats, engine="columnar"
+        )
+        for i, packet in enumerate(app_packets(3, n=120)):
+            result = interp.emulator.process(packet)
+            assert outcome.latencies[i] == result.latency_ns
+            assert bool(outcome.dropped[i]) == result.dropped
+            expected = (
+                -1 if result.egress_port is None else result.egress_port
+            )
+            assert outcome.egress[i] == expected
+
+    def test_auto_engine_is_columnar(self):
+        """``engine="auto"`` resolves to the columnar tier."""
+        _, col = make_twin_deployments("l2l3_acl", BLUEFIELD2)
+        col.replay(app_packets(4, n=90), batch=30)  # deployment default
+        assert_demotions_accounted(col.emulator, 90)
+        assert col.emulator.columnar_packets == 90
+
+    def test_tracer_demotes_whole_batches(self):
+        """A bound tracer forces the closure tier (reason "traced")."""
+        from repro.telemetry import Telemetry
+
+        def traced_twin():
+            build, install = APPS["l2l3_acl"]
+            deployment = Deployment(
+                build(), BLUEFIELD2, telemetry=Telemetry(trace_interval=8)
+            )
+            install(deployment.control_plane)
+            return deployment
+
+        interp, col = traced_twin(), traced_twin()
+        reference = interp.run(app_packets(7, n=96), offered_pps=1e6)
+        replayed = col.replay(
+            app_packets(7, n=96), offered_pps=1e6, batch=32,
+            engine="columnar",
+        )
+        assert stats_fingerprint(replayed) == stats_fingerprint(reference)
+        assert col.emulator.columnar_demotions == {"traced": 96}
+        assert col.emulator.columnar_packets == 0
+
+
+class TestMidstreamUpdates:
+    """Mirror of test_fastpath_midstream for the columnar tier."""
+
+    @pytest.mark.parametrize(
+        "target", [BLUEFIELD2, EMULATED_NIC], ids=lambda t: t.name
+    )
+    def test_updates_between_batches_stay_identical(self, target):
+        interp, col = make_twin_deployments("l2l3_acl", target)
+
+        def both_phases(seed):
+            reference = interp.run(
+                app_packets(seed, n=150), offered_pps=1e6
+            )
+            replayed = col.replay(
+                app_packets(seed, n=150),
+                offered_pps=1e6,
+                batch=32,
+                engine="columnar",
+            )
+            assert stats_fingerprint(replayed) == stats_fingerprint(
+                reference
+            )
+
+        both_phases(21)
+        deny = TableEntry((ExactValue(80),), "acl_deny")
+        inserted = [
+            deployment.insert_entry("l2l3_acl", deny.clone())
+            for deployment in (interp, col)
+        ]
+        both_phases(22)
+        for deployment, entry_id in zip((interp, col), inserted):
+            deployment.delete_entry("l2l3_acl", entry_id)
+        both_phases(23)
+        for deployment in (interp, col):
+            deployment.control_plane.flush_caches()
+        both_phases(24)
+        assert_emulators_identical(interp.emulator, col.emulator)
+        assert_demotions_accounted(col.emulator, 600)
+
+    def test_optimized_updates_recompile_kernels(self):
+        """Cache invalidation mid-stream must recompile the kernels."""
+        interp, col = make_twin_deployments(
+            "l2l3_acl", EMULATED_NIC, optimize=True
+        )
+
+        def both_phases(seed):
+            reference = interp.run(
+                app_packets(seed, n=150), offered_pps=1e6
+            )
+            replayed = col.replay(
+                app_packets(seed, n=150),
+                offered_pps=1e6,
+                batch=32,
+                engine="columnar",
+            )
+            assert stats_fingerprint(replayed) == stats_fingerprint(
+                reference
+            )
+
+        both_phases(25)
+        engine_before = col.emulator._columnar
+        deny = TableEntry((ExactValue(80),), "acl_deny")
+        for deployment in (interp, col):
+            deployment.insert_entry("l2l3_acl", deny.clone())
+        both_phases(26)
+        assert col.emulator._columnar is not engine_before  # recompiled
+        assert_emulators_identical(interp.emulator, col.emulator)
+
+
+class TestNoPerPacketObjects:
+    """The satellite contract: a columnar-accepted shm batch must never
+    materialise per-packet objects (the whole point of the tier)."""
+
+    @staticmethod
+    def _matrix_batch(n=128):
+        packets = app_packets(9, n=n)
+        names = tuple(packets[0].fields)
+        values = np.array(
+            [[p.fields[name] for p in packets] for name in names],
+            dtype=np.int64,
+        )
+        sizes = np.array([p.size_bytes for p in packets], dtype=np.int32)
+        return names, values, sizes
+
+    def test_matrix_replay_builds_no_packets(self, monkeypatch):
+        _, col = make_twin_deployments("l2l3_acl", BLUEFIELD2)
+        names, values, sizes = self._matrix_batch()
+        pristine = values.copy()
+        warm = ColumnBatch.from_matrix(names, values, sizes)
+        col.emulator.replay_batch(warm, RunStats(), engine="columnar")
+
+        def poisoned(*args, **kwargs):  # pragma: no cover - must not run
+            raise AssertionError(
+                "columnar path materialised a per-packet object"
+            )
+
+        monkeypatch.setattr(Packet, "__init__", poisoned)
+        monkeypatch.setattr(PacketPool, "acquire", poisoned)
+        stats = RunStats()
+        batch = ColumnBatch.from_matrix(names, values, sizes)
+        outcome = col.emulator.replay_batch(
+            batch, stats, engine="columnar"
+        )
+        assert outcome.demoted == 0
+        assert stats.packets == batch.n
+        # Copy-on-write: the base columns (the shm ring slot) stay
+        # byte-identical even though the program rewrites fields.
+        assert np.array_equal(values, pristine)
+
+    def test_demoted_packets_materialise_from_base_columns(self):
+        """Agilio's native cache demotes recording packets — those (and
+        only those) may build Packets, from the untouched base data."""
+        interp, col = make_twin_deployments("l2l3_acl", AGILIO_CX)
+        names, values, sizes = self._matrix_batch()
+        pristine = values.copy()
+        stats = RunStats()
+        batch = ColumnBatch.from_matrix(names, values, sizes)
+        col.emulator.replay_batch(batch, stats, engine="columnar")
+        assert col.emulator.columnar_demotions.get("cache-record", 0) > 0
+        assert np.array_equal(values, pristine)
+        reference = interp.run(app_packets(9, n=128))
+        assert stats_fingerprint(stats) == stats_fingerprint(reference)
+        assert_emulators_identical(interp.emulator, col.emulator)
+
+
+class TestShardedColumnar:
+    def test_shm_workers_consume_in_place(self):
+        """Sharded columnar over shm: multiset-identical to single-core,
+        every ring batch accepted columnar with zero demotions."""
+        build, install = APPS["l2l3_acl"]
+        single = Deployment(build(), BLUEFIELD2)
+        install(single.control_plane)
+        reference = single.emulator.run(
+            app_packets(5, n=600), offered_pps=1e6
+        )
+        sharded = ShardedDeployment(
+            build(),
+            BLUEFIELD2,
+            n_workers=3,
+            batch=64,
+            transport="shm",
+            engine="columnar",
+        )
+        install(sharded.control_plane)
+        try:
+            replayed = sharded.replay(
+                app_packets(5, n=600), offered_pps=1e6
+            )
+            assert sorted(replayed._latencies) == sorted(
+                reference._latencies
+            )
+            assert (
+                replayed.packets,
+                replayed.dropped,
+                replayed.total_latency_ns,
+                replayed.total_bytes,
+            ) == (
+                reference.packets,
+                reference.dropped,
+                reference.total_latency_ns,
+                reference.total_bytes,
+            )
+            assert replayed._busy_ns == reference._busy_ns
+            assert sharded.columnar_packets == 600
+            assert sharded.columnar_demotions == {}
+            totals = sharded.transport_stats()["totals"]
+            assert totals["pushed_batches"] > 0
+            assert totals["fallback_encoding"] == 0
+        finally:
+            sharded.close()
+
+    def test_sharded_engine_validation(self):
+        with pytest.raises(ValueError, match="Unknown engine"):
+            build, _ = APPS["l2l3_acl"]
+            ShardedDeployment(build(), BLUEFIELD2, engine="warp")
+
+    def test_sharded_demotions_merge_back(self):
+        """Worker-side demotions (native cache) surface in the parent."""
+        build, install = APPS["l2l3_acl"]
+        sharded = ShardedDeployment(
+            build(), AGILIO_CX, n_workers=2, batch=64
+        )
+        install(sharded.control_plane)
+        try:
+            stats = sharded.replay(app_packets(6, n=400))
+            demoted = sum(sharded.columnar_demotions.values())
+            assert demoted > 0
+            assert set(sharded.columnar_demotions) <= DEMOTION_REASONS
+            assert sharded.columnar_packets + demoted == stats.packets
+        finally:
+            sharded.close()
+
+
+def install_random_entries(deployment: Deployment, seed: int) -> None:
+    rng = random.Random(seed)
+    for table in deployment.original.plain_tables():
+        if any(k.match_type.value != "exact" for k in table.keys):
+            continue
+        actions = list(table.actions)
+        used = set()
+        for _ in range(rng.randrange(0, 4)):
+            values = tuple(rng.randrange(0, 6) for _ in table.keys)
+            if values in used:
+                continue
+            used.add(values)
+            deployment.insert_entry(
+                table.name, exact_entry(values, rng.choice(actions))
+            )
+
+
+def random_packets(seed: int, count: int) -> list:
+    rng = random.Random(seed)
+    packets = []
+    for _ in range(count):
+        packet = make_packet(
+            src=rng.randrange(1, 50),
+            dst=rng.randrange(1, 50),
+            sport=rng.randrange(1, 20),
+            dport=rng.randrange(1, 20),
+        )
+        packet.set("ipv4.tos", rng.randrange(0, 4))
+        for i in range(0, 64, 4):
+            packet.set(f"hdr.f{i}", rng.randrange(0, 6))
+        packets.append(packet)
+    return packets
+
+
+@settings(
+    max_examples=20,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+@given(
+    seed=st.integers(min_value=0, max_value=10_000),
+    optimize=st.booleans(),
+    batch=st.integers(min_value=1, max_value=48),
+)
+def test_property_random_programs_bit_identical(seed, optimize, batch):
+    """Random DAGs, entries and traffic: stats and state bit-identical,
+    every packet accounted columnar-or-demoted."""
+    target = EMULATED_NIC if optimize else BLUEFIELD2
+
+    def build(stride):
+        program = ProgramSynthesizer(
+            SynthesisConfig(seed=seed, n_pipelets=3)
+        ).generate()
+        plan = Pipeleon(target).optimize(program) if optimize else None
+        deployment = Deployment(
+            program,
+            target,
+            plan=plan,
+            native_cache=False,
+            sample_stride=stride,
+        )
+        install_random_entries(deployment, seed)
+        return deployment
+
+    stride = 3 if seed % 2 else 1
+    interp, col = build(stride), build(stride)
+    n = 60
+    reference = interp.run(random_packets(seed, n), offered_pps=1e6)
+    replayed = col.replay(
+        random_packets(seed, n),
+        offered_pps=1e6,
+        batch=batch,
+        engine="columnar",
+    )
+    assert stats_fingerprint(replayed) == stats_fingerprint(reference)
+    assert (
+        col.emulator.counters.snapshot()
+        == interp.emulator.counters.snapshot()
+    )
+    assert col.emulator.explicit_counters == interp.emulator.explicit_counters
+    for name, cache in interp.emulator.flow_caches.items():
+        assert dict(col.emulator.flow_caches[name]._store) == dict(
+            cache._store
+        )
+    assert_demotions_accounted(col.emulator, n)
