@@ -19,7 +19,8 @@ import json
 import time
 from pathlib import Path
 
-from figutil import emit, fmt_table, host_metadata, median
+from figutil import emit, fmt_table, median
+from hostinfo import host_metadata
 
 from repro.apps import (
     acl_chain,

@@ -26,7 +26,8 @@ import json
 import time
 from pathlib import Path
 
-from figutil import emit, fmt_table, host_metadata, median
+from figutil import emit, fmt_table, median
+from hostinfo import host_metadata
 
 from repro.apps import l2l3_acl
 from repro.core import ShardedDeployment

@@ -52,11 +52,11 @@ proves the same over the shm rings specifically.
 from __future__ import annotations
 
 import json
-import sys
 import time
 from pathlib import Path
 
-from figutil import emit, fmt_table, host_metadata, median
+from figutil import emit, fmt_table, make_gate, median
+from hostinfo import host_metadata
 
 from repro.apps import l2l3_acl
 from repro.core import Deployment, ShardedDeployment
@@ -211,18 +211,22 @@ def test_bench_sharded_throughput():
         }
 
     wall_gated = host["affinity"] >= WALL_GATE_MIN_CPUS
-    wall_gate = {
-        "gated": wall_gated,
-        "floor": WALL_SPEEDUP_FLOOR,
-        "min_cpus": WALL_GATE_MIN_CPUS,
-        "affinity": host["affinity"],
-    }
-    if not wall_gated:
-        wall_gate["reason"] = (
-            f"host affinity {host['affinity']} < "
-            f"{WALL_GATE_MIN_CPUS} CPUs: workers time-share cores, "
-            "wall-clock measures the scheduler, not the transport"
-        )
+    wall_gate = make_gate(
+        wall_gated,
+        threshold=WALL_SPEEDUP_FLOOR,
+        measured=sharded_results["shm"]["4"]["speedup_wall"],
+        reason=(
+            None
+            if wall_gated
+            else (
+                f"host affinity {host['affinity']} < "
+                f"{WALL_GATE_MIN_CPUS} CPUs: workers time-share "
+                "cores, wall-clock measures the scheduler, not the "
+                "transport"
+            )
+        ),
+        label="BENCH_sharded wall-clock gate",
+    )
     payload = {
         "host": host,
         "app": "l2l3_acl",
@@ -291,21 +295,13 @@ def test_bench_sharded_throughput():
     # Wall-clock bar: shm at 4 workers must beat single-core wall time
     # by WALL_SPEEDUP_FLOOR on hosts with enough CPUs. Loud skip
     # otherwise — the JSON carries "gated": false with the reason.
-    if wall_gated:
-        assert (
-            sharded_results["shm"]["4"]["speedup_wall"]
-            >= WALL_SPEEDUP_FLOOR
-        ), (
+    if wall_gate["gated"]:
+        assert wall_gate["measured"] >= wall_gate["threshold"], (
             "shm transport wall-clock speedup "
-            f"{sharded_results['shm']['4']['speedup_wall']} below "
-            f"{WALL_SPEEDUP_FLOOR}x at 4 workers"
+            f"{wall_gate['measured']} below "
+            f"{wall_gate['threshold']}x at 4 workers"
         )
-    else:
-        print(
-            "BENCH_sharded: wall-clock gate SKIPPED — "
-            + wall_gate["reason"],
-            file=sys.stderr,
-        )
+    # Skipped gates already announced themselves via make_gate.
 
 
 if __name__ == "__main__":

@@ -10,7 +10,9 @@ the full benchmark's runtime.
 
 from __future__ import annotations
 
+import json
 import time
+from pathlib import Path
 
 import pytest
 
@@ -107,3 +109,53 @@ def test_disabled_telemetry_overhead_smoke():
         f"disabled telemetry costs {100 * (ratio - 1):.1f}% "
         f"({best['telemetered']:.4f}s vs {best['plain']:.4f}s)"
     )
+
+
+GATE_KEYS = {"gated", "reason", "threshold", "measured"}
+
+
+def _gate_blocks(node, path=""):
+    """Yield every dict carrying a ``gated`` key, with its JSON path."""
+    if isinstance(node, dict):
+        if "gated" in node:
+            yield path or "$", node
+        for key, value in node.items():
+            yield from _gate_blocks(value, f"{path}.{key}" if path else key)
+    elif isinstance(node, list):
+        for i, value in enumerate(node):
+            yield from _gate_blocks(value, f"{path}[{i}]")
+
+
+def test_bench_gate_shape():
+    """Every gate in every committed BENCH_*.json has the one shape.
+
+    The loud-skip contract (``figutil.make_gate``) only works if
+    dashboards can rely on the same four keys everywhere: ``gated``,
+    ``reason`` (non-null exactly when skipped), ``threshold``,
+    ``measured``. A writer drifting back to ad-hoc keys fails here.
+    """
+    repo_root = Path(__file__).parent.parent
+    bench_files = sorted(repo_root.glob("BENCH_*.json"))
+    assert bench_files, "no BENCH_*.json at the repo root"
+    gates_seen = 0
+    for bench in bench_files:
+        payload = json.loads(bench.read_text())
+        for path, gate in _gate_blocks(payload):
+            gates_seen += 1
+            assert set(gate) == GATE_KEYS, (
+                f"{bench.name}:{path} gate keys {sorted(gate)} != "
+                f"{sorted(GATE_KEYS)}"
+            )
+            assert isinstance(gate["gated"], bool), f"{bench.name}:{path}"
+            if gate["gated"]:
+                assert gate["reason"] is None, (
+                    f"{bench.name}:{path}: armed gate carries a reason"
+                )
+            else:
+                assert isinstance(gate["reason"], str) and gate["reason"], (
+                    f"{bench.name}:{path}: skipped gate must say why"
+                )
+    # The sharded + columnar benches commit gates today; if they all
+    # vanish this test is vacuously green, which would hide a writer
+    # silently dropping its gate.
+    assert gates_seen >= 2, "expected committed BENCH gates to exist"

@@ -47,27 +47,36 @@ def _fmt(cell: object) -> str:
     return str(cell)
 
 
-def host_metadata() -> dict:
-    """Host facts recorded alongside benchmark numbers.
+def make_gate(
+    gated: bool,
+    threshold: object,
+    measured: object,
+    reason: str | None = None,
+    label: str = "gate",
+) -> dict:
+    """The one true shape of a perf-gate block in ``BENCH_*.json``.
 
-    Perf JSONs are compared across PRs; without the host fingerprint a
-    regression is indistinguishable from a slower machine.
+    Every writer emits exactly ``{gated, reason, threshold, measured}``
+    (``reason`` is ``None`` when the gate is armed) so dashboards and
+    the bench-smoke shape assertion can consume any gate uniformly. A
+    skipped gate announces itself loudly on stderr — a silently
+    unasserted benchmark reads as a passing one.
     """
-    import os
-    import platform
+    if not gated and not reason:
+        raise ValueError("a skipped gate must say why (reason=...)")
+    if not gated:
+        import sys
 
-    affinity = (
-        len(os.sched_getaffinity(0))
-        if hasattr(os, "sched_getaffinity")
-        else os.cpu_count()
-    )
+        print(
+            f"{label}: NOT ASSERTED — {reason} "
+            f"(threshold={threshold}, measured={measured})",
+            file=sys.stderr,
+        )
     return {
-        "cpu_count": os.cpu_count(),
-        # CPUs this process may actually run on (cgroup/taskset aware);
-        # wall-clock speedup gating keys off this, not cpu_count.
-        "affinity": affinity,
-        "python": platform.python_version(),
-        "platform": platform.platform(),
+        "gated": bool(gated),
+        "reason": None if gated else str(reason),
+        "threshold": threshold,
+        "measured": measured,
     }
 
 

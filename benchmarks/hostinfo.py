@@ -1,0 +1,11 @@
+"""Benchmarks-facing re-export of the shared host/git provenance.
+
+The canonical implementation lives in :mod:`repro.dse.hostinfo` so the
+DSE run database and the ``BENCH_*.json`` writers stamp records with the
+same block. Benches run with ``PYTHONPATH=src`` (see ROADMAP.md's tier-1
+verify line), so the package import always resolves here.
+"""
+
+from repro.dse.hostinfo import git_sha, host_metadata
+
+__all__ = ["git_sha", "host_metadata"]

@@ -223,6 +223,7 @@ def _export_metrics(
             registry,
             sharded.columnar_demotions,
             sharded.columnar_packets,
+            sharded.columnar_partitions,
         )
     else:
         export_emulator(registry, deployment.emulator)
@@ -338,6 +339,11 @@ def cmd_replay(args: argparse.Namespace) -> int:
                 if args.jobs > 1
                 else deployment.emulator.columnar_packets
             )
+            summary["columnar_partitions"] = (
+                deployment.columnar_partitions
+                if args.jobs > 1
+                else deployment.emulator.columnar_partitions
+            )
         if args.jobs > 1:
             summary["transport"] = deployment.transport
             transport_totals = deployment.transport_stats()["totals"]
@@ -452,6 +458,114 @@ def cmd_report(args: argparse.Namespace) -> int:
         payload["columnar_kernels"] = kernels.to_json()
         with open(args.json_out, "w") as handle:
             json.dump(payload, handle, indent=2)
+    return 0
+
+
+def cmd_dse(args: argparse.Namespace) -> int:
+    from repro.dse import (
+        SweepSpec,
+        enumerate_cells,
+        pareto_front,
+        preset_spec,
+        run_sweep,
+    )
+    from repro.telemetry.report import (
+        dse_ranking_report,
+        format_dse_report,
+    )
+
+    if args.spec:
+        spec = SweepSpec.load(args.spec)
+        if args.seed is not None:
+            spec = spec.with_seed(args.seed)
+    else:
+        spec = preset_spec(args.preset, seed=args.seed or 0)
+
+    overrides = {}
+    if args.engine is not None:
+        overrides["engine"] = args.engine
+    if args.jobs is not None:
+        overrides["jobs"] = args.jobs
+    if args.packets is not None:
+        overrides["packets"] = args.packets
+    if overrides:
+        # Base-level overrides: a declared axis of the same name still
+        # wins (axes override base by construction).
+        spec = SweepSpec(
+            name=spec.name,
+            seed=spec.seed,
+            axes=spec.axes,
+            base={**dict(spec.base), **overrides},
+            exclude=spec.exclude,
+        )
+
+    if args.list:
+        for cell in enumerate_cells(spec):
+            print(
+                json.dumps(
+                    {
+                        "cell": cell.index,
+                        "fingerprint": cell.fingerprint,
+                        "seed": cell.seed,
+                        "config": cell.config,
+                    },
+                    sort_keys=True,
+                )
+            )
+        return 0
+
+    total = len(enumerate_cells(spec))
+
+    def progress(record: dict) -> None:
+        print(
+            f"[cell {record['cell'] + 1}/{total}] "
+            f"{record['fingerprint']} "
+            f"{record['config']['app']}/{record['config']['target']} "
+            f"mean={record['measured']['mean_latency_ns']:.1f}ns "
+            f"wall={record['wall']['wall_s']:.2f}s",
+            file=sys.stderr,
+        )
+
+    result = run_sweep(
+        spec,
+        args.db,
+        pool=args.pool,
+        max_cells=args.max_cells,
+        progress=progress,
+    )
+    ranking = dse_ranking_report(result.records)
+    print(format_dse_report(ranking), file=sys.stderr)
+    front, dominated = pareto_front(result.records)
+
+    def brief(record: dict) -> dict:
+        return {
+            "cell": record["cell"],
+            "fingerprint": record["fingerprint"],
+            "app": record["config"]["app"],
+            "target": record["config"]["target"],
+            "mean_latency_ns": record["measured"]["mean_latency_ns"],
+            "predicted_memory_bytes": record["predicted"]["memory_bytes"],
+            "predicted_update_pps": record["predicted"]["update_pps"],
+        }
+
+    summary = {
+        "spec": spec.name,
+        "seed": spec.seed,
+        "db": str(result.db_path),
+        "cells": total,
+        "executed": result.executed,
+        "skipped": result.skipped,
+        "remaining": result.remaining,
+        "complete": result.complete,
+        "pareto_front": [brief(record) for record in front],
+        "dominated": len(dominated),
+        "spearman": ranking.spearman,
+    }
+    if args.bench_out:
+        with open(args.bench_out, "w") as handle:
+            json.dump(summary, handle, indent=2, sort_keys=True)
+        summary["bench_out"] = args.bench_out
+    print(json.dumps(summary, indent=2))
     return 0
 
 
@@ -650,6 +764,73 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _add_common(report)
     report.set_defaults(func=cmd_report)
+
+    dse = subparsers.add_parser(
+        "dse",
+        help=(
+            "design-space exploration: sweep a config matrix into a "
+            "resumable run database, report Pareto fronts"
+        ),
+    )
+    dse.add_argument(
+        "--spec",
+        default=None,
+        help="sweep spec JSON (see repro.dse.SweepSpec.to_json)",
+    )
+    dse.add_argument(
+        "--preset",
+        default="smoke",
+        choices=["smoke", "pareto"],
+        help="built-in spec when --spec is not given",
+    )
+    dse.add_argument(
+        "--db",
+        default="dse_runs.jsonl",
+        help="append-only JSONL run database (resumes if it exists)",
+    )
+    dse.add_argument(
+        "--seed",
+        type=int,
+        default=None,
+        help="sweep seed (overrides the spec's)",
+    )
+    dse.add_argument(
+        "--pool",
+        type=int,
+        default=1,
+        help="process-pool width for parallel cells",
+    )
+    dse.add_argument(
+        "--max-cells",
+        type=int,
+        default=None,
+        help="run at most N new cells this invocation (kill stand-in)",
+    )
+    dse.add_argument(
+        "--engine",
+        default=None,
+        help="base-config engine override (a declared axis still wins)",
+    )
+    dse.add_argument(
+        "--jobs", type=int, default=None, help="base-config jobs override"
+    )
+    dse.add_argument(
+        "--packets",
+        type=int,
+        default=None,
+        help="base-config packets-per-cell override",
+    )
+    dse.add_argument(
+        "--list",
+        action="store_true",
+        help="print the enumerated cells (JSONL) without running",
+    )
+    dse.add_argument(
+        "--bench-out",
+        default=None,
+        help="also write the JSON summary to this path",
+    )
+    dse.set_defaults(func=cmd_dse)
     return parser
 
 

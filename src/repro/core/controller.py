@@ -149,6 +149,31 @@ class PipeleonController:
             offered_pps=self.options.offered_pps,
         )
 
+    def cell_snapshot(self) -> dict:
+        """Deterministic runtime facts for one DSE run-database record.
+
+        Everything here is a pure function of (config, seed) — no wall
+        clocks — so resumed sweeps reproduce it bit-identically.
+        """
+        plan = self.current_plan
+        return {
+            "jobs": self.jobs,
+            "engine": self.engine,
+            "transport": self.transport if self.jobs > 1 else None,
+            "enabled": self.enabled,
+            "reoptimizations": self.reoptimizations,
+            "plan": plan.describe() if plan is not None else None,
+            "plan_gain_ns": (
+                float(plan.total_gain_ns) if plan is not None else 0.0
+            ),
+            "plan_memory_bytes": (
+                float(plan.total_memory_bytes) if plan is not None else 0.0
+            ),
+            "plan_update_pps": (
+                float(plan.total_update_pps) if plan is not None else 0.0
+            ),
+        }
+
     def _emit(self, kind: str, **fields) -> None:
         """Record a controller decision (no-op without telemetry)."""
         telemetry = self.telemetry

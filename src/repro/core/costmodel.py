@@ -390,3 +390,41 @@ class CostModel:
         return sum(
             self.table_memory_bytes(t, profile) for t in program.tables()
         )
+
+    def predict(
+        self,
+        program: Program,
+        profile: RuntimeProfile,
+        plan=None,
+    ) -> "CostPrediction":
+        """All three Equation 5 quantities for one deployed config.
+
+        The design-space-exploration harness records this next to the
+        measured telemetry of the same cell, so predicted-vs-measured
+        ranking reports come from one call site. ``plan`` (when given)
+        supplies the control-update demand its caches/merges impose;
+        without one the deployment makes no optimizer-driven updates.
+        """
+        return CostPrediction(
+            latency_ns=self.expected_latency(program, profile),
+            memory_bytes=self.program_memory_bytes(program, profile),
+            update_pps=(
+                float(plan.total_update_pps) if plan is not None else 0.0
+            ),
+        )
+
+
+@dataclass(frozen=True)
+class CostPrediction:
+    """The model's answer for one configuration (Equations 1 and 5)."""
+
+    latency_ns: float
+    memory_bytes: float
+    update_pps: float
+
+    def to_json(self) -> dict:
+        return {
+            "latency_ns": self.latency_ns,
+            "memory_bytes": self.memory_bytes,
+            "update_pps": self.update_pps,
+        }

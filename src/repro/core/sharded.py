@@ -209,6 +209,11 @@ class ShardedDeployment:
         return self.emulator.columnar_packets
 
     @property
+    def columnar_partitions(self) -> int:
+        """Merged flow-key partition count from the batch kernels."""
+        return self.emulator.columnar_partitions
+
+    @property
     def tracer(self):
         """Merged per-worker packet tracer (None until a collection).
 

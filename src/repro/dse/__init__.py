@@ -1,0 +1,80 @@
+"""Cost-aware design-space exploration (ROADMAP item 4).
+
+Spec -> matrix -> runner -> run database -> Pareto front:
+
+* :mod:`repro.dse.spec` — declarative sweep specs (axes x base minus
+  exclusions) with JSON round-trip and the ``smoke``/``pareto`` presets
+* :mod:`repro.dse.matrix` — deterministic cell enumeration: pure
+  config fingerprints, string-seeded traffic seeds
+* :mod:`repro.dse.runner` — per-cell execution through the controller
+  and parallel sweeps over a fork-based process pool
+* :mod:`repro.dse.rundb` — append-only JSONL run database; resumable,
+  torn-tail-repairing, bit-identical modulo wall-clock fields
+* :mod:`repro.dse.pareto` — multi-objective non-dominated fronts
+* :mod:`repro.dse.hostinfo` — host/git provenance stamped on records
+"""
+
+from repro.dse.hostinfo import git_sha, host_metadata
+from repro.dse.matrix import (
+    Cell,
+    cell_fingerprint,
+    cell_seed,
+    enumerate_cells,
+)
+from repro.dse.pareto import (
+    DEFAULT_OBJECTIVES,
+    Objective,
+    dominates,
+    objective_vector,
+    pareto_front,
+)
+from repro.dse.rundb import (
+    RunDatabase,
+    RunDatabaseError,
+    strip_volatile,
+)
+from repro.dse.runner import (
+    SweepResult,
+    build_cell_program,
+    run_cell,
+    run_sweep,
+)
+from repro.dse.spec import (
+    CELL_DEFAULTS,
+    PRESETS,
+    Axis,
+    SweepSpec,
+    pareto_spec,
+    preset_spec,
+    smoke_spec,
+    validate_config,
+)
+
+__all__ = [
+    "Axis",
+    "CELL_DEFAULTS",
+    "Cell",
+    "DEFAULT_OBJECTIVES",
+    "Objective",
+    "PRESETS",
+    "RunDatabase",
+    "RunDatabaseError",
+    "SweepResult",
+    "SweepSpec",
+    "build_cell_program",
+    "cell_fingerprint",
+    "cell_seed",
+    "dominates",
+    "enumerate_cells",
+    "git_sha",
+    "host_metadata",
+    "objective_vector",
+    "pareto_front",
+    "pareto_spec",
+    "preset_spec",
+    "run_cell",
+    "run_sweep",
+    "smoke_spec",
+    "strip_volatile",
+    "validate_config",
+]

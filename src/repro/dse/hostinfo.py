@@ -1,0 +1,68 @@
+"""Host and git provenance recorded with benchmark and DSE results.
+
+Perf JSONs and design-space-exploration run databases are compared
+across PRs and machines; without a host fingerprint a regression is
+indistinguishable from a slower machine, and without the git sha a
+sweep result can't be traced back to the code that produced it. This is
+the single source of truth: ``benchmarks/hostinfo.py`` re-exports it
+for the ``BENCH_*.json`` writers, and :mod:`repro.dse.rundb` stamps the
+same block on every run-database record.
+"""
+
+from __future__ import annotations
+
+import os
+import platform
+import subprocess
+from pathlib import Path
+from typing import Optional
+
+__all__ = ["git_sha", "host_metadata"]
+
+
+def git_sha() -> Optional[str]:
+    """HEAD commit of the repo this package lives in (None outside git).
+
+    Appends ``-dirty`` when the working tree has uncommitted changes,
+    so a sweep run against modified sources is never mistaken for the
+    committed code's numbers.
+    """
+    cwd = Path(__file__).resolve().parent
+    try:
+        sha = subprocess.run(
+            ["git", "rev-parse", "HEAD"],
+            cwd=cwd,
+            capture_output=True,
+            text=True,
+            timeout=5.0,
+            check=True,
+        ).stdout.strip()
+        dirty = subprocess.run(
+            ["git", "status", "--porcelain"],
+            cwd=cwd,
+            capture_output=True,
+            text=True,
+            timeout=5.0,
+            check=True,
+        ).stdout.strip()
+    except (OSError, subprocess.SubprocessError):
+        return None
+    return f"{sha}-dirty" if dirty else sha
+
+
+def host_metadata() -> dict:
+    """Host facts recorded alongside benchmark and sweep numbers."""
+    affinity = (
+        len(os.sched_getaffinity(0))
+        if hasattr(os, "sched_getaffinity")
+        else os.cpu_count()
+    )
+    return {
+        "cpu_count": os.cpu_count(),
+        # CPUs this process may actually run on (cgroup/taskset aware);
+        # wall-clock speedup gating keys off this, not cpu_count.
+        "affinity": affinity,
+        "python": platform.python_version(),
+        "platform": platform.platform(),
+        "git_sha": git_sha(),
+    }

@@ -1,0 +1,81 @@
+"""Pareto-front extraction over run-database records.
+
+The sweep's output is multi-objective — the paper's Equation 5 trades
+latency against memory and control-update budgets — so a single ranking
+hides the interesting configs. We report the non-dominated set over
+(measured latency, predicted memory, predicted update rate) by default;
+objectives are dotted paths into the record so callers can front any
+recorded quantity (e.g. ``measured.p99_latency_ns``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping, Sequence
+
+
+@dataclass(frozen=True)
+class Objective:
+    """One axis of the front: a dotted record path and a direction."""
+
+    key: str
+    sense: str = "min"
+
+    def __post_init__(self) -> None:
+        if self.sense not in ("min", "max"):
+            raise ValueError(f"sense must be min|max, got {self.sense!r}")
+
+    def value(self, record: Mapping) -> float:
+        node = record
+        for part in self.key.split("."):
+            node = node[part]
+        return float(node)
+
+
+DEFAULT_OBJECTIVES: tuple[Objective, ...] = (
+    Objective("measured.mean_latency_ns", "min"),
+    Objective("predicted.memory_bytes", "min"),
+    Objective("predicted.update_pps", "min"),
+)
+
+
+def objective_vector(
+    record: Mapping, objectives: Sequence[Objective] = DEFAULT_OBJECTIVES
+) -> tuple[float, ...]:
+    """The record's objective values, normalised to minimisation."""
+    return tuple(
+        obj.value(record) if obj.sense == "min" else -obj.value(record)
+        for obj in objectives
+    )
+
+
+def dominates(a: Sequence[float], b: Sequence[float]) -> bool:
+    """True when minimisation vector ``a`` Pareto-dominates ``b``."""
+    return all(x <= y for x, y in zip(a, b)) and any(
+        x < y for x, y in zip(a, b)
+    )
+
+
+def pareto_front(
+    records: Sequence[Mapping],
+    objectives: Sequence[Objective] = DEFAULT_OBJECTIVES,
+) -> tuple[list[Mapping], list[Mapping]]:
+    """Split records into (non-dominated front, dominated rest).
+
+    Both lists preserve input (matrix) order. Duplicate objective
+    vectors all land on the front — neither strictly dominates the
+    other — which keeps the front stable under re-runs.
+    """
+    vectors = [objective_vector(r, objectives) for r in records]
+    front: list[Mapping] = []
+    dominated: list[Mapping] = []
+    for i, record in enumerate(records):
+        if any(
+            dominates(vectors[j], vectors[i])
+            for j in range(len(records))
+            if j != i
+        ):
+            dominated.append(record)
+        else:
+            front.append(record)
+    return front, dominated

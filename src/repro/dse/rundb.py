@@ -1,0 +1,95 @@
+"""Append-only JSONL run database for sweeps.
+
+One line per completed cell, written compact with sorted keys and
+fsynced, keyed by the cell's config fingerprint. Because cells always
+append in matrix order and every record is a pure function of
+(spec, seed) apart from its ``wall``/``host`` stamps, a sweep that is
+killed mid-run leaves a valid *prefix*: re-invoking with the same spec
+skips fingerprint-complete cells and appends the remainder, yielding a
+file byte-identical (modulo the wall-clock fields) to an uninterrupted
+run.
+
+A kill can tear the final append mid-write. Each record is written as
+one sequential ``json + "\\n"`` write, so a tear always manifests as a
+file that does not end in a newline — :meth:`RunDatabase.load` repairs
+that by truncating back to the last newline (the torn cell simply
+re-runs). An unparsable *newline-terminated* line cannot come from a
+torn append; that is real corruption and raises.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+
+#: Record keys that vary run-to-run on purpose (timing stamps). Strip
+#: these before comparing databases for bit-identity.
+VOLATILE_KEYS = ("wall",)
+
+
+class RunDatabaseError(ValueError):
+    """The database has a bad record that is not a torn tail."""
+
+
+class RunDatabase:
+    """Fingerprint-keyed append-only JSONL store."""
+
+    def __init__(self, path) -> None:
+        self.path = Path(path)
+        #: True when the last load repaired a torn final append.
+        self.repaired_tail = False
+
+    # -- reading ------------------------------------------------------------
+
+    def load(self) -> dict[str, dict]:
+        """All complete records, fingerprint -> record (file order)."""
+        self.repaired_tail = False
+        if not self.path.exists():
+            return {}
+        raw = self.path.read_bytes()
+        if raw and not raw.endswith(b"\n"):
+            # Interrupted append: even if the tail happens to parse,
+            # a missing newline means the write never completed —
+            # keep the record and the next append would glue onto the
+            # same line. Drop it; the owning cell re-runs.
+            cut = raw.rfind(b"\n") + 1
+            with open(self.path, "r+b") as handle:
+                handle.truncate(cut)
+            raw = raw[:cut]
+            self.repaired_tail = True
+        records: dict[str, dict] = {}
+        for lineno, line in enumerate(raw.split(b"\n"), start=1):
+            if not line.strip():
+                continue
+            try:
+                record = json.loads(line)
+                fingerprint = record["fingerprint"]
+            except (ValueError, KeyError, TypeError):
+                raise RunDatabaseError(
+                    f"{self.path}:{lineno}: unparsable record (not a "
+                    "torn tail) — refusing to resume from a corrupt db"
+                ) from None
+            records[fingerprint] = record
+        return records
+
+    def records(self) -> list[dict]:
+        return list(self.load().values())
+
+    # -- writing ------------------------------------------------------------
+
+    def append(self, record: dict) -> None:
+        """Durably append one record (compact sorted JSON + newline)."""
+        if "fingerprint" not in record:
+            raise ValueError("run-db records need a 'fingerprint'")
+        line = json.dumps(record, sort_keys=True, separators=(",", ":"))
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        with open(self.path, "ab") as handle:
+            handle.write(line.encode() + b"\n")
+            handle.flush()
+            os.fsync(handle.fileno())
+
+
+def strip_volatile(record: dict) -> dict:
+    """Record minus the wall-clock fields, for bit-identity checks."""
+    return {k: v for k, v in record.items() if k not in VOLATILE_KEYS}

@@ -358,6 +358,10 @@ class ColumnarEngine:
         self.node_packets: dict[str, int] = {}
         #: Modeled per-packet ns charged by each node's primary cost.
         self.node_model_ns: dict[str, float] = {}
+        #: Flow-key partitions resolved per node (one table lookup
+        #: each), counted per kernel invocation including re-walks —
+        #: the partition-count bottleneck ROADMAP item 2 flags.
+        self.node_partitions: dict[str, int] = {}
         self._kernels: dict = {}
         self._topo: list[str] = []
         self._topo_pos: dict[str, int] = {}
@@ -717,7 +721,9 @@ class ColumnarEngine:
         def kernel(walk: _Walk, idx: np.ndarray) -> None:
             busy = self._prologue(walk, idx, pool, migration_ns, lookup_ns)
             keymat = walk.key_matrix(idx, match_fields)
+            groups = 0
             for key, positions in _group_rows(keymat):
+                groups += 1
                 group = idx[positions]
                 effect = cache.peek(key)
                 if effect is None:
@@ -734,6 +740,7 @@ class ColumnarEngine:
                 walk.cache_events.append((cache, key, group))
                 live = apply_effect(walk, busy, group, appliers, action_ns)
                 walk.route(hit_next, live)
+            self._bump_partitions(name, groups)
 
         return kernel
 
@@ -806,7 +813,9 @@ class ColumnarEngine:
         def kernel(walk: _Walk, idx: np.ndarray) -> None:
             busy = self._prologue(walk, idx, pool, migration_ns, match_ns)
             keymat = walk.key_matrix(idx, match_fields)
+            groups = 0
             for key, positions in _group_rows(keymat):
+                groups += 1
                 group = idx[positions]
                 entry = lookup(key)
                 if entry is None:
@@ -832,6 +841,7 @@ class ColumnarEngine:
                     busy[sampled_idx] += counter_ns
                 live = apply_effect(walk, busy, group, appliers, action_ns)
                 walk.route(next_name, live)
+            self._bump_partitions(name, groups)
 
         return kernel
 
@@ -854,7 +864,9 @@ class ColumnarEngine:
             busy[idx] += lookup_ns
             (walk.used0 if pool == 0 else walk.used1)[idx] = True
             keymat = walk.key_matrix(idx, FIVE_TUPLE)
+            groups = 0
             for key, positions in _group_rows(keymat):
+                groups += 1
                 group = idx[positions]
                 effect = native.peek(key)
                 if effect is None:
@@ -867,8 +879,21 @@ class ColumnarEngine:
                 walk.cache_events.append((native, key, group))
                 apply_effect(walk, busy, group, appliers, action_ns)
                 # Hits terminate; misses were flagged for demotion.
+            self._bump_partitions("__native__", groups)
 
         return kernel
+
+    def _bump_partitions(self, name: str, count: int) -> None:
+        """Record flow-key partitions one kernel invocation resolved.
+
+        Totals live on the emulator (like demotions) so recompiles
+        don't reset them and shard workers ship them home for merging.
+        """
+        if count:
+            self.node_partitions[name] = (
+                self.node_partitions.get(name, 0) + count
+            )
+            self._em.columnar_partitions += count
 
     # -- walk / commit / demote --------------------------------------------
 

@@ -171,6 +171,9 @@ class NicEmulator:
         #: shard workers can ship them home for merging.
         self.columnar_demotions: dict[str, int] = {}
         self.columnar_packets = 0
+        #: Flow-key partitions the batch kernels resolved (one table
+        #: lookup each) — the partition-count bottleneck metric.
+        self.columnar_partitions = 0
         #: Optional sampled-span recorder (attach a PacketTracer to
         #: trace; the disabled path costs one branch per packet here
         #: and one per batch in the compiled fast path).

@@ -449,6 +449,7 @@ def _worker_state(emulator: NicEmulator) -> dict:
         "tracer": emulator.tracer,
         "demotions": dict(emulator.columnar_demotions),
         "columnar_packets": emulator.columnar_packets,
+        "columnar_partitions": emulator.columnar_partitions,
     }
 
 
@@ -850,6 +851,8 @@ class ShardedEmulator:
         self.columnar_demotions: dict[str, int] = {}
         #: Packets the workers' columnar kernels fully retired.
         self.columnar_packets = 0
+        #: Flow-key partitions the workers' batch kernels resolved.
+        self.columnar_partitions = 0
         #: Merged per-worker packet tracer from the last collection
         #: (None unless the worker emulators carry tracers).
         self.tracer = None
@@ -1579,12 +1582,14 @@ class ShardedEmulator:
         tracer = None
         demotions: dict[str, int] = {}
         columnar_packets = 0
+        columnar_partitions = 0
         for state in states:
             # .get: states pickled by an older worker may predate the
             # columnar tier.
             for reason, count in state.get("demotions", {}).items():
                 demotions[reason] = demotions.get(reason, 0) + count
             columnar_packets += state.get("columnar_packets", 0)
+            columnar_partitions += state.get("columnar_partitions", 0)
             worker_tracer = state.get("tracer")
             if worker_tracer is not None:
                 if tracer is None:
@@ -1616,6 +1621,7 @@ class ShardedEmulator:
         # export_columnar), never from this merge.
         self.columnar_demotions = demotions
         self.columnar_packets = columnar_packets
+        self.columnar_partitions = columnar_partitions
 
     def collect(self) -> None:
         """Barrier: refresh merged counters/cache stats from all workers."""

@@ -145,6 +145,7 @@ def export_columnar(
     registry: MetricsRegistry,
     demotions: dict[str, int],
     columnar_packets: int = 0,
+    columnar_partitions: int = 0,
     **labels: object,
 ) -> None:
     """Project the columnar tier's demotion/retirement accounting.
@@ -169,6 +170,16 @@ def export_columnar(
         help="Packets fully retired by the columnar batch kernels",
         **labels,
     )
+    registry.inc(
+        "pipeleon_columnar_partitions_total",
+        columnar_partitions,
+        help=(
+            "Flow-key partitions the batch kernels resolved (one "
+            "table lookup each); partitions/packets near 1 means the "
+            "partition-count bottleneck has eaten the batch win"
+        ),
+        **labels,
+    )
 
 
 def export_emulator(registry: MetricsRegistry, emulator) -> None:
@@ -184,4 +195,5 @@ def export_emulator(registry: MetricsRegistry, emulator) -> None:
         registry,
         emulator.columnar_demotions,
         emulator.columnar_packets,
+        emulator.columnar_partitions,
     )

@@ -127,6 +127,7 @@ class KernelRow:
 
     node: str
     packets: int
+    partitions: int  # flow-key partitions resolved (lookups done)
     wall_us_per_kpkt: float  # measured kernel host-us per 1k packets
     model_ns_per_pkt: float  # cost-model primary charge per packet
     wall_share: float  # fraction of total kernel wall time
@@ -136,6 +137,7 @@ class KernelRow:
         return {
             "node": self.node,
             "packets": self.packets,
+            "partitions": self.partitions,
             "wall_us_per_kpkt": self.wall_us_per_kpkt,
             "model_ns_per_pkt": self.model_ns_per_pkt,
             "wall_share": self.wall_share,
@@ -149,12 +151,14 @@ class KernelReport:
 
     rows: tuple[KernelRow, ...]
     columnar_packets: int
+    columnar_partitions: int
     demotions: dict[str, int]
 
     def to_json(self) -> dict:
         return {
             "rows": [row.to_json() for row in self.rows],
             "columnar_packets": self.columnar_packets,
+            "columnar_partitions": self.columnar_partitions,
             "demotions": dict(self.demotions),
         }
 
@@ -184,6 +188,7 @@ def columnar_kernel_report(emulator) -> KernelReport:
             KernelRow(
                 node=node,
                 packets=packets,
+                partitions=engine.node_partitions.get(node, 0),
                 wall_us_per_kpkt=(
                     wall_s * 1e6 / (packets / 1000.0) if packets else 0.0
                 ),
@@ -197,6 +202,7 @@ def columnar_kernel_report(emulator) -> KernelReport:
     return KernelReport(
         rows=tuple(rows),
         columnar_packets=emulator.columnar_packets,
+        columnar_partitions=emulator.columnar_partitions,
         demotions=dict(emulator.columnar_demotions),
     )
 
@@ -204,14 +210,15 @@ def columnar_kernel_report(emulator) -> KernelReport:
 def format_kernel_report(report: KernelReport) -> str:
     """Human-readable columnar kernel-vs-model table."""
     header = (
-        f"{'node':<28} {'packets':>9} {'us/kpkt':>9} "
+        f"{'node':<28} {'packets':>9} {'parts':>7} {'us/kpkt':>9} "
         f"{'model_ns':>9} {'wall%':>7} {'model%':>7}"
     )
     lines = [header, "-" * len(header)]
     for row in report.rows:
         name = row.node if len(row.node) <= 28 else row.node[:25] + "..."
         lines.append(
-            f"{name:<28} {row.packets:>9} {row.wall_us_per_kpkt:>9.2f} "
+            f"{name:<28} {row.packets:>9} {row.partitions:>7} "
+            f"{row.wall_us_per_kpkt:>9.2f} "
             f"{row.model_ns_per_pkt:>9.1f} {row.wall_share * 100:>6.1f}% "
             f"{row.model_share * 100:>6.1f}%"
         )
@@ -227,6 +234,7 @@ def format_kernel_report(report: KernelReport) -> str:
     )
     lines.append(
         f"columnar packets: {report.columnar_packets}  "
+        f"partitions: {report.columnar_partitions}  "
         f"demoted: {demoted} ({reasons})"
     )
     return "\n".join(lines)
@@ -261,5 +269,175 @@ def format_report(report: LatencyReport) -> str:
         f"{'program':<12} {'(end-to-end, traced mean)':<40} "
         f"{report.traced_packets:>7} {report.measured_total_ns:>12.1f} "
         f"{report.predicted_total_ns:>13.1f} {total_error:>8}"
+    )
+    return "\n".join(lines)
+
+
+# ---------------------------------------------------------------------------
+# Design-space exploration: predicted-vs-measured ranking
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class DseCellRow:
+    """One sweep cell's predicted and measured latency, with ranks."""
+
+    cell: int
+    fingerprint: str
+    label: str  # short human config digest (app/target/engine...)
+    predicted_ns: float
+    measured_ns: float
+    predicted_rank: float  # average ranks: ties share a rank
+    measured_rank: float
+
+    def to_json(self) -> dict:
+        return {
+            "cell": self.cell,
+            "fingerprint": self.fingerprint,
+            "label": self.label,
+            "predicted_ns": self.predicted_ns,
+            "measured_ns": self.measured_ns,
+            "predicted_rank": self.predicted_rank,
+            "measured_rank": self.measured_rank,
+        }
+
+
+@dataclass(frozen=True)
+class DseRankingReport:
+    """Does the cost model *order* configurations correctly?
+
+    The DSE harness cares about ranking more than absolute error: the
+    search only needs the model to pick the right winner, so the
+    headline number is the Spearman rank correlation between predicted
+    and measured latency across the sweep (tie-aware: tied values get
+    their average rank).
+    """
+
+    rows: tuple[DseCellRow, ...]  # sorted by measured latency
+    spearman: Optional[float]  # None when fewer than 2 distinct cells
+
+    def to_json(self) -> dict:
+        return {
+            "rows": [row.to_json() for row in self.rows],
+            "spearman": self.spearman,
+        }
+
+
+def _average_ranks(values: list[float]) -> list[float]:
+    """1-based ranks, ties averaged (the Spearman convention)."""
+    order = sorted(range(len(values)), key=lambda i: values[i])
+    ranks = [0.0] * len(values)
+    i = 0
+    while i < len(order):
+        j = i
+        while (
+            j + 1 < len(order)
+            and values[order[j + 1]] == values[order[i]]
+        ):
+            j += 1
+        avg = (i + j) / 2.0 + 1.0
+        for k in range(i, j + 1):
+            ranks[order[k]] = avg
+        i = j + 1
+    return ranks
+
+
+def spearman_correlation(
+    predicted: list[float], measured: list[float]
+) -> Optional[float]:
+    """Tie-aware Spearman rho (Pearson over average ranks)."""
+    n = len(predicted)
+    if n != len(measured):
+        raise ValueError("predicted/measured length mismatch")
+    if n < 2:
+        return None
+    rp = _average_ranks(list(predicted))
+    rm = _average_ranks(list(measured))
+    mean_p = sum(rp) / n
+    mean_m = sum(rm) / n
+    cov = sum((p - mean_p) * (m - mean_m) for p, m in zip(rp, rm))
+    var_p = sum((p - mean_p) ** 2 for p in rp)
+    var_m = sum((m - mean_m) ** 2 for m in rm)
+    if var_p == 0.0 or var_m == 0.0:
+        # A constant side carries no ranking information.
+        return None
+    return cov / (var_p * var_m) ** 0.5
+
+
+def _cell_label(config: dict) -> str:
+    parts = [str(config.get("app", "?")), str(config.get("target", "?"))]
+    engine = config.get("engine")
+    if engine and engine != "auto":
+        parts.append(str(engine))
+    jobs = config.get("jobs", 1)
+    if jobs and int(jobs) > 1:
+        parts.append(f"x{jobs}")
+    locality = config.get("locality")
+    if locality and locality != "uniform":
+        parts.append(str(locality))
+    cache = config.get("cache_capacity")
+    if cache is not None:
+        parts.append(f"c{cache}")
+    return "/".join(parts)
+
+
+def dse_ranking_report(records) -> DseRankingReport:
+    """Rank-join run-database records' predicted vs measured latency.
+
+    ``records`` are :mod:`repro.dse.rundb` dicts (any iterable); rows
+    come back sorted by measured latency so the table reads as a
+    leaderboard.
+    """
+    cells = [
+        r
+        for r in records
+        if "predicted" in r and "measured" in r
+    ]
+    predicted = [float(r["predicted"]["latency_ns"]) for r in cells]
+    measured = [float(r["measured"]["mean_latency_ns"]) for r in cells]
+    pred_ranks = _average_ranks(predicted)
+    meas_ranks = _average_ranks(measured)
+    rows = [
+        DseCellRow(
+            cell=int(r.get("cell", i)),
+            fingerprint=str(r.get("fingerprint", "")),
+            label=_cell_label(r.get("config", {})),
+            predicted_ns=predicted[i],
+            measured_ns=measured[i],
+            predicted_rank=pred_ranks[i],
+            measured_rank=meas_ranks[i],
+        )
+        for i, r in enumerate(cells)
+    ]
+    rows.sort(key=lambda row: (row.measured_ns, row.cell))
+    return DseRankingReport(
+        rows=tuple(rows),
+        spearman=spearman_correlation(predicted, measured),
+    )
+
+
+def format_dse_report(report: DseRankingReport) -> str:
+    """Human-readable sweep leaderboard with rank agreement."""
+    header = (
+        f"{'cell':>4} {'config':<38} {'measured_ns':>12} "
+        f"{'predicted_ns':>13} {'m#':>5} {'p#':>5}"
+    )
+    lines = [header, "-" * len(header)]
+    for row in report.rows:
+        label = (
+            row.label if len(row.label) <= 38 else row.label[:35] + "..."
+        )
+        lines.append(
+            f"{row.cell:>4} {label:<38} {row.measured_ns:>12.1f} "
+            f"{row.predicted_ns:>13.1f} {row.measured_rank:>5.1f} "
+            f"{row.predicted_rank:>5.1f}"
+        )
+    lines.append("-" * len(header))
+    spearman = (
+        f"{report.spearman:+.3f}" if report.spearman is not None else "n/a"
+    )
+    lines.append(
+        f"cells: {len(report.rows)}  spearman(predicted, measured): "
+        f"{spearman}"
     )
     return "\n".join(lines)

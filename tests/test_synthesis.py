@@ -161,3 +161,91 @@ class TestCategories:
     def test_corpus(self):
         corpus = make_corpus("high_locality", (2, 3), 4, base_seed=10)
         assert len(corpus) == 4
+
+
+class TestProfileEdges:
+    def make_program(self, **kwargs):
+        return ProgramSynthesizer(
+            SynthesisConfig(seed=9, **kwargs)
+        ).generate()
+
+    def test_max_entries_one_pins_every_table(self):
+        program = self.make_program()
+        profile = synthesize_profile(program, seed=1, max_entries=1)
+        assert profile.entry_counts
+        assert set(profile.entry_counts.values()) == {1}
+
+    def test_max_update_rate_zero_freezes_tables(self):
+        program = self.make_program()
+        profile = synthesize_profile(program, seed=1, max_update_rate=0.0)
+        assert profile.update_rates
+        assert set(profile.update_rates.values()) == {0.0}
+
+    def test_hit_bias_extremes_shift_default_action_mass(self):
+        program = self.make_program()
+        static = synthesize_profile(program, seed=2, hit_bias=1.0)
+        dynamic = synthesize_profile(program, seed=2, hit_bias=0.0)
+        deltas = []
+        for table in program.plain_tables():
+            if len(table.actions) < 2:
+                continue
+            default = table.default_action
+            deltas.append(
+                dynamic.action_probs[table.name][default]
+                - static.action_probs[table.name][default]
+            )
+        # Same seed, so the only difference is the default-action
+        # weighting: low hit bias must push mass onto defaults.
+        assert deltas and sum(deltas) > 0
+        assert all(delta >= 0 for delta in deltas)
+
+    def test_profiles_still_normalised_at_extremes(self):
+        program = self.make_program()
+        for kwargs in (
+            {"hit_bias": 0.0},
+            {"hit_bias": 1.0},
+            {"drop_bias": 1.0, "max_entries": 1, "max_update_rate": 0.0},
+        ):
+            profile = synthesize_profile(program, seed=3, **kwargs)
+            for table in program.plain_tables():
+                total = sum(profile.action_probs[table.name].values())
+                assert total == pytest.approx(1.0)
+
+    def test_deterministic_per_seed(self):
+        program = self.make_program()
+        a = synthesize_profile(program, seed=11)
+        b = synthesize_profile(program, seed=11)
+        c = synthesize_profile(program, seed=12)
+        assert a.entry_counts == b.entry_counts
+        assert a.action_probs == b.action_probs
+        assert a.update_rates == b.update_rates
+        assert (a.entry_counts, a.action_probs) != (
+            c.entry_counts,
+            c.action_probs,
+        )
+
+    def test_synthesize_profiles_distinct_consecutive_seeds(self):
+        program = self.make_program()
+        profiles = synthesize_profiles(program, 4, base_seed=50)
+        assert len(profiles) == 4
+        fingerprints = {
+            tuple(sorted(p.entry_counts.items())) for p in profiles
+        }
+        assert len(fingerprints) == 4
+
+    def test_offered_pps_passthrough(self):
+        program = self.make_program()
+        profile = synthesize_profile(program, seed=1, offered_pps=5e5)
+        assert profile.offered_pps == 5e5
+
+    def test_entropy_percentile_clamping(self):
+        program = self.make_program(n_pipelets=4)
+        profiles = synthesize_profiles(program, 3, base_seed=0)
+        model = CostModel.for_target(BLUEFIELD2)
+        rows = profiles_by_entropy(
+            program, profiles, model, percentiles=(0.0, 100.0, 250.0)
+        )
+        assert [pct for pct, _e, _p in rows] == [0.0, 100.0, 250.0]
+        # Out-of-range percentiles clamp to the extreme profiles
+        # rather than indexing past the list.
+        assert rows[1][2] is rows[2][2]

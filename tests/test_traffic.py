@@ -140,3 +140,106 @@ class TestScenario:
         ticks = list(self.make().ticks())
         assert [t for t, _p in ticks] == [0.0, 1.0, 2.0, 3.0, 4.0]
         assert [p.name for _t, p in ticks] == ["a", "a", "a", "b", "b"]
+
+    def test_empty_scenario(self):
+        scenario = Scenario("empty")
+        assert scenario.total_duration_s == 0
+        assert scenario.phase_at(0.0) is None
+        assert list(scenario.ticks()) == []
+
+    def test_fractional_durations_tick_boundaries(self):
+        # Ticks land on whole seconds; a phase owns the ticks that fall
+        # strictly before its cumulative end. With 1.5s + 0.5s the
+        # second phase starts mid-second, so the tick at t=2.0 is its
+        # only one — after its own end would already have passed.
+        scenario = (
+            Scenario("frac")
+            .add_phase("a", 1.5, lambda n: [])
+            .add_phase("b", 0.5, lambda n: [])
+        )
+        assert scenario.total_duration_s == 2.0
+        assert scenario.phase_at(1.4).name == "a"
+        assert scenario.phase_at(1.5).name == "b"
+        assert scenario.phase_at(2.0) is None
+        ticks = [(t, p.name) for t, p in scenario.ticks()]
+        assert ticks == [(0.0, "a"), (1.0, "a"), (2.0, "b")]
+
+    def test_zero_duration_phase_never_ticks(self):
+        scenario = (
+            Scenario("z")
+            .add_phase("a", 1, lambda n: [])
+            .add_phase("burst", 0, lambda n: [])
+            .add_phase("b", 1, lambda n: [])
+        )
+        assert [p.name for _t, p in scenario.ticks()] == ["a", "b"]
+        # phase_at skips the zero-length phase too: no instant belongs
+        # to it.
+        assert scenario.phase_at(1.0).name == "b"
+
+    def test_control_action_passthrough(self):
+        calls = []
+        scenario = Scenario("c").add_phase(
+            "a",
+            2,
+            lambda n: [f"pkt@{n}"],
+            control_action=lambda cp, t: calls.append((cp, t)),
+        )
+        for time_s, phase in scenario.ticks():
+            assert phase.stream_factory(int(time_s)) == [
+                f"pkt@{int(time_s)}"
+            ]
+            if phase.control_action is not None:
+                phase.control_action("cp", time_s)
+        assert calls == [("cp", 0.0), ("cp", 1.0)]
+
+
+class TestGeneratorEdges:
+    def test_zipf_skew_zero_is_uniform(self):
+        flows = synth_flows(8)
+        counts = collections.Counter(
+            p.get("ipv4.src")
+            for p in TrafficGenerator(5).stream(
+                flows, 4000, locality="zipf", zipf_skew=0.0
+            )
+        )
+        assert len(counts) == 8
+        # rank^0 weights are all equal: no flow should dominate.
+        assert max(counts.values()) / 4000 < 0.25
+
+    def test_zipf_high_skew_concentrates_on_top_flow(self):
+        flows = synth_flows(8)
+        counts = collections.Counter(
+            p.get("ipv4.src")
+            for p in TrafficGenerator(5).stream(
+                flows, 2000, locality="zipf", zipf_skew=6.0
+            )
+        )
+        top_share = counts[flows[0].packet().get("ipv4.src")] / 2000
+        assert top_share > 0.95
+
+    def test_single_flow_all_localities(self):
+        flows = synth_flows(1)
+        for locality in ("uniform", "zipf", "round_robin"):
+            packets = list(
+                TrafficGenerator(0).stream(flows, 10, locality=locality)
+            )
+            assert len(packets) == 10
+            assert {p.get("ipv4.src") for p in packets} == {
+                flows[0].packet().get("ipv4.src")
+            }
+
+    def test_zero_packets(self):
+        assert list(TrafficGenerator(0).stream(synth_flows(4), 0)) == []
+
+    def test_mixed_stream_skips_empty_groups(self):
+        group = synth_flows(2, dport=1111)
+        packets = list(
+            TrafficGenerator(1).mixed_stream(
+                [([], 0.9), (group, 0.1)], 50
+            )
+        )
+        assert len(packets) == 50
+        assert all(p.get("l4.dport") == 1111 for p in packets)
+
+    def test_mixed_stream_all_groups_empty(self):
+        assert list(TrafficGenerator(1).mixed_stream([([], 1.0)], 5)) == []
