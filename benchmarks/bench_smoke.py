@@ -111,6 +111,57 @@ def test_disabled_telemetry_overhead_smoke():
     )
 
 
+def test_live_telemetry_overhead_smoke():
+    """Live telemetry at the default 1s interval must cost within 5%.
+
+    The live plane's steady-state cost is one wall-clock check per
+    replay batch in each worker plus an aggregator thread that mostly
+    sleeps: at a 1s snapshot interval a ~1s replay sends roughly one
+    snapshot per shard. Same min-of-5 interleaved discipline as the
+    disabled-telemetry gate above; the bound is looser (5%) because the
+    sharded path adds process scheduling noise the single-core gate
+    doesn't see.
+    """
+    from repro.core.sharded import ShardedDeployment
+    from repro.telemetry.live import LiveOptions
+
+    def build(live):
+        deployment = ShardedDeployment(
+            l2l3_acl.build_program(),
+            BLUEFIELD2,
+            n_workers=2,
+            live=live,
+        )
+        l2l3_acl.install_base_entries(deployment.control_plane)
+        return deployment
+
+    plain = build(None)
+    live = build(LiveOptions(interval_s=1.0))
+    try:
+        assert live.live is not None and plain.live is None
+        for deployment in (plain, live):
+            deployment.replay(_packets()[:200])  # warm + compile
+
+        best = {"plain": float("inf"), "live": float("inf")}
+        for _ in range(5):
+            for name, deployment in (("plain", plain), ("live", live)):
+                packets = _packets()
+                start = time.perf_counter()
+                deployment.replay(iter(packets))
+                best[name] = min(
+                    best[name], time.perf_counter() - start
+                )
+    finally:
+        plain.close()
+        live.close()
+
+    ratio = best["live"] / best["plain"]
+    assert ratio <= 1.05, (
+        f"live telemetry costs {100 * (ratio - 1):.1f}% "
+        f"({best['live']:.4f}s vs {best['plain']:.4f}s)"
+    )
+
+
 GATE_KEYS = {"gated", "reason", "threshold", "measured"}
 
 

@@ -210,6 +210,11 @@ def _export_metrics(
     )
 
     export_run_stats(registry, stats, target, app=label)
+    telemetry = getattr(deployment, "telemetry", None)
+    if telemetry is not None:
+        from repro.telemetry import export_event_log
+
+        export_event_log(registry, telemetry.events)
     if jobs > 1:
         sharded = deployment.emulator
         export_counter_bank(registry, sharded.counters)
@@ -285,7 +290,55 @@ def cmd_replay(args: argparse.Namespace) -> int:
             recv_timeout_s=args.recv_timeout,
         )
 
+    live_options = None
+    live_requested = (
+        args.serve_metrics is not None
+        or args.slo
+        or args.flight_out
+        or args.live_interval is not None
+        or args.live_every_packets is not None
+    )
+    if live_requested:
+        if args.jobs <= 1:
+            print(
+                "error: the live telemetry plane (--serve-metrics/"
+                "--slo/--flight-out/--live-*) requires --jobs > 1 "
+                "(snapshots stream from shard workers)",
+                file=sys.stderr,
+            )
+            return 2
+        from repro.telemetry import LiveOptions, load_slo_rules
+
+        rules = ()
+        if args.slo:
+            try:
+                rules = load_slo_rules(args.slo)
+            except (OSError, ValueError, KeyError) as exc:
+                print(f"error: --slo: {exc}", file=sys.stderr)
+                return 2
+        try:
+            live_options = LiveOptions(
+                interval_s=(
+                    args.live_interval
+                    if args.live_interval is not None
+                    else 1.0
+                ),
+                every_packets=args.live_every_packets,
+                window=args.live_window,
+                flight_path=args.flight_out,
+                rules=rules,
+                serve_port=args.serve_metrics,
+            )
+        except (TypeError, ValueError) as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+
     telemetry = _build_telemetry(args)
+    if telemetry is None and live_options is not None:
+        # SLO breach/clear events need an event log to land in.
+        from repro.telemetry import Telemetry
+
+        telemetry = Telemetry()
     if args.jobs > 1:
         deployment = ShardedDeployment(
             program,
@@ -297,6 +350,7 @@ def cmd_replay(args: argparse.Namespace) -> int:
             fault_plan=fault_plan,
             transport=args.transport,
             engine=args.engine,
+            live=live_options,
         )
     else:
         deployment = Deployment(
@@ -368,6 +422,27 @@ def cmd_replay(args: argparse.Namespace) -> int:
             if degraded:
                 summary["degraded_shards"] = degraded
                 summary["lost_packets"] = stats.lost_packets
+        live = getattr(deployment, "live", None)
+        if live is not None:
+            # Final flush: the last recorder row and the served
+            # /metrics registry now reflect the finished replay (the
+            # scrape endpoint stays up until deployment.close()).
+            live.stop()
+            watchdog = live.watchdog
+            live_summary = {
+                "rows": live.recorder.appended,
+                "slo_rules": len(watchdog.rules),
+                "slo_breaches": watchdog.breaches,
+                "slo_clears": watchdog.clears,
+                "slo_active": watchdog.active_breaches,
+            }
+            if args.flight_out:
+                live_summary["flight_out"] = args.flight_out
+            if deployment.live_server is not None:
+                live_summary["metrics_port"] = (
+                    deployment.live_server.port
+                )
+            summary["live"] = live_summary
         tracer = deployment.tracer
         if tracer is not None:
             summary["traced_packets"] = tracer.sampled
@@ -396,6 +471,43 @@ def cmd_replay(args: argparse.Namespace) -> int:
         if telemetry is not None:
             telemetry.close()
     return 0
+
+
+def cmd_top(args: argparse.Namespace) -> int:
+    """Refreshing terminal view of a flight-recorder JSONL file.
+
+    Follows the file like ``top``: each frame re-reads the recorder
+    (replays append rows live) and renders the latest interval row
+    plus the per-shard table. ``--iterations N`` renders N frames and
+    exits (used by tests and one-shot inspection); the default runs
+    until Ctrl-C.
+    """
+    import time
+
+    from repro.telemetry import FlightRecorder, render_top
+
+    frames = 0
+    try:
+        while True:
+            try:
+                with open(args.recorder) as handle:
+                    rows = FlightRecorder.parse_jsonl(handle.read())
+            except OSError as exc:
+                print(f"error: {exc}", file=sys.stderr)
+                return 2
+            frame = render_top(rows, path=args.recorder)
+            if not args.no_clear:
+                # ANSI clear + home, like watch(1); falls back to
+                # plain appends under --no-clear for dumb terminals.
+                sys.stdout.write("\x1b[2J\x1b[H")
+            sys.stdout.write(frame)
+            sys.stdout.flush()
+            frames += 1
+            if args.iterations is not None and frames >= args.iterations:
+                return 0
+            time.sleep(args.refresh)
+    except KeyboardInterrupt:
+        return 0
 
 
 def cmd_report(args: argparse.Namespace) -> int:
@@ -726,8 +838,82 @@ def build_parser() -> argparse.ArgumentParser:
         help="seconds before an unresponsive worker is declared "
         "hung",
     )
+    replay.add_argument(
+        "--serve-metrics",
+        type=int,
+        default=None,
+        metavar="PORT",
+        help="serve live /metrics (Prometheus text) and /health "
+        "on this port during the replay (0 = ephemeral; "
+        "requires --jobs > 1)",
+    )
+    replay.add_argument(
+        "--slo",
+        default=None,
+        metavar="RULES_JSON",
+        help="SLO rule file evaluated each live interval; breaches "
+        "emit slo_breach/slo_clear events (requires --jobs > 1)",
+    )
+    replay.add_argument(
+        "--flight-out",
+        default=None,
+        metavar="PATH",
+        help="append flight-recorder rows (one JSON object per "
+        "interval) to this file; view with `repro top PATH`",
+    )
+    replay.add_argument(
+        "--live-interval",
+        type=float,
+        default=None,
+        metavar="S",
+        help="live snapshot/aggregation cadence in wall seconds "
+        "(default 1.0 when the live plane is on)",
+    )
+    replay.add_argument(
+        "--live-every-packets",
+        type=int,
+        default=None,
+        metavar="N",
+        help="deterministic snapshot cadence: one per-shard "
+        "snapshot every N replayed packets (bit-stable recorder "
+        "rows; replaces the wall cadence for workers)",
+    )
+    replay.add_argument(
+        "--live-window",
+        type=int,
+        default=512,
+        help="flight-recorder in-memory row window",
+    )
     _add_common(replay)
     replay.set_defaults(func=cmd_replay)
+
+    top = subparsers.add_parser(
+        "top",
+        help="refreshing terminal view of a flight-recorder JSONL "
+        "(written by replay --flight-out)",
+    )
+    top.add_argument(
+        "recorder",
+        help="flight-recorder JSONL path (replay --flight-out)",
+    )
+    top.add_argument(
+        "--refresh",
+        type=float,
+        default=1.0,
+        help="seconds between frames",
+    )
+    top.add_argument(
+        "--iterations",
+        type=int,
+        default=None,
+        help="render N frames then exit (default: until Ctrl-C)",
+    )
+    top.add_argument(
+        "--no-clear",
+        action="store_true",
+        help="print frames without clearing the screen",
+    )
+    top.set_defaults(func=cmd_top)
 
     report = subparsers.add_parser(
         "report",

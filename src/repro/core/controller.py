@@ -140,6 +140,44 @@ class PipeleonController:
         self.current_plan: Optional[OptimizationPlan] = baseline_plan
         self.last_profile: Optional[RuntimeProfile] = None
         self.reoptimizations = 0
+        #: Attached SLO watchdog (see :meth:`attach_slo_watchdog`).
+        self.slo_watchdog = None
+        self.slo_breaches_seen = 0
+        self._slo_pending = False
+
+    # -- SLO subscription ---------------------------------------------------
+
+    def attach_slo_watchdog(self, watchdog) -> None:
+        """Subscribe to a live SLO watchdog's breach/clear events.
+
+        Each ``slo_breach`` schedules an *immediate* re-optimization:
+        the next :meth:`run_scenario` tick profiles and replans without
+        waiting out ``profile_period_s`` — the paper's SLA-triggered
+        adaptation, as opposed to the periodic loop. The flag is
+        thread-safe by construction (a bool set from the aggregator
+        thread, consumed at tick boundaries) and idempotent: any number
+        of breaches between ticks trigger one replan.
+        """
+        self.slo_watchdog = watchdog
+        watchdog.subscribe(self._on_slo_event)
+
+    def _on_slo_event(self, event: dict) -> None:
+        if event.get("kind") != "slo_breach":
+            return
+        self.slo_breaches_seen += 1
+        self._slo_pending = True
+        self._emit(
+            "slo_reoptimize_scheduled",
+            rule=event.get("rule"),
+            shard=event.get("shard"),
+            value=event.get("value"),
+        )
+
+    def consume_slo_trigger(self) -> bool:
+        """True once per pending breach-triggered replan request."""
+        pending = self._slo_pending
+        self._slo_pending = False
+        return pending
 
     # -- re-optimization --------------------------------------------------------
 
@@ -356,7 +394,10 @@ class PipeleonController:
             stats = self.deployment.run(packets)
             reoptimized = False
             self.clock.advance(1.0)
-            if self.enabled and self.clock.now_s >= next_profile_at:
+            slo_triggered = self.consume_slo_trigger()
+            if self.enabled and (
+                slo_triggered or self.clock.now_s >= next_profile_at
+            ):
                 reoptimized = self.maybe_reoptimize()
                 next_profile_at = (
                     self.clock.now_s + self.options.profile_period_s

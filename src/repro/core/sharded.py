@@ -49,6 +49,11 @@ from repro.nic.packet import Packet
 from repro.nic.sharding import ShardedEmulator, SupervisorOptions
 from repro.nic.stats import RunStats
 from repro.nic.targets import TargetModel
+from repro.telemetry.live import (
+    LiveAggregator,
+    LiveOptions,
+    MetricsServer,
+)
 
 
 class ShardedDeployment:
@@ -76,6 +81,7 @@ class ShardedDeployment:
         transport: str = "shm",
         ring_slots: Optional[int] = None,
         engine: str = "auto",
+        live: Optional[LiveOptions] = None,
     ):
         # ``previous`` is accepted for signature parity with Deployment
         # but ignored: sharded redeploys cold-start caches (see module
@@ -117,9 +123,29 @@ class ShardedDeployment:
             transport=transport,
             ring_slots=ring_slots,
             engine=engine,
+            live_interval_s=live.interval_s if live is not None else None,
+            live_every_packets=(
+                live.every_packets if live is not None else None
+            ),
         )
         self.transport = self.emulator.transport
         self.engine = self.emulator.engine
+        #: Live telemetry plane (None unless ``live=`` was given): the
+        #: aggregator thread starts immediately — workers heartbeat
+        #: even between replays — and the scrape endpoint comes up
+        #: when ``live.serve_port`` is set.
+        self.live: Optional[LiveAggregator] = None
+        self.live_server: Optional[MetricsServer] = None
+        if live is not None:
+            self.live = LiveAggregator(
+                self.emulator, telemetry=telemetry, options=live
+            ).start()
+            if live.serve_port is not None:
+                self.live_server = MetricsServer(
+                    self.live,
+                    port=live.serve_port,
+                    host=live.serve_host,
+                ).start()
         self.control_plane.add_listener(self._on_update)
         self._closed = False
 
@@ -136,6 +162,13 @@ class ShardedDeployment:
             return
         self._closed = True
         self.control_plane.remove_listener(self._on_update)
+        # Live plane first: the aggregator's final flush reads the
+        # workers' last snapshots and the emulator's shard status, so
+        # both must still exist.
+        if self.live_server is not None:
+            self.live_server.stop()
+        if self.live is not None:
+            self.live.stop()
         self.deployment.close()
         self.emulator.close()
 

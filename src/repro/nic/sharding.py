@@ -122,6 +122,7 @@ from repro.nic.shm_transport import (
     write_result_record,
 )
 from repro.nic.stats import RunStats
+from repro.telemetry.metrics import Histogram
 
 __all__ = [
     "ShardJournal",
@@ -493,6 +494,8 @@ def _worker_main(
     birth_tables=None,
     channel: Optional[ShardChannel] = None,
     engine: str = "auto",
+    tele_conn=None,
+    live_cadence: tuple = (None, None),
 ) -> None:
     """Command loop for one shard worker.
 
@@ -513,6 +516,18 @@ def _worker_main(
     ``fault_specs`` arms a :class:`FaultInjector` for deterministic
     failure testing; respawned workers (``rebirth=True``) are armed
     with nothing — a spec models one failure event, not a crash loop.
+
+    ``tele_conn`` (the live telemetry plane's sidecar pipe) makes this
+    worker push compact cumulative snapshots — lifetime packet/drop
+    totals, an incremental latency histogram, cache hit/miss pairs,
+    columnar demotions — at the ``live_cadence = (interval_s,
+    every_packets)`` cadence. Snapshots fire only at batch boundaries
+    or from the idle loop, never per packet. Wall-interval snapshots
+    double as heartbeats and are dropped (counted in the next
+    snapshot) when the parent lags; packet-count snapshots and the
+    forced end-of-replay snapshot block (bounded) instead, because the
+    deterministic row stream the flight recorder promises cannot
+    tolerate scheduling-dependent gaps.
     """
     try:
         emulator: NicEmulator = factory(shard_index)
@@ -527,9 +542,101 @@ def _worker_main(
         batch_ordinal = 0  # batches replayed since begin (both paths)
         names_memo: dict[bytes, tuple[str, ...]] = {}
 
+        live_interval, live_every = live_cadence
+        live_hist = Histogram() if tele_conn is not None else None
+        live_seq = 0
+        live_offset = 0  # stats._latencies already folded into live_hist
+        live_packets_since = 0
+        live_dropped_snapshots = 0
+        life_packets = 0  # totals from completed replays (pre-`begin`)
+        life_dropped = 0
+        live_next = (
+            time.monotonic() + live_interval
+            if live_interval is not None
+            else None
+        )
+
         def reply(payload) -> None:
             if injector is None or injector.should_reply():
                 conn.send(payload)
+
+        def live_snapshot(force: bool = False) -> None:
+            nonlocal live_seq, live_offset, live_dropped_snapshots
+            if stats is not None:
+                latencies = stats._latencies
+                for value in latencies[live_offset:]:
+                    live_hist.observe(value)
+                live_offset = len(latencies)
+            snapshot = {
+                "shard": shard_index,
+                "seq": live_seq,
+                "mono_s": time.monotonic(),
+                "packets": life_packets
+                + (stats.packets if stats is not None else 0),
+                "dropped": life_dropped
+                + (stats.dropped if stats is not None else 0),
+                "hist": live_hist,
+                "caches": {
+                    name: (cache.stats.hits, cache.stats.misses)
+                    for name, cache in emulator.flow_caches.items()
+                },
+                "native": (
+                    (
+                        emulator.native_cache.stats.hits,
+                        emulator.native_cache.stats.misses,
+                    )
+                    if emulator.native_cache is not None
+                    else None
+                ),
+                "demotions": dict(emulator.columnar_demotions),
+                "columnar_packets": emulator.columnar_packets,
+                "epoch": epoch,
+                "dropped_snapshots": live_dropped_snapshots,
+            }
+            # Heartbeats are best-effort (drop when the parent lags);
+            # deterministic-cadence and forced end snapshots block
+            # (bounded) — a dropped one would make the recorded row
+            # stream depend on parent scheduling.
+            block = force or live_every is not None
+            deadline = time.monotonic() + (
+                _RESULT_PUSH_TIMEOUT_S if block else 0.0
+            )
+            while True:
+                try:
+                    _, writable, _ = select.select(
+                        [], [tele_conn], [], 0
+                    )
+                except (OSError, ValueError):
+                    return
+                if writable:
+                    break
+                if time.monotonic() >= deadline:
+                    live_dropped_snapshots += 1
+                    return
+                time.sleep(0.001)
+            try:
+                tele_conn.send(snapshot)
+            except (BrokenPipeError, OSError):
+                return
+            live_seq += 1
+
+        def maybe_live() -> None:
+            nonlocal live_next, live_packets_since
+            if live_every is not None:
+                if live_packets_since >= live_every:
+                    live_packets_since %= live_every
+                    live_snapshot()
+            elif live_next is not None:
+                now = time.monotonic()
+                if now >= live_next:
+                    live_snapshot()
+                    live_next = now + live_interval
+
+        if tele_conn is not None:
+            # Birth heartbeat: the aggregator learns the shard exists
+            # (and, after a respawn, that it is back) without waiting a
+            # full cadence interval.
+            live_snapshot()
 
         use_columnar = engine in ("auto", "columnar")
 
@@ -544,7 +651,7 @@ def _worker_main(
 
         def replay_any(batch, n: int, timestamps) -> None:
             """Replay one batch (Packet list or ColumnBatch) via the tier."""
-            nonlocal stats, batch_ordinal
+            nonlocal stats, batch_ordinal, live_packets_since
             if injector is not None:
                 injector.before_batch(n)
             if stats is None:
@@ -569,6 +676,9 @@ def _worker_main(
                         n,
                     )
             batch_ordinal += 1
+            if tele_conn is not None:
+                live_packets_since += n
+                maybe_live()
 
         def replay_packets(packets: list[Packet], timestamps) -> None:
             replay_any(packets, len(packets), timestamps)
@@ -646,8 +756,20 @@ def _worker_main(
         while True:
             if channel is not None:
                 drained = drain_ready()
+                if tele_conn is not None:
+                    maybe_live()
                 try:
                     if not conn.poll(0.0 if drained else _IDLE_POLL_S):
+                        continue
+                except (EOFError, OSError):
+                    break  # parent went away
+            elif tele_conn is not None:
+                # Pipe transport blocks in recv between messages; poll
+                # instead so wall-cadence heartbeats keep flowing while
+                # the worker idles.
+                maybe_live()
+                try:
+                    if not conn.poll(_IDLE_POLL_S):
                         continue
                 except (EOFError, OSError):
                     break  # parent went away
@@ -664,8 +786,14 @@ def _worker_main(
                 stats = RunStats()
                 busy = 0.0
                 batch_ordinal = 0
+                live_offset = 0
             elif op == "end":
                 busy += time.process_time() - start
+                if tele_conn is not None:
+                    # Forced final snapshot: the aggregator's counters
+                    # converge to the replay summary at end-of-run, not
+                    # one cadence interval later.
+                    live_snapshot(force=True)
                 reply(
                     (
                         "done",
@@ -675,7 +803,11 @@ def _worker_main(
                         epoch,
                     )
                 )
+                if stats is not None:
+                    life_packets += stats.packets
+                    life_dropped += stats.dropped
                 stats = None
+                live_offset = 0
                 continue
             elif op == "entries":
                 emulator.set_table_entries(message[1], message[2])
@@ -735,6 +867,11 @@ def _worker_main(
             # Forked consumer: drop the mapping only; the parent owns
             # the segments and unlinks them.
             channel.close(unlink=False)
+        if tele_conn is not None:
+            try:
+                tele_conn.close()
+            except OSError:  # pragma: no cover - already broken
+                pass
         conn.close()
 
 
@@ -780,6 +917,8 @@ class ShardedEmulator:
         transport: str = "shm",
         ring_slots: Optional[int] = None,
         engine: str = "auto",
+        live_interval_s: Optional[float] = None,
+        live_every_packets: Optional[int] = None,
     ):
         if n_workers < 1:
             raise ValueError("n_workers must be >= 1")
@@ -801,6 +940,22 @@ class ShardedEmulator:
         self.engine = engine
         if ring_slots is not None and ring_slots < 1:
             raise ValueError("ring_slots must be >= 1")
+        if live_interval_s is not None and live_interval_s <= 0:
+            raise ValueError("live_interval_s must be > 0")
+        if live_every_packets is not None and live_every_packets < 1:
+            raise ValueError("live_every_packets must be >= 1")
+        #: Live telemetry cadence: wall-interval heartbeats and/or a
+        #: deterministic packet-count snapshot period. Either one arms
+        #: the sidecar pipes (see :attr:`live_conns`).
+        self.live_interval_s = live_interval_s
+        self.live_every_packets = live_every_packets
+        self._live = (
+            live_interval_s is not None or live_every_packets is not None
+        )
+        #: Parent (receive) ends of the per-shard telemetry sidecar
+        #: pipes; ``None`` per shard when the live plane is off or the
+        #: shard is degraded. Drained by the LiveAggregator thread.
+        self.live_conns: list = []
         self.transport = transport
         self._ring_slots = (
             ring_slots if ring_slots is not None else DEFAULT_RING_SLOTS
@@ -895,10 +1050,11 @@ class ShardedEmulator:
         self._procs = []
         self._channels: list[Optional[ShardChannel]] = []
         for shard in range(n_workers):
-            conn, process, channel = self._spawn(shard)
+            conn, process, channel, tele = self._spawn(shard)
             self._conns.append(conn)
             self._procs.append(process)
             self._channels.append(channel)
+            self.live_conns.append(tele)
         # Guaranteed teardown: if the owner never calls close() (e.g. a
         # mid-replay exception unwinds past it), interpreter exit still
         # reaps the forked workers instead of leaking them.
@@ -913,6 +1069,12 @@ class ShardedEmulator:
             # Created before the fork so the worker inherits the very
             # same mapping — no attach handshake, no name exchange.
             channel = ShardChannel(self.batch, slots=self._ring_slots)
+        tele_parent = tele_child = None
+        if self._live:
+            # Sidecar telemetry pipe: unsolicited worker -> parent
+            # snapshots must never interleave with the supervised
+            # reply protocol on the command pipe.
+            tele_parent, tele_child = self._context.Pipe(duplex=False)
         parent_conn, child_conn = self._context.Pipe()
         process = self._context.Process(
             target=_worker_main,
@@ -925,13 +1087,17 @@ class ShardedEmulator:
                 self._birth_tables if rebirth else None,
                 channel,
                 self.engine,
+                tele_child,
+                (self.live_interval_s, self.live_every_packets),
             ),
             daemon=True,
             name=f"repro-shard-{shard}",
         )
         process.start()
         child_conn.close()
-        return parent_conn, process, channel
+        if tele_child is not None:
+            tele_child.close()
+        return parent_conn, process, channel, tele_parent
 
     # -- lifecycle ---------------------------------------------------------
 
@@ -1004,6 +1170,13 @@ class ShardedEmulator:
             if channel is not None:
                 self._channels[shard] = None
                 channel.close(unlink=True)
+        for shard, tele in enumerate(self.live_conns):
+            if tele is not None:
+                self.live_conns[shard] = None
+                try:
+                    tele.close()
+                except OSError:  # pragma: no cover - already closed
+                    pass
 
     def _check_open(self) -> None:
         if self._closed:
@@ -1359,10 +1532,19 @@ class ShardedEmulator:
             # the fresh worker on fresh (zeroed) rings.
             old_channel.close(unlink=True)
         self.respawns[shard] += 1
-        conn, process, channel = self._spawn(shard, rebirth=True)
+        conn, process, channel, tele = self._spawn(shard, rebirth=True)
         self._conns[shard] = conn
         self._procs[shard] = process
         self._channels[shard] = channel
+        old_tele = self.live_conns[shard]
+        # Swap before closing: the aggregator thread re-reads the list
+        # each drain, and a recv racing the close just raises OSError.
+        self.live_conns[shard] = tele
+        if old_tele is not None:
+            try:
+                old_tele.close()
+            except OSError:  # pragma: no cover - already closed
+                pass
         self._pipe_sent[shard] = 0
         self._count("pipeleon_worker_respawns_total", shard=shard)
         self._emit(
@@ -1424,6 +1606,13 @@ class ShardedEmulator:
         self._channels[shard] = None
         if channel is not None:
             channel.close(unlink=True)
+        tele = self.live_conns[shard] if self.live_conns else None
+        if tele is not None:
+            self.live_conns[shard] = None
+            try:
+                tele.close()
+            except OSError:  # pragma: no cover - already closed
+                pass
         self._dead[shard] = True
         survivors = self._survivors()
         if not survivors:
@@ -1566,6 +1755,46 @@ class ShardedEmulator:
     def degraded_shards(self) -> list[int]:
         """Shards lost to degraded-mode recovery (empty when healthy)."""
         return [s for s in range(self.n_workers) if self._dead[s]]
+
+    def live_shard_status(self) -> list[dict]:
+        """Parent-side per-shard liveness and transport view.
+
+        The LiveAggregator thread polls this between snapshot drains:
+        every field is a single int/bool attribute read (GIL-atomic
+        against the dispatching main thread) or a shm-header read, so
+        no locking is needed. ``respawns`` is the deterministic death
+        witness — the aggregator diffs it against the shard's last
+        heartbeat to flag a kill that a fast respawn hid from pure
+        wall-clock staleness. Ring occupancy is sampled live from the
+        data ring's header (None for pipe transport or a torn-down
+        channel mid-respawn).
+        """
+        status = []
+        for shard in range(self.n_workers):
+            process = self._procs[shard]
+            channel = self._channels[shard]
+            occupancy = None
+            if channel is not None:
+                try:
+                    occupancy = channel.data.occupancy()
+                except (OSError, ValueError):
+                    # Racing a respawn's segment teardown.
+                    occupancy = None
+            ring = self.ring_stats[shard]
+            status.append(
+                {
+                    "shard": shard,
+                    "alive": (
+                        not self._dead[shard] and process.is_alive()
+                    ),
+                    "dead": self._dead[shard],
+                    "respawns": self.respawns[shard],
+                    "ring_occupancy": occupancy,
+                    "ring_stalls": ring["stalls"],
+                    "pushed_batches": ring["pushed_batches"],
+                }
+            )
+        return status
 
     @property
     def total_respawns(self) -> int:

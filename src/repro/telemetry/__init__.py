@@ -30,14 +30,28 @@ from repro.telemetry.export import (
     export_columnar,
     export_counter_bank,
     export_emulator,
+    export_event_log,
     export_run_stats,
     export_tracer,
+)
+from repro.telemetry.live import (
+    LiveAggregator,
+    LiveOptions,
+    MetricsServer,
+    render_top,
 )
 from repro.telemetry.metrics import (
     LATENCY_BUCKETS_NS,
     Histogram,
     MetricsRegistry,
 )
+from repro.telemetry.slo import (
+    RULE_METRICS,
+    SloRule,
+    SloWatchdog,
+    load_slo_rules,
+)
+from repro.telemetry.timeseries import WALL_FIELDS, FlightRecorder
 
 # NOTE: repro.telemetry.report is deliberately NOT imported here — it
 # pulls in repro.core, whose package init imports the emulator, and the
@@ -53,21 +67,32 @@ from repro.telemetry.tracing import (
 
 __all__ = [
     "EventLog",
+    "FlightRecorder",
     "Histogram",
     "LATENCY_BUCKETS_NS",
+    "LiveAggregator",
+    "LiveOptions",
     "MetricsRegistry",
+    "MetricsServer",
     "NATIVE_CACHE_STEP",
     "PARSER_STEP",
     "PacketTrace",
     "PacketTracer",
+    "RULE_METRICS",
+    "SloRule",
+    "SloWatchdog",
     "Telemetry",
     "TraceStep",
+    "WALL_FIELDS",
     "export_cache_stats",
     "export_columnar",
     "export_counter_bank",
     "export_emulator",
+    "export_event_log",
     "export_run_stats",
     "export_tracer",
+    "load_slo_rules",
+    "render_top",
 ]
 
 

@@ -39,6 +39,10 @@ class EventLog:
         self.source = source
         #: Total events ever emitted (the ring may have rotated).
         self.emitted = 0
+        #: Sink writes that failed (disk full, revoked fd). Failures
+        #: are counted, not raised: a dying sink must never take the
+        #: replay down, but it must be visible in exported metrics.
+        self.sink_failures = 0
         self._events: deque[dict] = deque(maxlen=capacity)
         self._sink: Optional[IO[str]] = None
         self._observed_planes: set[int] = set()
@@ -78,8 +82,11 @@ class EventLog:
         self.emitted += 1
         self._events.append(event)
         if self._sink is not None:
-            self._sink.write(json.dumps(event) + "\n")
-            self._sink.flush()
+            try:
+                self._sink.write(json.dumps(event) + "\n")
+                self._sink.flush()
+            except (OSError, ValueError):
+                self.sink_failures += 1
         return event
 
     # -- control-plane wiring ----------------------------------------------
@@ -113,6 +120,11 @@ class EventLog:
 
     def __len__(self) -> int:
         return len(self._events)
+
+    @property
+    def dropped(self) -> int:
+        """Events that fell off the bounded ring (emitted - retained)."""
+        return self.emitted - len(self._events)
 
     def events(self, kind: Optional[str] = None) -> list[dict]:
         if kind is None:

@@ -182,6 +182,31 @@ def export_columnar(
     )
 
 
+def export_event_log(registry: MetricsRegistry, events) -> None:
+    """Project an EventLog's bookkeeping counters.
+
+    Ring rotation used to be silent: ``emitted`` kept counting while
+    old events fell off the deque, and a dead JSONL sink swallowed
+    writes without a trace. Both are now first-class series so a scrape
+    can alarm on history loss.
+    """
+    registry.inc(
+        "pipeleon_events_emitted_total",
+        events.emitted,
+        help="Structured events ever emitted",
+    )
+    registry.inc(
+        "pipeleon_events_dropped_total",
+        events.dropped,
+        help="Events that fell off the bounded in-memory ring",
+    )
+    registry.inc(
+        "pipeleon_event_sink_failures_total",
+        events.sink_failures,
+        help="Event JSONL sink writes that failed",
+    )
+
+
 def export_emulator(registry: MetricsRegistry, emulator) -> None:
     """Project an emulator's counters and cache stats."""
     export_counter_bank(registry, emulator.counters)

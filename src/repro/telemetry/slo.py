@@ -1,0 +1,270 @@
+"""Declarative SLO rules evaluated against the live telemetry plane.
+
+The watchdog closes the observability half of the paper's continuous
+optimization loop: where the :class:`~repro.core.controller.
+PipeleonController` *periodically* re-profiles, the watchdog watches
+the in-flight flight-recorder samples every interval and raises a
+structured ``slo_breach`` event the moment a rule's bound is violated
+— the trigger ROADMAP item 5's always-on adaptation service will hang
+re-optimization off. Rules are plain data (JSON-loadable, CLI
+``--slo rules.json``):
+
+``{"metric": "p99_latency_ns", "max": 12000.0}``
+    Merged p99 latency ceiling (ns, bucket-resolution quantile).
+``{"metric": "cache_hit_rate", "min": 0.5}``
+    Merged flow-cache hit-rate floor (all caches pooled).
+``{"metric": "ring_stall_rate", "max": 0.05}``
+    Ceiling on the fraction of batch dispatches that stalled on a
+    full shm data ring (cumulative stalls / pushed batches).
+``{"metric": "heartbeat_staleness_s", "max": 2.0}``
+    Per-shard heartbeat deadline: breached for shard *s* when its last
+    snapshot is older than the bound **or** the supervisor observed the
+    worker die since its last heartbeat (a respawn bump marks the shard
+    stale immediately, so a sub-interval kill+respawn still surfaces —
+    without it a fast respawn would race the sampling interval and the
+    breach would be timing-dependent instead of deterministic).
+
+Breaches are *latched*: a rule emits one ``slo_breach`` when it first
+trips and one ``slo_clear`` when the sample is back within bounds, not
+one event per interval — so the event log records SLO *episodes*, and
+the deterministic fault tests can assert exact event counts.
+Subscribers (:meth:`SloWatchdog.subscribe`) receive every emitted
+event; :meth:`~repro.core.controller.PipeleonController.
+attach_slo_watchdog` uses that hook to schedule an immediate
+re-optimization on breach.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from typing import Callable, Iterable, Optional, Sequence
+
+#: Metrics a rule may bound. ``heartbeat_staleness_s`` is evaluated per
+#: shard; the rest are evaluated on the merged sample.
+RULE_METRICS = (
+    "p99_latency_ns",
+    "p50_latency_ns",
+    "mean_latency_ns",
+    "cache_hit_rate",
+    "ring_stall_rate",
+    "heartbeat_staleness_s",
+)
+
+_PER_SHARD_METRICS = frozenset({"heartbeat_staleness_s"})
+
+
+@dataclass(frozen=True)
+class SloRule:
+    """One declarative bound: a metric plus exactly one of max/min."""
+
+    metric: str
+    max: Optional[float] = None
+    min: Optional[float] = None
+    name: str = ""
+
+    def __post_init__(self):
+        if self.metric not in RULE_METRICS:
+            raise ValueError(
+                f"Unknown SLO metric {self.metric!r}; expected one of "
+                f"{', '.join(RULE_METRICS)}"
+            )
+        if (self.max is None) == (self.min is None):
+            raise ValueError(
+                f"SLO rule for {self.metric!r} needs exactly one of "
+                "max (ceiling) or min (floor)"
+            )
+        if not self.name:
+            bound = "max" if self.max is not None else "min"
+            object.__setattr__(
+                self, "name", f"{self.metric}_{bound}"
+            )
+
+    @property
+    def per_shard(self) -> bool:
+        return self.metric in _PER_SHARD_METRICS
+
+    def violated(self, value: Optional[float]) -> bool:
+        """Whether ``value`` breaks this rule (None = no data, holds)."""
+        if value is None:
+            return False
+        if self.max is not None:
+            return value > self.max
+        return value < self.min
+
+    @property
+    def bound(self) -> float:
+        return self.max if self.max is not None else self.min
+
+    def to_json(self) -> dict:
+        out: dict = {"metric": self.metric, "name": self.name}
+        if self.max is not None:
+            out["max"] = self.max
+        else:
+            out["min"] = self.min
+        return out
+
+    @classmethod
+    def from_json(cls, data: dict) -> "SloRule":
+        unknown = set(data) - {"metric", "max", "min", "name"}
+        if unknown:
+            raise ValueError(
+                f"Unknown SLO rule keys {sorted(unknown)} in {data!r}"
+            )
+        return cls(
+            metric=data["metric"],
+            max=data.get("max"),
+            min=data.get("min"),
+            name=data.get("name", ""),
+        )
+
+
+def load_slo_rules(path: str) -> tuple[SloRule, ...]:
+    """Load rules from a JSON file: a bare list or ``{"rules": [...]}``."""
+    with open(path) as handle:
+        data = json.load(handle)
+    if isinstance(data, dict):
+        data = data.get("rules", [])
+    if not isinstance(data, list):
+        raise ValueError(
+            f"{path}: expected a rule list or {{'rules': [...]}}"
+        )
+    return tuple(SloRule.from_json(rule) for rule in data)
+
+
+class SloWatchdog:
+    """Latched rule evaluation over live telemetry samples.
+
+    ``evaluate`` takes one *sample* — the merged-metrics dict the live
+    aggregator builds each interval — and flips each rule's latch as
+    needed, emitting ``slo_breach``/``slo_clear`` into ``events``
+    (when given), counting into ``registry`` (when given), and calling
+    every subscriber with the event dict. Per-shard rules keep one
+    latch per shard, keyed ``rule.name:shard``.
+
+    Sample shape (missing keys simply mean "no data yet" — rules hold):
+
+    .. code-block:: python
+
+        {
+            "p99_latency_ns": 830.0,
+            "p50_latency_ns": 410.0,
+            "mean_latency_ns": 455.2,
+            "cache_hit_rate": 0.93,
+            "ring_stall_rate": 0.0,
+            "shards": {
+                0: {"heartbeat_staleness_s": 0.01, "forced_stale": False},
+                1: {"heartbeat_staleness_s": 4.20, "forced_stale": True},
+            },
+        }
+    """
+
+    def __init__(
+        self,
+        rules: Sequence[SloRule] = (),
+        events=None,
+        registry=None,
+    ):
+        self.rules: tuple[SloRule, ...] = tuple(rules)
+        self.events = events
+        self.registry = registry
+        #: Latch per rule scope: True while breached.
+        self._active: dict[str, bool] = {}
+        self.breaches = 0
+        self.clears = 0
+        self._subscribers: list[Callable[[dict], None]] = []
+
+    def __len__(self) -> int:
+        return len(self.rules)
+
+    def subscribe(self, callback: Callable[[dict], None]) -> None:
+        """Receive every slo_breach/slo_clear event dict as it fires."""
+        self._subscribers.append(callback)
+
+    @property
+    def active_breaches(self) -> list[str]:
+        """Scope keys currently latched breached (sorted)."""
+        return sorted(k for k, v in self._active.items() if v)
+
+    # -- evaluation ----------------------------------------------------------
+
+    def _emit(self, kind: str, **fields) -> dict:
+        event = {"kind": kind, **fields}
+        if self.events is not None:
+            event = self.events.emit(kind, **fields)
+        if self.registry is not None:
+            self.registry.inc(
+                f"pipeleon_{kind}es_total"
+                if kind == "slo_breach"
+                else "pipeleon_slo_clears_total",
+                help=(
+                    "SLO rule breach episodes"
+                    if kind == "slo_breach"
+                    else "SLO breach episodes that cleared"
+                ),
+                rule=fields.get("rule", ""),
+            )
+        for callback in list(self._subscribers):
+            callback(event)
+        return event
+
+    def _flip(
+        self,
+        rule: SloRule,
+        scope: str,
+        violated: bool,
+        value: Optional[float],
+        shard: Optional[int],
+    ) -> Optional[dict]:
+        was = self._active.get(scope, False)
+        if violated == was:
+            return None
+        self._active[scope] = violated
+        fields = {
+            "rule": rule.name,
+            "metric": rule.metric,
+            "bound": rule.bound,
+            "value": value,
+        }
+        if shard is not None:
+            fields["shard"] = shard
+        if violated:
+            self.breaches += 1
+            return self._emit("slo_breach", **fields)
+        self.clears += 1
+        return self._emit("slo_clear", **fields)
+
+    def evaluate(self, sample: dict) -> list[dict]:
+        """Check every rule against one sample; returns emitted events."""
+        emitted: list[dict] = []
+        shards: dict = sample.get("shards", {})
+        for rule in self.rules:
+            if rule.per_shard:
+                for shard, status in sorted(shards.items()):
+                    value = status.get(rule.metric)
+                    violated = rule.violated(value) or bool(
+                        status.get("forced_stale")
+                    )
+                    event = self._flip(
+                        rule,
+                        f"{rule.name}:{shard}",
+                        violated,
+                        value,
+                        shard,
+                    )
+                    if event is not None:
+                        emitted.append(event)
+                continue
+            value = sample.get(rule.metric)
+            event = self._flip(
+                rule, rule.name, rule.violated(value), value, None
+            )
+            if event is not None:
+                emitted.append(event)
+        if self.registry is not None:
+            self.registry.set_gauge(
+                "pipeleon_slo_active_breaches",
+                sum(1 for v in self._active.values() if v),
+                help="SLO rules currently in breach",
+            )
+        return emitted

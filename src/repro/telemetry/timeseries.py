@@ -1,0 +1,177 @@
+"""Rolling time-series flight recorder for the live telemetry plane.
+
+A :class:`FlightRecorder` is the durable half of in-flight
+observability: the live aggregator (:mod:`repro.telemetry.live`)
+appends one *row* per interval — a flat JSON-friendly dict carrying the
+merged and per-shard state of a running sharded replay (packet totals,
+latency quantiles, cache hit rates, ring occupancy/stalls, columnar
+demotions, worker liveness). Rows live in a bounded in-memory window
+(old rows fall off, like the event ring) and, optionally, stream to an
+append-only JSONL sink so a long run keeps its complete history on
+disk even after the window rotates.
+
+Determinism contract: a row separates *wall-clock* fields (arrival
+times, heartbeat ages, the host clock) from *stream* fields (packet
+counts, latency quantiles, cache counters, demotion totals). Under the
+deterministic packet-count snapshot cadence
+(``LiveOptions.every_packets``), the stream fields of the per-shard
+``kind="shard"`` rows are a pure function of the replayed traffic, so
+two runs of the same replay produce bit-identical rows once
+:meth:`FlightRecorder.strip_wall` removes the wall fields — the
+property ``tests/test_live_telemetry.py`` pins. Wall-cadence
+``kind="interval"`` rows are inherently timing-dependent and make no
+such promise.
+"""
+
+from __future__ import annotations
+
+import json
+from collections import deque
+from typing import IO, Iterable, Optional
+
+#: Field names whose values come from the host's wall clock (or are
+#: derived from it); :meth:`FlightRecorder.strip_wall` removes them at
+#: any nesting depth when canonicalising rows for comparison.
+WALL_FIELDS = frozenset(
+    {
+        "wall_s",
+        "mono_s",
+        "age_s",
+        "staleness_s",
+        "interval_s",
+        "busy_s",
+    }
+)
+
+
+class FlightRecorder:
+    """Bounded rolling window of telemetry rows + append-only JSONL sink."""
+
+    def __init__(
+        self,
+        window: int = 512,
+        sink_path: Optional[str] = None,
+    ):
+        if window < 1:
+            raise ValueError("window must be >= 1")
+        #: Total rows ever appended (the window may have rotated).
+        self.appended = 0
+        #: Sink writes that failed (a full disk or revoked file must be
+        #: visible in metrics, not silently swallowed — satellite of
+        #: the same contract as ``EventLog.sink_failures``).
+        self.sink_failures = 0
+        self._rows: deque[dict] = deque(maxlen=window)
+        self._sink: Optional[IO[str]] = None
+        self.sink_path = sink_path
+        if sink_path is not None:
+            self.open_sink(sink_path)
+
+    # -- sink lifecycle ----------------------------------------------------
+
+    def open_sink(self, path: str) -> None:
+        """Start (or switch) the append-only JSONL file sink."""
+        self.close()
+        self._sink = open(path, "a")
+        self.sink_path = path
+
+    def close(self) -> None:
+        if self._sink is not None:
+            try:
+                self._sink.close()
+            except OSError:  # pragma: no cover - close of broken fd
+                self.sink_failures += 1
+            self._sink = None
+
+    def __enter__(self) -> "FlightRecorder":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    # -- appending -----------------------------------------------------------
+
+    def append(self, row: dict) -> dict:
+        """Record one row; stamps ``row`` (the monotone row index)."""
+        row = dict(row)
+        row["row"] = self.appended
+        self.appended += 1
+        self._rows.append(row)
+        if self._sink is not None:
+            try:
+                self._sink.write(json.dumps(row) + "\n")
+                self._sink.flush()
+            except (OSError, ValueError):
+                self.sink_failures += 1
+        return row
+
+    # -- reads -------------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._rows)
+
+    @property
+    def dropped(self) -> int:
+        """Rows that fell off the bounded window."""
+        return self.appended - len(self._rows)
+
+    def rows(self, kind: Optional[str] = None) -> list[dict]:
+        if kind is None:
+            return list(self._rows)
+        return [r for r in self._rows if r.get("kind") == kind]
+
+    def last(self, kind: Optional[str] = None) -> Optional[dict]:
+        for row in reversed(self._rows):
+            if kind is None or row.get("kind") == kind:
+                return row
+        return None
+
+    @staticmethod
+    def parse_jsonl(text: str) -> list[dict]:
+        """Read a sink file's rows back."""
+        return [
+            json.loads(line)
+            for line in text.splitlines()
+            if line.strip()
+        ]
+
+    # -- determinism helpers -------------------------------------------------
+
+    @staticmethod
+    def strip_wall(row):
+        """A deep copy of ``row`` with every wall-clock field removed.
+
+        Recurses through nested dicts and lists, so per-shard
+        sub-records lose their heartbeat ages too. The result is the
+        canonical *stream* view two same-traffic runs must agree on
+        under the deterministic snapshot cadence.
+        """
+        if isinstance(row, dict):
+            return {
+                key: FlightRecorder.strip_wall(value)
+                for key, value in row.items()
+                if key not in WALL_FIELDS
+            }
+        if isinstance(row, list):
+            return [FlightRecorder.strip_wall(item) for item in row]
+        return row
+
+    @staticmethod
+    def canonical(rows: Iterable[dict]) -> list[dict]:
+        """Wall-stripped rows in a run-independent order.
+
+        ``kind="shard"`` rows are keyed by ``(shard, seq)`` — their
+        arrival interleaving across shards is scheduler-dependent, the
+        set is not. The global ``row`` stamp encodes exactly that
+        interleaving, so it is dropped along with the wall fields.
+        """
+        ordered = sorted(
+            (FlightRecorder.strip_wall(row) for row in rows),
+            key=lambda r: (
+                r.get("kind", ""),
+                r.get("shard", -1),
+                r.get("seq", r.get("row", 0)),
+            ),
+        )
+        for row in ordered:
+            row.pop("row", None)
+        return ordered
