@@ -466,10 +466,15 @@ def cmd_replay(args: argparse.Namespace) -> int:
             summary["events_emitted"] = telemetry.events.emitted
         print(json.dumps(summary, indent=2))
     finally:
-        if args.jobs > 1:
+        # Always close, jobs==1 included: ShardedDeployment tears down
+        # the live plane (server thread, aggregator, ports) and the
+        # worker fleet via try/finally; Deployment.close is a cheap
+        # listener detach. Exceptions mid-replay must not leak either.
+        try:
             deployment.close()
-        if telemetry is not None:
-            telemetry.close()
+        finally:
+            if telemetry is not None:
+                telemetry.close()
     return 0
 
 
@@ -678,6 +683,97 @@ def cmd_dse(args: argparse.Namespace) -> int:
             json.dump(summary, handle, indent=2, sort_keys=True)
         summary["bench_out"] = args.bench_out
     print(json.dumps(summary, indent=2))
+    return 0
+
+
+def cmd_serve(args: argparse.Namespace) -> int:
+    """Run the always-on adaptation service (ROADMAP item 5).
+
+    Stands up one supervised sharded fleet + controller + daemon-
+    lifetime live telemetry plane, prints a ``ready`` JSON line, and
+    serves replay/optimize/report/status jobs over an AF_UNIX socket
+    until a ``drain``/``shutdown`` op or SIGTERM. Exit code 0 means
+    the drain quiesced cleanly (no leaked workers or server threads).
+    """
+    import asyncio
+
+    from repro.service import ServeSession, ServiceDaemon, SessionConfig
+
+    try:
+        config = SessionConfig(
+            app=args.app,
+            target=args.target,
+            jobs=args.jobs,
+            transport=args.transport,
+            engine=args.engine,
+            recovery=args.recovery,
+            recv_timeout_s=args.recv_timeout,
+            faults=tuple(args.inject_fault or ()),
+            fault_seed=str(
+                args.fault_seed if args.fault_seed is not None else 0
+            ),
+            profile_period_s=args.profile_period,
+            replan_margin=args.replan_margin,
+            controller_enabled=not args.no_adapt,
+            live_interval_s=(
+                args.live_interval
+                if args.live_interval is not None
+                else 0.05
+            ),
+            live_every_packets=args.live_every_packets,
+            flight_path=args.flight_out,
+            slo_rules_path=args.slo,
+            serve_metrics_port=args.serve_metrics,
+            default_packets_per_tick=args.packets_per_tick,
+        )
+        session = ServeSession(config)
+    except (OSError, ValueError, KeyError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    daemon = ServiceDaemon(session, args.socket)
+    try:
+        asyncio.run(daemon.serve())
+    except KeyboardInterrupt:
+        pass
+    finally:
+        # Belt and braces: serve() normally closes the session during
+        # drain; a crashed event loop must not leak the fleet.
+        session.close()
+    return 0 if daemon.drained_cleanly else 1
+
+
+def cmd_call(args: argparse.Namespace) -> int:
+    """One-shot client for a running serve daemon."""
+    from repro.service import ServiceClient, ServiceError
+
+    try:
+        params = json.loads(args.params) if args.params else {}
+    except json.JSONDecodeError as exc:
+        print(f"error: --params: {exc}", file=sys.stderr)
+        return 2
+    if not isinstance(params, dict):
+        print("error: --params must be a JSON object", file=sys.stderr)
+        return 2
+    try:
+        with ServiceClient(
+            args.socket, timeout_s=args.timeout
+        ) as client:
+            result = client.request(args.op, params)
+            if (
+                args.wait
+                and args.op == "submit"
+                and "job_id" in result
+            ):
+                result = client.wait(
+                    result["job_id"], timeout_s=args.timeout
+                )
+    except (OSError, ConnectionError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    except ServiceError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    print(json.dumps(result, indent=2, sort_keys=True))
     return 0
 
 
@@ -1017,6 +1113,133 @@ def build_parser() -> argparse.ArgumentParser:
         help="also write the JSON summary to this path",
     )
     dse.set_defaults(func=cmd_dse)
+
+    serve = subparsers.add_parser(
+        "serve",
+        help="always-on adaptation service: supervised fleet + "
+        "controller + live telemetry behind an AF_UNIX job socket",
+    )
+    serve.add_argument(
+        "--socket",
+        required=True,
+        help="AF_UNIX socket path to listen on",
+    )
+    serve.add_argument(
+        "--app",
+        default="l2l3_acl",
+        help="example app name (see repro.apps.EXAMPLE_APPS)",
+    )
+    serve.add_argument(
+        "--jobs",
+        type=int,
+        default=2,
+        help="shard worker processes (must be >= 2)",
+    )
+    serve.add_argument(
+        "--transport", choices=("shm", "pipe"), default="shm"
+    )
+    serve.add_argument(
+        "--engine",
+        choices=("auto", "columnar", "fastpath", "interp"),
+        default="auto",
+    )
+    serve.add_argument(
+        "--recovery",
+        choices=("fail", "respawn", "degraded"),
+        default="respawn",
+        help="worker-failure policy (default respawn: the service "
+        "must survive chaos)",
+    )
+    serve.add_argument("--recv-timeout", type=float, default=60.0)
+    serve.add_argument(
+        "--inject-fault",
+        action="append",
+        default=None,
+        metavar="SPEC",
+        help="scripted worker fault armed on the first fleet, e.g. "
+        "kill:shard=0,batch=3 (repeatable)",
+    )
+    serve.add_argument("--fault-seed", type=int, default=None)
+    serve.add_argument(
+        "--profile-period",
+        type=float,
+        default=5.0,
+        help="controller re-profiling period in emulated seconds",
+    )
+    serve.add_argument("--replan-margin", type=float, default=0.1)
+    serve.add_argument(
+        "--no-adapt",
+        action="store_true",
+        help="disable the controller loop (replay only)",
+    )
+    serve.add_argument(
+        "--packets-per-tick",
+        type=int,
+        default=300,
+        help="default packets per emulated second for replay jobs",
+    )
+    serve.add_argument(
+        "--serve-metrics",
+        type=int,
+        default=None,
+        metavar="PORT",
+        help="serve live /metrics + /health for the daemon's whole "
+        "lifetime (0 = ephemeral; port printed on the ready line)",
+    )
+    serve.add_argument(
+        "--slo",
+        default=None,
+        metavar="RULES_JSON",
+        help="SLO rule file; breaches schedule re-optimizations",
+    )
+    serve.add_argument(
+        "--flight-out",
+        default=None,
+        metavar="PATH",
+        help="append flight-recorder rows across every job",
+    )
+    serve.add_argument(
+        "--live-interval",
+        type=float,
+        default=None,
+        metavar="S",
+        help="live snapshot/aggregation cadence (default 0.05s)",
+    )
+    serve.add_argument(
+        "--live-every-packets",
+        type=int,
+        default=None,
+        metavar="N",
+        help="deterministic snapshot cadence (replaces wall cadence)",
+    )
+    _add_common(serve)
+    serve.set_defaults(func=cmd_serve)
+
+    call = subparsers.add_parser(
+        "call",
+        help="send one op to a running serve daemon and print the "
+        "JSON result",
+    )
+    call.add_argument("--socket", required=True)
+    call.add_argument(
+        "op",
+        help="protocol op: ping | status | scenarios | submit | job "
+        "| wait | cancel | drain | shutdown",
+    )
+    call.add_argument(
+        "--params",
+        default=None,
+        help='op params as a JSON object, e.g. \'{"op": "replay", '
+        '"params": {"scenario": "flash_crowd", "seed": "7"}}\'',
+    )
+    call.add_argument(
+        "--wait",
+        action="store_true",
+        help="after submit, block until the job settles and print "
+        "its final state",
+    )
+    call.add_argument("--timeout", type=float, default=300.0)
+    call.set_defaults(func=cmd_call)
     return parser
 
 

@@ -10,6 +10,7 @@ or churn too much, exactly the adaptation loop of Figure 11.
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass, field
 from typing import Callable, Iterable, Optional
 
@@ -108,6 +109,7 @@ class PipeleonController:
         fault_plan=None,
         transport: str = "shm",
         engine: str = "auto",
+        live_plane=None,
     ):
         if jobs < 1:
             raise ValueError("jobs must be >= 1")
@@ -136,6 +138,10 @@ class PipeleonController:
         self._native_cache = native_cache
         #: Number of shard workers; 1 keeps the in-process data plane.
         self.jobs = jobs
+        #: Shared daemon-lifetime telemetry plane (``repro serve``):
+        #: every fleet this controller builds adopts into it, and the
+        #: outgoing fleet is released before teardown on redeploy.
+        self.live_plane = live_plane
         self.deployment = self._make_deployment(baseline_plan)
         self.current_plan: Optional[OptimizationPlan] = baseline_plan
         self.last_profile: Optional[RuntimeProfile] = None
@@ -143,7 +149,17 @@ class PipeleonController:
         #: Attached SLO watchdog (see :meth:`attach_slo_watchdog`).
         self.slo_watchdog = None
         self.slo_breaches_seen = 0
+        self.slo_breaches_suppressed = 0
+        self._slo_lock = threading.Lock()
         self._slo_pending = False
+        #: Breach scopes (``rule`` or ``rule:shard``, the watchdog's
+        #: episode keys) whose pending episode already scheduled a
+        #: replan. A second breach of the same scope before its clear —
+        #: e.g. the breach re-latching while the scheduled replan is
+        #: still queued behind an in-flight replay batch — is
+        #: suppressed: one consume per episode.
+        self._slo_consumed_scopes: set[str] = set()
+        self._closed = False
 
     # -- SLO subscription ---------------------------------------------------
 
@@ -153,21 +169,47 @@ class PipeleonController:
         Each ``slo_breach`` schedules an *immediate* re-optimization:
         the next :meth:`run_scenario` tick profiles and replans without
         waiting out ``profile_period_s`` — the paper's SLA-triggered
-        adaptation, as opposed to the periodic loop. The flag is
-        thread-safe by construction (a bool set from the aggregator
-        thread, consumed at tick boundaries) and idempotent: any number
-        of breaches between ticks trigger one replan.
+        adaptation, as opposed to the periodic loop. Events land from
+        the aggregator thread, so scheduling state is lock-protected,
+        and triggering is idempotent *per episode*: a breach scope that
+        has already scheduled a replan schedules nothing more until its
+        ``slo_clear`` arrives, no matter how many times the breach
+        re-fires while the replan is queued behind an in-flight replay
+        batch (the double-breach-under-kill case).
         """
         self.slo_watchdog = watchdog
         watchdog.subscribe(self._on_slo_event)
 
+    @staticmethod
+    def _slo_scope(event: dict) -> str:
+        """The watchdog's episode key: ``rule`` or ``rule:shard``."""
+        rule = event.get("rule", "")
+        shard = event.get("shard")
+        return rule if shard is None else f"{rule}:{shard}"
+
     def _on_slo_event(self, event: dict) -> None:
-        if event.get("kind") != "slo_breach":
+        kind = event.get("kind")
+        scope = self._slo_scope(event)
+        if kind == "slo_clear":
+            # Episode over: the scope may consume a replan again.
+            with self._slo_lock:
+                self._slo_consumed_scopes.discard(scope)
             return
-        self.slo_breaches_seen += 1
-        self._slo_pending = True
+        if kind != "slo_breach":
+            return
+        with self._slo_lock:
+            self.slo_breaches_seen += 1
+            if scope in self._slo_consumed_scopes:
+                self.slo_breaches_suppressed += 1
+                suppressed = True
+            else:
+                self._slo_consumed_scopes.add(scope)
+                self._slo_pending = True
+                suppressed = False
         self._emit(
-            "slo_reoptimize_scheduled",
+            "slo_reoptimize_suppressed"
+            if suppressed
+            else "slo_reoptimize_scheduled",
             rule=event.get("rule"),
             shard=event.get("shard"),
             value=event.get("value"),
@@ -175,8 +217,9 @@ class PipeleonController:
 
     def consume_slo_trigger(self) -> bool:
         """True once per pending breach-triggered replan request."""
-        pending = self._slo_pending
-        self._slo_pending = False
+        with self._slo_lock:
+            pending = self._slo_pending
+            self._slo_pending = False
         return pending
 
     # -- re-optimization --------------------------------------------------------
@@ -352,6 +395,7 @@ class PipeleonController:
                 supervisor=self.supervisor,
                 fault_plan=fault_plan,
                 transport=self.transport,
+                live_plane=self.live_plane,
                 **kwargs,
             )
         return Deployment(
@@ -374,10 +418,84 @@ class PipeleonController:
             plan=plan.describe(),
         )
 
+    # -- lifecycle ----------------------------------------------------------------
+
+    def close(self) -> None:
+        """Tear down the current data plane (fleet, live adoption).
+
+        Idempotent. The shared ``live_plane`` (if any) is released by
+        the deployment's own close and survives for the daemon to
+        stop; a per-deployment live plane is stopped outright.
+        """
+        if self._closed:
+            return
+        self._closed = True
+        self.deployment.close()
+
+    def __enter__(self) -> "PipeleonController":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
     # -- traffic ------------------------------------------------------------------
 
     def run(self, packets: Iterable[Packet]):
         return self.deployment.run(packets)
+
+    def start_scenario(self) -> None:
+        """Arm the periodic-profiling schedule for a scenario run.
+
+        :meth:`scenario_tick` can then be called tick-by-tick by an
+        external driver (the serve-mode job loop, which checks for
+        cancellation between ticks); :meth:`run_scenario` is the
+        one-shot wrapper over the same pair.
+        """
+        self._next_profile_at = self.options.profile_period_s
+
+    def scenario_tick(
+        self,
+        time_s: float,
+        phase,
+        packets_per_tick: int = 300,
+    ):
+        """Run one emulated second: control action, replay, replan.
+
+        Returns ``(TimePoint, RunStats)`` — the timeline entry plus the
+        tick's raw merged stats, so callers can fold per-tick RunStats
+        with :meth:`~repro.nic.stats.RunStats.merge` into a bit-stable
+        session total. Watchdog-triggered replans are consumed here, at
+        the tick boundary, *between* replay batches — never inside one
+        — which is what serializes chaos-scheduled replans against
+        in-flight traffic.
+        """
+        if phase.control_action is not None:
+            phase.control_action(self.deployment, time_s)
+        packets = list(phase.stream_factory(packets_per_tick))
+        stats = self.deployment.run(packets)
+        reoptimized = False
+        self.clock.advance(1.0)
+        slo_triggered = self.consume_slo_trigger()
+        if self.enabled and (
+            slo_triggered or self.clock.now_s >= self._next_profile_at
+        ):
+            reoptimized = self.maybe_reoptimize()
+            self._next_profile_at = (
+                self.clock.now_s + self.options.profile_period_s
+            )
+        point = TimePoint(
+            time_s=time_s,
+            throughput_gbps=stats.throughput_gbps(self.target),
+            mean_latency_ns=stats.mean_latency_ns,
+            phase=phase.name,
+            reoptimized=reoptimized,
+            plan=(
+                self.current_plan.describe()
+                if self.current_plan
+                else "none"
+            ),
+        )
+        return point, stats
 
     def run_scenario(
         self,
@@ -386,34 +504,10 @@ class PipeleonController:
     ) -> list[TimePoint]:
         """Drive a timed scenario, one emulated second per tick."""
         timeline: list[TimePoint] = []
-        next_profile_at = self.options.profile_period_s
+        self.start_scenario()
         for time_s, phase in scenario.ticks():
-            if phase.control_action is not None:
-                phase.control_action(self.deployment, time_s)
-            packets = list(phase.stream_factory(packets_per_tick))
-            stats = self.deployment.run(packets)
-            reoptimized = False
-            self.clock.advance(1.0)
-            slo_triggered = self.consume_slo_trigger()
-            if self.enabled and (
-                slo_triggered or self.clock.now_s >= next_profile_at
-            ):
-                reoptimized = self.maybe_reoptimize()
-                next_profile_at = (
-                    self.clock.now_s + self.options.profile_period_s
-                )
-            timeline.append(
-                TimePoint(
-                    time_s=time_s,
-                    throughput_gbps=stats.throughput_gbps(self.target),
-                    mean_latency_ns=stats.mean_latency_ns,
-                    phase=phase.name,
-                    reoptimized=reoptimized,
-                    plan=(
-                        self.current_plan.describe()
-                        if self.current_plan
-                        else "none"
-                    ),
-                )
+            point, _ = self.scenario_tick(
+                time_s, phase, packets_per_tick
             )
+            timeline.append(point)
         return timeline

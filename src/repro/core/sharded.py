@@ -52,6 +52,7 @@ from repro.nic.targets import TargetModel
 from repro.telemetry.live import (
     LiveAggregator,
     LiveOptions,
+    LivePlane,
     MetricsServer,
 )
 
@@ -82,6 +83,7 @@ class ShardedDeployment:
         ring_slots: Optional[int] = None,
         engine: str = "auto",
         live: Optional[LiveOptions] = None,
+        live_plane: Optional[LivePlane] = None,
     ):
         # ``previous`` is accepted for signature parity with Deployment
         # but ignored: sharded redeploys cold-start caches (see module
@@ -89,6 +91,17 @@ class ShardedDeployment:
         if telemetry is None and previous is not None:
             telemetry = getattr(previous, "telemetry", None)
         self.telemetry = telemetry
+        if live_plane is not None:
+            if live is not None:
+                raise ValueError(
+                    "pass either live= (per-deployment plane) or "
+                    "live_plane= (shared daemon plane), not both"
+                )
+            # The shared plane's cadence drives the workers' sidecar
+            # snapshots; the plane itself owns aggregator and server.
+            live_cadence = live_plane.options
+        else:
+            live_cadence = live
         self.deployment = Deployment(
             original,
             target,
@@ -111,41 +124,63 @@ class ShardedDeployment:
         self.clock = self.deployment.clock
         self.counter_map = self.deployment.counter_map
         self.program = self.deployment.program
-        # Fork AFTER materialize_all: workers inherit installed entries.
-        self.emulator = ShardedEmulator(
-            self.deployment.emulator,
-            n_workers,
-            batch=batch,
-            clock=self.clock,
-            options=supervisor,
-            telemetry=telemetry,
-            fault_plan=fault_plan,
-            transport=transport,
-            ring_slots=ring_slots,
-            engine=engine,
-            live_interval_s=live.interval_s if live is not None else None,
-            live_every_packets=(
-                live.every_packets if live is not None else None
-            ),
-        )
-        self.transport = self.emulator.transport
-        self.engine = self.emulator.engine
-        #: Live telemetry plane (None unless ``live=`` was given): the
-        #: aggregator thread starts immediately — workers heartbeat
-        #: even between replays — and the scrape endpoint comes up
-        #: when ``live.serve_port`` is set.
+        # Everything past the inner deployment can fork workers, spawn
+        # threads and bind ports: tear down whatever came up if any
+        # later step raises, so a failed construction never leaks
+        # worker processes, aggregator threads or listening sockets.
         self.live: Optional[LiveAggregator] = None
         self.live_server: Optional[MetricsServer] = None
-        if live is not None:
-            self.live = LiveAggregator(
-                self.emulator, telemetry=telemetry, options=live
-            ).start()
-            if live.serve_port is not None:
-                self.live_server = MetricsServer(
-                    self.live,
-                    port=live.serve_port,
-                    host=live.serve_host,
+        self.live_plane = live_plane
+        self.emulator = None
+        try:
+            # Fork AFTER materialize_all: workers inherit installed
+            # entries.
+            self.emulator = ShardedEmulator(
+                self.deployment.emulator,
+                n_workers,
+                batch=batch,
+                clock=self.clock,
+                options=supervisor,
+                telemetry=telemetry,
+                fault_plan=fault_plan,
+                transport=transport,
+                ring_slots=ring_slots,
+                engine=engine,
+                live_interval_s=(
+                    live_cadence.interval_s
+                    if live_cadence is not None
+                    else None
+                ),
+                live_every_packets=(
+                    live_cadence.every_packets
+                    if live_cadence is not None
+                    else None
+                ),
+            )
+            self.transport = self.emulator.transport
+            self.engine = self.emulator.engine
+            #: Live telemetry plane (None unless ``live=`` was given):
+            #: the aggregator thread starts immediately — workers
+            #: heartbeat even between replays — and the scrape endpoint
+            #: comes up when ``live.serve_port`` is set. With a shared
+            #: ``live_plane=`` the deployment instead adopts into the
+            #: daemon-lifetime aggregator.
+            if live_plane is not None:
+                live_plane.adopt(self.emulator)
+            elif live is not None:
+                self.live = LiveAggregator(
+                    self.emulator, telemetry=telemetry, options=live
                 ).start()
+                if live.serve_port is not None:
+                    self.live_server = MetricsServer(
+                        self.live,
+                        port=live.serve_port,
+                        host=live.serve_host,
+                    ).start()
+        except BaseException:
+            self._teardown()
+            self.deployment.close()
+            raise
         self.control_plane.add_listener(self._on_update)
         self._closed = False
 
@@ -161,16 +196,36 @@ class ShardedDeployment:
         if self._closed:
             return
         self._closed = True
-        self.control_plane.remove_listener(self._on_update)
-        # Live plane first: the aggregator's final flush reads the
-        # workers' last snapshots and the emulator's shard status, so
-        # both must still exist.
-        if self.live_server is not None:
-            self.live_server.stop()
-        if self.live is not None:
-            self.live.stop()
-        self.deployment.close()
-        self.emulator.close()
+        try:
+            self.control_plane.remove_listener(self._on_update)
+        finally:
+            try:
+                self._teardown()
+            finally:
+                self.deployment.close()
+
+    def _teardown(self) -> None:
+        """Stop live plane then workers; every step runs even if an
+        earlier one raises (no leaked threads, ports or processes)."""
+        try:
+            # Live plane first: the aggregator's final flush reads the
+            # workers' last snapshots and the emulator's shard status,
+            # so both must still exist. A shared plane is *released*
+            # (final totals folded into its carry base), never stopped:
+            # it belongs to the daemon, not this deployment.
+            if self.live_plane is not None:
+                self.live_plane.release()
+        finally:
+            try:
+                if self.live_server is not None:
+                    self.live_server.stop()
+            finally:
+                try:
+                    if self.live is not None:
+                        self.live.stop()
+                finally:
+                    if self.emulator is not None:
+                        self.emulator.close()
 
     # -- update broadcast --------------------------------------------------
 

@@ -1,0 +1,37 @@
+"""Always-on adaptation service (``repro serve``) — ROADMAP item 5.
+
+The paper's runtime controller (§5.3) adapts inside one scripted
+replay; this package promotes it to a long-running, supervised daemon:
+
+* :mod:`~repro.service.protocol` — the JSON-lines request/response
+  framing spoken over a local AF_UNIX socket;
+* :mod:`~repro.service.jobs` — the FIFO job queue whose single worker
+  thread structurally serializes SLO-triggered replans against
+  in-flight replay batches, with per-job cooperative cancellation;
+* :mod:`~repro.service.session` — one supervised
+  ``ShardedEmulator`` + :class:`~repro.core.controller.
+  PipeleonController` pair plus the daemon-lifetime
+  :class:`~repro.telemetry.live.LivePlane`, executing replay /
+  optimize / report / status jobs over the string-seeded scenario
+  library;
+* :mod:`~repro.service.daemon` — the asyncio front-end: socket
+  accept loop, op dispatch, SIGTERM-triggered graceful drain;
+* :mod:`~repro.service.client` — the blocking client the ``repro
+  call`` subcommand (and the tests) drive the daemon with.
+"""
+
+from repro.service.client import ServiceClient, ServiceError
+from repro.service.daemon import ServiceDaemon
+from repro.service.jobs import Job, JobQueue, JobState
+from repro.service.session import ServeSession, SessionConfig
+
+__all__ = [
+    "Job",
+    "JobQueue",
+    "JobState",
+    "ServeSession",
+    "ServiceClient",
+    "ServiceDaemon",
+    "ServiceError",
+    "SessionConfig",
+]

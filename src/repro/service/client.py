@@ -1,0 +1,122 @@
+"""Blocking JSON-lines client for the serve-mode daemon.
+
+Used by ``repro call``, the tests, and any script driving a daemon:
+one AF_UNIX connection, synchronous request/response, convenience
+wrappers per op. Thread-compatible but not thread-safe — use one
+client per thread (connections are cheap; the daemon multiplexes).
+"""
+
+from __future__ import annotations
+
+import socket
+from typing import Any, Optional
+
+from repro.service.protocol import (
+    MAX_LINE_BYTES,
+    decode_line,
+    encode,
+)
+
+__all__ = ["ServiceClient", "ServiceError"]
+
+
+class ServiceError(RuntimeError):
+    """A response with ``ok: false``."""
+
+    def __init__(self, code: str, message: str):
+        super().__init__(f"{code}: {message}")
+        self.code = code
+
+
+class ServiceClient:
+    """One blocking connection to a serve-mode daemon."""
+
+    def __init__(self, socket_path: str, timeout_s: float = 60.0):
+        self.socket_path = socket_path
+        self._sock = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+        self._sock.settimeout(timeout_s)
+        self._sock.connect(socket_path)
+        self._buffer = b""
+        self._next_id = 0
+
+    def close(self) -> None:
+        self._sock.close()
+
+    def __enter__(self) -> "ServiceClient":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    # -- request machinery ------------------------------------------------------
+
+    def _read_line(self) -> bytes:
+        while b"\n" not in self._buffer:
+            if len(self._buffer) > MAX_LINE_BYTES:
+                raise ConnectionError("oversized response line")
+            chunk = self._sock.recv(65536)
+            if not chunk:
+                raise ConnectionError("daemon closed the connection")
+            self._buffer += chunk
+        line, self._buffer = self._buffer.split(b"\n", 1)
+        return line
+
+    def request(
+        self, op: str, params: Optional[dict] = None
+    ) -> dict:
+        """Send one request, return its ``result``; raise on errors."""
+        self._next_id += 1
+        request_id = self._next_id
+        self._sock.sendall(
+            encode(
+                {"id": request_id, "op": op, "params": params or {}}
+            )
+        )
+        response = decode_line(self._read_line())
+        if response.get("id") != request_id:
+            raise ConnectionError(
+                f"response id {response.get('id')!r} does not match "
+                f"request id {request_id!r}"
+            )
+        if not response.get("ok"):
+            error = response.get("error") or {}
+            raise ServiceError(
+                error.get("code", "unknown"),
+                error.get("message", "unknown error"),
+            )
+        return response.get("result") or {}
+
+    # -- op wrappers ------------------------------------------------------------
+
+    def ping(self) -> dict:
+        return self.request("ping")
+
+    def status(self) -> dict:
+        return self.request("status")
+
+    def scenarios(self) -> list[str]:
+        return self.request("scenarios")["scenarios"]
+
+    def submit(self, job_op: str, **job_params: Any) -> str:
+        """Enqueue a job; returns the job id."""
+        result = self.request(
+            "submit", {"op": job_op, "params": job_params}
+        )
+        return result["job_id"]
+
+    def job(self, job_id: str) -> dict:
+        return self.request("job", {"job_id": job_id})
+
+    def wait(self, job_id: str, timeout_s: float = 300.0) -> dict:
+        return self.request(
+            "wait", {"job_id": job_id, "timeout_s": timeout_s}
+        )
+
+    def cancel(self, job_id: str) -> dict:
+        return self.request("cancel", {"job_id": job_id})
+
+    def drain(self) -> dict:
+        return self.request("drain")
+
+    def shutdown(self) -> dict:
+        return self.request("shutdown")

@@ -1,0 +1,286 @@
+"""Asyncio front-end of the adaptation service (``repro serve``).
+
+The daemon accepts JSON-lines requests over an AF_UNIX socket and
+dispatches them against one :class:`~repro.service.session.
+ServeSession` and one :class:`~repro.service.jobs.JobQueue`. The event
+loop only ever does cheap work — parsing, queue bookkeeping, status
+snapshots; every replay/optimize/report job runs on the queue's single
+worker thread, which is what serializes SLO-triggered replans against
+in-flight replay batches.
+
+Shutdown paths, all converging on the same drain:
+
+* ``drain`` op — graceful: reject new jobs, cancel the backlog, let
+  the running job finish.
+* ``shutdown`` op / SIGTERM / SIGINT — prompt: additionally flips the
+  running job's cancel event, so a mid-flight replay exits at its next
+  tick boundary (chaos faults included — the supervisor finishes any
+  respawn recovery inside the tick it interrupted).
+
+Either way the session closes after quiescence (fleet down, live
+plane stopped, ``/metrics`` port released) and the socket file is
+unlinked. On startup the daemon prints one ``ready`` JSON line with
+the socket path, metrics port and pid, so scripts can wait for it.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import contextlib
+import json
+import os
+import signal
+import sys
+from typing import Optional
+
+from repro.service.jobs import JobQueue, QueueClosedError
+from repro.service.protocol import (
+    MAX_LINE_BYTES,
+    ProtocolError,
+    decode_line,
+    encode,
+    error_response,
+    ok_response,
+)
+from repro.service.session import ServeSession
+
+__all__ = ["ServiceDaemon"]
+
+#: Job ops a ``submit`` request may name, mapped to session executors.
+JOB_OPS = ("replay", "optimize", "report")
+
+
+class ServiceDaemon:
+    """One serve-mode daemon: socket, dispatcher, drain machinery."""
+
+    def __init__(
+        self,
+        session: ServeSession,
+        socket_path: str,
+        ready_stream=None,
+    ):
+        self.session = session
+        self.socket_path = socket_path
+        self.queue = JobQueue()
+        self._ready_stream = ready_stream or sys.stdout
+        self._server: Optional[asyncio.AbstractServer] = None
+        self._drain_task: Optional[asyncio.Task] = None
+        self._finished = asyncio.Event()
+        self._draining = False
+        self.drained_cleanly = False
+
+    # -- entry point -----------------------------------------------------------
+
+    async def serve(self) -> None:
+        """Run until a drain completes (op, SIGTERM or SIGINT)."""
+        loop = asyncio.get_running_loop()
+        self._server = await asyncio.start_unix_server(
+            self._handle_connection,
+            path=self.socket_path,
+            limit=MAX_LINE_BYTES + 2,
+        )
+        for signum in (signal.SIGTERM, signal.SIGINT):
+            with contextlib.suppress(
+                NotImplementedError, RuntimeError, ValueError
+            ):
+                loop.add_signal_handler(
+                    signum, self._begin_drain, True, f"signal:{signum}"
+                )
+        ready = {
+            "event": "ready",
+            "socket": self.socket_path,
+            "pid": os.getpid(),
+            "metrics_port": self.session.metrics_port,
+        }
+        print(json.dumps(ready), file=self._ready_stream, flush=True)
+        try:
+            await self._finished.wait()
+        finally:
+            for signum in (signal.SIGTERM, signal.SIGINT):
+                with contextlib.suppress(
+                    NotImplementedError, RuntimeError, ValueError
+                ):
+                    loop.remove_signal_handler(signum)
+            with contextlib.suppress(OSError):
+                os.unlink(self.socket_path)
+
+    # -- drain -----------------------------------------------------------------
+
+    def _begin_drain(self, cancel_running: bool, reason: str) -> None:
+        """Idempotent: the first caller wins, later ones no-op."""
+        if self._draining:
+            return
+        self._draining = True
+        self._drain_task = asyncio.get_running_loop().create_task(
+            self._drain(cancel_running, reason)
+        )
+
+    async def _drain(self, cancel_running: bool, reason: str) -> None:
+        # Stop accepting new connections first; in-flight responses on
+        # open connections still go out.
+        if self._server is not None:
+            self._server.close()
+        quiesced = await asyncio.to_thread(
+            self.queue.drain, cancel_running, 60.0
+        )
+        try:
+            await asyncio.to_thread(self.session.close)
+        finally:
+            self.drained_cleanly = quiesced
+            self._finished.set()
+
+    # -- connection handling ---------------------------------------------------
+
+    async def _handle_connection(self, reader, writer) -> None:
+        try:
+            while True:
+                try:
+                    line = await reader.readline()
+                except (
+                    asyncio.LimitOverrunError,
+                    asyncio.IncompleteReadError,
+                    ConnectionResetError,
+                ):
+                    break
+                if not line:
+                    break
+                if not line.strip():
+                    continue
+                try:
+                    request = decode_line(line)
+                except ProtocolError as exc:
+                    writer.write(
+                        encode(error_response(None, "protocol", str(exc)))
+                    )
+                    await writer.drain()
+                    break
+                response = await self._dispatch(request)
+                writer.write(encode(response))
+                try:
+                    await writer.drain()
+                except ConnectionResetError:
+                    break
+        finally:
+            with contextlib.suppress(Exception):
+                writer.close()
+                await writer.wait_closed()
+
+    async def _dispatch(self, request: dict) -> dict:
+        request_id = request.get("id")
+        op = request.get("op")
+        params = request.get("params") or {}
+        if not isinstance(params, dict):
+            return error_response(
+                request_id, "bad_request", "params must be an object"
+            )
+        try:
+            if op == "ping":
+                return ok_response(request_id, {"pong": True})
+            if op == "status":
+                return ok_response(request_id, self._status())
+            if op == "scenarios":
+                from repro.traffic.scenarios import scenario_names
+
+                return ok_response(
+                    request_id, {"scenarios": scenario_names()}
+                )
+            if op == "submit":
+                return self._submit(request_id, params)
+            if op == "job":
+                return self._job_state(request_id, params)
+            if op == "wait":
+                return await self._wait(request_id, params)
+            if op == "cancel":
+                return self._cancel(request_id, params)
+            if op == "drain":
+                self._begin_drain(False, "op:drain")
+                return ok_response(request_id, {"draining": True})
+            if op == "shutdown":
+                self._begin_drain(True, "op:shutdown")
+                return ok_response(
+                    request_id, {"draining": True, "cancelling": True}
+                )
+            return error_response(
+                request_id, "unknown_op", f"unknown op {op!r}"
+            )
+        except Exception as exc:  # noqa: BLE001 - boundary
+            return error_response(request_id, "internal", str(exc))
+
+    # -- op implementations ----------------------------------------------------
+
+    def _status(self) -> dict:
+        status = self.session.status()
+        running = self.queue.running
+        status["queue"] = {
+            "draining": self._draining,
+            "backlog": self.queue.backlog,
+            "running": running.snapshot() if running else None,
+            "jobs": [job.snapshot() for job in self.queue.jobs()],
+        }
+        return status
+
+    def _submit(self, request_id, params: dict) -> dict:
+        job_op = params.get("op")
+        if job_op not in JOB_OPS:
+            return error_response(
+                request_id,
+                "bad_request",
+                f"submit op must be one of {', '.join(JOB_OPS)}",
+            )
+        job_params = params.get("params") or {}
+        if not isinstance(job_params, dict):
+            return error_response(
+                request_id, "bad_request", "job params must be an object"
+            )
+        executor = {
+            "replay": self.session.run_replay,
+            "optimize": self.session.run_optimize,
+            "report": self.session.run_report,
+        }[job_op]
+
+        def run(job):
+            return executor(job.params, cancel_event=job.cancel_event)
+
+        try:
+            job = self.queue.submit(job_op, job_params, run)
+        except QueueClosedError as exc:
+            return error_response(request_id, "draining", str(exc))
+        return ok_response(request_id, job.snapshot())
+
+    def _job_state(self, request_id, params: dict) -> dict:
+        job = self.queue.get(str(params.get("job_id", "")))
+        if job is None:
+            return error_response(
+                request_id, "not_found", "no such job"
+            )
+        snapshot = job.snapshot()
+        if job.done_event.is_set() and job.result is not None:
+            snapshot["result"] = job.result
+        return ok_response(request_id, snapshot)
+
+    async def _wait(self, request_id, params: dict) -> dict:
+        job = self.queue.get(str(params.get("job_id", "")))
+        if job is None:
+            return error_response(
+                request_id, "not_found", "no such job"
+            )
+        timeout_s = float(params.get("timeout_s", 300.0))
+        settled = await asyncio.to_thread(
+            job.done_event.wait, timeout_s
+        )
+        if not settled:
+            return error_response(
+                request_id, "timeout", "job still running"
+            )
+        snapshot = job.snapshot()
+        if job.result is not None:
+            snapshot["result"] = job.result
+        return ok_response(request_id, snapshot)
+
+    def _cancel(self, request_id, params: dict) -> dict:
+        job = self.queue.cancel(str(params.get("job_id", "")))
+        if job is None:
+            return error_response(
+                request_id, "not_found", "no such job"
+            )
+        return ok_response(request_id, job.snapshot())

@@ -1,0 +1,90 @@
+"""JSON-lines protocol spoken over the service's AF_UNIX socket.
+
+One request per line, one response per line, both UTF-8 JSON objects:
+
+* request — ``{"id": <any>, "op": <str>, "params": {...}}``. ``id`` is
+  echoed verbatim in the response so clients may pipeline; ``params``
+  is optional and defaults to ``{}``.
+* response — ``{"id": ..., "ok": true, "result": {...}}`` on success,
+  ``{"id": ..., "ok": false, "error": {"code": <str>,
+  "message": <str>}}`` on failure.
+
+Ops (dispatched by :class:`~repro.service.daemon.ServiceDaemon`):
+
+===========  ==============================================================
+``ping``     liveness probe; returns ``{"pong": true}``
+``status``   session + queue snapshot (plan, SLO counters, jobs, ports)
+``scenarios``  names the scenario library's builders
+``submit``   enqueue a job: ``params={"op": "replay"|"optimize"|
+             "report", ...}``; returns the job id immediately
+``job``      one job's state/result: ``params={"job_id": ...}``
+``wait``     block (bounded) until a job settles: ``params={"job_id",
+             "timeout_s"}``
+``cancel``   cooperative cancel: ``params={"job_id"}``
+``drain``    stop accepting, cancel queued jobs, finish/cancel the
+             running one, tear the session down, then exit
+``shutdown`` alias for ``drain`` with ``cancel_running=True``
+===========  ==============================================================
+
+Framing is newline-delimited with a hard per-line ceiling — a client
+that streams an unbounded line is disconnected rather than buffered.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Optional
+
+__all__ = [
+    "MAX_LINE_BYTES",
+    "ProtocolError",
+    "decode_line",
+    "encode",
+    "error_response",
+    "ok_response",
+]
+
+#: Requests and responses must fit one line under this many bytes.
+MAX_LINE_BYTES = 1 << 20
+
+
+class ProtocolError(ValueError):
+    """A line that is not a well-formed request/response object."""
+
+
+def encode(obj: dict) -> bytes:
+    """One protocol object as a newline-terminated UTF-8 JSON line."""
+    return (
+        json.dumps(obj, separators=(",", ":"), sort_keys=True) + "\n"
+    ).encode("utf-8")
+
+
+def decode_line(line: bytes) -> dict:
+    """Parse one received line into a protocol object."""
+    if len(line) > MAX_LINE_BYTES:
+        raise ProtocolError(
+            f"line exceeds {MAX_LINE_BYTES} bytes"
+        )
+    try:
+        obj = json.loads(line.decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+        raise ProtocolError(f"bad JSON line: {exc}") from exc
+    if not isinstance(obj, dict):
+        raise ProtocolError(
+            f"expected a JSON object, got {type(obj).__name__}"
+        )
+    return obj
+
+
+def ok_response(request_id: Any, result: Optional[dict] = None) -> dict:
+    return {"id": request_id, "ok": True, "result": result or {}}
+
+
+def error_response(
+    request_id: Any, code: str, message: str
+) -> dict:
+    return {
+        "id": request_id,
+        "ok": False,
+        "error": {"code": code, "message": message},
+    }

@@ -37,6 +37,7 @@ from repro.telemetry.export import (
 from repro.telemetry.live import (
     LiveAggregator,
     LiveOptions,
+    LivePlane,
     MetricsServer,
     render_top,
 )
@@ -72,6 +73,7 @@ __all__ = [
     "LATENCY_BUCKETS_NS",
     "LiveAggregator",
     "LiveOptions",
+    "LivePlane",
     "MetricsRegistry",
     "MetricsServer",
     "NATIVE_CACHE_STEP",

@@ -48,6 +48,7 @@ from repro.telemetry.timeseries import FlightRecorder
 __all__ = [
     "LiveAggregator",
     "LiveOptions",
+    "LivePlane",
     "MetricsServer",
     "render_top",
 ]
@@ -143,11 +144,14 @@ class LiveAggregator:
 
     def __init__(
         self,
-        emulator,
+        emulator=None,
         telemetry=None,
         options: Optional[LiveOptions] = None,
     ):
         self.options = options or LiveOptions()
+        #: The watched fleet. ``None`` between deployments: a
+        #: :class:`LivePlane` aggregator outlives any one emulator and
+        #: is re-pointed with :meth:`retarget` on every redeploy.
         self.emulator = emulator
         self.telemetry = telemetry
         #: Breach/clear events land in the run's event log when one is
@@ -167,12 +171,32 @@ class LiveAggregator:
         self._rule_clears: dict[str, int] = {}
         self.watchdog.subscribe(self._on_slo_event)
         self._lock = threading.Lock()
+        #: Serializes retargeting against the background thread's
+        #: drain/sample passes (reentrant: stop() drains then ticks).
+        self._target_lock = threading.RLock()
         self._registry = MetricsRegistry()
         self._snapshots: dict[int, dict] = {}
         self._last_seen: dict[int, float] = {}
         self._heartbeats: dict[int, int] = {}
         self._seen_respawns: dict[int, int] = {}
         self._forced_stale: dict[int, bool] = {}
+        #: Totals folded in from fleets this aggregator watched before
+        #: the current one (see :meth:`retarget`): daemon-lifetime
+        #: counters stay monotone across redeploys.
+        self._carry = {
+            "packets": 0,
+            "dropped": 0,
+            "columnar_packets": 0,
+            "ring_stalls": 0,
+            "ring_pushed_batches": 0,
+            "heartbeats": 0,
+            "cache_hits": 0,
+            "cache_lookups": 0,
+        }
+        self._carry_demotions: dict[str, int] = {}
+        self._carry_hist = Histogram()
+        #: Fleets adopted over the aggregator's lifetime.
+        self.fleets = 1 if emulator is not None else 0
         self._start_mono = time.monotonic()
         self._stop_event = threading.Event()
         self._thread: Optional[threading.Thread] = None
@@ -209,6 +233,71 @@ class LiveAggregator:
     def __exit__(self, *exc) -> None:
         self.stop()
 
+    # -- retargeting (daemon-lifetime aggregation) ---------------------------
+
+    def retarget(self, emulator) -> None:
+        """Re-point the aggregator at a new fleet (or ``None``).
+
+        Called around every redeploy when the aggregator outlives its
+        deployments (:class:`LivePlane`). The outgoing fleet's sidecar
+        pipes are drained one final time and its cumulative totals —
+        packets, drops, latency histogram, cache legs, ring counters,
+        demotions — are folded into a carry base, so the merged sample
+        (and therefore ``/metrics`` counters and SLO inputs) stays
+        monotone across fleet generations. Per-shard liveness state is
+        reset: a fresh fleet starts with clean heartbeat/respawn
+        latches, so tearing down the old workers never registers as a
+        breach.
+        """
+        with self._target_lock:
+            if self.emulator is not None:
+                try:
+                    self._drain()
+                except Exception:  # pragma: no cover - defensive
+                    pass
+                status = self._shard_status()
+                carry = self._carry
+                for snapshot in self._snapshots.values():
+                    carry["packets"] += snapshot["packets"]
+                    carry["dropped"] += snapshot["dropped"]
+                    carry["columnar_packets"] += snapshot.get(
+                        "columnar_packets", 0
+                    )
+                    for reason, count in snapshot.get(
+                        "demotions", {}
+                    ).items():
+                        self._carry_demotions[reason] = (
+                            self._carry_demotions.get(reason, 0)
+                            + count
+                        )
+                    hist = snapshot.get("hist")
+                    if hist is not None:
+                        self._carry_hist.merge(hist)
+                    hits = misses = 0
+                    for h, m in snapshot.get("caches", {}).values():
+                        hits += h
+                        misses += m
+                    native = snapshot.get("native")
+                    if native is not None:
+                        hits += native[0]
+                        misses += native[1]
+                    carry["cache_hits"] += hits
+                    carry["cache_lookups"] += hits + misses
+                for entry in status:
+                    carry["ring_stalls"] += entry.get("ring_stalls", 0)
+                    carry["ring_pushed_batches"] += entry.get(
+                        "pushed_batches", 0
+                    )
+                carry["heartbeats"] += sum(self._heartbeats.values())
+            self._snapshots.clear()
+            self._last_seen.clear()
+            self._heartbeats.clear()
+            self._seen_respawns.clear()
+            self._forced_stale.clear()
+            self.emulator = emulator
+            if emulator is not None:
+                self.fleets += 1
+
     # -- background thread ---------------------------------------------------
 
     def _run(self) -> None:
@@ -237,6 +326,10 @@ class LiveAggregator:
 
     def _drain(self) -> bool:
         """Pull every pending snapshot off every sidecar pipe."""
+        with self._target_lock:
+            return self._drain_locked()
+
+    def _drain_locked(self) -> bool:
         changed = False
         conns = list(getattr(self.emulator, "live_conns", None) or [])
         for conn in conns:
@@ -308,12 +401,20 @@ class LiveAggregator:
 
     def sample(self) -> dict:
         """One merged view of the fleet: the watchdog's input."""
+        with self._target_lock:
+            return self._sample_locked()
+
+    def _sample_locked(self) -> dict:
         now = time.monotonic()
         status = self._shard_status()
         self._update_liveness(status)
+        carry = self._carry
         merged = Histogram()
-        packets = dropped = columnar_packets = 0
-        demotions: dict[str, int] = {}
+        merged.merge(self._carry_hist)
+        packets = carry["packets"]
+        dropped = carry["dropped"]
+        columnar_packets = carry["columnar_packets"]
+        demotions: dict[str, int] = dict(self._carry_demotions)
         cache_totals: dict[str, list[int]] = {}
         native_hits = native_misses = 0
         for snapshot in self._snapshots.values():
@@ -333,14 +434,23 @@ class LiveAggregator:
             if native is not None:
                 native_hits += native[0]
                 native_misses += native[1]
-        hits = native_hits + sum(t[0] for t in cache_totals.values())
-        lookups = (
-            hits
-            + native_misses
-            + sum(t[1] for t in cache_totals.values())
+        hits = (
+            carry["cache_hits"]
+            + native_hits
+            + sum(t[0] for t in cache_totals.values())
         )
-        stalls = sum(e.get("ring_stalls", 0) for e in status)
-        pushed = sum(e.get("pushed_batches", 0) for e in status)
+        lookups = (
+            carry["cache_lookups"]
+            + native_hits
+            + native_misses
+            + sum(t[0] + t[1] for t in cache_totals.values())
+        )
+        stalls = carry["ring_stalls"] + sum(
+            e.get("ring_stalls", 0) for e in status
+        )
+        pushed = carry["ring_pushed_batches"] + sum(
+            e.get("pushed_batches", 0) for e in status
+        )
         shards: dict[int, dict] = {}
         for entry in status:
             shard = entry["shard"]
@@ -533,6 +643,27 @@ class LiveAggregator:
             sample["columnar_packets"],
             help="Packets retired by columnar kernels (live snapshots)",
         )
+        registry.inc(
+            "pipeleon_live_fleet_packets_total",
+            sample["packets"],
+            help=(
+                "Packets replayed across every fleet this aggregator "
+                "has watched (monotone across redeploys)"
+            ),
+        )
+        registry.inc(
+            "pipeleon_live_fleet_dropped_total",
+            sample["dropped"],
+            help=(
+                "Packets dropped across every fleet this aggregator "
+                "has watched (monotone across redeploys)"
+            ),
+        )
+        registry.inc(
+            "pipeleon_live_fleets_total",
+            self.fleets,
+            help="Fleets adopted over the aggregator's lifetime",
+        )
         from repro.telemetry.export import export_event_log
 
         export_event_log(registry, self.events)
@@ -580,7 +711,9 @@ class LiveAggregator:
         return {
             "status": "degraded" if degraded else "ok",
             "rows": self.recorder.appended,
-            "heartbeats": sum(self._heartbeats.values()),
+            "heartbeats": self._carry["heartbeats"]
+            + sum(self._heartbeats.values()),
+            "fleets": self.fleets,
             "active_breaches": self.watchdog.active_breaches,
             "slo_breaches": self.watchdog.breaches,
             "slo_clears": self.watchdog.clears,
@@ -684,6 +817,108 @@ class MetricsServer:
     close = stop
 
     def __enter__(self) -> "MetricsServer":
+        return self.start()
+
+    def __exit__(self, *exc) -> None:
+        self.stop()
+
+
+# ---------------------------------------------------------------------------
+# Daemon-lifetime plane
+# ---------------------------------------------------------------------------
+
+
+class LivePlane:
+    """One aggregator + scrape endpoint outliving any single fleet.
+
+    A plain replay owns its :class:`LiveAggregator` and
+    :class:`MetricsServer` per deployment; ``repro serve`` instead
+    creates one :class:`LivePlane` for the daemon's whole lifetime and
+    hands it to every :class:`~repro.core.sharded.ShardedDeployment`
+    (via ``live_plane=``) and to the controller, which re-adopts each
+    redeployed fleet. Counters stay monotone across fleet generations
+    (see :meth:`LiveAggregator.retarget`), and the ``/metrics`` port
+    stays bound from daemon start to drain.
+
+    Lifecycle: :meth:`start` once, then :meth:`adopt` / :meth:`release`
+    around each deployment, then :meth:`stop` (idempotent, try/finally
+    safe: the server is always torn down even if the aggregator's
+    final flush raises).
+    """
+
+    def __init__(
+        self,
+        options: Optional[LiveOptions] = None,
+        telemetry=None,
+    ):
+        self.options = options or LiveOptions()
+        self.aggregator = LiveAggregator(
+            emulator=None, telemetry=telemetry, options=self.options
+        )
+        self.server: Optional[MetricsServer] = None
+        self._started = False
+        self._stopped = False
+
+    # Convenience passthroughs ------------------------------------------------
+
+    @property
+    def watchdog(self) -> SloWatchdog:
+        return self.aggregator.watchdog
+
+    @property
+    def recorder(self) -> FlightRecorder:
+        return self.aggregator.recorder
+
+    @property
+    def port(self) -> Optional[int]:
+        return self.server.port if self.server is not None else None
+
+    def start(self) -> "LivePlane":
+        if self._started:
+            return self
+        self._started = True
+        self.aggregator.start()
+        if self.options.serve_port is not None:
+            server = MetricsServer(
+                self.aggregator,
+                port=self.options.serve_port,
+                host=self.options.serve_host,
+            )
+            try:
+                server.start()
+            except Exception:
+                self.aggregator.stop()
+                raise
+            self.server = server
+        return self
+
+    def adopt(self, emulator) -> None:
+        """Point the aggregator at a freshly deployed fleet."""
+        self.aggregator.retarget(emulator)
+
+    def release(self) -> None:
+        """Detach from the current fleet *before* it is torn down.
+
+        Folds the fleet's final totals into the carry base and clears
+        per-shard liveness, so killing the old workers during a
+        redeploy never reads as an SLO-visible death.
+        """
+        self.aggregator.retarget(None)
+
+    def stop(self) -> None:
+        if self._stopped:
+            return
+        self._stopped = True
+        try:
+            if self.server is not None:
+                self.server.stop()
+        finally:
+            self.server = None
+            self.aggregator.stop()
+
+    close = stop
+
+    def __enter__(self) -> "LivePlane":
         return self.start()
 
     def __exit__(self, *exc) -> None:

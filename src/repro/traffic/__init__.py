@@ -2,14 +2,25 @@
 
 from repro.traffic.flows import FlowSpec, synth_flow, synth_flows
 from repro.traffic.generator import TrafficGenerator, drop_rate_stream
-from repro.traffic.scenarios import Phase, Scenario
+from repro.traffic.scenarios import (
+    SCENARIO_BUILDERS,
+    Phase,
+    Scenario,
+    build_scenario,
+    rolling_update_action,
+    scenario_names,
+)
 
 __all__ = [
     "FlowSpec",
     "Phase",
+    "SCENARIO_BUILDERS",
     "Scenario",
     "TrafficGenerator",
+    "build_scenario",
     "drop_rate_stream",
+    "rolling_update_action",
+    "scenario_names",
     "synth_flow",
     "synth_flows",
 ]

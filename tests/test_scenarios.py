@@ -1,0 +1,227 @@
+"""Scenario boundary semantics + the string-seeded scenario library.
+
+Covers the PR's boundary bugfix — fsum-exact cumulative boundaries, an
+explicit end boundary, zero-duration phases — plus control-action
+ordering against stream delivery in the controller loop, and the
+determinism contract of the named scenario builders.
+"""
+
+import math
+
+import pytest
+
+from repro.core import PipeleonController
+from repro.core.controller import ControllerOptions
+from repro.ir import linear_program
+from repro.ir.tables import MatchType
+from repro.nic.targets import BLUEFIELD2
+from repro.traffic import (
+    SCENARIO_BUILDERS,
+    Scenario,
+    build_scenario,
+    rolling_update_action,
+    scenario_names,
+)
+
+
+def phases(*durations):
+    scenario = Scenario("t")
+    for index, duration in enumerate(durations):
+        scenario.add_phase(f"p{index}", duration, lambda n: [])
+    return scenario
+
+
+class TestBoundaries:
+    def test_boundaries_are_fsum_prefixes(self):
+        scenario = phases(*([0.1] * 30))
+        bounds = scenario.boundaries()
+        assert len(bounds) == 30
+        for index, bound in enumerate(bounds):
+            assert bound == math.fsum([0.1] * (index + 1))
+        assert scenario.total_duration_s == bounds[-1]
+
+    def test_no_accumulation_drift_near_edges(self):
+        # 0.1 is not representable in binary; a naive running sum
+        # misplaces some boundary eventually. Every exact boundary
+        # must belong to the *following* phase (half-open intervals).
+        scenario = phases(*([0.1] * 30))
+        bounds = scenario.boundaries()
+        for index in range(29):
+            assert (
+                scenario.phase_index_at(bounds[index]) == index + 1
+            ), f"boundary {index} misattributed"
+
+    def test_end_boundary_is_explicit(self):
+        scenario = phases(2.5, 2.5)
+        assert scenario.phase_index_at(5.0) == 1
+        assert scenario.phase_at(5.0).name == "p1"
+        assert scenario.phase_at(5.0 + 1e-9) is None
+        # The final tick of an end-inclusive driver (tick at exactly
+        # total_duration_s) is never dropped.
+        fractional = phases(*([0.1] * 30))
+        assert fractional.phase_at(fractional.total_duration_s) is not None
+
+    def test_end_boundary_skips_trailing_zero_phases(self):
+        scenario = phases(1.0, 0.0, 0.0)
+        assert scenario.phase_index_at(1.0) == 0
+        scenario_mixed = phases(1.0, 0.0, 2.0, 0.0)
+        assert scenario_mixed.phase_index_at(3.0) == 2
+
+    def test_zero_duration_phase_owns_no_time(self):
+        scenario = phases(1.0, 0.0, 1.0)
+        assert scenario.phase_index_at(1.0) == 2
+        assert [p.name for _t, p in scenario.ticks()] == ["p0", "p2"]
+
+    def test_all_zero_durations(self):
+        scenario = phases(0.0, 0.0)
+        assert scenario.total_duration_s == 0.0
+        assert scenario.phase_at(0.0) is None
+        assert list(scenario.ticks()) == []
+
+    def test_negative_time_and_empty(self):
+        assert phases(1.0).phase_at(-0.5) is None
+        assert Scenario("empty").phase_at(0.0) is None
+
+    def test_negative_duration_rejected(self):
+        with pytest.raises(ValueError, match="duration"):
+            Scenario("bad").add_phase("p", -1.0, lambda n: [])
+
+    def test_boundaries_memoized_and_invalidated(self):
+        scenario = phases(1.0, 2.0)
+        first = scenario.boundaries()
+        assert scenario.boundaries() is first
+        scenario.add_phase("late", 3.0, lambda n: [])
+        assert scenario.boundaries() == (1.0, 3.0, 6.0)
+
+    def test_fractional_phases_get_full_tick_share(self):
+        # Seed semantics: a phase starting mid-second begins at the
+        # next whole tick and still gets duration_s worth of ticks.
+        scenario = phases(1.5, 0.5)
+        assert [(t, p.name) for t, p in scenario.ticks()] == [
+            (0.0, "p0"),
+            (1.0, "p0"),
+            (2.0, "p1"),
+        ]
+
+
+class TestControlActionOrdering:
+    def test_action_runs_before_stream_every_tick(self):
+        log = []
+
+        def action(deployment, time_s):
+            log.append(("action", time_s))
+
+        def stream(n, _phase="a"):
+            log.append(("stream", len(log)))
+            return []
+
+        scenario = Scenario("order").add_phase(
+            "a", 3, stream, control_action=action
+        )
+        controller = PipeleonController(
+            linear_program("p", 4, MatchType.TERNARY),
+            BLUEFIELD2,
+            options=ControllerOptions(profile_period_s=100.0),
+            enabled=False,
+        )
+        controller.run_scenario(scenario, packets_per_tick=5)
+        kinds = [kind for kind, _ in log]
+        # Strict alternation: the tick's control-plane mutation is
+        # visible to the data plane before the tick's packets replay.
+        assert kinds == ["action", "stream"] * 3
+        assert [t for kind, t in log if kind == "action"] == [
+            0.0,
+            1.0,
+            2.0,
+        ]
+
+
+class TestScenarioLibrary:
+    def packet_keys(self, scenario, per_tick=20):
+        keys = []
+        for _t, phase in scenario.ticks():
+            for packet in phase.stream_factory(per_tick):
+                f = packet.fields
+                keys.append(
+                    (f["ipv4.src"], f["ipv4.dst"], f["l4.dport"])
+                )
+        return keys
+
+    @pytest.mark.parametrize("name", sorted(SCENARIO_BUILDERS))
+    def test_same_seed_is_bit_stable(self, name):
+        first = self.packet_keys(build_scenario(name, seed="42"))
+        second = self.packet_keys(build_scenario(name, seed="42"))
+        assert first == second
+        assert first  # every builder actually emits traffic
+
+    @pytest.mark.parametrize("name", sorted(SCENARIO_BUILDERS))
+    def test_different_seed_differs(self, name):
+        a = self.packet_keys(build_scenario(name, seed="1"))
+        b = self.packet_keys(build_scenario(name, seed="2"))
+        assert a != b
+
+    def test_names_and_unknown(self):
+        assert scenario_names() == sorted(SCENARIO_BUILDERS)
+        with pytest.raises(ValueError, match="Unknown scenario"):
+            build_scenario("nope")
+
+    def test_builder_kwargs_shape_phases(self):
+        scenario = build_scenario(
+            "flash_crowd", seed="7", steady_s=2, spike_s=1, decay_s=1
+        )
+        assert [p.duration_s for p in scenario.phases] == [2, 1, 1]
+        assert [p.name for p in scenario.phases] == [
+            "steady",
+            "spike",
+            "decay",
+        ]
+
+    def test_ddos_burst_attack_is_drop_heavy(self):
+        scenario = build_scenario("ddos_burst", seed="3")
+        attack = scenario.phases[1]
+        packets = list(attack.stream_factory(400))
+        denied = sum(
+            1 for p in packets if p.fields["l4.dport"] == 6666
+        )
+        assert 0.7 <= denied / len(packets) <= 0.9
+
+    def test_rolling_update_action_churns_without_growth(self):
+        from repro.apps import EXAMPLE_APPS
+        from repro.core import Deployment
+
+        def ids(snapshot):
+            return {
+                name: {entry.entry_id for entry in entries}
+                for name, entries in snapshot.items()
+            }
+
+        build, install = EXAMPLE_APPS["l2l3_acl"]
+        deployment = Deployment(build(), BLUEFIELD2)
+        install(deployment.control_plane)
+        control_plane = deployment.control_plane
+        before = ids(control_plane.snapshot())
+        action = rolling_update_action(entries_per_tick=4)
+        action(deployment, 0.0)
+        after = ids(control_plane.snapshot())
+        # Replace-in-place: occupancy identical everywhere, but
+        # exactly one table had 4 entries deleted and reinserted.
+        assert {n: len(s) for n, s in after.items()} == {
+            n: len(s) for n, s in before.items()
+        }
+        churned = {n for n in before if after[n] != before[n]}
+        assert len(churned) == 1
+        target = churned.pop()
+        assert len(before[target] - after[target]) == 4
+        # The churn sustains across ticks without growing the table.
+        action(deployment, 1.0)
+        final = control_plane.snapshot()
+        assert len(final[target]) == len(before[target])
+
+    def test_update_storm_bumps_update_rate(self):
+        scenario = build_scenario(
+            "update_storm", seed="5", calm_s=1, storm_s=2, settle_s=1
+        )
+        actions = [p.control_action for p in scenario.phases]
+        assert actions[0] is None
+        assert actions[1] is not None
+        assert actions[2] is None

@@ -151,7 +151,8 @@ class TestScenario:
         # Ticks land on whole seconds; a phase owns the ticks that fall
         # strictly before its cumulative end. With 1.5s + 0.5s the
         # second phase starts mid-second, so the tick at t=2.0 is its
-        # only one — after its own end would already have passed.
+        # only one. The end boundary is explicit: exactly
+        # total_duration_s belongs to the last real phase, not to None.
         scenario = (
             Scenario("frac")
             .add_phase("a", 1.5, lambda n: [])
@@ -160,7 +161,8 @@ class TestScenario:
         assert scenario.total_duration_s == 2.0
         assert scenario.phase_at(1.4).name == "a"
         assert scenario.phase_at(1.5).name == "b"
-        assert scenario.phase_at(2.0) is None
+        assert scenario.phase_at(2.0).name == "b"
+        assert scenario.phase_at(2.0001) is None
         ticks = [(t, p.name) for t, p in scenario.ticks()]
         assert ticks == [(0.0, "a"), (1.0, "a"), (2.0, "b")]
 
